@@ -1,0 +1,47 @@
+"""Shared infrastructure for the paper-figure benchmarks.
+
+Scale is controlled by the ``REPRO_BENCH_POINTS`` environment variable
+(default 400,000 points per dataset — large enough for every paper shape
+to show, small enough for the whole suite to run in minutes).  Set it to
+10,000,000 to run the paper's headline scale.
+
+Every benchmark prints its figure's full table (the rows the paper
+plots); run with ``-s`` to see them, or read the captured output of the
+run.  Shape assertions are deliberately tolerant: wall-clock on a laptop
+is noisy, and the authoritative signal is the I/O counter columns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import prepare_engine
+
+_ENGINE_CACHE = {}
+
+
+@pytest.fixture(scope="session")
+def engine_cache():
+    """Prepared engines keyed by workload parameters, built once."""
+    yield _ENGINE_CACHE
+    for prepared in _ENGINE_CACHE.values():
+        prepared.close()
+    _ENGINE_CACHE.clear()
+
+
+def get_engine(cache, **kwargs):
+    """Fetch or build a prepared engine for a workload spec."""
+    key = tuple(sorted(kwargs.items()))
+    if key not in cache:
+        cache[key] = prepare_engine(**kwargs)
+    return cache[key]
+
+
+def print_tables(tables):
+    """Print sweep tables under a visual separator."""
+    if not isinstance(tables, (list, tuple)):
+        tables = [tables]
+    print()
+    for table in tables:
+        print(table.render())
+        print()

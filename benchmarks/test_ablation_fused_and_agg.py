@@ -1,0 +1,74 @@
+"""Extra ablations beyond the paper's figures:
+
+* fused metadata fast path on/off — quantifies the per-span solver
+  overhead the fused path removes for uncontested spans;
+* streaming (heap) vs vectorized UDF merge — the two MergeReader
+  implementations, semantically identical, an order of magnitude apart;
+* metadata-accelerated aggregation vs merge-everything aggregation —
+  the extension operator built on the same chunk statistics.
+"""
+
+import pytest
+
+from repro.bench import make_operator
+from repro.core.aggregation import aggregate_lsm, aggregate_udf
+
+from conftest import get_engine, print_tables
+from repro.bench.report import BenchTable
+
+
+@pytest.mark.parametrize("fused", [True, False])
+def test_fused_fast_path(benchmark, engine_cache, fused):
+    prepared = get_engine(engine_cache, dataset="MF03", overlap_pct=0)
+    lsm = make_operator(prepared, "m4lsm", fused_fast_path=fused)
+    result = benchmark.pedantic(
+        lsm.query, args=(prepared.series, prepared.t_qs, prepared.t_qe,
+                         100),
+        rounds=2, iterations=1)
+    assert len(result) == 100
+
+
+@pytest.mark.parametrize("streaming", [False, True])
+def test_udf_merge_implementations(benchmark, engine_cache, streaming):
+    prepared = get_engine(engine_cache, dataset="MF03", overlap_pct=10,
+                          n_points=100_000)
+    udf = make_operator(prepared, "m4udf", streaming=streaming)
+    result = benchmark.pedantic(
+        udf.query, args=(prepared.series, prepared.t_qs, prepared.t_qe,
+                         100),
+        rounds=1, iterations=1)
+    assert len(result) == 100
+
+
+@pytest.mark.parametrize("kind", ["lsm", "udf"])
+def test_aggregation_operators(benchmark, engine_cache, kind):
+    prepared = get_engine(engine_cache, dataset="MF03", overlap_pct=10)
+    runner = aggregate_lsm if kind == "lsm" else aggregate_udf
+    result = benchmark.pedantic(
+        runner, args=(prepared.engine, prepared.series, prepared.t_qs,
+                      prepared.t_qe, 100, ("count", "avg", "max_value")),
+        rounds=2, iterations=1)
+    assert sum(c for c in result.column("count") if c) \
+        == prepared.timestamps.size
+
+
+def test_aggregation_io_table(benchmark, engine_cache):
+    prepared = get_engine(engine_cache, dataset="MF03", overlap_pct=10)
+    table = BenchTable("Ablation: aggregation operators (MF03)",
+                       ["operator", "chunk loads", "points decoded"])
+
+    def sweep():
+        for name, runner in (("metadata (LSM)", aggregate_lsm),
+                             ("merge-all (UDF)", aggregate_udf)):
+            before = prepared.engine.stats.snapshot()
+            runner(prepared.engine, prepared.series, prepared.t_qs,
+                   prepared.t_qe, 100, ("count", "avg"))
+            diff = prepared.engine.stats.diff(before)
+            table.add_row(name, diff.chunk_loads, diff.points_decoded)
+        return table
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_tables(table)
+    loads = dict(zip(table.column("operator"),
+                     table.column("chunk loads")))
+    assert loads["metadata (LSM)"] < loads["merge-all (UDF)"]

@@ -1,0 +1,35 @@
+"""E11 — ablation: lazy loading vs eager reloading.
+
+The lazy strategy of Sections 3.3/3.4 defers chunk loads after a failed
+verification (tightening bounds, trying tied candidates first); the
+eager variant reloads the chunk's in-span data immediately.  Under
+overlap + delete workloads the lazy strategy decodes strictly fewer
+points.
+"""
+
+import pytest
+
+from repro.bench import ablation_lazy, make_operator
+
+from conftest import get_engine, print_tables
+
+
+@pytest.mark.parametrize("lazy", [True, False])
+def test_query_latency(benchmark, engine_cache, lazy):
+    prepared = get_engine(engine_cache, dataset="MF03", overlap_pct=30,
+                          delete_pct=20)
+    lsm = make_operator(prepared, "m4lsm", lazy=lazy)
+    result = benchmark.pedantic(
+        lsm.query, args=(prepared.series, prepared.t_qs, prepared.t_qe,
+                         400),
+        rounds=2, iterations=1)
+    assert len(result) == 400
+
+
+def test_ablation_table(benchmark):
+    tables = benchmark.pedantic(ablation_lazy, rounds=1, iterations=1)
+    print_tables(tables)
+    for table in tables:
+        by_kind = dict(zip(table.column("strategy"),
+                           table.column("points decoded")))
+        assert by_kind["lazy"] <= by_kind["eager"], table.title

@@ -1,0 +1,64 @@
+"""E3 — Figure 10: query latency vs the number of time spans w.
+
+Paper shape: M4-UDF is flat in w (it always loads and merges everything)
+while M4-LSM grows with w (more spans split more chunks); on the skewed
+KOB/RcvTime profiles M4-LSM grows more slowly because many short chunks
+are never split.  Each (dataset, operator) pair is benchmarked at a low
+and a high w, and the full sweep table is printed and shape-checked.
+"""
+
+import pytest
+
+from repro.bench import (
+    DATASETS,
+    fig10_vary_w,
+    make_operator,
+    roughly_constant,
+)
+
+from conftest import get_engine, print_tables
+
+W_VALUES = (10, 100, 500, 1000, 2000)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("operator", ["m4udf", "m4lsm"])
+@pytest.mark.parametrize("w", [10, 1000])
+def test_query_latency(benchmark, engine_cache, dataset, operator, w):
+    prepared = get_engine(engine_cache, dataset=dataset, overlap_pct=10)
+    op = make_operator(prepared, operator)
+    result = benchmark.pedantic(
+        op.query, args=(prepared.series, prepared.t_qs, prepared.t_qe, w),
+        rounds=2, iterations=1)
+    assert len(result) == w
+
+
+def test_fig10_sweep_shapes(benchmark):
+    tables = benchmark.pedantic(fig10_vary_w,
+                                kwargs={"w_values": W_VALUES},
+                                rounds=1, iterations=1)
+    print_tables(tables)
+    for table in tables:
+        assert all(table.column("equal")), table.title
+        # M4-UDF: constant in w (its chunk loads don't depend on w).
+        udf_loads = table.column("UDF chunk loads")
+        assert roughly_constant([float(x) for x in udf_loads], spread=0.05)
+        # M4-LSM: chunk loads grow (weakly) with w ...
+        lsm_loads = table.column("LSM chunk loads")
+        assert lsm_loads[-1] >= lsm_loads[0]
+        # ... and never exceed what the UDF loads at the largest w only
+        # mildly (split chunks are loaded once per adjoining span).
+        assert lsm_loads[0] <= udf_loads[0]
+    # Skew claim: KOB/RcvTime's LSM load growth is slower than
+    # BallSpeed/MF03's, relative to their chunk counts.
+    growth = {}
+    for table in tables:
+        lsm_loads = table.column("LSM chunk loads")
+        udf_loads = table.column("UDF chunk loads")
+        growth[table.title] = (lsm_loads[-1] - lsm_loads[0]) \
+            / max(udf_loads[0], 1)
+    dense = [g for title, g in growth.items()
+             if "BallSpeed" in title or "MF03" in title]
+    skewed = [g for title, g in growth.items()
+              if "KOB" in title or "RcvTime" in title]
+    assert min(dense) >= max(skewed) * 0.5  # tolerant ordering check

@@ -1,0 +1,45 @@
+"""E4 — Figure 11: query latency vs query time range length.
+
+Paper shape: both operators get slower on longer ranges, but M4-UDF
+grows much faster (every additional chunk is loaded and merged), while
+M4-LSM's growth is damped because the fraction of span-split chunks
+falls as the range grows.
+"""
+
+import pytest
+
+from repro.bench import fig11_vary_range, make_operator
+
+from conftest import get_engine, print_tables
+
+FRACTIONS = (0.0625, 0.125, 0.25, 0.5, 1.0)
+
+
+@pytest.mark.parametrize("operator", ["m4udf", "m4lsm"])
+@pytest.mark.parametrize("fraction", [0.0625, 1.0])
+def test_query_latency(benchmark, engine_cache, operator, fraction):
+    prepared = get_engine(engine_cache, dataset="MF03", overlap_pct=10)
+    op = make_operator(prepared, operator)
+    duration = prepared.t_qe - prepared.t_qs
+    t_qe = prepared.t_qs + max(int(duration * fraction), 400)
+    result = benchmark.pedantic(
+        op.query, args=(prepared.series, prepared.t_qs, t_qe, 400),
+        rounds=2, iterations=1)
+    assert len(result) == 400
+
+
+def test_fig11_sweep_shapes(benchmark):
+    tables = benchmark.pedantic(fig11_vary_range,
+                                kwargs={"fractions": FRACTIONS},
+                                rounds=1, iterations=1)
+    print_tables(tables)
+    for table in tables:
+        assert all(table.column("equal")), table.title
+        udf = table.column("M4-UDF (s)")
+        # M4-UDF latency grows materially from the shortest to the
+        # longest range (16x more data).
+        assert udf[-1] > udf[0] * 2, table.title
+        lsm = table.column("M4-LSM (s)")
+        # M4-LSM grows strictly slower than M4-UDF, relatively.
+        assert (lsm[-1] / max(lsm[0], 1e-9)) \
+            < (udf[-1] / max(udf[0], 1e-9)) * 1.5, table.title

@@ -1,0 +1,44 @@
+"""E6 — Figure 13: query latency vs delete percentage.
+
+Paper shape: M4-UDF is nearly constant (deletes are applied with a cheap
+sort-based filter); M4-LSM trends up slightly — more deletes mean more
+candidate invalidations and metadata recomputation — but stays small in
+absolute terms because each delete range is short relative to a chunk.
+"""
+
+import pytest
+
+from repro.bench import fig13_vary_delete_pct, make_operator, roughly_constant
+
+from conftest import get_engine, print_tables
+
+DELETE_PCTS = (0, 10, 20, 30, 40)
+
+
+@pytest.mark.parametrize("operator", ["m4udf", "m4lsm"])
+@pytest.mark.parametrize("delete_pct", [0, 40])
+def test_query_latency(benchmark, engine_cache, operator, delete_pct):
+    prepared = get_engine(engine_cache, dataset="MF03", overlap_pct=10,
+                          delete_pct=delete_pct)
+    op = make_operator(prepared, operator)
+    result = benchmark.pedantic(
+        op.query, args=(prepared.series, prepared.t_qs, prepared.t_qe, 400),
+        rounds=2, iterations=1)
+    assert len(result) == 400
+
+
+def test_fig13_sweep_shapes(benchmark):
+    tables = benchmark.pedantic(fig13_vary_delete_pct,
+                                kwargs={"delete_pcts": DELETE_PCTS},
+                                rounds=1, iterations=1)
+    print_tables(tables)
+    for table in tables:
+        assert all(table.column("equal")), table.title
+        udf = table.column("M4-UDF (s)")
+        # M4-UDF: delete count barely moves the needle.
+        assert roughly_constant(udf, spread=0.6), table.title
+        lsm = table.column("M4-LSM (s)")
+        # M4-LSM may trend up but "the overall value is small": even at
+        # 40% deletes it stays in the ballpark of the merge-everything
+        # baseline.
+        assert lsm[-1] < max(udf) * 1.5, table.title

@@ -1,0 +1,39 @@
+"""E7 — Figure 14: query latency vs delete time range length.
+
+Paper shape: M4-UDF's latency *falls* as the delete range grows, because
+fully-deleted chunks are skipped before loading — most visibly on the
+skewed KOB/RcvTime profiles where many short chunks are wiped entirely.
+M4-LSM stays small throughout (candidate points are robust to deletes).
+"""
+
+import pytest
+
+from repro.bench import fig14_vary_delete_range, make_operator
+
+from conftest import get_engine, print_tables
+
+MULTIPLIERS = (0.1, 0.5, 1, 5, 20)
+
+
+@pytest.mark.parametrize("operator", ["m4udf", "m4lsm"])
+def test_query_latency_large_deletes(benchmark, engine_cache, operator):
+    prepared = get_engine(engine_cache, dataset="KOB", overlap_pct=10,
+                          n_deletes=20, delete_range=10_000_000)
+    op = make_operator(prepared, operator)
+    result = benchmark.pedantic(
+        op.query, args=(prepared.series, prepared.t_qs, prepared.t_qe, 400),
+        rounds=2, iterations=1)
+    assert len(result) == 400
+
+
+def test_fig14_sweep_shapes(benchmark):
+    tables = benchmark.pedantic(fig14_vary_delete_range,
+                                kwargs={"range_multipliers": MULTIPLIERS},
+                                rounds=1, iterations=1)
+    print_tables(tables)
+    for table in tables:
+        assert all(table.column("equal")), table.title
+        loads = table.column("UDF chunk loads")
+        # The skip-fully-deleted-chunks effect: at 20x chunk span the UDF
+        # loads strictly fewer chunks than at 0.1x.
+        assert loads[-1] < loads[0], table.title

@@ -1,0 +1,46 @@
+"""E8 — Figures 1/3/16: M4's zero pixel error vs the reduction baselines.
+
+The paper's Figure 1 motivates M4: a 1.2M-point series encased in 1000
+pixel columns with *no* visual error.  This bench regenerates the claim:
+the M4 reduction renders pixel-identically to the full series, while
+MinMax / PAA / sampling do not.
+"""
+
+import pytest
+
+from repro.bench import fig1_pixel_accuracy
+from repro.core.series import TimeSeries
+from repro.datasets import PROFILES
+from repro.viz import PixelGrid, rasterize
+
+from conftest import print_tables
+
+
+def test_pixel_error_table(benchmark):
+    table = benchmark.pedantic(fig1_pixel_accuracy, rounds=1, iterations=1)
+    print_tables(table)
+    errors = dict(zip(table.column("Reducer"),
+                      table.column("differing pixels")))
+    assert errors["M4"] == 0
+    for baseline in ("PAA", "Systematic", "Random"):
+        assert errors[baseline] > 0, baseline
+
+
+@pytest.mark.parametrize("dataset", ["BallSpeed", "KOB"])
+def test_pixel_error_other_datasets(benchmark, dataset):
+    table = benchmark.pedantic(fig1_pixel_accuracy,
+                               kwargs={"dataset": dataset,
+                                       "n_points": 100_000},
+                               rounds=1, iterations=1)
+    print_tables(table)
+    errors = dict(zip(table.column("Reducer"),
+                      table.column("differing pixels")))
+    assert errors["M4"] == 0
+
+
+def test_rasterize_throughput(benchmark):
+    t, v = PROFILES["MF03"].generate(50_000)
+    series = TimeSeries(t, v, validate=False)
+    grid = PixelGrid.for_series(series, 200, 100)
+    matrix = benchmark(rasterize, series, grid)
+    assert matrix.any()

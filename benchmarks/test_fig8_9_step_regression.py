@@ -1,0 +1,45 @@
+"""E2 — Figures 8/9: timestamp-position steps and the learned step
+regression parameters per dataset.
+
+The paper's Figure 8 shows the timestamp-position map of one chunk per
+dataset; Figure 9 shows the delta distribution that the 3-sigma changing
+point rule operates on.  The table prints the fitted K (1/median delta),
+segment count and maximum position error; the benchmark measures fit
+throughput.
+"""
+
+import numpy as np
+
+from repro.bench import fig8_9_step_regression
+from repro.core.index import StepRegression
+from repro.datasets import PROFILES
+
+from conftest import print_tables
+
+
+def test_fig8_9_table(benchmark):
+    table = benchmark.pedantic(fig8_9_step_regression, rounds=1,
+                               iterations=1)
+    print_tables(table)
+    by_name = {row[0]: row for row in table.rows}
+    # BallSpeed: perfectly regular -> one tilt segment, zero error.
+    assert by_name["BallSpeed"][3] == 1
+    assert by_name["BallSpeed"][4] == 0.0
+    # KOB: the 9 s period of Example 3.8.
+    assert by_name["KOB"][1] == 9000
+    # Gappy datasets produce level segments (odd segment counts > 1).
+    assert by_name["KOB"][3] >= 3
+
+
+def test_fit_throughput_kob(benchmark):
+    t, _v = PROFILES["KOB"].generate(20_000)
+    regression = benchmark(StepRegression.fit, t[:1000])
+    assert regression.n_points == 1000
+
+
+def test_prediction_throughput(benchmark):
+    t, _v = PROFILES["KOB"].generate(2000)
+    regression = StepRegression.fit(t)
+    probes = np.linspace(t[0], t[-1], 10_000).astype(np.int64)
+    out = benchmark(regression.predict_array, probes)
+    assert out.size == probes.size

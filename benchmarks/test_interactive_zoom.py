@@ -1,0 +1,79 @@
+"""Interactive zooming: the end-user experience behind the paper.
+
+A dashboard session is a sequence of viewport changes.  This bench
+measures per-viewport latency of (a) raw M4-LSM queries, (b) the
+tile-cached ZoomService (pan reuses tiles), and (c) the merge-everything
+baseline — quantifying the paper's "instant visualization" claim as a
+user-facing number rather than a single query time.
+"""
+
+import pytest
+
+from repro.bench import make_operator
+from repro.viz.multiscale import ZoomService
+
+from conftest import get_engine, print_tables
+from repro.bench.report import BenchTable
+
+WIDTH = 256
+
+
+def pan_sequence(t_qs, t_qe, steps=8):
+    """A zoom-in followed by pans at the deep level."""
+    duration = t_qe - t_qs
+    window = duration // 8
+    sequence = [(t_qs, t_qe)]
+    start = t_qs + duration // 3
+    for step in range(steps):
+        sequence.append((start, min(start + window, t_qe)))
+        start += window // 2
+    return sequence
+
+
+@pytest.mark.parametrize("mode", ["m4lsm", "zoom-service", "m4udf"])
+def test_pan_and_zoom_session(benchmark, engine_cache, mode):
+    prepared = get_engine(engine_cache, dataset="MF03", overlap_pct=10)
+    sequence = pan_sequence(prepared.t_qs, prepared.t_qe)
+
+    if mode == "zoom-service":
+        service = ZoomService(prepared.engine, prepared.series,
+                              tile_spans=WIDTH)
+
+        def run():
+            for start, end in sequence:
+                service.viewport(start, end, WIDTH)
+    else:
+        operator = make_operator(prepared, mode)
+
+        def run():
+            for start, end in sequence:
+                operator.query(prepared.series, start, end, WIDTH)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_zoom_service_cache_table(benchmark, engine_cache):
+    prepared = get_engine(engine_cache, dataset="MF03", overlap_pct=10)
+    table = BenchTable("Interactive zoom: tile cache effectiveness",
+                       ["pass", "tile hits", "tile misses"])
+
+    def run():
+        service = ZoomService(prepared.engine, prepared.series,
+                              tile_spans=WIDTH)
+        sequence = pan_sequence(prepared.t_qs, prepared.t_qe)
+        for label in ("first", "second"):
+            before_hits = service.tile_hits
+            before_misses = service.tile_misses
+            for start, end in sequence:
+                service.viewport(start, end, WIDTH)
+            table.add_row(label, service.tile_hits - before_hits,
+                          service.tile_misses - before_misses)
+        return table
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_tables(table)
+    hits = table.column("tile hits")
+    misses = table.column("tile misses")
+    # The second pass over the same session is (nearly) all cache hits.
+    assert misses[1] <= 1
+    assert hits[1] > hits[0]

@@ -1,0 +1,30 @@
+"""E1 — Table 2: dataset summary.
+
+Regenerates the paper's dataset table at the configured bench scale and
+benchmarks the generator throughput (datasets are a substrate here, but
+their generation cost bounds every other bench's setup time).
+"""
+
+from repro.bench import bench_points, table2_datasets
+from repro.datasets import PROFILES
+
+from conftest import print_tables
+
+
+def test_table2_summary(benchmark):
+    table = benchmark.pedantic(table2_datasets, rounds=1, iterations=1)
+    print_tables(table)
+    names = table.column("Dataset")
+    assert names == ["BallSpeed", "MF03", "KOB", "RcvTime"]
+    counts = table.column("# Points")
+    assert all(count == bench_points() for count in counts)
+
+
+def test_generate_mf03(benchmark):
+    t, v = benchmark(PROFILES["MF03"].generate, 100_000)
+    assert t.size == 100_000 and v.size == 100_000
+
+
+def test_generate_rcvtime(benchmark):
+    t, _v = benchmark(PROFILES["RcvTime"].generate, 100_000)
+    assert t.size == 100_000

@@ -1,0 +1,101 @@
+"""Aggregation dashboards and vector export.
+
+Beyond M4 itself, the same chunk statistics answer the usual dashboard
+aggregates — COUNT/AVG/MIN/MAX per time bucket — without touching chunk
+data.  This example:
+
+* loads a week of 1 Hz readings,
+* computes a daily summary via the metadata-accelerated aggregator and
+  confirms it against the merge-everything baseline,
+* issues the equivalent SQL,
+* exports the M4-reduced line chart as a standalone SVG file.
+
+Run with::
+
+    python examples/aggregation_and_export.py [output.svg]
+"""
+
+import sys
+import tempfile
+
+import numpy as np
+
+from repro import Session, StorageConfig
+from repro.core.aggregation import aggregate_lsm, aggregate_udf
+from repro.viz.svg import save_svg
+
+SECONDS_PER_DAY = 86_400
+DAYS = 7
+
+
+def week_of_data(seed=11):
+    """One week at 1 Hz: weekday/weekend pattern + drift + noise."""
+    n = SECONDS_PER_DAY * DAYS
+    t = np.arange(n, dtype=np.int64) * 1000
+    rng = np.random.default_rng(seed)
+    day = np.arange(n) // SECONDS_PER_DAY
+    weekday_load = np.where(day < 5, 100.0, 35.0)
+    daily_cycle = 25.0 * np.sin(2 * np.pi * (np.arange(n)
+                                             % SECONDS_PER_DAY)
+                                / SECONDS_PER_DAY)
+    return t, weekday_load + daily_cycle + rng.normal(0, 2.0, n)
+
+
+def main():
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "/tmp/week.svg"
+    t, v = week_of_data()
+    print("Ingesting %d points (a week at 1 Hz) ..." % t.size)
+    with tempfile.TemporaryDirectory() as data_dir:
+        config = StorageConfig(avg_series_point_number_threshold=5000,
+                               points_per_page=1000)
+        with Session(data_dir, config) as session:
+            session.create_series("root.plant.load")
+            session.insert_batch("root.plant.load", t, v)
+            session.flush()
+            engine = session.engine
+            t_qs, t_qe = int(t[0]), int(t[-1]) + 1
+
+            # --- daily summary from metadata --------------------------------
+            functions = ("count", "avg", "min_value", "max_value")
+            before = engine.stats.snapshot()
+            fast = aggregate_lsm(engine, "root.plant.load", t_qs, t_qe,
+                                 DAYS, functions)
+            fast_loads = engine.stats.diff(before).chunk_loads
+            before = engine.stats.snapshot()
+            slow = aggregate_udf(engine, "root.plant.load", t_qs, t_qe,
+                                 DAYS, functions)
+            slow_loads = engine.stats.diff(before).chunk_loads
+
+            print("\nDaily summary (chunk loads: %d accelerated vs %d "
+                  "baseline):" % (fast_loads, slow_loads))
+            print("%4s %9s %9s %9s %9s" % ("day", "count", "avg", "min",
+                                           "max"))
+            for day in range(DAYS):
+                row = [fast.column(f)[day] for f in functions]
+                assert row == [slow.column(f)[day] for f in functions] \
+                    or all(abs(a - b) < 1e-6
+                           for a, b in zip(row, (slow.column(f)[day]
+                                                 for f in functions)))
+                print("%4d %9d %9.2f %9.2f %9.2f" % (day, *row))
+
+            # --- the same through SQL ----------------------------------------
+            table = session.execute(
+                "SELECT COUNT(s), AVG(s) FROM root.plant.load "
+                "WHERE time >= %d AND time < %d GROUP BY SPANS(%d)"
+                % (t_qs, t_qe, DAYS))
+            print("\nSQL view:")
+            print(table.pretty())
+
+            # --- vector export ------------------------------------------------
+            result = session.query_m4("root.plant.load", t_qs, t_qe,
+                                      w=400)
+            reduced = result.to_series()
+            save_svg(reduced, out_path, width=900, height=260,
+                     title="Plant load, one week (M4, %d of %d points)"
+                     % (len(reduced), t.size))
+            print("\nwrote %s (%d representation points instead of %d)"
+                  % (out_path, len(reduced), t.size))
+
+
+if __name__ == "__main__":
+    main()

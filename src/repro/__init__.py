@@ -1,0 +1,65 @@
+"""repro — a from-scratch reproduction of "Time Series Representation for
+Visualization in Apache IoTDB" (SIGMOD 2024).
+
+The package implements the paper's chunk-merge-free **M4-LSM** operator
+together with every substrate it rests on: an LSM/TsFile storage engine,
+the **M4-UDF** baseline, the step-regression chunk index, a pixel-exact
+line-chart rasterizer, synthetic equivalents of the paper's datasets and
+a benchmark harness regenerating each of its figures.
+
+Quickstart::
+
+    from repro import Session
+    session = Session("/tmp/demo-db")
+    session.create_series("root.demo.speed")
+    session.insert_batch("root.demo.speed", timestamps, values)
+    result = session.query_m4("root.demo.speed", t_qs, t_qe, w=1000)
+    reduced = result.to_series()   # <= 4000 points, pixel-exact
+"""
+
+from .core import (
+    M4LSMOperator,
+    M4Result,
+    M4UDFOperator,
+    Point,
+    SpanAggregate,
+    TimeSeries,
+    m4_aggregate_arrays,
+    m4_aggregate_series,
+)
+from .errors import (
+    EncodingError,
+    InvalidQueryRangeError,
+    QueryError,
+    ReproError,
+    SqlSyntaxError,
+    StorageError,
+)
+from .query import Session
+from .storage import Delete, DeleteList, IoStats, StorageConfig, StorageEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Delete",
+    "DeleteList",
+    "EncodingError",
+    "InvalidQueryRangeError",
+    "IoStats",
+    "M4LSMOperator",
+    "M4Result",
+    "M4UDFOperator",
+    "Point",
+    "QueryError",
+    "ReproError",
+    "Session",
+    "SpanAggregate",
+    "SqlSyntaxError",
+    "StorageConfig",
+    "StorageEngine",
+    "StorageError",
+    "TimeSeries",
+    "m4_aggregate_arrays",
+    "m4_aggregate_series",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Benchmark harness: engine preparation, timed sweeps, result tables."""
+
+from .experiments import (
+    DATASETS,
+    ablation_index,
+    ablation_lazy,
+    fig1_pixel_accuracy,
+    fig8_9_step_regression,
+    fig10_vary_w,
+    fig11_vary_range,
+    fig12_vary_overlap,
+    fig13_vary_delete_pct,
+    fig14_vary_delete_range,
+    headline_scaling,
+    table2_datasets,
+)
+from .harness import (
+    PreparedEngine,
+    QueryTiming,
+    bench_points,
+    make_operator,
+    prepare_engine,
+    timed_query,
+)
+from .report import BenchTable, monotone_non_decreasing, roughly_constant
+
+__all__ = [
+    "BenchTable",
+    "DATASETS",
+    "PreparedEngine",
+    "QueryTiming",
+    "ablation_index",
+    "ablation_lazy",
+    "bench_points",
+    "fig1_pixel_accuracy",
+    "fig8_9_step_regression",
+    "fig10_vary_w",
+    "fig11_vary_range",
+    "fig12_vary_overlap",
+    "fig13_vary_delete_pct",
+    "fig14_vary_delete_range",
+    "headline_scaling",
+    "make_operator",
+    "monotone_non_decreasing",
+    "prepare_engine",
+    "roughly_constant",
+    "table2_datasets",
+]

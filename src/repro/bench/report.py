@@ -1,0 +1,85 @@
+"""Result tables for the benchmark harness: terminal and Markdown."""
+
+from __future__ import annotations
+
+
+class BenchTable:
+    """An ordered table of benchmark rows with pretty printing.
+
+    >>> t = BenchTable("demo", ["w", "latency"])
+    >>> t.add_row(10, 0.0123)
+    >>> "demo" in t.render()
+    True
+    """
+
+    def __init__(self, title, columns):
+        self.title = title
+        self.columns = list(columns)
+        self.rows = []
+
+    def add_row(self, *cells):
+        """Append one row (must match the column count)."""
+        if len(cells) != len(self.columns):
+            raise ValueError("expected %d cells, got %d"
+                             % (len(self.columns), len(cells)))
+        self.rows.append(tuple(cells))
+
+    def _formatted(self):
+        return [[_fmt(cell) for cell in row] for row in self.rows]
+
+    def render(self):
+        """Fixed-width text rendering with a title line."""
+        body = self._formatted()
+        widths = [len(c) for c in self.columns]
+        for row in body:
+            widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+        lines = [self.title,
+                 "  ".join(c.ljust(w)
+                           for c, w in zip(self.columns, widths)),
+                 "  ".join("-" * w for w in widths)]
+        for row in body:
+            lines.append("  ".join(cell.ljust(w)
+                                   for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def render_markdown(self):
+        """GitHub-flavoured Markdown rendering."""
+        body = self._formatted()
+        lines = ["### %s" % self.title, "",
+                 "| " + " | ".join(self.columns) + " |",
+                 "|" + "|".join("---" for _ in self.columns) + "|"]
+        for row in body:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def column(self, name):
+        """All raw values of one column."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+
+def _fmt(cell):
+    if isinstance(cell, float):
+        if cell != 0 and abs(cell) < 0.001:
+            return "%.2e" % cell
+        return "%.4g" % cell
+    return str(cell)
+
+
+def monotone_non_decreasing(values, tolerance=0.0):
+    """True when the sequence never drops by more than ``tolerance``
+    (relative).  Used by shape assertions on noisy latency sweeps."""
+    for earlier, later in zip(values, values[1:]):
+        if later < earlier * (1.0 - tolerance):
+            return False
+    return True
+
+
+def roughly_constant(values, spread=0.5):
+    """True when max/min stay within ``1 +- spread`` of the mean."""
+    if not values:
+        return True
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return all(v == 0 for v in values)
+    return all(abs(v - mean) <= spread * mean for v in values)

@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate``  — materialize a synthetic dataset profile as CSV
+* ``load``      — ingest a CSV into a storage directory
+* ``info``      — inspect a storage directory (series, chunks, deletes)
+* ``query``     — run a SQL statement and print the result table
+* ``render``    — M4-reduce a series and draw it (ASCII or PBM file)
+* ``compact``   — run full compaction on a storage directory
+
+Every command operates on a plain directory, so the same store can be
+inspected, queried and extended across invocations (recovery included).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .datasets.generators import PROFILES
+from .datasets.loader import load_csv, save_csv
+from .errors import ReproError
+from .query.executor import Executor
+from .query.sql import parse as parse_sql
+from .storage.compaction import compact_all
+from .storage.engine import StorageEngine
+
+
+def build_parser():
+    """The argparse tree for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="M4-LSM reproduction: LSM time series store with a "
+                    "merge-free M4 visualization operator.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic dataset profile as CSV")
+    generate.add_argument("--dataset", choices=sorted(PROFILES),
+                          default="MF03")
+    generate.add_argument("--points", type=int, default=100_000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True,
+                          help="output CSV path")
+
+    load = commands.add_parser("load", help="ingest a CSV into a store")
+    load.add_argument("--db", required=True, help="storage directory")
+    load.add_argument("--series", required=True, help="series name")
+    load.add_argument("--csv", required=True, help="input CSV path")
+    load.add_argument("--chunk-points", type=int, default=1000)
+
+    info = commands.add_parser("info", help="inspect a storage directory")
+    info.add_argument("--db", required=True)
+
+    query = commands.add_parser("query", help="run a SQL statement")
+    query.add_argument("--db", required=True)
+    query.add_argument("sql", help="statement, e.g. "
+                       "\"SELECT M4(s) FROM x GROUP BY SPANS(100)\"")
+    query.add_argument("--max-rows", type=int, default=40)
+
+    render = commands.add_parser(
+        "render", help="M4-reduce a series and draw a line chart")
+    render.add_argument("--db", required=True)
+    render.add_argument("--series", required=True)
+    render.add_argument("--width", type=int, default=100)
+    render.add_argument("--height", type=int, default=24)
+    render.add_argument("--out", help="write a PBM image instead of ASCII")
+
+    compact = commands.add_parser(
+        "compact", help="fold overlaps and deletes into fresh chunks")
+    compact.add_argument("--db", required=True)
+    return parser
+
+
+def main(argv=None):
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+
+def _cmd_generate(args):
+    t, v = PROFILES[args.dataset].generate(args.points, seed=args.seed)
+    save_csv(args.out, t, v)
+    print("wrote %d points of %s to %s" % (t.size, args.dataset, args.out))
+    return 0
+
+
+def _cmd_load(args):
+    from .storage.config import StorageConfig
+    t, v = load_csv(args.csv)
+    config = StorageConfig(
+        avg_series_point_number_threshold=args.chunk_points)
+    with StorageEngine(args.db, config) as engine:
+        engine.create_series(args.series)
+        engine.write_batch(args.series, t, v)
+        engine.flush_all()
+        chunks = len(engine.chunks_for(args.series))
+    print("loaded %d points into %s (%d chunks)"
+          % (t.size, args.series, chunks))
+    return 0
+
+
+def _cmd_info(args):
+    with StorageEngine(args.db) as engine:
+        if engine.recovery_summary:
+            print("recovered: %s" % engine.recovery_summary)
+        engine.flush_all()
+        print("%-30s %8s %8s %8s %22s" % ("series", "points", "chunks",
+                                          "deletes", "time range"))
+        for name in sorted(engine.series_names()):
+            chunks = engine.chunks_for(name)
+            deletes = engine.deletes_for(name)
+            if chunks:
+                lo = min(c.start_time for c in chunks)
+                hi = max(c.end_time for c in chunks)
+                time_range = "[%d, %d]" % (lo, hi)
+                points = sum(c.n_points for c in chunks)
+            else:
+                time_range = "(empty)"
+                points = 0
+            print("%-30s %8d %8d %8d %22s"
+                  % (name, points, len(chunks), len(deletes), time_range))
+    return 0
+
+
+def _cmd_query(args):
+    with StorageEngine(args.db) as engine:
+        engine.flush_all()
+        table = Executor(engine).execute(parse_sql(args.sql))
+        print(table.pretty(max_rows=args.max_rows))
+    return 0
+
+
+def _cmd_render(args):
+    from .core.m4lsm import M4LSMOperator
+    from .viz.chart import save_pbm, to_ascii
+    from .viz.raster import PixelGrid, rasterize
+    with StorageEngine(args.db) as engine:
+        engine.flush_all()
+        chunks = engine.chunks_for(args.series)
+        if not chunks:
+            print("error: series %r is empty" % args.series,
+                  file=sys.stderr)
+            return 1
+        t_qs = min(c.start_time for c in chunks)
+        t_qe = max(c.end_time for c in chunks) + 1
+        result = M4LSMOperator(engine).query(args.series, t_qs, t_qe,
+                                             args.width)
+        reduced = result.to_series()
+        grid = PixelGrid(t_qs, t_qe, float(reduced.values.min()),
+                         float(reduced.values.max()), args.width,
+                         args.height)
+        matrix = rasterize(reduced, grid)
+        if args.out:
+            save_pbm(matrix, args.out)
+            print("wrote %dx%d PBM to %s" % (args.width, args.height,
+                                             args.out))
+        else:
+            print(to_ascii(matrix))
+    return 0
+
+
+def _cmd_compact(args):
+    with StorageEngine(args.db) as engine:
+        engine.flush_all()
+        counts = compact_all(engine)
+    for name, survivors in sorted(counts.items()):
+        print("%s: %d points" % (name, survivors))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "load": _cmd_load,
+    "info": _cmd_info,
+    "query": _cmd_query,
+    "render": _cmd_render,
+    "compact": _cmd_compact,
+}

@@ -1,0 +1,33 @@
+"""Core: the time series model, M4 representation and the M4-LSM operator."""
+
+from .aggregation import (
+    AGGREGATE_NAMES,
+    AggregateResult,
+    aggregate_lsm,
+    aggregate_udf,
+)
+from .m4 import M4UDFOperator, m4_aggregate_arrays, m4_aggregate_series
+from .m4lsm import M4LSMOperator
+from .result import M4Result, SpanAggregate
+from .series import Point, TimeSeries, concat_series
+from .spans import all_span_bounds, iter_spans, span_bounds, span_index
+
+__all__ = [
+    "AGGREGATE_NAMES",
+    "AggregateResult",
+    "M4LSMOperator",
+    "M4Result",
+    "M4UDFOperator",
+    "Point",
+    "SpanAggregate",
+    "TimeSeries",
+    "aggregate_lsm",
+    "aggregate_udf",
+    "all_span_bounds",
+    "concat_series",
+    "iter_spans",
+    "m4_aggregate_arrays",
+    "m4_aggregate_series",
+    "span_bounds",
+    "span_index",
+]

@@ -1,0 +1,8 @@
+"""Chunk indexing: step regression (Section 3.5) and its binary-search
+ablation baseline."""
+
+from .binary_index import BinarySearchIndex
+from .chunk_index import ChunkIndex
+from .step_regression import StepRegression
+
+__all__ = ["BinarySearchIndex", "ChunkIndex", "StepRegression"]

@@ -1,0 +1,90 @@
+"""Binary-search chunk index: the ablation baseline for step regression.
+
+Answers the same three operations as
+:class:`repro.core.index.chunk_index.ChunkIndex` but without any learned
+model: it binary-searches the page directory (page start times are free
+metadata), decodes the single candidate page, and binary-searches inside.
+
+Compared with step regression this always decodes at least one page and
+probes ``O(log pages)`` directory entries, whereas a well-fitted step
+regression jumps straight to the right rows; the E10 ablation bench
+quantifies the difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BinarySearchIndex:
+    """Exact chunk lookups by binary search over the page directory.
+
+    Args:
+        page_row_starts: int array, first global row of each page.
+        page_start_times: int array, first timestamp of each page.
+        n_rows: total points in the chunk.
+        first_time / last_time: the chunk's time interval.
+        read_page_timestamps: callable ``page_idx -> int64 array``.
+        on_lookup: optional counter callback, one call per operation.
+    """
+
+    def __init__(self, page_row_starts, page_start_times, n_rows,
+                 first_time, last_time, read_page_timestamps, on_lookup=None):
+        self._page_row_starts = np.asarray(page_row_starts, dtype=np.int64)
+        self._page_start_times = np.asarray(page_start_times, dtype=np.int64)
+        self._n_rows = int(n_rows)
+        self._first_time = int(first_time)
+        self._last_time = int(last_time)
+        self._read_page = read_page_timestamps
+        self._on_lookup = on_lookup
+
+    # -- public operations ---------------------------------------------------------
+
+    def exists(self, t):
+        """True iff some point has timestamp exactly ``t``."""
+        self._count()
+        if t < self._first_time or t > self._last_time:
+            return False
+        _row, exact = self._locate(t)
+        return exact
+
+    def position_after(self, t):
+        """Row of the first point with time > ``t`` (None if none)."""
+        self._count()
+        if t < self._first_time:
+            return 0
+        if t >= self._last_time:
+            return None
+        row, exact = self._locate(t)
+        after = row + 1 if exact else row
+        return after if after < self._n_rows else None
+
+    def position_before(self, t):
+        """Row of the last point with time < ``t`` (None if none)."""
+        self._count()
+        if t > self._last_time:
+            return self._n_rows - 1
+        if t <= self._first_time:
+            return None
+        row, _exact = self._locate(t)
+        return row - 1 if row > 0 else None
+
+    # -- internals -------------------------------------------------------------------
+
+    def _count(self):
+        if self._on_lookup is not None:
+            self._on_lookup()
+
+    def _locate(self, t):
+        """Insertion row for ``t`` and whether an exact point exists there."""
+        page = int(np.searchsorted(self._page_start_times, t,
+                                   side="right")) - 1
+        page = max(page, 0)
+        page_t = self._read_page(page)
+        offset = int(np.searchsorted(page_t, t, side="left"))
+        if offset == page_t.size and page + 1 < self._page_start_times.size:
+            # t falls in the gap before the next page's first timestamp.
+            return int(self._page_row_starts[page + 1]), False
+        row = int(self._page_row_starts[page]) + offset
+        exact = offset < page_t.size and int(page_t[offset]) == int(t)
+        return row, exact

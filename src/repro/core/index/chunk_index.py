@@ -1,0 +1,161 @@
+"""Exact chunk index operations on top of step regression (Definition 3.5).
+
+The index answers three queries against a chunk's timestamp column:
+
+* (a)   ``exists(t)``          — is there a data point at exactly ``t``?
+* (b-1) ``position_after(t)``  — row of the closest point with time > t
+* (b-2) ``position_before(t)`` — row of the closest point with time < t
+
+The step regression function predicts a position; because the fitted
+function stores its maximum training error, a bounded window around the
+prediction is guaranteed to contain the answer, and only the page(s)
+covering that window need to be decoded.  If a pathological fit underes-
+timates its error for a timestamp that was never seen at fit time, the
+window is widened geometrically until it brackets ``t`` — the operations
+are therefore exact regardless of regression quality.
+
+The index deliberately does not know about chunk bytes: it reads pages
+through a ``read_page_timestamps(page_idx)`` callable supplied by the
+storage layer, which also does the I/O accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import IndexError_
+from .step_regression import StepRegression
+
+
+class ChunkIndex:
+    """Exact lookups over a chunk's timestamps via step regression.
+
+    Args:
+        regression: fitted :class:`StepRegression` for the chunk.
+        page_row_starts: int array, first global row of each page.
+        n_rows: total number of points in the chunk.
+        read_page_timestamps: callable ``page_idx -> int64 array``.
+        on_lookup: optional callable invoked once per index operation
+            (used for the ``index_lookups`` counter).
+    """
+
+    #: extra slack added around the regression's max error window
+    _WINDOW_MARGIN = 2
+
+    def __init__(self, regression, page_row_starts, n_rows,
+                 read_page_timestamps, on_lookup=None):
+        self._regression = regression
+        self._page_row_starts = np.asarray(page_row_starts, dtype=np.int64)
+        self._n_rows = int(n_rows)
+        self._read_page = read_page_timestamps
+        self._on_lookup = on_lookup
+        if self._n_rows != regression.n_points:
+            raise IndexError_(
+                "index row count %d != regression points %d"
+                % (self._n_rows, regression.n_points))
+
+    @classmethod
+    def build(cls, timestamps, page_row_starts, read_page_timestamps,
+              on_lookup=None):
+        """Fit a regression on ``timestamps`` and wrap it as an index."""
+        regression = StepRegression.fit(timestamps)
+        return cls(regression, page_row_starts, len(timestamps),
+                   read_page_timestamps, on_lookup)
+
+    @property
+    def regression(self):
+        """The underlying fitted :class:`StepRegression`."""
+        return self._regression
+
+    # -- public operations (Definition 3.5) -------------------------------------
+
+    def exists(self, t):
+        """Operation (a): True iff some point has timestamp exactly ``t``."""
+        self._count()
+        first_t = int(self._regression.split_timestamps[0])
+        last_t = int(self._regression.split_timestamps[-1])
+        if t < first_t or t > last_t:
+            return False
+        row, exact = self._locate(t)
+        return exact
+
+    def position_after(self, t):
+        """Operation (b-1): row of the first point with time > ``t``.
+
+        Returns ``None`` when every point is at or before ``t``.
+        """
+        self._count()
+        first_t = int(self._regression.split_timestamps[0])
+        last_t = int(self._regression.split_timestamps[-1])
+        if t < first_t:
+            return 0
+        if t >= last_t:
+            return None
+        row, exact = self._locate(t)
+        after = row + 1 if exact else row
+        return after if after < self._n_rows else None
+
+    def position_before(self, t):
+        """Operation (b-2): row of the last point with time < ``t``.
+
+        Returns ``None`` when every point is at or after ``t``.
+        """
+        self._count()
+        first_t = int(self._regression.split_timestamps[0])
+        last_t = int(self._regression.split_timestamps[-1])
+        if t > last_t:
+            return self._n_rows - 1
+        if t <= first_t:
+            return None
+        row, _exact = self._locate(t)
+        return row - 1 if row > 0 else None
+
+    # -- internals ----------------------------------------------------------------
+
+    def _count(self):
+        if self._on_lookup is not None:
+            self._on_lookup()
+
+    def _locate(self, t):
+        """Global insertion row for ``t`` (``side='left'``) and exactness.
+
+        The returned ``row`` is the smallest row whose timestamp is >= t;
+        ``exact`` says whether that timestamp equals ``t``.
+        """
+        predicted = self._regression.predict(t)  # 1-based
+        half_window = int(np.ceil(self._regression.max_error)) \
+            + self._WINDOW_MARGIN
+        lo = int(predicted) - 1 - half_window  # to 0-based
+        hi = int(predicted) - 1 + half_window
+        while True:
+            lo = min(max(lo, 0), self._n_rows - 1)
+            hi = max(min(hi, self._n_rows - 1), lo)
+            window_t = self._read_rows(lo, hi)
+            # Expand until the window brackets t (or hits the chunk edge).
+            if t < window_t[0] and lo > 0:
+                lo -= max(2 * half_window, 16)
+                continue
+            if t > window_t[-1] and hi < self._n_rows - 1:
+                hi += max(2 * half_window, 16)
+                continue
+            offset = int(np.searchsorted(window_t, t, side="left"))
+            row = lo + offset
+            exact = offset < window_t.size and int(window_t[offset]) == int(t)
+            return row, exact
+
+    def _read_rows(self, lo, hi):
+        """Timestamps of global rows ``lo..hi`` inclusive, via page reads."""
+        first_page = int(np.searchsorted(self._page_row_starts, lo,
+                                         side="right")) - 1
+        last_page = int(np.searchsorted(self._page_row_starts, hi,
+                                        side="right")) - 1
+        parts = []
+        for page in range(first_page, last_page + 1):
+            page_start = int(self._page_row_starts[page])
+            page_t = self._read_page(page)
+            start = max(lo - page_start, 0)
+            end = min(hi - page_start + 1, page_t.size)
+            parts.append(page_t[start:end])
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)

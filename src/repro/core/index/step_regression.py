@@ -1,0 +1,210 @@
+"""Step regression (Section 3.5): timestamp -> position, fitted per chunk.
+
+Sensor data is collected at a near-constant frequency, so the map from a
+point's timestamp to its position inside a chunk looks like alternating
+*tilt* segments (slope ``K`` = 1 / collection period) and *level* segments
+(transmission gaps).  The step regression function models exactly that:
+
+    f(t) = 1_{I_o}(t) * K * t  +  sum_i 1_{I_i}(t) * b_i
+
+The fit follows the paper's heuristic: ``K`` from the median timestamp
+delta (Section 3.5.2), changing points from the 3-sigma rule on deltas,
+intercepts anchored at the changing points, and split timestamps from the
+intersections of adjacent segments (Section 3.5.3).
+
+Positions are 1-based, as in the paper (``f(FP.t) = 1``,
+``f(LP.t) = |C|``).  The fitted function also records its maximum absolute
+position error over the training points, which lets
+:class:`repro.core.index.chunk_index.ChunkIndex` turn the approximate
+prediction into exact lookups with a bounded local search.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+import numpy as np
+
+from ...errors import StepRegressionError
+
+_HEADER = struct.Struct("<dIId")  # K, n_points, n_splits, max_error
+
+
+@dataclasses.dataclass(frozen=True)
+class StepRegression:
+    """A fitted step regression function.
+
+    Attributes:
+        slope: the tilt slope ``K`` (positions per time unit).
+        split_timestamps: the sorted split timestamps ``S = {t_1..t_m}``.
+        intercepts: ``b_1..b_{m-1}``, one per segment; segment ``i``
+            (1-based) is tilt when ``i`` is odd and level when even.
+        n_points: chunk size ``|C|``.
+        max_error: max |f(P_j.t) - j| over the training points.
+    """
+
+    slope: float
+    split_timestamps: np.ndarray  # int64, length m >= 2
+    intercepts: np.ndarray        # float64, length m - 1
+    n_points: int
+    max_error: float
+
+    # -- fitting ---------------------------------------------------------------
+
+    @classmethod
+    def fit(cls, timestamps):
+        """Fit the function to a chunk's (strictly increasing) timestamps."""
+        t = np.ascontiguousarray(timestamps, dtype=np.int64)
+        if t.size < 2:
+            raise StepRegressionError(
+                "step regression needs >= 2 points, got %d" % t.size)
+        deltas = np.diff(t)
+        median_delta = float(np.median(deltas))
+        if median_delta <= 0:
+            raise StepRegressionError("non-increasing timestamps")
+        slope = 1.0 / median_delta
+
+        changing = _select_changing_points(deltas)
+        splits, intercepts = _build_segments(t, slope, changing)
+        fitted = cls(slope, splits, intercepts, int(t.size), 0.0)
+        predicted = fitted.predict_array(t)
+        max_error = float(np.max(np.abs(predicted - np.arange(1, t.size + 1))))
+        return dataclasses.replace(fitted, max_error=max_error)
+
+    # -- evaluation --------------------------------------------------------------
+
+    @property
+    def n_segments(self):
+        """Number of segments ``m - 1``."""
+        return len(self.intercepts)
+
+    def segment_of(self, t):
+        """0-based segment index for timestamp ``t`` (clamped to range)."""
+        # Interior boundaries t_2..t_{m-1}; segment i covers [t_i, t_{i+1}).
+        idx = int(np.searchsorted(self.split_timestamps[1:-1], t, side="right"))
+        return min(idx, self.n_segments - 1)
+
+    def predict(self, t):
+        """Predicted 1-based position of timestamp ``t`` (clamped)."""
+        first_t = int(self.split_timestamps[0])
+        last_t = int(self.split_timestamps[-1])
+        if t <= first_t:
+            return 1.0
+        if t >= last_t:
+            return float(self.n_points)
+        seg = self.segment_of(t)
+        if seg % 2 == 0:  # 1-based odd segment: tilt
+            predicted = self.slope * t + float(self.intercepts[seg])
+        else:
+            predicted = float(self.intercepts[seg])
+        return min(max(predicted, 1.0), float(self.n_points))
+
+    def predict_array(self, timestamps):
+        """Vectorized :meth:`predict` over an int64 array."""
+        t = np.asarray(timestamps, dtype=np.int64)
+        seg = np.searchsorted(self.split_timestamps[1:-1], t, side="right")
+        seg = np.minimum(seg, self.n_segments - 1)
+        tilt = seg % 2 == 0
+        out = np.where(tilt,
+                       self.slope * t + self.intercepts[seg],
+                       self.intercepts[seg])
+        out = np.clip(out, 1.0, float(self.n_points))
+        out[t <= self.split_timestamps[0]] = 1.0
+        out[t >= self.split_timestamps[-1]] = float(self.n_points)
+        return out
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_bytes(self):
+        """Compact binary form stored inside chunk metadata."""
+        header = _HEADER.pack(self.slope, self.n_points,
+                              len(self.split_timestamps), self.max_error)
+        return (header
+                + self.split_timestamps.astype("<i8").tobytes()
+                + self.intercepts.astype("<f8").tobytes())
+
+    @classmethod
+    def from_bytes(cls, data, offset=0):
+        """Inverse of :meth:`to_bytes`; returns ``(function, next_offset)``."""
+        if len(data) - offset < _HEADER.size:
+            raise StepRegressionError("truncated step regression block")
+        slope, n_points, n_splits, max_error = _HEADER.unpack_from(data, offset)
+        offset += _HEADER.size
+        splits = np.frombuffer(data, dtype="<i8", count=n_splits,
+                               offset=offset).astype(np.int64)
+        offset += n_splits * 8
+        intercepts = np.frombuffer(data, dtype="<f8", count=n_splits - 1,
+                                   offset=offset).astype(np.float64)
+        offset += (n_splits - 1) * 8
+        return cls(slope, splits, intercepts, n_points, max_error), offset
+
+
+def _select_changing_points(deltas):
+    """3-sigma changing point selection (Section 3.5.3).
+
+    Returns 0-based indices ``j`` of changing points ``P_j``, enforcing the
+    enter-gap / exit-gap alternation the paper's segment construction
+    assumes.  ``deltas[i] = t[i+1] - t[i]``.
+    """
+    mu = float(np.mean(deltas))
+    sigma = float(np.std(deltas))
+    threshold = mu + 3.0 * sigma
+    large = deltas > threshold
+    if not large.any():
+        return []
+    # P_j enters a gap when delta_{j-1} is small and delta_j is large;
+    # exits when delta_{j-1} is large and delta_j is small.
+    events = []
+    for j in np.flatnonzero(large[:-1] != large[1:]) + 1:
+        events.append((int(j), "enter" if large[j] else "exit"))
+    # Enforce alternation starting with "enter" (first segment is tilt).
+    changing = []
+    expect = "enter"
+    for j, kind in events:
+        if kind == expect:
+            changing.append(j)
+            expect = "exit" if expect == "enter" else "enter"
+    if len(changing) % 2 == 1:
+        # A trailing un-exited gap: the chunk ends inside a level segment;
+        # drop the final enter so segments still alternate tilt/level/tilt.
+        changing.pop()
+    return changing
+
+
+def _build_segments(t, slope, changing):
+    """Intercepts and split timestamps from changing points (Section 3.5.3).
+
+    ``changing`` holds 0-based indices; the paper's formulas use 1-based
+    positions ``j``, so each index is shifted by one when anchoring.
+    """
+    n = t.size
+    m = len(changing) + 2
+    intercepts = np.empty(m - 1, dtype=np.float64)
+    intercepts[0] = 1.0 - slope * float(t[0])
+    for i in range(2, m - 1):  # segments 2..m-2 (1-based)
+        j0 = changing[i - 2]          # 0-based index of the (i-1)-th point
+        j = j0 + 1                    # 1-based position
+        if i % 2 == 1:                # odd: tilt, anchored f(P_j.t) = j
+            intercepts[i - 1] = j - slope * float(t[j0])
+        else:                         # even: level at height j
+            intercepts[i - 1] = float(j)
+    if m >= 3:
+        if (m - 1) % 2 == 1:          # last segment is tilt
+            intercepts[m - 2] = float(n) - slope * float(t[-1])
+        else:                         # last segment is level
+            intercepts[m - 2] = float(n)
+
+    splits = np.empty(m, dtype=np.int64)
+    splits[0] = t[0]
+    splits[m - 1] = t[-1]
+    for i in range(2, m):  # interior split t_i, 1-based i in 2..m-1
+        b_prev = intercepts[i - 2]
+        b_cur = intercepts[i - 1]
+        if i % 2 == 1:      # level (i-1) meets tilt (i): K t + b_i = b_{i-1}
+            splits[i - 1] = int(round((b_prev - b_cur) / slope))
+        else:               # tilt (i-1) meets level (i): K t + b_{i-1} = b_i
+            splits[i - 1] = int(round((b_cur - b_prev) / slope))
+    # Guard against numerically inverted boundaries on noisy fits.
+    np.maximum.accumulate(splits, out=splits)
+    return splits, intercepts

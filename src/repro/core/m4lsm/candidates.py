@@ -1,0 +1,158 @@
+"""Chunk views and candidate generation (Section 3.2).
+
+A :class:`ChunkView` is the per-span mutable state of one chunk: it
+starts with the chunk's optimistic whole-chunk metadata points and is
+progressively corrected as candidates fail verification — time bounds
+tighten, representation points are recomputed under deletes, overwritten
+timestamps are excluded.  Candidate generation picks, per representation
+function, the extreme point among the views' current metadata, breaking
+ties by the largest version (the ``argmax P.kappa`` of Section 3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The four representation function tags.
+FP, LP, BP, TP = "FP", "LP", "BP", "TP"
+ALL_FUNCTIONS = (FP, LP, BP, TP)
+
+
+class ChunkView:
+    """Per-span view of one chunk's metadata and (lazily loaded) data.
+
+    Point attributes hold the current best-known representation points:
+    a :class:`Point` (possibly optimistic — not yet verified), or ``None``
+    when the previous point was invalidated and a recomputation is
+    pending, with the ``*_dead`` flag set once the chunk is known to have
+    no surviving point for that function inside the span.
+    """
+
+    __slots__ = ("meta", "version", "span_start", "span_end",
+                 "first", "first_bound", "first_dead",
+                 "last", "last_bound", "last_dead",
+                 "bottom", "bottom_dead", "top", "top_dead",
+                 "excluded", "loaded", "data_t", "data_v", "_index")
+
+    def __init__(self, meta, span_start, span_end):
+        self.meta = meta
+        self.version = meta.version
+        self.span_start = span_start
+        self.span_end = span_end
+        stats = meta.statistics
+        self.first = stats.first
+        self.first_bound = stats.start_time  # surviving first time is >= this
+        self.first_dead = False
+        self.last = stats.last
+        self.last_bound = stats.end_time     # surviving last time is <= this
+        self.last_dead = False
+        self.bottom = stats.bottom
+        self.bottom_dead = False
+        self.top = stats.top
+        self.top_dead = False
+        self.excluded = set()   # timestamps known overwritten by newer chunks
+        self.loaded = False     # in-span, delete-filtered data materialized
+        self.data_t = None
+        self.data_v = None
+        self._index = None
+
+    # -- generic accessors keyed by function tag --------------------------------
+
+    def get_point(self, function):
+        """Current metadata point for ``function`` (may be optimistic)."""
+        return getattr(self, _ATTR[function])
+
+    def set_point(self, function, point):
+        """Install a recomputed (now exact) representation point."""
+        setattr(self, _ATTR[function], point)
+
+    def invalidate(self, function):
+        """Mark the function's point as pending recomputation."""
+        setattr(self, _ATTR[function], None)
+
+    def is_dead(self, function):
+        """True once the chunk has no surviving point for ``function``."""
+        return getattr(self, _DEAD[function])
+
+    def mark_dead(self, function):
+        """Record that no surviving point exists for ``function``."""
+        setattr(self, _DEAD[function], True)
+        setattr(self, _ATTR[function], None)
+
+    def is_pending(self, function):
+        """True when the point was invalidated but the view is not dead."""
+        return self.get_point(function) is None and not self.is_dead(function)
+
+    # -- interval / index helpers ------------------------------------------------
+
+    def interval_covers(self, t):
+        """Whole-chunk interval test of Section 3.4 (not point existence)."""
+        return self.meta.statistics.covers_time(t)
+
+    def chunk_index(self, data_reader, use_regression=True):
+        """The chunk's index, built once per view."""
+        if self._index is None:
+            self._index = data_reader.chunk_index(self.meta, use_regression)
+        return self._index
+
+    def surviving_data(self):
+        """Loaded in-span data minus excluded timestamps."""
+        if not self.excluded:
+            return self.data_t, self.data_v
+        mask = ~np.isin(self.data_t,
+                        np.fromiter(self.excluded, dtype=np.int64,
+                                    count=len(self.excluded)))
+        return self.data_t[mask], self.data_v[mask]
+
+    def __repr__(self):
+        return ("ChunkView(v=%s, [%d, %d], loaded=%s)"
+                % (self.version, self.meta.start_time, self.meta.end_time,
+                   self.loaded))
+
+
+_ATTR = {FP: "first", LP: "last", BP: "bottom", TP: "top"}
+_DEAD = {FP: "first_dead", LP: "last_dead", BP: "bottom_dead",
+         TP: "top_dead"}
+
+
+def known_candidates(views, function):
+    """``(view, point)`` pairs whose metadata point is currently known."""
+    return [(view, view.get_point(function)) for view in views
+            if view.get_point(function) is not None]
+
+
+def pending_views(views, function):
+    """Views whose point for ``function`` awaits recomputation."""
+    return [view for view in views if view.is_pending(function)]
+
+
+def candidate_pool(views, function):
+    """The paper's ``P'_G`` ordered for iteration: the known points
+    attaining the representation extreme, by version descending.
+
+    Returns a list of ``(view, point)``; empty if nothing is known.
+    """
+    known = known_candidates(views, function)
+    if not known:
+        return []
+    if function == FP:
+        extreme = min(p.t for _v, p in known)
+        pool = [(v, p) for v, p in known if p.t == extreme]
+    elif function == LP:
+        extreme = max(p.t for _v, p in known)
+        pool = [(v, p) for v, p in known if p.t == extreme]
+    elif function == BP:
+        extreme = min(p.v for _v, p in known)
+        pool = [(v, p) for v, p in known if p.v == extreme]
+    else:  # TP
+        extreme = max(p.v for _v, p in known)
+        pool = [(v, p) for v, p in known if p.v == extreme]
+    pool.sort(key=lambda item: item[0].version, reverse=True)
+    return pool
+
+
+def build_views(chunk_metadata, span_start, span_end):
+    """Views for every chunk overlapping the span ``[start, end)``."""
+    return [ChunkView(meta, span_start, span_end)
+            for meta in chunk_metadata
+            if meta.statistics.overlaps(span_start, span_end)]

@@ -1,0 +1,140 @@
+"""Lazy loading and metadata recomputation (Sections 3.3 and 3.4).
+
+When a candidate fails verification, M4-LSM does *not* reload the chunk
+eagerly:
+
+* FP/LP — the killing delete's boundary tightens the view's time bound;
+  an actual recomputation, when finally needed, walks the chunk index
+  (read type (b): the closest point after/before a timestamp), touching
+  one page per probe instead of the whole chunk.
+* BP/TP — other tied candidates are tried first; only when the pool is
+  exhausted is the chunk's in-span data loaded (read type (c)) and its
+  bottom/top recomputed under deletes and known overwrites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .candidates import BP, FP, LP, TP
+
+
+def tighten_first_bound(view, delete):
+    """Apply the paper's ``FP(C).t = t_de`` tightening after a delete hit.
+
+    We store the first *admissible* time, one past the delete range.
+    """
+    view.invalidate(FP)
+    view.first_bound = max(view.first_bound, delete.t_end + 1)
+
+
+def tighten_last_bound(view, delete):
+    """Symmetric tightening ``LP(C).t = t_ds`` for LastPoint."""
+    view.invalidate(LP)
+    view.last_bound = min(view.last_bound, delete.t_start - 1)
+
+
+def resolve_first(view, deletes, data_reader, use_regression=True):
+    """Recompute the view's surviving FirstPoint (read type (b)).
+
+    Walks forward from ``view.first_bound``: the chunk index yields the
+    closest data point at or after the bound; if a newer delete covers
+    it, the bound jumps past that delete and the walk repeats.  Marks the
+    view dead when the walk exhausts the chunk.
+    """
+    if view.loaded:
+        _resolve_first_from_data(view, deletes)
+        return
+    index = view.chunk_index(data_reader, use_regression)
+    bound = view.first_bound
+    while True:
+        row = index.position_after(bound - 1)
+        if row is None:
+            view.mark_dead(FP)
+            return
+        point = data_reader.point_at_row(view.meta, row)
+        delete = _covering(point.t, view.version, deletes)
+        if delete is None:
+            view.set_point(FP, point)
+            view.first_bound = point.t
+            return
+        bound = delete.t_end + 1
+
+
+def resolve_last(view, deletes, data_reader, use_regression=True):
+    """Recompute the view's surviving LastPoint (read type (b))."""
+    if view.loaded:
+        _resolve_last_from_data(view, deletes)
+        return
+    index = view.chunk_index(data_reader, use_regression)
+    bound = view.last_bound
+    while True:
+        row = index.position_before(bound + 1)
+        if row is None:
+            view.mark_dead(LP)
+            return
+        point = data_reader.point_at_row(view.meta, row)
+        delete = _covering(point.t, view.version, deletes)
+        if delete is None:
+            view.set_point(LP, point)
+            view.last_bound = point.t
+            return
+        bound = delete.t_start - 1
+
+
+def load_view_data(view, real_deletes, data_reader):
+    """Materialize the view's in-span, delete-filtered points (type (c))."""
+    if view.loaded:
+        return
+    t, v = data_reader.load_chunk(
+        view.meta, deletes=real_deletes,
+        time_range=(view.span_start, view.span_end))
+    view.data_t = t
+    view.data_v = v
+    view.loaded = True
+
+
+def recalc_bottom_top(view, real_deletes, data_reader, functions=(BP, TP)):
+    """Recompute BottomPoint/TopPoint from loaded in-span data,
+    excluding timestamps known to be overwritten."""
+    load_view_data(view, real_deletes, data_reader)
+    t, v = view.surviving_data()
+    from ..series import Point
+    for function in functions:
+        if t.size == 0:
+            view.mark_dead(function)
+            continue
+        pos = int(np.argmin(v)) if function == BP else int(np.argmax(v))
+        view.set_point(function, Point(int(t[pos]), float(v[pos])))
+
+
+def _resolve_first_from_data(view, deletes):
+    """FP from already-loaded data (deletes were applied at load; only
+    the bound — which encodes virtual deletes — still applies)."""
+    from ..series import Point
+    t, v = view.data_t, view.data_v
+    pos = int(np.searchsorted(t, view.first_bound, side="left"))
+    if pos >= t.size:
+        view.mark_dead(FP)
+        return
+    view.set_point(FP, Point(int(t[pos]), float(v[pos])))
+    view.first_bound = int(t[pos])
+
+
+def _resolve_last_from_data(view, deletes):
+    """LP from already-loaded data, bounded above by ``last_bound``."""
+    from ..series import Point
+    t, v = view.data_t, view.data_v
+    pos = int(np.searchsorted(t, view.last_bound, side="right")) - 1
+    if pos < 0:
+        view.mark_dead(LP)
+        return
+    view.set_point(LP, Point(int(t[pos]), float(v[pos])))
+    view.last_bound = int(t[pos])
+
+
+def _covering(t, version, deletes):
+    for delete in deletes:
+        if delete.version > version and delete.covers(t):
+            return delete
+    return None

@@ -1,0 +1,275 @@
+"""The M4-LSM operator (Section 3, Algorithm 1): chunk-merge-free M4.
+
+For every span the solver iterates candidate generation (Section 3.2)
+and verification (Sections 3.3/3.4), lazily loading chunk data only when
+metadata cannot answer.  The span's boundaries participate as virtual
+deletes, so a whole-chunk metadata point that falls outside the span is
+invalidated through exactly the same code path as a deleted one.
+
+Invariant maintained by the solve loops: candidates are generated only
+when no view has a pending (invalidated, not yet recomputed) point, and
+every known metadata point bounds its view's true surviving extreme from
+the optimistic side — so a candidate that survives verification is the
+true representation point.
+"""
+
+from __future__ import annotations
+
+from ...errors import StorageError
+from ...storage.overlap import contested_versions
+from ..result import M4Result, SpanAggregate
+from ..spans import all_span_bounds, validate_query
+from .candidates import (
+    BP,
+    FP,
+    LP,
+    TP,
+    ChunkView,
+    candidate_pool,
+    pending_views,
+)
+from .lazyload import (
+    load_view_data,
+    recalc_bottom_top,
+    resolve_first,
+    resolve_last,
+    tighten_first_bound,
+    tighten_last_bound,
+)
+from .verification import DELETED, verify_bp_tp, verify_fp_lp
+from .virtual_deletes import deletes_with_span
+
+#: Safety valve: a span solve that iterates this many times indicates a
+#: broken invariant rather than a hard workload.
+_MAX_ITERATIONS = 1_000_000
+
+
+class SpanSolver:
+    """Solves the four representation functions for one span."""
+
+    def __init__(self, views, real_deletes, data_reader, stats=None,
+                 lazy=True, use_regression=True):
+        if not views:
+            raise StorageError("SpanSolver needs at least one chunk view")
+        self._views = views
+        self._span_start = views[0].span_start
+        self._span_end = views[0].span_end
+        self._real_deletes = real_deletes
+        self._deletes = deletes_with_span(real_deletes, self._span_start,
+                                          self._span_end)
+        self._reader = data_reader
+        self._stats = stats
+        self._lazy = lazy
+        self._use_regression = use_regression
+
+    def solve(self):
+        """All four representation points as a :class:`SpanAggregate`."""
+        first = self._solve_time_extreme(FP)
+        if first is None:
+            return SpanAggregate()
+        last = self._solve_time_extreme(LP)
+        bottom = self._solve_value_extreme(BP)
+        top = self._solve_value_extreme(TP)
+        return SpanAggregate(first=first, last=last, bottom=bottom, top=top)
+
+    # -- FP / LP ---------------------------------------------------------------------
+
+    def _solve_time_extreme(self, function):
+        views = self._views
+        for _ in range(_MAX_ITERATIONS):
+            self._count_iteration()
+            pool = candidate_pool(views, function)
+            pending = pending_views(views, function)
+            if not pool:
+                if not pending:
+                    return None  # every view is dead: the span is empty
+                self._resolve_time(self._best_pending(pending, function),
+                                   function)
+                continue
+            view, candidate = pool[0]
+            blocker = self._blocking_pending(pending, candidate, function)
+            if blocker is not None:
+                self._resolve_time(blocker, function)
+                continue
+            verdict = verify_fp_lp(candidate, view, self._deletes)
+            if verdict.is_latest():
+                return candidate
+            if function == FP:
+                tighten_first_bound(view, verdict.delete)
+            else:
+                tighten_last_bound(view, verdict.delete)
+            if not self._lazy:
+                self._resolve_time(view, function, eager=True)
+        raise StorageError("FP/LP solve did not converge")
+
+    def _best_pending(self, pending, function):
+        if function == FP:
+            return min(pending, key=lambda u: u.first_bound)
+        return max(pending, key=lambda u: u.last_bound)
+
+    def _blocking_pending(self, pending, candidate, function):
+        """A pending view whose bound admits a point beating (or tying,
+        hence possibly out-versioning) the current candidate."""
+        if function == FP:
+            blockers = [u for u in pending if u.first_bound <= candidate.t]
+            return min(blockers, key=lambda u: u.first_bound) \
+                if blockers else None
+        blockers = [u for u in pending if u.last_bound >= candidate.t]
+        return max(blockers, key=lambda u: u.last_bound) if blockers else None
+
+    def _resolve_time(self, view, function, eager=False):
+        if eager or not self._lazy:
+            load_view_data(view, self._real_deletes, self._reader)
+        if function == FP:
+            resolve_first(view, self._deletes, self._reader,
+                          self._use_regression)
+        else:
+            resolve_last(view, self._deletes, self._reader,
+                         self._use_regression)
+
+    # -- BP / TP ---------------------------------------------------------------------
+
+    def _solve_value_extreme(self, function):
+        views = self._views
+        for _ in range(_MAX_ITERATIONS):
+            self._count_iteration()
+            pending = pending_views(views, function)
+            for view in pending:
+                recalc_bottom_top(view, self._real_deletes, self._reader,
+                                  functions=(function,))
+            pool = candidate_pool(views, function)
+            if not pool:
+                return None  # every view is dead: the span is empty
+            for view, candidate in pool:
+                verdict = verify_bp_tp(candidate, view, views, self._deletes,
+                                       self._reader, self._use_regression)
+                if verdict.is_latest():
+                    return candidate
+                if verdict.status != DELETED:
+                    view.excluded.add(candidate.t)
+                view.invalidate(function)
+                if not self._lazy:
+                    break  # eager: reload immediately, no pool iteration
+        raise StorageError("BP/TP solve did not converge")
+
+    def _count_iteration(self):
+        if self._stats is not None:
+            self._stats.candidate_iterations += 1
+
+
+class M4LSMOperator:
+    """The database-native, merge-free M4 operator (Figure 2(c)).
+
+    Args:
+        engine: a :class:`repro.storage.engine.StorageEngine`.
+        lazy: disable to force eager chunk reloading on every failed
+            verification (the E11 ablation).
+        use_regression: disable to fall back to binary-search chunk
+            indexes (the E10 ablation).
+    """
+
+    name = "M4-LSM"
+
+    def __init__(self, engine, lazy=True, use_regression=True,
+                 fused_fast_path=True):
+        self._engine = engine
+        self._lazy = lazy
+        self._use_regression = use_regression
+        self._fused_fast_path = fused_fast_path
+
+    def query(self, series_name, t_qs, t_qe, w):
+        """Run the M4 representation query; returns :class:`M4Result`.
+
+        Equivalent to Algorithm 1: chunk metadata and deletes are read
+        once; each span is then solved independently, sharing one
+        DataReader so pages decoded for one span are reused by the next.
+        """
+        result, _trace = self._execute(series_name, t_qs, t_qe, w,
+                                       collect_trace=False)
+        return result
+
+    def query_traced(self, series_name, t_qs, t_qe, w):
+        """Like :meth:`query`, also returning a per-span
+        :class:`repro.core.m4lsm.tracing.QueryTrace` (EXPLAIN output)."""
+        return self._execute(series_name, t_qs, t_qe, w,
+                             collect_trace=True)
+
+    def _execute(self, series_name, t_qs, t_qe, w, collect_trace):
+        validate_query(t_qs, t_qe, w)
+        metadata_reader = self._engine.metadata_reader(series_name)
+        chunks = metadata_reader.chunks_overlapping(t_qs, t_qe)
+        real_deletes = self._engine.deletes_for(series_name)
+        data_reader = self._engine.data_reader()
+        stats = self._engine.stats
+
+        bounds = all_span_bounds(t_qs, t_qe, w)
+        duration = t_qe - t_qs
+        per_span = [[] for _ in range(w)]
+        for meta in chunks:
+            lo = max(meta.start_time, t_qs)
+            hi = min(meta.end_time, t_qe - 1)
+            first_span = int((lo - t_qs) * w // duration)
+            last_span = int((hi - t_qs) * w // duration)
+            for i in range(first_span, last_span + 1):
+                per_span[i].append(meta)
+
+        contested = contested_versions(chunks, real_deletes) \
+            if self._fused_fast_path else None
+
+        from .tracing import EMPTY, FUSED, SOLVER, QueryTrace, SpanTrace
+        span_traces = [] if collect_trace else None
+        spans = []
+        for i in range(w):
+            start, end = int(bounds[i]), int(bounds[i + 1])
+            if start >= end or not per_span[i]:
+                spans.append(SpanAggregate())
+                if collect_trace:
+                    span_traces.append(SpanTrace(i, start, end, EMPTY))
+                continue
+            if contested is not None:
+                fused = _fused_span(per_span[i], start, end, contested)
+                if fused is not None:
+                    spans.append(fused)
+                    if collect_trace:
+                        span_traces.append(SpanTrace(
+                            i, start, end, FUSED,
+                            n_chunks=len(per_span[i])))
+                    continue
+            before = stats.snapshot() if collect_trace else None
+            views = [ChunkView(meta, start, end) for meta in per_span[i]]
+            solver = SpanSolver(views, real_deletes, data_reader,
+                                stats=stats, lazy=self._lazy,
+                                use_regression=self._use_regression)
+            spans.append(solver.solve())
+            if collect_trace:
+                diff = stats.diff(before)
+                span_traces.append(SpanTrace(
+                    i, start, end, SOLVER, n_chunks=len(per_span[i]),
+                    iterations=diff.candidate_iterations,
+                    chunk_loads=diff.chunk_loads,
+                    pages_decoded=diff.pages_decoded,
+                    index_lookups=diff.index_lookups))
+        result = M4Result(int(t_qs), int(t_qe), int(w), tuple(spans))
+        trace = QueryTrace(series_name, int(t_qs), int(t_qe), int(w),
+                           tuple(span_traces)) if collect_trace else None
+        return result, trace
+
+
+def _fused_span(metas, start, end, contested):
+    """Metadata-only aggregate for an uncontested span, else ``None``."""
+    first = last = bottom = top = None
+    for meta in metas:
+        if meta.version in contested:
+            return None
+        stats = meta.statistics
+        if not (start <= stats.start_time and stats.end_time < end):
+            return None  # split by the span boundary: needs the solver
+        if first is None or stats.first.t < first.t:
+            first = stats.first
+        if last is None or stats.last.t > last.t:
+            last = stats.last
+        if bottom is None or stats.bottom.v < bottom.v:
+            bottom = stats.bottom
+        if top is None or stats.top.v > top.v:
+            top = stats.top
+    return SpanAggregate(first=first, last=last, bottom=bottom, top=top)

@@ -1,0 +1,28 @@
+"""Virtual deletes (Section 3.1): span boundaries as infinite-version
+deletes.
+
+For the i-th span ``I_i = [s, e)`` the complement is expressed as two
+deletes ``D1 = (-inf, s)`` and ``D2 = [e, +inf)`` with version infinity,
+so the whole candidate-verification machinery treats "the candidate lies
+outside the span" exactly like "the candidate was deleted" — one code
+path for both.
+"""
+
+from __future__ import annotations
+
+from ...storage.deletes import Delete
+
+
+def span_virtual_deletes(span_start, span_end):
+    """The two virtual deletes whose ranges complement ``[start, end)``.
+
+    >>> d1, d2 = span_virtual_deletes(100, 200)
+    >>> d1.covers(99), d1.covers(100), d2.covers(199), d2.covers(200)
+    (True, False, False, True)
+    """
+    return (Delete.virtual_before(span_start), Delete.virtual_from(span_end))
+
+
+def deletes_with_span(delete_list, span_start, span_end):
+    """The series' deletes extended with the span's virtual deletes."""
+    return delete_list.extended(span_virtual_deletes(span_start, span_end))

@@ -1,0 +1,116 @@
+"""M4 query results: per-span FP/LP/BP/TP aggregates.
+
+Both operators (M4-UDF and M4-LSM) produce an :class:`M4Result`, so their
+outputs compare directly — the equality used throughout the tests to show
+the merge-free operator loses no precision.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .series import Point, TimeSeries
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanAggregate:
+    """The four representation points of one time span (Formula 1).
+
+    ``None`` everywhere means the span holds no (surviving) points.
+    """
+
+    first: Point = None
+    last: Point = None
+    bottom: Point = None
+    top: Point = None
+
+    def is_empty(self):
+        """True when the span had no data."""
+        return self.first is None
+
+    def points(self):
+        """The distinct representation points, in time order."""
+        present = [p for p in (self.first, self.last, self.bottom, self.top)
+                   if p is not None]
+        return sorted(set(present))
+
+    def value_bounds(self):
+        """``(bottom value, top value)`` of a non-empty span."""
+        return self.bottom.v, self.top.v
+
+    def semantically_equal(self, other):
+        """Paper-faithful equivalence: FP/LP must match exactly; BP/TP
+        may be any point attaining the same extreme value (the "any one"
+        latitude of Definition 2.1)."""
+        if self.is_empty() or other.is_empty():
+            return self.is_empty() and other.is_empty()
+        return (self.first == other.first
+                and self.last == other.last
+                and self.bottom.v == other.bottom.v
+                and self.top.v == other.top.v)
+
+
+@dataclasses.dataclass(frozen=True)
+class M4Result:
+    """Aggregates for all ``w`` spans of one M4 query."""
+
+    t_qs: int
+    t_qe: int
+    w: int
+    spans: tuple  # of SpanAggregate, length w
+
+    def __post_init__(self):
+        if len(self.spans) != self.w:
+            raise ValueError("expected %d spans, got %d"
+                             % (self.w, len(self.spans)))
+
+    def __len__(self):
+        return self.w
+
+    def __getitem__(self, i):
+        return self.spans[i]
+
+    def __iter__(self):
+        return iter(self.spans)
+
+    def non_empty_spans(self):
+        """Indices of spans that contain data."""
+        return [i for i, s in enumerate(self.spans) if not s.is_empty()]
+
+    def rows(self):
+        """The SQL result rows of Appendix A.1, one tuple per non-empty
+        span: ``(span, first_t, first_v, last_t, last_v, bottom_t,
+        bottom_v, top_t, top_v)``."""
+        out = []
+        for i, s in enumerate(self.spans):
+            if s.is_empty():
+                continue
+            out.append((i, s.first.t, s.first.v, s.last.t, s.last.v,
+                        s.bottom.t, s.bottom.v, s.top.t, s.top.v))
+        return out
+
+    def to_series(self):
+        """The reduced series for rendering: all representation points,
+        de-duplicated, in time order (at most ``4w`` points)."""
+        points = []
+        for s in self.spans:
+            points.extend(s.points())
+        dedup = sorted(set(points))
+        if not dedup:
+            return TimeSeries.empty()
+        t = np.array([p.t for p in dedup], dtype=np.int64)
+        v = np.array([p.v for p in dedup], dtype=np.float64)
+        return TimeSeries(t, v)
+
+    def total_points(self):
+        """Distinct representation points across all spans."""
+        return len(self.to_series())
+
+    def semantically_equal(self, other):
+        """Span-wise :meth:`SpanAggregate.semantically_equal`."""
+        if (self.t_qs, self.t_qe, self.w) != (other.t_qs, other.t_qe, other.w):
+            return False
+        return all(a.semantically_equal(b)
+                   for a, b in zip(self.spans, other.spans))

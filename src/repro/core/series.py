@@ -1,0 +1,182 @@
+"""Time series data model: points and ordered series.
+
+A time series follows Definition 2.1 of the paper: a sequence of
+``(timestamp, value)`` pairs in strictly increasing order of time.
+Timestamps are int64 (e.g. epoch milliseconds) and values float64,
+matching the columns the storage engine persists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Point:
+    """A single data point ``(t, v)``.
+
+    Ordering compares time first and value second, which makes a sorted
+    list of points time-ordered, the convention used throughout the paper.
+    """
+
+    t: int
+    v: float
+
+    def __iter__(self):
+        return iter((self.t, self.v))
+
+
+class TimeSeries:
+    """An immutable, time-ordered series backed by numpy arrays.
+
+    The constructor validates the paper's ordering invariant (strictly
+    increasing timestamps: a series holds at most one point per time).
+
+    >>> series = TimeSeries([1, 2, 5], [10.0, 20.0, 50.0])
+    >>> len(series), series.first().t, series.last().v
+    (3, 1, 50.0)
+    """
+
+    __slots__ = ("_timestamps", "_values")
+
+    def __init__(self, timestamps, values, validate=True):
+        t = np.ascontiguousarray(timestamps, dtype=np.int64)
+        v = np.ascontiguousarray(values, dtype=np.float64)
+        if t.ndim != 1 or v.ndim != 1:
+            raise ReproError("timestamps and values must be 1-D")
+        if t.size != v.size:
+            raise ReproError(
+                "timestamps (%d) and values (%d) differ in length"
+                % (t.size, v.size))
+        if validate and t.size > 1 and not bool(np.all(np.diff(t) > 0)):
+            raise ReproError("timestamps must be strictly increasing")
+        t.setflags(write=False)
+        v.setflags(write=False)
+        self._timestamps = t
+        self._values = v
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_points(cls, points):
+        """Build a series from an iterable of :class:`Point` (or pairs),
+        sorting by time and rejecting duplicate timestamps."""
+        pairs = sorted((p.t, p.v) if isinstance(p, Point) else tuple(p)
+                       for p in points)
+        timestamps = np.array([t for t, _ in pairs], dtype=np.int64)
+        values = np.array([v for _, v in pairs], dtype=np.float64)
+        return cls(timestamps, values)
+
+    @classmethod
+    def empty(cls):
+        """An empty series."""
+        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64),
+                   validate=False)
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def timestamps(self):
+        """Read-only int64 array of timestamps."""
+        return self._timestamps
+
+    @property
+    def values(self):
+        """Read-only float64 array of values."""
+        return self._values
+
+    def __len__(self):
+        return self._timestamps.size
+
+    def __bool__(self):
+        return self._timestamps.size > 0
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return TimeSeries(self._timestamps[index], self._values[index],
+                              validate=False)
+        return Point(int(self._timestamps[index]), float(self._values[index]))
+
+    def __iter__(self):
+        for t, v in zip(self._timestamps, self._values):
+            yield Point(int(t), float(v))
+
+    def __eq__(self, other):
+        if not isinstance(other, TimeSeries):
+            return NotImplemented
+        return (np.array_equal(self._timestamps, other._timestamps)
+                and np.array_equal(self._values, other._values, equal_nan=True))
+
+    def __repr__(self):
+        if not self:
+            return "TimeSeries(empty)"
+        return "TimeSeries(n=%d, t=[%d, %d])" % (
+            len(self), self.first().t, self.last().t)
+
+    # -- representation points (Definition 2.1) ---------------------------------
+
+    def first(self):
+        """``FP(T)``: the point with minimal time."""
+        self._require_non_empty("first")
+        return self[0]
+
+    def last(self):
+        """``LP(T)``: the point with maximal time."""
+        self._require_non_empty("last")
+        return self[-1]
+
+    def bottom(self):
+        """``BP(T)``: a point with minimal value (earliest such point)."""
+        self._require_non_empty("bottom")
+        return self[int(np.argmin(self._values))]
+
+    def top(self):
+        """``TP(T)``: a point with maximal value (earliest such point)."""
+        self._require_non_empty("top")
+        return self[int(np.argmax(self._values))]
+
+    # -- slicing ----------------------------------------------------------------
+
+    def slice_time(self, t_start, t_end):
+        """Return the sub-series with timestamps in ``[t_start, t_end)``."""
+        lo = int(np.searchsorted(self._timestamps, t_start, side="left"))
+        hi = int(np.searchsorted(self._timestamps, t_end, side="left"))
+        return self[lo:hi]
+
+    def slice_time_closed(self, t_start, t_end):
+        """Return the sub-series with timestamps in ``[t_start, t_end]``."""
+        lo = int(np.searchsorted(self._timestamps, t_start, side="left"))
+        hi = int(np.searchsorted(self._timestamps, t_end, side="right"))
+        return self[lo:hi]
+
+    def time_range(self):
+        """``(first time, last time)`` of a non-empty series."""
+        self._require_non_empty("time_range")
+        return int(self._timestamps[0]), int(self._timestamps[-1])
+
+    def contains_time(self, t):
+        """True if some point has timestamp exactly ``t``."""
+        pos = int(np.searchsorted(self._timestamps, t, side="left"))
+        return pos < len(self) and int(self._timestamps[pos]) == int(t)
+
+    def _require_non_empty(self, operation):
+        if not self:
+            raise ReproError("%s() on an empty series" % operation)
+
+
+def concat_series(parts):
+    """Concatenate time-ordered, non-overlapping series into one.
+
+    Raises if consecutive parts overlap in time; use the storage layer's
+    merge for overlapping data.
+    """
+    parts = [p for p in parts if len(p)]
+    if not parts:
+        return TimeSeries.empty()
+    timestamps = np.concatenate([p.timestamps for p in parts])
+    values = np.concatenate([p.values for p in parts])
+    return TimeSeries(timestamps, values)

@@ -1,0 +1,42 @@
+"""Datasets: the four paper-profile generators and workload builders."""
+
+from .anomalies import (
+    Anomaly,
+    inject_dropout,
+    inject_drift,
+    inject_flatline,
+    inject_level_shift,
+    inject_spikes,
+    inject_standard_suite,
+)
+from .generators import PROFILES, DatasetProfile, dataset_summary, generate
+from .loader import load_csv, load_csv_series, save_csv
+from .workloads import (
+    apply_delete_workload,
+    build_engine,
+    load_sequential,
+    load_with_overlap,
+    overlap_percentage,
+)
+
+__all__ = [
+    "Anomaly",
+    "DatasetProfile",
+    "PROFILES",
+    "apply_delete_workload",
+    "build_engine",
+    "dataset_summary",
+    "generate",
+    "inject_dropout",
+    "inject_drift",
+    "inject_flatline",
+    "inject_level_shift",
+    "inject_spikes",
+    "inject_standard_suite",
+    "load_csv",
+    "load_csv_series",
+    "load_sequential",
+    "load_with_overlap",
+    "overlap_percentage",
+    "save_csv",
+]

@@ -1,0 +1,131 @@
+"""Anomaly injection for synthetic workloads.
+
+Visualization is how operators *find* anomalies, so realistic demo and
+test data needs some: spikes, level shifts, flatlines (stuck sensors),
+dropouts (missing stretches) and drift.  All injectors are deterministic
+for a seed, operate on ``(timestamps, values)`` arrays, and return new
+arrays plus a record of what was injected so tests can assert that M4
+keeps every anomaly visible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclasses.dataclass(frozen=True)
+class Anomaly:
+    """A description of one injected anomaly."""
+
+    kind: str        # spike / level_shift / flatline / dropout / drift
+    start_row: int   # first affected row (in the ORIGINAL arrays)
+    end_row: int     # one past the last affected row
+    magnitude: float
+
+    @property
+    def n_rows(self):
+        """Number of affected rows."""
+        return self.end_row - self.start_row
+
+
+def inject_spikes(timestamps, values, n=5, magnitude=None, seed=0):
+    """Add ``n`` single-point spikes of +-``magnitude``.
+
+    Returns ``(timestamps, values, [Anomaly, ...])``; magnitude defaults
+    to 8 standard deviations of the signal.
+    """
+    t, v = _copy(timestamps, values)
+    if n > t.size:
+        raise ReproError("cannot place %d spikes in %d points"
+                         % (n, t.size))
+    rng = np.random.default_rng(seed)
+    if magnitude is None:
+        magnitude = 8.0 * (float(v.std()) or 1.0)
+    rows = rng.choice(t.size, size=n, replace=False)
+    signs = rng.choice((-1.0, 1.0), size=n)
+    anomalies = []
+    for row, sign in zip(rows, signs):
+        v[row] += sign * magnitude
+        anomalies.append(Anomaly("spike", int(row), int(row) + 1,
+                                 float(sign * magnitude)))
+    return t, v, anomalies
+
+
+def inject_level_shift(timestamps, values, start_fraction=0.5,
+                       length_fraction=0.2, magnitude=None, seed=0):
+    """Shift a contiguous stretch of values by a constant."""
+    t, v = _copy(timestamps, values)
+    start = int(t.size * start_fraction)
+    end = min(start + max(int(t.size * length_fraction), 1), t.size)
+    if magnitude is None:
+        magnitude = 5.0 * (float(v.std()) or 1.0)
+    v[start:end] += magnitude
+    return t, v, [Anomaly("level_shift", start, end, float(magnitude))]
+
+
+def inject_flatline(timestamps, values, start_fraction=0.3,
+                    length_fraction=0.1):
+    """A stuck sensor: repeat the value at the stretch's start."""
+    t, v = _copy(timestamps, values)
+    start = int(t.size * start_fraction)
+    end = min(start + max(int(t.size * length_fraction), 1), t.size)
+    v[start:end] = v[start]
+    return t, v, [Anomaly("flatline", start, end, 0.0)]
+
+
+def inject_dropout(timestamps, values, start_fraction=0.6,
+                   length_fraction=0.1):
+    """Remove a contiguous stretch of points (transmission loss)."""
+    t, v = _copy(timestamps, values)
+    start = int(t.size * start_fraction)
+    end = min(start + max(int(t.size * length_fraction), 1), t.size)
+    keep = np.ones(t.size, dtype=bool)
+    keep[start:end] = False
+    return (t[keep], v[keep],
+            [Anomaly("dropout", start, end, float(end - start))])
+
+
+def inject_drift(timestamps, values, start_fraction=0.7, rate=None):
+    """Linear sensor drift from a point onward."""
+    t, v = _copy(timestamps, values)
+    start = int(t.size * start_fraction)
+    n_drifting = t.size - start
+    if n_drifting <= 0:
+        return t, v, []
+    if rate is None:
+        rate = 3.0 * (float(v.std()) or 1.0) / n_drifting
+    v[start:] += rate * np.arange(n_drifting)
+    return t, v, [Anomaly("drift", start, t.size,
+                          float(rate * n_drifting))]
+
+
+def inject_standard_suite(timestamps, values, seed=0):
+    """Spikes + level shift + flatline + dropout, in that order.
+
+    Returns ``(timestamps, values, anomalies)`` with row indices of each
+    :class:`Anomaly` referring to the array state at its injection time.
+    """
+    anomalies = []
+    t, v, found = inject_spikes(timestamps, values, seed=seed)
+    anomalies += found
+    t, v, found = inject_level_shift(t, v, seed=seed)
+    anomalies += found
+    t, v, found = inject_flatline(t, v)
+    anomalies += found
+    t, v, found = inject_dropout(t, v)
+    anomalies += found
+    return t, v, anomalies
+
+
+def _copy(timestamps, values):
+    t = np.array(timestamps, dtype=np.int64, copy=True)
+    v = np.array(values, dtype=np.float64, copy=True)
+    if t.size != v.size:
+        raise ReproError("time/value length mismatch")
+    if t.size == 0:
+        raise ReproError("cannot inject anomalies into an empty series")
+    return t, v

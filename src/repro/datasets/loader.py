@@ -1,0 +1,55 @@
+"""CSV import/export for time series (the interchange format of the
+examples and of IoTDB's own export tools)."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+
+from ..core.series import TimeSeries
+from ..errors import ReproError
+
+
+def save_csv(path, timestamps, values, header=("time", "value")):
+    """Write ``(timestamps, values)`` as a two-column CSV."""
+    t = np.asarray(timestamps)
+    v = np.asarray(values)
+    if t.size != v.size:
+        raise ReproError("time/value length mismatch")
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        if header:
+            writer.writerow(header)
+        for row_t, row_v in zip(t, v):
+            writer.writerow((int(row_t), repr(float(row_v))))
+
+
+def load_csv(path, has_header=True):
+    """Read a two-column CSV back into ``(timestamps, values)`` arrays."""
+    times = []
+    values = []
+    with open(path, newline="", encoding="utf-8") as f:
+        reader = csv.reader(f)
+        if has_header:
+            next(reader, None)
+        for line_no, row in enumerate(reader, start=2 if has_header else 1):
+            if not row:
+                continue
+            if len(row) < 2:
+                raise ReproError("%s:%d: expected two columns"
+                                 % (path, line_no))
+            try:
+                times.append(int(row[0]))
+                values.append(float(row[1]))
+            except ValueError as exc:
+                raise ReproError("%s:%d: %s" % (path, line_no, exc)) from exc
+    return (np.array(times, dtype=np.int64),
+            np.array(values, dtype=np.float64))
+
+
+def load_csv_series(path, has_header=True):
+    """Read a CSV into a :class:`TimeSeries` (sorted, must be unique)."""
+    t, v = load_csv(path, has_header)
+    order = np.argsort(t, kind="stable")
+    return TimeSeries(t[order], v[order])

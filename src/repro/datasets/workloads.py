@@ -1,0 +1,145 @@
+"""Workload builders for the storage-side experiment axes.
+
+The paper varies three storage knobs (Sections 4.3–4.5): the percentage
+of chunks overlapping in time, the number of delete operations, and the
+delete range length.  These builders load a dataset into a
+:class:`StorageEngine` with each knob controlled precisely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+from ..storage.config import StorageConfig
+from ..storage.engine import StorageEngine
+
+
+def load_sequential(engine, series, timestamps, values):
+    """Write a dataset strictly in time order (0% overlapping chunks)."""
+    engine.create_series(series)
+    engine.write_batch(series, timestamps, values)
+    engine.flush_all()
+
+
+def load_with_overlap(engine, series, timestamps, values, overlap_pct,
+                      seed=0):
+    """Write a dataset so ~``overlap_pct`` % of chunks overlap in time.
+
+    Following Section 4.3, overlap is created by changing the *write
+    order*: points are cut into chunk-sized batches in time order; for
+    the requested fraction of adjacent batch pairs, the tail of the
+    earlier batch and the head of the later one are exchanged, so both
+    flushed chunks cover the exchange window — an out-of-order arrival
+    exactly like late sensor data.
+    """
+    if not 0 <= overlap_pct <= 100:
+        raise ReproError("overlap_pct must be in [0, 100]")
+    engine.create_series(series)
+    t = np.ascontiguousarray(timestamps, dtype=np.int64)
+    v = np.ascontiguousarray(values, dtype=np.float64)
+    size = engine.config.avg_series_point_number_threshold
+    n_batches = -(-t.size // size)
+    if n_batches < 2 or overlap_pct == 0:
+        engine.write_batch(series, t, v)
+        engine.flush_all()
+        return
+
+    rng = np.random.default_rng(seed)
+    # Each swapped pair makes both chunks of the pair overlapping.
+    n_pairs = int(round(overlap_pct / 100.0 * n_batches / 2.0))
+    candidates = np.arange(0, n_batches - 1, 2)
+    chosen = set(rng.choice(candidates,
+                            size=min(n_pairs, candidates.size),
+                            replace=False).tolist())
+    swap = max(size // 4, 1)
+    batch_of = np.repeat(np.arange(n_batches), size)[:t.size]
+    for pair_start in chosen:
+        a_rows = np.flatnonzero(batch_of == pair_start)
+        b_rows = np.flatnonzero(batch_of == pair_start + 1)
+        k = min(swap, a_rows.size, b_rows.size)
+        if k == 0:
+            continue
+        # Exchange the tail of batch A with the head of batch B.
+        tail_a = a_rows[-k:]
+        head_b = b_rows[:k]
+        batch_of[tail_a] = pair_start + 1
+        batch_of[head_b] = pair_start
+    for batch in range(n_batches):
+        rows = np.flatnonzero(batch_of == batch)
+        if rows.size == 0:
+            continue
+        engine.write_batch(series, t[rows], v[rows])
+        engine.flush(series)
+    engine.flush_all()
+
+
+def apply_delete_workload(engine, series, timestamps, delete_pct=0,
+                          n_deletes=None, delete_range=None, seed=0):
+    """Issue random-position deletes over the series' time extent.
+
+    Args:
+        delete_pct: number of deletes as a percentage of the chunk count
+            (the Section 4.4 axis); ignored when ``n_deletes`` is given.
+        n_deletes: explicit number of delete operations (Section 4.5).
+        delete_range: length of each delete's time range; defaults to a
+            tenth of a chunk's average time span (the paper keeps it
+            "small compared to the chunk time interval length").
+        seed: RNG seed for delete positions.
+
+    Returns the list of issued deletes.
+    """
+    t = np.ascontiguousarray(timestamps, dtype=np.int64)
+    if t.size == 0:
+        return []
+    n_chunks = max(len(engine.chunks_for(series)), 1)
+    if n_deletes is None:
+        n_deletes = int(round(delete_pct / 100.0 * n_chunks))
+    if n_deletes <= 0:
+        return []
+    extent = int(t[-1] - t[0])
+    if delete_range is None:
+        chunk_span = max(extent // n_chunks, 1)
+        delete_range = max(chunk_span // 10, 1)
+    rng = np.random.default_rng(seed)
+    issued = []
+    for _ in range(n_deletes):
+        start = int(t[0]) + int(rng.integers(0, max(extent - delete_range, 1)))
+        issued.append(engine.delete(series, start, start + int(delete_range)))
+    engine.flush_all()
+    return issued
+
+
+def overlap_percentage(engine, series):
+    """Measured fraction of chunks overlapping at least one other chunk."""
+    chunks = engine.chunks_for(series)
+    if not chunks:
+        return 0.0
+    intervals = sorted((c.start_time, c.end_time) for c in chunks)
+    overlapping = 0
+    max_end = None
+    # Sweep: a chunk overlaps if it starts before the max end seen so far
+    # or shares its window with the next chunk.
+    flagged = [False] * len(intervals)
+    for i, (start, end) in enumerate(intervals):
+        if max_end is not None and start <= max_end:
+            flagged[i] = True
+            # the earlier chunk reaching past `start` is overlapping too
+            for j in range(i - 1, -1, -1):
+                if intervals[j][1] >= start:
+                    flagged[j] = True
+                    break
+        max_end = end if max_end is None else max(max_end, end)
+    overlapping = sum(flagged)
+    return 100.0 * overlapping / len(intervals)
+
+
+def build_engine(data_dir, chunk_points=1000, points_per_page=None,
+                 **config_kwargs):
+    """A :class:`StorageEngine` with the paper's Table 4 spirit:
+    ``chunk_points`` points per chunk, compaction off."""
+    config = StorageConfig(
+        avg_series_point_number_threshold=chunk_points,
+        points_per_page=points_per_page or chunk_points,
+        **config_kwargs)
+    return StorageEngine(data_dir, config)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError`, so a
+caller can guard any call with a single ``except ReproError``.  Subclasses
+are grouped by subsystem: storage, encoding, query and index.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class StorageError(ReproError):
+    """Base class for storage engine failures."""
+
+
+class EncodingError(StorageError):
+    """Raised when a page cannot be encoded or decoded."""
+
+
+class CorruptFileError(StorageError):
+    """Raised when a TsFile fails structural validation (bad magic,
+    truncated section, checksum mismatch)."""
+
+
+class ChunkNotFoundError(StorageError):
+    """Raised when a chunk handle refers to a missing chunk."""
+
+
+class SeriesNotFoundError(StorageError):
+    """Raised when a query references a series the engine does not store."""
+
+
+class ReadOnlyError(StorageError):
+    """Raised on an attempt to mutate sealed, read-only storage."""
+
+
+class QueryError(ReproError):
+    """Base class for query layer failures."""
+
+
+class SqlSyntaxError(QueryError):
+    """Raised when the mini SQL dialect cannot parse a statement."""
+
+
+class InvalidQueryRangeError(QueryError):
+    """Raised when a query's time range or span count is invalid
+    (``t_qs >= t_qe`` or ``w <= 0``)."""
+
+
+class IndexError_(ReproError):
+    """Base class for chunk index failures.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`, which callers may also want to catch separately.
+    """
+
+
+class StepRegressionError(IndexError_):
+    """Raised when a step regression function cannot be fitted
+    (for example a chunk with fewer than two points)."""

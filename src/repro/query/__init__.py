@@ -1,0 +1,14 @@
+"""Query layer: the mini SQL dialect and the Session facade."""
+
+from .executor import Executor, ResultTable
+from .session import Session
+from .sql import ParsedQuery, parse, tokenize
+
+__all__ = [
+    "Executor",
+    "ParsedQuery",
+    "ResultTable",
+    "Session",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,141 @@
+"""Execution of parsed queries against a storage engine."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.m4 import M4UDFOperator
+from ..core.m4lsm import M4LSMOperator
+from ..errors import QueryError
+from .sql import ParsedQuery
+
+_FIELD_NAMES = {
+    ("FP", "t"): "FirstTime", ("FP", "v"): "FirstValue",
+    ("LP", "t"): "LastTime", ("LP", "v"): "LastValue",
+    ("BP", "t"): "BottomTime", ("BP", "v"): "BottomValue",
+    ("TP", "t"): "TopTime", ("TP", "v"): "TopValue",
+}
+_POINT_ATTR = {"FP": "first", "LP": "last", "BP": "bottom", "TP": "top"}
+
+
+@dataclasses.dataclass(frozen=True)
+class ResultTable:
+    """A tabular query result: column names plus row tuples."""
+
+    columns: tuple
+    rows: tuple
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name):
+        """All values of one named column."""
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise QueryError("no column %r (have %s)"
+                             % (name, list(self.columns))) from None
+        return [row[index] for row in self.rows]
+
+    def pretty(self, max_rows=20):
+        """A fixed-width text rendering for terminals."""
+        header = [str(c) for c in self.columns]
+        body = [[_fmt(cell) for cell in row] for row in self.rows[:max_rows]]
+        widths = [max(len(header[i]), *(len(r[i]) for r in body))
+                  if body else len(header[i]) for i in range(len(header))]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.ljust(w)
+                                   for cell, w in zip(row, widths)))
+        if len(self.rows) > max_rows:
+            lines.append("... (%d more rows)" % (len(self.rows) - max_rows))
+        return "\n".join(lines)
+
+
+def _fmt(cell):
+    if isinstance(cell, float):
+        return "%.6g" % cell
+    return str(cell)
+
+
+class Executor:
+    """Runs :class:`ParsedQuery` objects against one engine."""
+
+    def __init__(self, engine):
+        self._engine = engine
+
+    def execute(self, parsed):
+        """Dispatch on query kind; returns a :class:`ResultTable`."""
+        if not isinstance(parsed, ParsedQuery):
+            raise QueryError("execute() expects a ParsedQuery")
+        if parsed.kind == "m4":
+            return self._execute_m4(parsed)
+        if parsed.kind == "agg":
+            return self._execute_agg(parsed)
+        return self._execute_raw(parsed)
+
+    def _operator(self, name):
+        if name == "m4udf":
+            return M4UDFOperator(self._engine)
+        return M4LSMOperator(self._engine)
+
+    def _resolve_range(self, parsed):
+        t_qs, t_qe = parsed.t_qs, parsed.t_qe
+        if t_qs is None or t_qe is None:
+            chunks = self._engine.chunks_for(parsed.series)
+            if not chunks:
+                raise QueryError("series %r is empty and the query gave "
+                                 "no WHERE range" % parsed.series)
+            t_qs = min(c.start_time for c in chunks) if t_qs is None else t_qs
+            t_qe = max(c.end_time for c in chunks) + 1 if t_qe is None \
+                else t_qe
+        return t_qs, t_qe
+
+    def _execute_m4(self, parsed):
+        t_qs, t_qe = self._resolve_range(parsed)
+        operator = self._operator(parsed.operator)
+        result = operator.query(parsed.series, t_qs, t_qe, parsed.w)
+        columns = ["span"] + [_FIELD_NAMES[c] for c in parsed.columns]
+        rows = []
+        for i, span in enumerate(result.spans):
+            if span.is_empty():
+                continue
+            row = [i]
+            for function, field in parsed.columns:
+                point = getattr(span, _POINT_ATTR[function])
+                row.append(point.t if field == "t" else point.v)
+            rows.append(tuple(row))
+        return ResultTable(tuple(columns), tuple(rows))
+
+    def _execute_agg(self, parsed):
+        from ..core.aggregation import aggregate_lsm, aggregate_udf
+        t_qs, t_qe = self._resolve_range(parsed)
+        runner = aggregate_udf if parsed.operator == "m4udf" \
+            else aggregate_lsm
+        result = runner(self._engine, parsed.series, t_qs, t_qe,
+                        parsed.w, parsed.columns)
+        columns = ["span"] + [name.upper() for name in parsed.columns]
+        rows = []
+        for i in result.non_empty():
+            rows.append((i,) + result.rows[i])
+        return ResultTable(tuple(columns), tuple(rows))
+
+    def _execute_raw(self, parsed):
+        t_qs, t_qe = self._resolve_range(parsed)
+        operator = M4UDFOperator(self._engine)
+        series = operator.merged_series(parsed.series, t_qs, t_qe)
+        names = {"t": "time", "v": "value"}
+        columns = tuple(names[c] for c in parsed.columns)
+        t = series.timestamps
+        v = series.values
+        data = {"t": t, "v": v}
+        stacked = [data[c] for c in parsed.columns]
+        rows = tuple(tuple(int(col[i]) if parsed.columns[j] == "t"
+                           else float(col[i])
+                           for j, col in enumerate(stacked))
+                     for i in range(t.size))
+        return ResultTable(columns, rows)

@@ -1,0 +1,58 @@
+"""Series catalog: the persistent name <-> id registry.
+
+Chunk metadata and the mods log identify series by numeric id; the
+catalog is the append-only file that makes those ids meaningful across
+restarts.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from ..errors import CorruptFileError
+
+MAGIC = b"CATv1\n\0\0"
+_HEADER = struct.Struct("<IH")  # series_id, name length
+
+
+class CatalogFile:
+    """Append-only log of ``(series_id, name)`` registrations."""
+
+    def __init__(self, path):
+        self._path = os.fspath(path)
+        if not os.path.exists(self._path):
+            with open(self._path, "wb") as f:
+                f.write(MAGIC)
+
+    @property
+    def path(self):
+        """Location of the catalog file."""
+        return self._path
+
+    def append(self, series_id, name):
+        """Persist one series registration."""
+        encoded = name.encode("utf-8")
+        with open(self._path, "ab") as f:
+            f.write(_HEADER.pack(series_id, len(encoded)))
+            f.write(encoded)
+
+    def read_all(self):
+        """Yield every ``(series_id, name)`` in registration order."""
+        with open(self._path, "rb") as f:
+            head = f.read(len(MAGIC))
+            if head != MAGIC:
+                raise CorruptFileError("%s: bad catalog magic" % self._path)
+            while True:
+                raw = f.read(_HEADER.size)
+                if not raw:
+                    return
+                if len(raw) < _HEADER.size:
+                    raise CorruptFileError(
+                        "%s: truncated catalog header" % self._path)
+                series_id, name_length = _HEADER.unpack(raw)
+                encoded = f.read(name_length)
+                if len(encoded) < name_length:
+                    raise CorruptFileError(
+                        "%s: truncated catalog name" % self._path)
+                yield series_id, encoded.decode("utf-8")

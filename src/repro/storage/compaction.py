@@ -1,0 +1,48 @@
+"""Full compaction: fold chunks and deletes of a series into fresh chunks.
+
+The paper's experiments run with compaction disabled (Table 4,
+``NO_COMPACTION``) so that overlapping chunks and pending deletes persist
+— that is precisely the regime M4-LSM targets.  Compaction is still part
+of any real LSM engine, so it is implemented here: it merges a series'
+chunks under its deletes and rewrites the result as non-overlapping
+chunks with a fresh version, after which reads need no merging at all.
+"""
+
+from __future__ import annotations
+
+from .deletes import DeleteList
+from .merge import merge_arrays
+
+
+def compact_series(engine, name):
+    """Compact one series in place.
+
+    Reads every sealed chunk, applies all deletes, merges, and rewrites
+    the surviving points as brand-new chunks.  The series' delete list is
+    emptied (the deletes are now folded into the data).
+
+    Returns the number of surviving points.
+    """
+    state = engine._state(name)
+    if state.memtable:
+        engine.flush(name)
+        engine._seal_active_file()
+    reader = engine.data_reader()
+    chunks = [(*reader.load_chunk(meta), meta.version)
+              for meta in state.chunks]
+    t, v = merge_arrays(chunks, state.deletes)
+    state.chunks = []
+    state.deletes = DeleteList()
+    if t.size:
+        threshold = engine.config.avg_series_point_number_threshold
+        for start in range(0, t.size, threshold):
+            engine._seal_chunk(state, t[start:start + threshold],
+                               v[start:start + threshold])
+        engine._seal_active_file()
+    return int(t.size)
+
+
+def compact_all(engine):
+    """Compact every series; returns ``{name: surviving point count}``."""
+    return {name: compact_series(engine, name)
+            for name in engine.series_names()}

@@ -1,0 +1,49 @@
+"""Storage engine configuration, mirroring the paper's Table 4 settings.
+
+The defaults correspond to the experimental setup of the paper: large
+TsFiles, 1000 points per chunk, one page per chunk unless configured
+smaller, and compaction disabled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .encoding import Compression, Encoding
+
+
+@dataclasses.dataclass
+class StorageConfig:
+    """Tunable knobs of :class:`repro.storage.engine.StorageEngine`.
+
+    ``avg_series_point_number_threshold`` plays the role of IoTDB's
+    parameter of the same name: the memtable flushes into a new chunk once
+    a series accumulates this many points.
+    """
+
+    avg_series_point_number_threshold: int = 1000
+    points_per_page: int = 1000
+    chunks_per_tsfile: int = 64
+    time_encoding: Encoding = Encoding.TS_2DIFF
+    value_encoding: Encoding = Encoding.PLAIN
+    compression: Compression = Compression.NONE
+    enable_compaction: bool = False   # Table 4: NO_COMPACTION
+    build_chunk_index: bool = True    # step regression index at flush time
+    enable_wal: bool = True           # write-ahead log for buffered points
+    chunk_cache_points: int = 0       # shared decoded-page LRU (0 = off)
+
+    def __post_init__(self):
+        if self.avg_series_point_number_threshold <= 0:
+            raise ValueError("flush threshold must be positive")
+        if self.points_per_page <= 0:
+            raise ValueError("points_per_page must be positive")
+        if self.points_per_page > self.avg_series_point_number_threshold:
+            # A chunk never holds fewer points than one page.
+            self.points_per_page = self.avg_series_point_number_threshold
+        if self.chunks_per_tsfile <= 0:
+            raise ValueError("chunks_per_tsfile must be positive")
+        if self.chunk_cache_points < 0:
+            raise ValueError("chunk_cache_points must be >= 0")
+
+
+DEFAULT_CONFIG = StorageConfig()

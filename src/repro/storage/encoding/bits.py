@@ -1,0 +1,94 @@
+"""Bit-level reader/writer used by the sequential codecs.
+
+The Gorilla codec (and the varint fallback paths) need sub-byte access.
+:class:`BitWriter` accumulates bits most-significant-first into a
+:class:`bytearray`; :class:`BitReader` replays them.  Both are deliberately
+simple: the bulk codecs (TS_2DIFF) bypass them entirely and use vectorized
+``numpy.packbits`` instead.
+"""
+
+from __future__ import annotations
+
+from ...errors import EncodingError
+
+
+class BitWriter:
+    """Accumulates bits most-significant-bit first.
+
+    >>> w = BitWriter()
+    >>> w.write_bit(1)
+    >>> w.write_bits(0b0101, 4)
+    >>> w.to_bytes().hex()
+    'a8'
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+        self._current = 0
+        self._n_bits = 0  # bits currently held in _current, 0..7
+
+    def write_bit(self, bit):
+        """Append a single bit (0 or 1)."""
+        self._current = (self._current << 1) | (bit & 1)
+        self._n_bits += 1
+        if self._n_bits == 8:
+            self._buffer.append(self._current)
+            self._current = 0
+            self._n_bits = 0
+
+    def write_bits(self, value, n_bits):
+        """Append the ``n_bits`` low-order bits of ``value``, MSB first."""
+        if n_bits < 0 or n_bits > 64:
+            raise EncodingError("bit width must be in [0, 64], got %d" % n_bits)
+        for shift in range(n_bits - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    @property
+    def bit_length(self):
+        """Total number of bits written so far."""
+        return len(self._buffer) * 8 + self._n_bits
+
+    def to_bytes(self):
+        """Return the written bits, zero-padded to a whole byte."""
+        out = bytearray(self._buffer)
+        if self._n_bits:
+            out.append((self._current << (8 - self._n_bits)) & 0xFF)
+        return bytes(out)
+
+
+class BitReader:
+    """Replays bits produced by :class:`BitWriter`.
+
+    >>> r = BitReader(bytes([0b10110000]))
+    >>> r.read_bit(), r.read_bits(3)
+    (1, 3)
+    """
+
+    def __init__(self, data):
+        self._data = data
+        self._byte_pos = 0
+        self._bit_pos = 0
+
+    def read_bit(self):
+        """Read the next single bit; raises :class:`EncodingError` at EOF."""
+        if self._byte_pos >= len(self._data):
+            raise EncodingError("bit stream exhausted")
+        byte = self._data[self._byte_pos]
+        bit = (byte >> (7 - self._bit_pos)) & 1
+        self._bit_pos += 1
+        if self._bit_pos == 8:
+            self._bit_pos = 0
+            self._byte_pos += 1
+        return bit
+
+    def read_bits(self, n_bits):
+        """Read ``n_bits`` bits MSB-first and return them as an unsigned int."""
+        value = 0
+        for _ in range(n_bits):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    @property
+    def bits_remaining(self):
+        """Number of unread bits (including any trailing zero padding)."""
+        return (len(self._data) - self._byte_pos) * 8 - self._bit_pos

@@ -1,0 +1,122 @@
+"""Gorilla XOR compression for float64 columns.
+
+The scheme from Facebook's Gorilla TSDB (Pelkonen et al., VLDB 2015), as
+also shipped in Apache IoTDB: each value is XORed with its predecessor and
+only the meaningful (non-zero) bits are stored.  Slowly-varying sensor
+values compress extremely well.
+
+This codec is inherently sequential, so it is implemented on the bit
+reader/writer rather than numpy.  It is offered for storage-size fidelity;
+latency-sensitive benchmarks default to PLAIN/TS_2DIFF.
+
+Per value (after the first, which is stored raw):
+
+* control bit ``0``         — value identical to predecessor
+* control bits ``10``       — XOR fits the previous leading/trailing window
+* control bits ``11``       — new window: 5 bits leading-zero count,
+  6 bits significant length, then the significant XOR bits
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ...errors import EncodingError
+from .bits import BitReader, BitWriter
+
+_COUNT = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+
+
+def _float_to_bits(value):
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def _bits_to_float(bits):
+    return struct.unpack("<d", struct.pack("<Q", bits))[0]
+
+
+def _leading_zeros(value):
+    return 64 - value.bit_length() if value else 64
+
+
+def _trailing_zeros(value):
+    if value == 0:
+        return 64
+    return (value & -value).bit_length() - 1
+
+
+def encode_gorilla(values):
+    """Encode a 1-D float64 array with Gorilla XOR compression."""
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    out = bytearray(_COUNT.pack(arr.size))
+    if arr.size == 0:
+        return bytes(out)
+    out += _F64.pack(float(arr[0]))
+    writer = BitWriter()
+    prev_bits = _float_to_bits(float(arr[0]))
+    prev_leading = -1
+    prev_sig_length = 0
+    for value in arr[1:]:
+        bits = _float_to_bits(float(value))
+        xor = prev_bits ^ bits
+        if xor == 0:
+            writer.write_bit(0)
+        else:
+            writer.write_bit(1)
+            leading = min(_leading_zeros(xor), 31)
+            trailing = _trailing_zeros(xor)
+            sig_length = 64 - leading - trailing
+            fits_previous = (prev_leading >= 0
+                             and leading >= prev_leading
+                             and sig_length <= prev_sig_length
+                             and 64 - prev_leading - prev_sig_length <= trailing)
+            if fits_previous:
+                writer.write_bit(0)
+                shift = 64 - prev_leading - prev_sig_length
+                writer.write_bits(xor >> shift, prev_sig_length)
+            else:
+                writer.write_bit(1)
+                writer.write_bits(leading, 5)
+                # 6 bits can hold 1..64 with 64 encoded as 0.
+                writer.write_bits(sig_length & 0x3F, 6)
+                writer.write_bits(xor >> trailing, sig_length)
+                prev_leading = leading
+                prev_sig_length = sig_length
+        prev_bits = bits
+    out += writer.to_bytes()
+    return bytes(out)
+
+
+def decode_gorilla(data):
+    """Decode bytes produced by :func:`encode_gorilla` to a float64 array."""
+    if len(data) < _COUNT.size:
+        raise EncodingError("GORILLA page shorter than its header")
+    (count,) = _COUNT.unpack_from(data)
+    if count == 0:
+        return np.empty(0, dtype=np.float64)
+    offset = _COUNT.size
+    if len(data) < offset + _F64.size:
+        raise EncodingError("GORILLA page missing first value")
+    (first,) = _F64.unpack_from(data, offset)
+    offset += _F64.size
+    out = np.empty(count, dtype=np.float64)
+    out[0] = first
+    reader = BitReader(data[offset:])
+    prev_bits = _float_to_bits(first)
+    leading = 0
+    sig_length = 0
+    for i in range(1, count):
+        if reader.read_bit() == 0:
+            out[i] = _bits_to_float(prev_bits)
+            continue
+        if reader.read_bit() == 1:
+            leading = reader.read_bits(5)
+            sig_length = reader.read_bits(6) or 64
+        shift = 64 - leading - sig_length
+        xor = reader.read_bits(sig_length) << shift
+        prev_bits ^= xor
+        out[i] = _bits_to_float(prev_bits)
+    return out

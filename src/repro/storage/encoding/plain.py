@@ -1,0 +1,59 @@
+"""PLAIN encoding: raw little-endian arrays.
+
+The simplest codec — no compression at all — used as the default for
+float64 value columns and as the correctness reference the other codecs
+are tested against.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ...errors import EncodingError
+
+_HEADER = struct.Struct("<cI")  # dtype char, element count
+
+_DTYPE_BY_CHAR = {
+    b"q": np.dtype("<i8"),
+    b"d": np.dtype("<f8"),
+    b"i": np.dtype("<i4"),
+    b"f": np.dtype("<f4"),
+}
+_CHAR_BY_KIND = {
+    ("i", 8): b"q",
+    ("f", 8): b"d",
+    ("i", 4): b"i",
+    ("f", 4): b"f",
+}
+
+
+def encode_plain(values):
+    """Encode a 1-D numpy array of int/float 32/64 as raw bytes.
+
+    The 5-byte header records the dtype and the element count so the
+    decoder needs no out-of-band schema.
+    """
+    arr = np.ascontiguousarray(values)
+    key = (arr.dtype.kind, arr.dtype.itemsize)
+    if key not in _CHAR_BY_KIND:
+        raise EncodingError("PLAIN cannot encode dtype %s" % arr.dtype)
+    char = _CHAR_BY_KIND[key]
+    return _HEADER.pack(char, arr.size) + arr.astype(
+        arr.dtype.newbyteorder("<"), copy=False).tobytes()
+
+
+def decode_plain(data):
+    """Decode bytes produced by :func:`encode_plain` back to a numpy array."""
+    if len(data) < _HEADER.size:
+        raise EncodingError("PLAIN page shorter than its header")
+    char, count = _HEADER.unpack_from(data)
+    if char not in _DTYPE_BY_CHAR:
+        raise EncodingError("PLAIN page has unknown dtype tag %r" % char)
+    dtype = _DTYPE_BY_CHAR[char]
+    expected = _HEADER.size + count * dtype.itemsize
+    if len(data) < expected:
+        raise EncodingError(
+            "PLAIN page truncated: need %d bytes, have %d" % (expected, len(data)))
+    return np.frombuffer(data, dtype=dtype, count=count, offset=_HEADER.size).copy()

@@ -1,0 +1,83 @@
+"""Run-length encoding for columns with long runs of repeated values.
+
+Sensor value columns often sit at a constant reading for long stretches;
+RLE stores each run once.  Runs are discovered vectorized with numpy.
+
+Layout::
+
+    u32   element count
+    c     dtype tag (same tags as PLAIN)
+    u32   run count
+    raw   run values  (run_count elements of the tagged dtype)
+    raw   run lengths (run_count uint32)
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ...errors import EncodingError
+from .plain import _CHAR_BY_KIND, _DTYPE_BY_CHAR
+
+_HEADER = struct.Struct("<IcI")
+
+
+def run_length_split(values):
+    """Split an array into ``(run_values, run_lengths)``.
+
+    >>> vals, lens = run_length_split(np.array([5, 5, 7, 7, 7, 5]))
+    >>> vals.tolist(), lens.tolist()
+    ([5, 7, 5], [2, 3, 1])
+    """
+    arr = np.asarray(values)
+    if arr.size == 0:
+        return arr[:0], np.empty(0, dtype=np.uint32)
+    # Boundary where a new run starts; NaN != NaN so compare bit patterns
+    # for float arrays to keep NaN runs together.
+    if arr.dtype.kind == "f":
+        comparable = arr.view(np.uint64 if arr.dtype.itemsize == 8 else np.uint32)
+    else:
+        comparable = arr
+    starts = np.flatnonzero(np.concatenate(
+        ([True], comparable[1:] != comparable[:-1])))
+    lengths = np.diff(np.concatenate((starts, [arr.size])))
+    return arr[starts], lengths.astype(np.uint32)
+
+
+def encode_rle(values):
+    """Encode a 1-D int/float 32/64 array as run-length pairs."""
+    arr = np.ascontiguousarray(values)
+    key = (arr.dtype.kind, arr.dtype.itemsize)
+    if key not in _CHAR_BY_KIND:
+        raise EncodingError("RLE cannot encode dtype %s" % arr.dtype)
+    run_values, run_lengths = run_length_split(arr)
+    header = _HEADER.pack(arr.size, _CHAR_BY_KIND[key], run_values.size)
+    little = arr.dtype.newbyteorder("<")
+    return (header
+            + run_values.astype(little, copy=False).tobytes()
+            + run_lengths.astype("<u4", copy=False).tobytes())
+
+
+def decode_rle(data):
+    """Decode bytes produced by :func:`encode_rle` back to a numpy array."""
+    if len(data) < _HEADER.size:
+        raise EncodingError("RLE page shorter than its header")
+    count, char, run_count = _HEADER.unpack_from(data)
+    if char not in _DTYPE_BY_CHAR:
+        raise EncodingError("RLE page has unknown dtype tag %r" % char)
+    dtype = _DTYPE_BY_CHAR[char]
+    offset = _HEADER.size
+    values_end = offset + run_count * dtype.itemsize
+    lengths_end = values_end + run_count * 4
+    if len(data) < lengths_end:
+        raise EncodingError("RLE page truncated")
+    run_values = np.frombuffer(data, dtype=dtype, count=run_count, offset=offset)
+    run_lengths = np.frombuffer(data, dtype="<u4", count=run_count,
+                                offset=values_end)
+    if int(run_lengths.sum()) != count:
+        raise EncodingError(
+            "RLE run lengths sum to %d, expected %d"
+            % (int(run_lengths.sum()), count))
+    return np.repeat(run_values, run_lengths)

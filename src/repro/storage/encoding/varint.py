@@ -1,0 +1,84 @@
+"""Variable-length integer encoding (LEB128) with zigzag for signed values.
+
+Used for file-format metadata fields (counts, offsets, version numbers)
+where values are usually small.  Bulk page payloads use the vectorized
+codecs in :mod:`repro.storage.encoding.ts2diff` instead.
+"""
+
+from __future__ import annotations
+
+from ...errors import EncodingError
+
+_MAX_VARINT_BYTES = 10  # enough for a 64-bit value, 7 bits per byte
+
+
+def zigzag_encode(value):
+    """Map a signed int to an unsigned int with small absolute values first.
+
+    >>> [zigzag_encode(v) for v in (0, -1, 1, -2, 2)]
+    [0, 1, 2, 3, 4]
+    """
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def zigzag_decode(value):
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def write_unsigned_varint(value, buffer):
+    """Append ``value`` (non-negative int) to ``buffer`` as LEB128 bytes."""
+    if value < 0:
+        raise EncodingError("unsigned varint cannot encode %d" % value)
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buffer.append(byte | 0x80)
+        else:
+            buffer.append(byte)
+            return
+
+
+def read_unsigned_varint(data, offset):
+    """Read a LEB128 value from ``data`` at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+    value = 0
+    shift = 0
+    for i in range(_MAX_VARINT_BYTES):
+        pos = offset + i
+        if pos >= len(data):
+            raise EncodingError("truncated varint at offset %d" % offset)
+        byte = data[pos]
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos + 1
+        shift += 7
+    raise EncodingError("varint longer than %d bytes" % _MAX_VARINT_BYTES)
+
+
+def write_signed_varint(value, buffer):
+    """Append a signed int to ``buffer`` as zigzag + LEB128."""
+    write_unsigned_varint(zigzag_encode(value), buffer)
+
+
+def read_signed_varint(data, offset):
+    """Read a zigzag + LEB128 signed value; returns ``(value, next_offset)``."""
+    value, next_offset = read_unsigned_varint(data, offset)
+    return zigzag_decode(value), next_offset
+
+
+def encode_unsigned(value):
+    """Convenience wrapper returning the LEB128 bytes for one value."""
+    buffer = bytearray()
+    write_unsigned_varint(value, buffer)
+    return bytes(buffer)
+
+
+def encode_signed(value):
+    """Convenience wrapper returning the zigzag LEB128 bytes for one value."""
+    buffer = bytearray()
+    write_signed_varint(value, buffer)
+    return bytes(buffer)

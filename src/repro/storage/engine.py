@@ -1,0 +1,309 @@
+"""The LSM storage engine: writes, flushes, deletes, TsFile management.
+
+A miniature of Apache IoTDB's storage layer, faithful to the properties
+the paper's experiments exercise:
+
+* writes buffer in a per-series :class:`MemTable` and flush into
+  read-only chunks of ``avg_series_point_number_threshold`` points;
+* out-of-order writes produce chunks with overlapping time intervals —
+  overlap is resolved at read time by version numbers, never by rewriting;
+* deletes append to a mods log and are applied at read time;
+* chunk metadata (statistics, page directory, step-regression index) is
+  kept in TsFile tail sections and mirrored in memory once sealed;
+* compaction exists but is **off by default**, matching the paper's
+  Table 4 (``NO_COMPACTION``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import SeriesNotFoundError, StorageError
+from .cache import ChunkCache
+from .catalog import CatalogFile
+from .chunk import write_chunk
+from .config import DEFAULT_CONFIG
+from .deletes import Delete, DeleteList
+from .iostats import IoStats
+from .memtable import MemTable
+from .mods import ModsFile
+from .readers import DataReader, MetadataReader
+from .tsfile import TsFileReader, TsFileWriter
+from .versions import VersionAllocator
+from .wal import WalManager
+
+
+class SeriesState:
+    """Per-series bookkeeping inside the engine."""
+
+    def __init__(self, series_id, name):
+        self.series_id = series_id
+        self.name = name
+        self.memtable = MemTable()
+        self.chunks = []          # sealed ChunkMetadata, version order
+        self.deletes = DeleteList()
+        self.points_written = 0
+
+
+class StorageEngine:
+    """An LSM-based store for multiple time series.
+
+    >>> # engine = StorageEngine("/tmp/db")
+    >>> # engine.create_series("root.sg.speed")
+    >>> # engine.write_batch("root.sg.speed", ts, vs); engine.flush_all()
+    """
+
+    def __init__(self, data_dir, config=DEFAULT_CONFIG, stats=None):
+        self._data_dir = os.fspath(data_dir)
+        os.makedirs(self._data_dir, exist_ok=True)
+        self._config = config
+        self._stats = stats if stats is not None else IoStats()
+        self._versions = VersionAllocator()
+        self._series = {}
+        self._series_by_id = {}
+        self._next_series_id = 1
+        self._writer = None
+        self._writer_chunks = 0
+        self._file_seq = 0
+        self._readers = {}
+        self._mods = ModsFile(os.path.join(self._data_dir, "deletes.mods"))
+        self._catalog = CatalogFile(os.path.join(self._data_dir,
+                                                 "catalog.meta"))
+        self._wal = WalManager(self._data_dir) if config.enable_wal \
+            else None
+        self._chunk_cache = ChunkCache(config.chunk_cache_points) \
+            if config.chunk_cache_points > 0 else None
+        self.recovery_summary = None
+        if any(True for _ in self._catalog.read_all()):
+            from .recovery import recover_engine_state
+            self.recovery_summary = recover_engine_state(self)
+
+    # -- schema ---------------------------------------------------------------------
+
+    @property
+    def config(self):
+        """The engine's :class:`StorageConfig`."""
+        return self._config
+
+    @property
+    def stats(self):
+        """Shared I/O counters for this engine and its readers."""
+        return self._stats
+
+    @property
+    def data_dir(self):
+        """Directory holding TsFiles and the mods log."""
+        return self._data_dir
+
+    def create_series(self, name):
+        """Register a series; returns its id.  Idempotent, durable."""
+        if name in self._series:
+            return self._series[name].series_id
+        series_id = self._next_series_id
+        self._next_series_id += 1
+        state = SeriesState(series_id, name)
+        self._series[name] = state
+        self._series_by_id[series_id] = state
+        self._catalog.append(series_id, name)
+        return series_id
+
+    def _register_recovered_series(self, series_id, name):
+        """Recovery hook: re-register a series read from the catalog."""
+        state = SeriesState(series_id, name)
+        self._series[name] = state
+        self._series_by_id[series_id] = state
+        self._next_series_id = max(self._next_series_id, series_id + 1)
+        return state
+
+    def _restore_counters(self, max_version, max_file_seq):
+        """Recovery hook: continue version/file numbering after restart."""
+        self._versions = VersionAllocator(start=max_version + 1)
+        self._file_seq = max_file_seq
+
+    def series_names(self):
+        """All registered series names."""
+        return list(self._series)
+
+    def _state(self, name):
+        try:
+            return self._series[name]
+        except KeyError:
+            raise SeriesNotFoundError("unknown series %r" % name) from None
+
+    # -- writes ------------------------------------------------------------------------
+
+    def write(self, name, t, v):
+        """Insert one point (auto-flushing at the threshold)."""
+        state = self._state(name)
+        if self._wal is not None:
+            self._wal.segment(state.series_id).append(state.series_id,
+                                                      int(t), float(v))
+        state.memtable.append(int(t), float(v))
+        state.points_written += 1
+        self._maybe_flush(state)
+
+    def write_batch(self, name, timestamps, values):
+        """Insert a batch of points in any time order."""
+        state = self._state(name)
+        if self._wal is not None:
+            segment = self._wal.segment(state.series_id)
+            segment.append_batch(state.series_id, timestamps, values)
+            segment.sync()
+        before = len(state.memtable)
+        state.memtable.append_batch(timestamps, values)
+        state.points_written += len(state.memtable) - before
+        self._maybe_flush(state)
+
+    def delete(self, name, t_start, t_end):
+        """Delete the closed time range ``[t_start, t_end]`` (Def. 2.5).
+
+        Points still buffered in the memtable are flushed first so the
+        versioned delete unambiguously orders after them, mirroring
+        IoTDB's flush-before-delete on the affected series.
+        """
+        state = self._state(name)
+        if state.memtable:
+            self.flush(name)
+        delete = Delete(int(t_start), int(t_end), self._versions.next())
+        state.deletes.add(delete)
+        self._mods.append(state.series_id, delete)
+        return delete
+
+    def _maybe_flush(self, state):
+        threshold = self._config.avg_series_point_number_threshold
+        flushed = False
+        while len(state.memtable) >= threshold:
+            t, v = state.memtable.drain_prefix(threshold)
+            self._seal_chunk(state, t, v)
+            flushed = True
+        if flushed:
+            self._checkpoint_wal(state)
+
+    def flush(self, name):
+        """Flush a series' memtable into a final (possibly smaller) chunk."""
+        state = self._state(name)
+        if not state.memtable:
+            return
+        t, v = state.memtable.drain()
+        self._seal_chunk(state, t, v)
+        self._checkpoint_wal(state)
+
+    def _checkpoint_wal(self, state):
+        """Make the series' WAL segment equal its memtable contents.
+
+        After a full flush the segment rotates empty; after a partial
+        (threshold) flush the still-buffered remainder is re-logged.
+        """
+        if self._wal is None:
+            return
+        segment = self._wal.segment(state.series_id)
+        if not state.memtable:
+            segment.rotate()
+        else:
+            segment.rewrite(state.series_id, *state.memtable.snapshot())
+
+    def flush_all(self):
+        """Flush every series and seal the active TsFile so that all data
+        is query-visible (each flush checkpoints its WAL segment)."""
+        for name in self._series:
+            self.flush(name)
+        self._seal_active_file()
+
+    # -- TsFile management ---------------------------------------------------------------
+
+    def _seal_chunk(self, state, timestamps, values):
+        if timestamps.size == 0:
+            return
+        version = self._versions.next()
+        block, metadata = write_chunk(state.series_id, version, timestamps,
+                                      values, self._config)
+        if self._writer is None:
+            self._writer = TsFileWriter(self._next_file_path())
+            self._writer_chunks = 0
+        located = self._writer.append_chunk(block, metadata)
+        state.chunks.append(located)
+        self._writer_chunks += 1
+        if self._writer_chunks >= self._config.chunks_per_tsfile:
+            self._seal_active_file()
+
+    def _next_file_path(self):
+        self._file_seq += 1
+        return os.path.join(self._data_dir, "%06d.tsfile" % self._file_seq)
+
+    def _seal_active_file(self):
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+            self._writer_chunks = 0
+
+    def tsfile_reader(self, path):
+        """Pooled :class:`TsFileReader` for a sealed file."""
+        if path not in self._readers:
+            self._readers[path] = TsFileReader(path, self._stats)
+        return self._readers[path]
+
+    # -- query surface -----------------------------------------------------------------
+
+    def chunks_for(self, name):
+        """Sealed chunk metadata for a series (version order).
+
+        Raises if the series still has buffered points — call
+        :meth:`flush_all` before querying.
+        """
+        state = self._state(name)
+        if state.memtable:
+            raise StorageError(
+                "series %r has unflushed points; call flush_all() first"
+                % name)
+        return list(state.chunks)
+
+    def deletes_for(self, name):
+        """The series' :class:`DeleteList`."""
+        return self._state(name).deletes
+
+    def metadata_reader(self, name):
+        """A :class:`MetadataReader` over the series' sealed chunks."""
+        return MetadataReader(self.chunks_for(name), self._stats)
+
+    @property
+    def chunk_cache(self):
+        """The shared decoded-page cache (None when disabled)."""
+        return self._chunk_cache
+
+    def data_reader(self):
+        """A fresh :class:`DataReader`.
+
+        Each reader has its own per-query decoded-page map; when the
+        engine's shared :class:`ChunkCache` is enabled it backs all
+        readers, so repeated queries skip decoding.
+        """
+        return DataReader(self.tsfile_reader, self._stats,
+                          shared_cache=self._chunk_cache)
+
+    def total_points(self, name):
+        """Latest-point count of the merged series (loads everything)."""
+        from .merge import merge_arrays  # local import to avoid cycle noise
+        reader = self.data_reader()
+        chunks = [(*reader.load_chunk(meta), meta.version)
+                  for meta in self.chunks_for(name)]
+        t, _v = merge_arrays(chunks, self.deletes_for(name))
+        return int(t.size)
+
+    def close(self):
+        """Seal the active file and release every reader and the WAL.
+
+        Buffered points stay in the WAL (not flushed), so a reopened
+        engine recovers them — closing is not an implicit flush.
+        """
+        self._seal_active_file()
+        for reader in self._readers.values():
+            reader.close()
+        self._readers.clear()
+        if self._wal is not None:
+            self._wal.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

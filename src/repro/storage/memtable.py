@@ -1,0 +1,89 @@
+"""MemTable: the in-memory write buffer of the LSM engine.
+
+Points accumulate here (possibly out of order, possibly overwriting each
+other) until the flush threshold is reached; a flush drains a time-sorted,
+duplicate-free batch that becomes one chunk.  Within a memtable the *last
+inserted* value wins for a repeated timestamp, matching LSM semantics
+where later writes overwrite earlier ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import StorageError
+
+
+class MemTable:
+    """Write buffer for one series."""
+
+    def __init__(self):
+        self._time_parts = []
+        self._value_parts = []
+        self._count = 0
+
+    def __len__(self):
+        return self._count
+
+    def __bool__(self):
+        return self._count > 0
+
+    def append(self, t, v):
+        """Insert a single point."""
+        self._time_parts.append(np.array([t], dtype=np.int64))
+        self._value_parts.append(np.array([v], dtype=np.float64))
+        self._count += 1
+
+    def append_batch(self, timestamps, values):
+        """Insert a batch of points (any order, duplicates allowed)."""
+        t = np.ascontiguousarray(timestamps, dtype=np.int64)
+        v = np.ascontiguousarray(values, dtype=np.float64)
+        if t.size != v.size:
+            raise StorageError("time/value length mismatch in batch")
+        if t.size == 0:
+            return
+        self._time_parts.append(t)
+        self._value_parts.append(v)
+        self._count += t.size
+
+    def drain(self):
+        """Remove and return all points as sorted, de-duplicated arrays.
+
+        Returns ``(timestamps, values)`` with strictly increasing
+        timestamps; for duplicate timestamps the last-inserted value wins.
+        """
+        if not self._count:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        t = np.concatenate(self._time_parts)
+        v = np.concatenate(self._value_parts)
+        self._time_parts.clear()
+        self._value_parts.clear()
+        self._count = 0
+        insert_order = np.arange(t.size, dtype=np.int64)
+        order = np.lexsort((insert_order, t))  # by time, then insert order
+        t = t[order]
+        v = v[order]
+        keep = np.concatenate((t[1:] != t[:-1], [True]))  # last per timestamp
+        return t[keep], v[keep]
+
+    def snapshot(self):
+        """Buffered points as raw ``(timestamps, values)`` arrays,
+        without draining (arrival order, duplicates included).
+
+        Used by the WAL to re-log the remainder after a partial flush.
+        """
+        if not self._count:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.float64))
+        return (np.concatenate(self._time_parts),
+                np.concatenate(self._value_parts))
+
+    def drain_prefix(self, n_points):
+        """Drain only the ``n_points`` earliest timestamps (for size-capped
+        chunk cuts); the rest stay buffered.
+        """
+        t, v = self.drain()
+        if t.size <= n_points:
+            return t, v
+        self.append_batch(t[n_points:], v[n_points:])
+        return t[:n_points], v[:n_points]

@@ -1,0 +1,95 @@
+"""The merge function M(C, D) of Definition 2.7.
+
+Two interchangeable implementations:
+
+* :func:`merge_arrays` — vectorized; sorts all points by (time, version)
+  and keeps the highest-version survivor per timestamp after applying the
+  deletes.  Used on the M4-UDF hot path.
+* :func:`merge_reference` — a direct, point-at-a-time transcription of
+  Definition 2.7, kept as the oracle for property tests.
+
+Both take chunks as ``(timestamps, values, version)`` triples, so they
+work on in-memory data and on arrays decoded from TsFiles alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.series import TimeSeries
+from .deletes import DeleteList
+
+
+def merge_arrays(chunks, deletes=None):
+    """Vectorized M(C, D); returns ``(timestamps, values)`` sorted by time.
+
+    Args:
+        chunks: iterable of ``(timestamps, values, version)``.
+        deletes: optional :class:`DeleteList` (or iterable of deletes).
+    """
+    delete_list = _as_delete_list(deletes)
+    time_parts = []
+    value_parts = []
+    version_parts = []
+    for timestamps, values, version in chunks:
+        t = np.asarray(timestamps, dtype=np.int64)
+        v = np.asarray(values, dtype=np.float64)
+        if delete_list:
+            t, v = delete_list.apply(t, v, version)
+        if t.size == 0:
+            continue
+        time_parts.append(t)
+        value_parts.append(v)
+        version_parts.append(np.full(t.size, version, dtype=np.int64))
+    if not time_parts:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+    t = np.concatenate(time_parts)
+    v = np.concatenate(value_parts)
+    versions = np.concatenate(version_parts)
+    order = np.lexsort((versions, t))  # by time, then version
+    t = t[order]
+    v = v[order]
+    keep = np.concatenate((t[1:] != t[:-1], [True]))  # max version per time
+    return t[keep], v[keep]
+
+
+def merge_to_series(chunks, deletes=None):
+    """:func:`merge_arrays` wrapped into a :class:`TimeSeries`."""
+    t, v = merge_arrays(chunks, deletes)
+    return TimeSeries(t, v, validate=False)
+
+
+def merge_reference(chunks, deletes=None):
+    """Literal Definition 2.7, point by point.  O(n * (chunks + deletes)).
+
+    A point ``P`` of chunk ``C^k`` survives iff no chunk with a larger
+    version contains a point at ``P.t`` and no delete with a larger
+    version covers ``P.t``.
+    """
+    delete_list = _as_delete_list(deletes)
+    chunk_list = [(np.asarray(t, dtype=np.int64),
+                   np.asarray(v, dtype=np.float64), version)
+                  for t, v, version in chunks]
+    survivors = {}
+    for timestamps, values, version in chunk_list:
+        for t, v in zip(timestamps, values):
+            t = int(t)
+            updated = any(
+                other_version > version and t in set(map(int, other_t))
+                for other_t, _other_v, other_version in chunk_list
+                if other_version != version)
+            deleted = delete_list.covers(t, min_version=version)
+            if updated or deleted:
+                continue
+            survivors[t] = float(v)
+    times = np.array(sorted(survivors), dtype=np.int64)
+    values = np.array([survivors[int(t)] for t in times], dtype=np.float64)
+    return times, values
+
+
+def _as_delete_list(deletes):
+    if deletes is None:
+        return DeleteList()
+    if isinstance(deletes, DeleteList):
+        return deletes
+    return DeleteList(list(deletes))

@@ -1,0 +1,53 @@
+"""Mods files: the append-only on-disk delete log (TsFile.mods in IoTDB).
+
+Delete operations never rewrite sealed TsFiles; they are appended here and
+applied at read time (and, if compaction is enabled, folded in then).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from ..errors import CorruptFileError
+from .deletes import Delete
+
+MAGIC = b"MODSv1\n\0"
+_RECORD = struct.Struct("<IqqQ")  # series_id, t_start, t_end, version
+
+
+class ModsFile:
+    """Append-only log of :class:`Delete` records, one per series delete."""
+
+    def __init__(self, path):
+        self._path = os.fspath(path)
+        if not os.path.exists(self._path):
+            with open(self._path, "wb") as f:
+                f.write(MAGIC)
+
+    @property
+    def path(self):
+        """Location of the log file."""
+        return self._path
+
+    def append(self, series_id, delete):
+        """Persist one delete record."""
+        with open(self._path, "ab") as f:
+            f.write(_RECORD.pack(series_id, delete.t_start, delete.t_end,
+                                 int(delete.version)))
+
+    def read_all(self):
+        """Yield every ``(series_id, Delete)`` record in append order."""
+        with open(self._path, "rb") as f:
+            head = f.read(len(MAGIC))
+            if head != MAGIC:
+                raise CorruptFileError("%s: bad mods magic" % self._path)
+            while True:
+                raw = f.read(_RECORD.size)
+                if not raw:
+                    return
+                if len(raw) != _RECORD.size:
+                    raise CorruptFileError(
+                        "%s: truncated mods record" % self._path)
+                series_id, t_start, t_end, version = _RECORD.unpack(raw)
+                yield series_id, Delete(t_start, t_end, version)

@@ -1,0 +1,53 @@
+"""Interval-overlap analysis over chunk metadata.
+
+"Contested" chunks are those whose statistics cannot be trusted in
+isolation: their time interval intersects another chunk's (a newer chunk
+may overwrite their points) or a delete range (some points may be gone).
+Both the M4-LSM fused fast path and the metadata-accelerated aggregation
+consult this set; everything in it goes through the slow, exact path.
+
+The overlap sweep marks *every* member of *every* overlapping pair: the
+chunks are scanned in start-time order with an active set of not-yet-
+expired intervals, and each incoming chunk marks itself plus all active
+chunks it intersects.  (A naive adjacent-pair comparison misses pairs
+separated by a short chunk in the sort order.)
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+def contested_versions(chunks, deletes=()):
+    """Versions of chunks overlapping another chunk or any delete.
+
+    Args:
+        chunks: iterable of ChunkMetadata.
+        deletes: iterable of Delete; only deletes newer than a chunk can
+            remove its points, so older ones do not contest it.
+    Returns:
+        a set of version numbers.
+    """
+    contested = set()
+    ordered = sorted(chunks, key=lambda m: m.start_time)
+
+    active = []  # heap of (end_time, version)
+    for meta in ordered:
+        while active and active[0][0] < meta.start_time:
+            heapq.heappop(active)
+        if active:
+            contested.add(meta.version)
+            for _end, version in active:
+                contested.add(version)
+        heapq.heappush(active, (meta.end_time, meta.version))
+
+    for meta in ordered:
+        if meta.version in contested:
+            continue
+        for delete in deletes:
+            if (delete.version > meta.version
+                    and delete.t_start <= meta.end_time
+                    and delete.t_end >= meta.start_time):
+                contested.add(meta.version)
+                break
+    return contested

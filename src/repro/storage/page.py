@@ -1,0 +1,73 @@
+"""Pages: the unit of encoding and of partial chunk reads.
+
+A chunk's points are split into fixed-size pages; each page stores its
+time column and value column as two independently encoded payloads.  The
+per-page directory (statistics + payload offsets) lives in the chunk's
+metadata, so a reader can decode exactly the pages a query touches —
+the mechanism behind the "partial scan" of Example 3.4.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from ..errors import StorageError
+from .statistics import Statistics
+
+_OFFSETS = struct.Struct("<QIQI")  # time_offset, time_len, value_offset, value_len
+
+
+@dataclasses.dataclass(frozen=True)
+class PageMetadata:
+    """Directory entry of one page inside a chunk.
+
+    Offsets are relative to the start of the chunk's data block.
+    ``first_row`` is the page's first point's 0-based row within the chunk.
+    """
+
+    statistics: Statistics
+    first_row: int
+    time_offset: int
+    time_length: int
+    value_offset: int
+    value_length: int
+
+    @property
+    def n_points(self):
+        """Number of points in this page."""
+        return self.statistics.count
+
+    SERIALIZED_SIZE = Statistics.SERIALIZED_SIZE + 8 + _OFFSETS.size
+
+    def to_bytes(self):
+        """Fixed-width binary form, stored inside chunk metadata."""
+        return (self.statistics.to_bytes()
+                + struct.pack("<q", self.first_row)
+                + _OFFSETS.pack(self.time_offset, self.time_length,
+                                self.value_offset, self.value_length))
+
+    @classmethod
+    def from_bytes(cls, data, offset=0):
+        """Inverse of :meth:`to_bytes`; returns ``(page_meta, next_offset)``."""
+        stats = Statistics.from_bytes(data, offset)
+        offset += Statistics.SERIALIZED_SIZE
+        if len(data) - offset < 8 + _OFFSETS.size:
+            raise StorageError("truncated page metadata")
+        (first_row,) = struct.unpack_from("<q", data, offset)
+        offset += 8
+        t_off, t_len, v_off, v_len = _OFFSETS.unpack_from(data, offset)
+        offset += _OFFSETS.size
+        return cls(stats, first_row, t_off, t_len, v_off, v_len), offset
+
+
+def split_rows(n_points, points_per_page):
+    """Yield ``(start_row, end_row)`` page boundaries for a chunk.
+
+    >>> list(split_rows(5, 2))
+    [(0, 2), (2, 4), (4, 5)]
+    """
+    if points_per_page <= 0:
+        raise StorageError("points_per_page must be positive")
+    for start in range(0, n_points, points_per_page):
+        yield start, min(start + points_per_page, n_points)

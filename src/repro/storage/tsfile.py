@@ -1,0 +1,199 @@
+"""TsFile: the on-disk container for chunks, after Apache IoTDB's TsFile.
+
+Layout::
+
+    magic "TSFLv1\\n\\0"
+    chunk data blocks, back to back
+    metadata section:  u32 chunk count, then each ChunkMetadata
+    footer:            u64 metadata offset, u32 metadata length, magic again
+
+The metadata section sits at the tail, so a reader fetches every chunk's
+statistics, page directory and step-regression index with one small read
+— the asymmetry the M4-LSM operator exploits.  All reads are accounted
+against an :class:`repro.storage.iostats.IoStats`.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import numpy as np
+
+from ..errors import CorruptFileError, ReadOnlyError, StorageError
+from .chunk import ChunkMetadata
+from .encoding import decode_page
+from .iostats import IoStats
+
+MAGIC = b"TSFLv1\n\0"
+_FOOTER = struct.Struct("<QI8s")
+
+
+class TsFileWriter:
+    """Sequentially writes chunk data blocks, then seals the file.
+
+    >>> # writer = TsFileWriter("/tmp/x.tsfile")
+    >>> # writer.append_chunk(block, metadata); writer.close()
+    """
+
+    def __init__(self, path):
+        self._path = os.fspath(path)
+        self._file = open(self._path, "wb")
+        self._file.write(MAGIC)
+        self._offset = len(MAGIC)
+        self._metadata = []
+        self._closed = False
+
+    @property
+    def path(self):
+        """Destination file path."""
+        return self._path
+
+    def append_chunk(self, data_block, metadata):
+        """Write one chunk's data block; returns the located metadata."""
+        if self._closed:
+            raise ReadOnlyError("TsFile %s is already sealed" % self._path)
+        located = metadata.located(self._path, self._offset, len(data_block))
+        self._file.write(data_block)
+        self._offset += len(data_block)
+        self._metadata.append(located)
+        return located
+
+    def close(self):
+        """Seal the file: write the metadata section and footer.
+
+        Returns the list of located :class:`ChunkMetadata`.
+        """
+        if self._closed:
+            return self._metadata
+        meta_offset = self._offset
+        blob = bytearray(struct.pack("<I", len(self._metadata)))
+        for meta in self._metadata:
+            blob += meta.to_bytes()
+        self._file.write(blob)
+        self._file.write(_FOOTER.pack(meta_offset, len(blob), MAGIC))
+        self._file.close()
+        self._closed = True
+        return self._metadata
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+class TsFileReader:
+    """Random-access reader over a sealed TsFile.
+
+    One reader per file; the storage engine keeps a pool of them.  Every
+    byte fetched and every page decoded is charged to ``stats``.
+    """
+
+    def __init__(self, path, stats=None):
+        self._path = os.fspath(path)
+        self._stats = stats if stats is not None else IoStats()
+        try:
+            self._file = open(self._path, "rb")
+        except OSError as exc:
+            raise StorageError("cannot open TsFile %s: %s"
+                               % (self._path, exc)) from exc
+        self._validate_magic()
+
+    @property
+    def path(self):
+        """The file being read."""
+        return self._path
+
+    @property
+    def stats(self):
+        """The I/O accounting sink."""
+        return self._stats
+
+    def _validate_magic(self):
+        self._file.seek(0)
+        head = self._file.read(len(MAGIC))
+        if head != MAGIC:
+            raise CorruptFileError("%s: bad TsFile magic" % self._path)
+
+    # -- metadata --------------------------------------------------------------------
+
+    def read_metadata(self):
+        """Load every chunk's metadata from the tail section."""
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size < len(MAGIC) + _FOOTER.size:
+            raise CorruptFileError("%s: file too small" % self._path)
+        self._file.seek(size - _FOOTER.size)
+        meta_offset, meta_length, tail_magic = _FOOTER.unpack(
+            self._file.read(_FOOTER.size))
+        if tail_magic != MAGIC:
+            raise CorruptFileError("%s: bad footer magic" % self._path)
+        if meta_offset + meta_length + _FOOTER.size > size:
+            raise CorruptFileError("%s: footer points past EOF" % self._path)
+        self._file.seek(meta_offset)
+        blob = self._file.read(meta_length)
+        self._stats.bytes_read += meta_length
+        if len(blob) < 4:
+            raise CorruptFileError("%s: truncated metadata section" % self._path)
+        (count,) = struct.unpack_from("<I", blob)
+        offset = 4
+        metadata = []
+        for _ in range(count):
+            meta, offset = ChunkMetadata.from_bytes(blob, offset,
+                                                    file_path=self._path)
+            metadata.append(meta)
+        self._stats.metadata_reads += count
+        return metadata
+
+    # -- page reads ------------------------------------------------------------------
+
+    def _read_payload(self, chunk_meta, rel_offset, length):
+        self._file.seek(chunk_meta.data_offset + rel_offset)
+        payload = self._file.read(length)
+        if len(payload) != length:
+            raise CorruptFileError("%s: truncated page payload" % self._path)
+        self._stats.bytes_read += length
+        return payload
+
+    def read_page_timestamps(self, chunk_meta, page_index):
+        """Decode the time column of one page (counted)."""
+        page = chunk_meta.pages[page_index]
+        payload = self._read_payload(chunk_meta, page.time_offset,
+                                     page.time_length)
+        self._stats.pages_decoded += 1
+        self._stats.points_decoded += page.n_points
+        return decode_page(payload, chunk_meta.time_encoding,
+                           chunk_meta.compression)
+
+    def read_page_values(self, chunk_meta, page_index):
+        """Decode the value column of one page (counted)."""
+        page = chunk_meta.pages[page_index]
+        payload = self._read_payload(chunk_meta, page.value_offset,
+                                     page.value_length)
+        self._stats.pages_decoded += 1
+        self._stats.points_decoded += page.n_points
+        return decode_page(payload, chunk_meta.value_encoding,
+                           chunk_meta.compression)
+
+    def read_chunk_arrays(self, chunk_meta):
+        """Decode every page; returns ``(timestamps, values)``."""
+        self._stats.chunk_loads += 1
+        times = []
+        values = []
+        for page_index in range(len(chunk_meta.pages)):
+            times.append(self.read_page_timestamps(chunk_meta, page_index))
+            values.append(self.read_page_values(chunk_meta, page_index))
+        if len(times) == 1:
+            return times[0], values[0]
+        return np.concatenate(times), np.concatenate(values)
+
+    def close(self):
+        """Release the underlying file handle."""
+        self._file.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

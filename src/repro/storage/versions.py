@@ -1,0 +1,38 @@
+"""Global version numbers for chunks and deletes.
+
+The version number kappa of Section 2.2.1 is a single global counter:
+every flushed chunk and every delete receives the next value, so the
+total order of versions is the append order of operations.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+class VersionAllocator:
+    """Hands out strictly increasing version numbers starting at 1.
+
+    >>> alloc = VersionAllocator()
+    >>> alloc.next(), alloc.next()
+    (1, 2)
+    """
+
+    def __init__(self, start=1):
+        self._counter = itertools.count(start)
+        self._last = start - 1
+
+    def next(self):
+        """Allocate and return the next version number."""
+        self._last = next(self._counter)
+        return self._last
+
+    @property
+    def last(self):
+        """The most recently allocated version (``start - 1`` if none)."""
+        return self._last
+
+
+#: Sentinel version larger than any allocated one; the paper's
+#: ``C-infinity`` / ``D-infinity`` and the version of virtual deletes.
+VERSION_INFINITY = float("inf")

@@ -1,0 +1,142 @@
+"""Write-ahead log: durability for points still buffered in memtables.
+
+Every write lands in the WAL before it is acknowledged; after a flush
+turns the buffered points into immutable chunks, the log is rotated.  On
+restart, :mod:`repro.storage.recovery` replays any surviving records so
+no acknowledged point is lost.
+
+Record layout (little endian)::
+
+    u32 series_id, i64 timestamp, f64 value
+
+The file starts with a magic string.  A torn tail (partial record from a
+crash mid-write) is tolerated on replay: complete records before it are
+recovered, the torn bytes are dropped.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import struct
+
+from ..errors import CorruptFileError
+
+MAGIC = b"WALv1\n\0\0"
+_RECORD = struct.Struct("<Iqd")
+
+
+class WriteAheadLog:
+    """Append-only point log with rotation."""
+
+    def __init__(self, path):
+        self._path = os.fspath(path)
+        if not os.path.exists(self._path):
+            self._start_fresh()
+        self._file = open(self._path, "ab")
+
+    def _start_fresh(self):
+        with open(self._path, "wb") as f:
+            f.write(MAGIC)
+
+    @property
+    def path(self):
+        """Location of the log file."""
+        return self._path
+
+    def append(self, series_id, t, v):
+        """Log a single point."""
+        self._file.write(_RECORD.pack(series_id, int(t), float(v)))
+
+    def append_batch(self, series_id, timestamps, values):
+        """Log a batch of points with one file write."""
+        parts = [_RECORD.pack(series_id, int(t), float(v))
+                 for t, v in zip(timestamps, values)]
+        self._file.write(b"".join(parts))
+
+    def sync(self):
+        """Flush OS buffers (called before acknowledging writes)."""
+        self._file.flush()
+
+    def rotate(self):
+        """Drop all records: everything logged so far is now in chunks."""
+        self._file.close()
+        self._start_fresh()
+        self._file = open(self._path, "ab")
+
+    def close(self):
+        """Release the file handle."""
+        self._file.close()
+
+    def rewrite(self, series_id, timestamps, values):
+        """Replace the log's contents with exactly these points.
+
+        Used after a partial flush: the drained prefix left the log, the
+        still-buffered remainder is re-logged, so the log always equals
+        the memtable's contents.
+        """
+        self._file.close()
+        self._start_fresh()
+        self._file = open(self._path, "ab")
+        self.append_batch(series_id, timestamps, values)
+        self.sync()
+
+    def replay(self):
+        """Yield ``(series_id, t, v)`` for every complete record.
+
+        A torn final record (crash mid-append) is silently dropped; any
+        other structural damage raises :class:`CorruptFileError`.
+        """
+        self.sync()
+        with open(self._path, "rb") as f:
+            head = f.read(len(MAGIC))
+            if head != MAGIC:
+                raise CorruptFileError("%s: bad WAL magic" % self._path)
+            while True:
+                raw = f.read(_RECORD.size)
+                if not raw:
+                    return
+                if len(raw) < _RECORD.size:
+                    return  # torn tail from a crash: drop it
+                series_id, t, v = _RECORD.unpack(raw)
+                yield series_id, t, v
+
+
+class WalManager:
+    """One WAL segment per series, rotated at that series' flush.
+
+    Per-series segments make the invariant simple and crash-safe: a
+    segment always holds exactly the points currently buffered in the
+    series' memtable.  Flushing a series empties (or rewrites) only its
+    own segment, so replay after a crash never re-ingests points that
+    already live in chunks — which would resurrect deleted data by
+    giving old points fresh versions.
+    """
+
+    def __init__(self, data_dir):
+        self._data_dir = os.fspath(data_dir)
+        self._segments = {}
+
+    def segment(self, series_id):
+        """The WAL segment for a series (created on first use)."""
+        if series_id not in self._segments:
+            path = os.path.join(self._data_dir,
+                                "wal-%06d.log" % series_id)
+            self._segments[series_id] = WriteAheadLog(path)
+        return self._segments[series_id]
+
+    def replay_all(self):
+        """Yield ``(series_id, t, v)`` across every on-disk segment."""
+        pattern = re.compile(r"^wal-(\d{6})\.log$")
+        for entry in sorted(os.listdir(self._data_dir)):
+            match = pattern.match(entry)
+            if not match:
+                continue
+            series_id = int(match.group(1))
+            yield from self.segment(series_id).replay()
+
+    def close(self):
+        """Release every segment's file handle."""
+        for segment in self._segments.values():
+            segment.close()
+        self._segments.clear()

@@ -1,0 +1,40 @@
+"""Visualization substrate: rasterization, pixel metrics, reducers."""
+
+from .chart import diff_overlay, save_pbm, side_by_side, to_ascii, to_pbm
+from .pixels import PixelComparison, column_value_extents, compare_pixels
+from .raster import PixelGrid, rasterize, rasterize_bresenham
+from .multiscale import ZoomService, pyramid
+from .svg import m4_result_to_svg, save_svg, series_to_svg
+from .reduction import (
+    REDUCERS,
+    m4_reduce,
+    minmax_reduce,
+    paa_reduce,
+    random_sample,
+    systematic_sample,
+)
+
+__all__ = [
+    "PixelComparison",
+    "PixelGrid",
+    "REDUCERS",
+    "ZoomService",
+    "column_value_extents",
+    "compare_pixels",
+    "diff_overlay",
+    "m4_reduce",
+    "m4_result_to_svg",
+    "minmax_reduce",
+    "paa_reduce",
+    "pyramid",
+    "random_sample",
+    "rasterize",
+    "rasterize_bresenham",
+    "save_pbm",
+    "save_svg",
+    "series_to_svg",
+    "side_by_side",
+    "systematic_sample",
+    "to_ascii",
+    "to_pbm",
+]

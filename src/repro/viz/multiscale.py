@@ -1,0 +1,171 @@
+"""Multi-resolution M4 serving for interactive pan & zoom.
+
+The paper's use case is an analyst zooming through a long series.  Every
+viewport change is an M4 query; a :class:`ZoomService` wraps an engine
+and serves viewports with two practical optimizations:
+
+* **span-aligned requests** — viewports are snapped onto a power-of-two
+  grid of span boundaries, so panning reuses previously computed spans
+  instead of recomputing slightly-shifted ones;
+* **a result cache** keyed by the aligned (level, start) tiles, bounded
+  by tile count, and **invalidated on writes/deletes** through the
+  engine's data version.
+
+Tiles are deliberately M4 *results*, not pixels: the client can render
+them at any height.
+"""
+
+from __future__ import annotations
+
+import collections
+
+from ..core.m4lsm import M4LSMOperator
+from ..errors import ReproError
+
+
+class ZoomService:
+    """Viewport server over one series of one engine.
+
+    Args:
+        engine: the storage engine.
+        series: series name.
+        t_min / t_max: full extent served (defaults to the series
+            extent at construction).
+        tile_spans: spans per tile — also the per-tile M4 width.
+        max_tiles: cache bound (LRU).
+    """
+
+    def __init__(self, engine, series, t_min=None, t_max=None,
+                 tile_spans=256, max_tiles=64):
+        self._engine = engine
+        self._series = series
+        self._operator = M4LSMOperator(engine)
+        if t_min is None or t_max is None:
+            chunks = engine.chunks_for(series)
+            if not chunks:
+                raise ReproError("series %r is empty" % series)
+            t_min = min(c.start_time for c in chunks) if t_min is None \
+                else t_min
+            t_max = max(c.end_time for c in chunks) + 1 if t_max is None \
+                else t_max
+        if t_max <= t_min:
+            raise ReproError("empty extent")
+        self._t_min = int(t_min)
+        self._t_max = int(t_max)
+        self._tile_spans = int(tile_spans)
+        self._tiles = collections.OrderedDict()
+        self._max_tiles = int(max_tiles)
+        self._data_version = self._current_data_version()
+        self.tile_hits = 0
+        self.tile_misses = 0
+
+    # -- invalidation -------------------------------------------------------------
+
+    def _current_data_version(self):
+        chunks = self._engine.chunks_for(self._series)
+        deletes = self._engine.deletes_for(self._series)
+        last_chunk = max((c.version for c in chunks), default=0)
+        last_delete = max((d.version for d in deletes), default=0)
+        return (len(chunks), last_chunk, len(deletes), last_delete)
+
+    def _check_freshness(self):
+        version = self._current_data_version()
+        if version != self._data_version:
+            self._tiles.clear()
+            self._data_version = version
+
+    # -- tiles ---------------------------------------------------------------------
+
+    def _level_duration(self, level):
+        """Time covered by one tile at a zoom level (level 0 = full)."""
+        full = self._t_max - self._t_min
+        return max(full >> level, self._tile_spans)
+
+    def max_level(self):
+        """Deepest level at which a tile still spans >= tile_spans
+        integer timestamps."""
+        level = 0
+        while (self._t_max - self._t_min) >> (level + 1) \
+                >= self._tile_spans:
+            level += 1
+        return level
+
+    def _tile(self, level, index):
+        key = (level, index)
+        if key in self._tiles:
+            self._tiles.move_to_end(key)
+            self.tile_hits += 1
+            return self._tiles[key]
+        self.tile_misses += 1
+        duration = self._level_duration(level)
+        start = self._t_min + index * duration
+        end = min(start + duration, self._t_max)
+        if start >= end:
+            raise ReproError("tile (%d, %d) outside extent" % key)
+        result = self._operator.query(self._series, start, end,
+                                      self._tile_spans)
+        self._tiles[key] = result
+        while len(self._tiles) > self._max_tiles:
+            self._tiles.popitem(last=False)
+        return result
+
+    # -- public API -------------------------------------------------------------------
+
+    def viewport(self, t_start, t_end, width):
+        """M4 data for a viewport, from cached aligned tiles.
+
+        Picks the zoom level whose tiles give at least ``width`` spans
+        across the viewport, fetches the covering tiles, and returns the
+        concatenated reduced series clipped to the viewport.
+        """
+        self._check_freshness()
+        t_start = max(int(t_start), self._t_min)
+        t_end = min(int(t_end), self._t_max)
+        if t_end <= t_start:
+            raise ReproError("empty viewport")
+        viewport_span = t_end - t_start
+        level = 0
+        deepest = self.max_level()
+        # Deepest level whose tile still covers a decent share of the
+        # viewport: resolution = tile_spans spans per tile duration.
+        while (level < deepest
+               and self._level_duration(level) > viewport_span):
+            level += 1
+        duration = self._level_duration(level)
+        first = (t_start - self._t_min) // duration
+        last = (t_end - 1 - self._t_min) // duration
+        results = [self._tile(level, index)
+                   for index in range(first, last + 1)]
+        return _concat_clipped(results, t_start, t_end)
+
+    def cache_stats(self):
+        """Dict with tiles cached, hits and misses."""
+        return {"tiles": len(self._tiles), "hits": self.tile_hits,
+                "misses": self.tile_misses}
+
+
+def _concat_clipped(results, t_start, t_end):
+    """Merge tile results into one reduced series over [t_start, t_end)."""
+    from ..core.series import TimeSeries, concat_series
+    parts = []
+    for result in results:
+        series = result.to_series()
+        clipped = series.slice_time(t_start, t_end)
+        if len(clipped):
+            parts.append(clipped)
+    if not parts:
+        return TimeSeries.empty()
+    return concat_series(parts)
+
+
+def pyramid(engine, series, t_qs, t_qe, widths=(100, 500, 2500)):
+    """Precompute M4 results at several widths (coarse to fine).
+
+    Returns ``{width: M4Result}`` — the static variant of
+    :class:`ZoomService` for offline report generation.
+    """
+    operator = M4LSMOperator(engine)
+    out = {}
+    for width in widths:
+        out[int(width)] = operator.query(series, t_qs, t_qe, int(width))
+    return out

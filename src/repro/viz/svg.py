@@ -1,0 +1,90 @@
+"""SVG line-chart export for M4-reduced series.
+
+Dashboards render vector charts; this writer turns a (reduced) series
+into a standalone SVG document with a polyline, axis frame and optional
+tick labels.  Because M4 keeps at most ``4w`` points for a ``w``-pixel
+chart, the emitted file stays small no matter how large the source
+series was — the serving-size argument of the paper made tangible.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from ..errors import ReproError
+
+_TEMPLATE = """<svg xmlns="http://www.w3.org/2000/svg" width="{width}" \
+height="{height}" viewBox="0 0 {width} {height}">
+  <rect x="0" y="0" width="{width}" height="{height}" fill="{background}"/>
+{body}</svg>
+"""
+
+
+def series_to_svg(series, width=800, height=300, margin=40,
+                  stroke="#1f77b4", stroke_width=1.0,
+                  background="white", title=None, ticks=4):
+    """Render a series as a standalone SVG document string.
+
+    Args:
+        series: a :class:`repro.core.series.TimeSeries` (typically the
+            output of ``M4Result.to_series()``).
+        width / height: document size in CSS pixels.
+        margin: plot inset holding the axes and labels.
+        ticks: number of tick labels per axis (0 disables).
+    """
+    if len(series) == 0:
+        raise ReproError("cannot render an empty series")
+    if width <= 2 * margin or height <= 2 * margin:
+        raise ReproError("margins leave no plot area")
+    t = series.timestamps
+    v = series.values
+    t_lo, t_hi = int(t[0]), int(t[-1])
+    v_lo, v_hi = float(v.min()), float(v.max())
+    t_span = max(t_hi - t_lo, 1)
+    v_span = (v_hi - v_lo) or 1.0
+    plot_w = width - 2 * margin
+    plot_h = height - 2 * margin
+
+    def sx(timestamp):
+        return margin + (timestamp - t_lo) / t_span * plot_w
+
+    def sy(value):
+        return height - margin - (value - v_lo) / v_span * plot_h
+
+    points = " ".join("%.2f,%.2f" % (sx(int(ts)), sy(float(val)))
+                      for ts, val in zip(t, v))
+    body = [
+        '  <rect x="%d" y="%d" width="%d" height="%d" fill="none" '
+        'stroke="#888"/>' % (margin, margin, plot_w, plot_h),
+        '  <polyline fill="none" stroke="%s" stroke-width="%s" '
+        'points="%s"/>' % (stroke, stroke_width, points),
+    ]
+    if title:
+        body.insert(0, '  <text x="%d" y="%d" font-size="14" '
+                       'font-family="sans-serif">%s</text>'
+                       % (margin, margin - 10, escape(title)))
+    for i in range(max(ticks, 0)):
+        fraction = i / max(ticks - 1, 1)
+        tick_t = t_lo + int(t_span * fraction)
+        tick_v = v_lo + v_span * fraction
+        body.append('  <text x="%.1f" y="%d" font-size="9" '
+                    'text-anchor="middle" font-family="sans-serif">%d'
+                    '</text>' % (sx(tick_t), height - margin + 14, tick_t))
+        body.append('  <text x="%d" y="%.1f" font-size="9" '
+                    'text-anchor="end" font-family="sans-serif">%.4g'
+                    '</text>' % (margin - 4, sy(tick_v) + 3, tick_v))
+    return _TEMPLATE.format(width=width, height=height,
+                            background=background,
+                            body="\n".join(body) + "\n")
+
+
+def m4_result_to_svg(result, **kwargs):
+    """Render an :class:`repro.core.result.M4Result` (its reduced
+    series) as SVG."""
+    return series_to_svg(result.to_series(), **kwargs)
+
+
+def save_svg(series, path, **kwargs):
+    """Write :func:`series_to_svg` output to a file."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(series_to_svg(series, **kwargs))

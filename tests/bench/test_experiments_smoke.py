@@ -1,0 +1,100 @@
+"""Tiny-scale smoke tests of every experiment sweep.
+
+The real figures run under ``pytest benchmarks/``; these keep the sweep
+code covered (and its tables well-formed) inside the fast unit suite.
+"""
+
+import pytest
+
+from repro.bench import (
+    ablation_index,
+    ablation_lazy,
+    fig1_pixel_accuracy,
+    fig8_9_step_regression,
+    fig10_vary_w,
+    fig11_vary_range,
+    fig12_vary_overlap,
+    fig13_vary_delete_pct,
+    fig14_vary_delete_range,
+    headline_scaling,
+    table2_datasets,
+)
+
+TINY = 4_000
+
+
+def assert_tables(tables, expected_rows):
+    if not isinstance(tables, (list, tuple)):
+        tables = [tables]
+    for table in tables:
+        assert len(table.rows) == expected_rows, table.title
+        rendered = table.render()
+        assert table.title in rendered
+        markdown = table.render_markdown()
+        assert markdown.count("|") > 0
+
+
+class TestSweepsAtTinyScale:
+    def test_table2(self):
+        table = table2_datasets(TINY)
+        assert_tables(table, 4)
+        assert table.column("# Points") == [TINY] * 4
+
+    def test_fig8_9(self):
+        assert_tables(fig8_9_step_regression(n_points=TINY), 4)
+
+    def test_fig10(self):
+        tables = fig10_vary_w(n_points=TINY, w_values=(2, 8))
+        assert_tables(tables, 2)
+        for table in tables:
+            assert all(table.column("equal"))
+
+    def test_fig11(self):
+        tables = fig11_vary_range(n_points=TINY, w=4,
+                                  fractions=(0.5, 1.0))
+        assert_tables(tables, 2)
+        for table in tables:
+            assert all(table.column("equal"))
+
+    def test_fig12(self):
+        tables = fig12_vary_overlap(n_points=TINY, w=4, overlaps=(0, 30),
+                                    datasets=("MF03",))
+        assert_tables(tables, 2)
+        assert all(tables[0].column("equal"))
+
+    def test_fig13(self):
+        tables = fig13_vary_delete_pct(n_points=TINY, w=4,
+                                       delete_pcts=(0, 30),
+                                       datasets=("KOB",))
+        assert_tables(tables, 2)
+        assert all(tables[0].column("equal"))
+
+    def test_fig14(self):
+        tables = fig14_vary_delete_range(n_points=TINY, w=4, n_deletes=2,
+                                         range_multipliers=(0.5, 5),
+                                         datasets=("RcvTime",))
+        assert_tables(tables, 2)
+        assert all(tables[0].column("equal"))
+
+    def test_fig1(self):
+        table = fig1_pixel_accuracy(n_points=TINY, width=40, height=20)
+        assert_tables(table, 5)
+        errors = dict(zip(table.column("Reducer"),
+                          table.column("differing pixels")))
+        assert errors["M4"] == 0
+
+    def test_headline(self):
+        table = headline_scaling(w=8, point_counts=(TINY, 2 * TINY))
+        assert_tables(table, 2)
+
+    def test_ablation_index(self):
+        tables = ablation_index(n_points=TINY, w=4, datasets=("KOB",))
+        assert_tables(tables, 2)
+
+    def test_ablation_lazy(self):
+        tables = ablation_lazy(n_points=TINY, w=4, datasets=("MF03",))
+        assert_tables(tables, 2)
+        for table in tables:
+            loads = dict(zip(table.column("strategy"),
+                             table.column("points decoded")))
+            assert loads["lazy"] <= loads["eager"]

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage import StorageConfig, StorageEngine
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_config():
+    """Tiny chunks/pages so tests exercise many boundaries cheaply."""
+    return StorageConfig(avg_series_point_number_threshold=50,
+                         points_per_page=20)
+
+
+@pytest.fixture
+def engine(tmp_path, small_config):
+    """An empty engine in a temp directory."""
+    with StorageEngine(tmp_path / "db", small_config) as eng:
+        yield eng
+
+
+def make_series_arrays(n=500, start=0, step=10, seed=0):
+    """Regular timestamps with pseudo-random values."""
+    generator = np.random.default_rng(seed)
+    t = start + np.arange(n, dtype=np.int64) * step
+    v = np.round(generator.normal(0.0, 10.0, n), 3)
+    return t, v
+
+
+@pytest.fixture
+def loaded_engine(engine):
+    """An engine with one flushed series 's' of 500 regular points."""
+    t, v = make_series_arrays()
+    engine.create_series("s")
+    engine.write_batch("s", t, v)
+    engine.flush_all()
+    return engine, t, v

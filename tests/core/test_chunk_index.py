@@ -1,0 +1,142 @@
+"""Unit tests for the chunk index operations (Definition 3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import BinarySearchIndex, ChunkIndex, StepRegression
+
+
+class PageSource:
+    """In-memory page source that counts decodes."""
+
+    def __init__(self, timestamps, points_per_page):
+        self.t = np.asarray(timestamps, dtype=np.int64)
+        self.page_size = points_per_page
+        self.row_starts = np.arange(0, self.t.size, points_per_page,
+                                    dtype=np.int64)
+        self.decodes = 0
+        self.lookups = 0
+
+    def read_page(self, page_index):
+        self.decodes += 1
+        start = int(self.row_starts[page_index])
+        return self.t[start:start + self.page_size]
+
+    def on_lookup(self):
+        self.lookups += 1
+
+    def step_index(self):
+        regression = StepRegression.fit(self.t)
+        return ChunkIndex(regression, self.row_starts, self.t.size,
+                          self.read_page, self.on_lookup)
+
+    def binary_index(self):
+        starts = self.t[self.row_starts]
+        return BinarySearchIndex(self.row_starts, starts, self.t.size,
+                                 int(self.t[0]), int(self.t[-1]),
+                                 self.read_page, self.on_lookup)
+
+
+def reference_after(t_arr, t):
+    rows = np.flatnonzero(t_arr > t)
+    return int(rows[0]) if rows.size else None
+
+
+def reference_before(t_arr, t):
+    rows = np.flatnonzero(t_arr < t)
+    return int(rows[-1]) if rows.size else None
+
+
+@pytest.fixture(params=["step", "binary"])
+def make_index(request):
+    def build(timestamps, points_per_page=32):
+        source = PageSource(timestamps, points_per_page)
+        index = source.step_index() if request.param == "step" \
+            else source.binary_index()
+        return index, source
+    return build
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_operations_match_reference(self, make_index, seed):
+        rng = np.random.default_rng(seed)
+        deltas = rng.integers(5, 15, 499)
+        deltas[rng.choice(499, 3, replace=False)] = 10_000
+        t = np.concatenate(([0], np.cumsum(deltas))).astype(np.int64)
+        index, _source = make_index(t)
+        probes = set(t.tolist())
+        probes.update(int(x) for x in rng.integers(-50, int(t[-1]) + 50, 300))
+        for probe in sorted(probes):
+            assert index.exists(probe) == (probe in set(t.tolist())), probe
+            assert index.position_after(probe) \
+                == reference_after(t, probe), probe
+            assert index.position_before(probe) \
+                == reference_before(t, probe), probe
+
+    def test_boundaries(self, make_index):
+        t = np.arange(100, dtype=np.int64) * 10
+        index, _ = make_index(t)
+        assert index.exists(0) and index.exists(990)
+        assert not index.exists(-1) and not index.exists(991)
+        assert index.position_after(-5) == 0
+        assert index.position_after(990) is None
+        assert index.position_before(0) is None
+        assert index.position_before(10_000) == 99
+
+    def test_single_page_chunk(self, make_index):
+        t = np.array([5, 10, 20], dtype=np.int64)
+        index, _ = make_index(t, points_per_page=10)
+        assert index.exists(10) and not index.exists(11)
+        assert index.position_after(5) == 1
+        assert index.position_before(20) == 1
+
+
+class TestPartialReads:
+    def test_step_index_decodes_one_page_for_regular_data(self):
+        t = np.arange(1000, dtype=np.int64) * 9000
+        source = PageSource(t, 100)
+        index = source.step_index()
+        # Probe mid-page: the prediction window stays inside one page.
+        assert index.exists(9000 * 550)
+        assert source.decodes == 1
+
+    def test_lookup_counter_fires_per_operation(self):
+        t = np.arange(100, dtype=np.int64)
+        source = PageSource(t, 10)
+        index = source.step_index()
+        index.exists(5)
+        index.position_after(5)
+        index.position_before(5)
+        assert source.lookups == 3
+
+    def test_binary_index_touches_single_page(self):
+        t = np.arange(1000, dtype=np.int64) * 7
+        source = PageSource(t, 100)
+        index = source.binary_index()
+        assert index.exists(7 * 450)
+        assert source.decodes == 1
+
+
+class TestWindowExpansion:
+    def test_bad_regression_still_exact(self):
+        """A regression with a wrong (too small) error bound must still
+        produce exact answers via window expansion."""
+        t = np.arange(200, dtype=np.int64) * 3
+        regression = StepRegression.fit(t)
+        # Sabotage: pretend the fit is perfect but shift the slope.
+        import dataclasses
+        bad = dataclasses.replace(regression, slope=regression.slope * 3,
+                                  max_error=0.0)
+        source = PageSource(t, 16)
+        index = ChunkIndex(bad, source.row_starts, t.size, source.read_page)
+        for probe in (0, 3, 100 * 3, 199 * 3, 50, 1):
+            assert index.exists(probe) == (probe % 3 == 0
+                                           and probe <= 199 * 3)
+
+    def test_row_count_mismatch_rejected(self):
+        from repro.errors import IndexError_
+        t = np.arange(10, dtype=np.int64)
+        regression = StepRegression.fit(t)
+        with pytest.raises(IndexError_):
+            ChunkIndex(regression, np.array([0]), 99, lambda i: t)

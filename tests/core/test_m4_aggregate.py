@@ -1,0 +1,115 @@
+"""Unit tests for the relational M4 aggregation (Definition 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Point, TimeSeries, m4_aggregate_arrays, m4_aggregate_series
+from repro.core.spans import span_bounds
+from repro.errors import InvalidQueryRangeError
+
+
+def brute_force(t, v, t_qs, t_qe, w):
+    """Literal per-span reference: filter, then min/max scans."""
+    spans = []
+    for i in range(w):
+        start, end = span_bounds(i, t_qs, t_qe, w)
+        rows = [j for j in range(len(t)) if start <= t[j] < end]
+        if not rows:
+            spans.append(None)
+            continue
+        bottom = min(rows, key=lambda j: (v[j], t[j]))
+        top = max(rows, key=lambda j: (v[j], -t[j]))
+        spans.append((Point(int(t[rows[0]]), float(v[rows[0]])),
+                      Point(int(t[rows[-1]]), float(v[rows[-1]])),
+                      Point(int(t[bottom]), float(v[bottom])),
+                      Point(int(t[top]), float(v[top]))))
+    return spans
+
+
+class TestAggregateArrays:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        t = np.sort(rng.choice(500, size=120, replace=False)).astype(np.int64)
+        v = rng.integers(-50, 50, 120).astype(np.float64)
+        result = m4_aggregate_arrays(t, v, 0, 500, 13)
+        expected = brute_force(t, v, 0, 500, 13)
+        for got, want in zip(result.spans, expected):
+            if want is None:
+                assert got.is_empty()
+            else:
+                assert (got.first, got.last) == want[:2]
+                assert got.bottom.v == want[2].v
+                assert got.top.v == want[3].v
+
+    def test_single_span_is_whole_range(self):
+        t = np.array([1, 5, 9], dtype=np.int64)
+        v = np.array([3.0, -1.0, 2.0])
+        result = m4_aggregate_arrays(t, v, 0, 10, 1)
+        agg = result[0]
+        assert agg.first == Point(1, 3.0)
+        assert agg.last == Point(9, 2.0)
+        assert agg.bottom == Point(5, -1.0)
+        assert agg.top == Point(1, 3.0)
+
+    def test_points_outside_range_ignored(self):
+        t = np.array([0, 5, 100], dtype=np.int64)
+        v = np.array([1.0, 2.0, 3.0])
+        result = m4_aggregate_arrays(t, v, 1, 50, 2)
+        assert result[0].first == Point(5, 2.0)
+        assert result[1].is_empty()
+
+    def test_range_boundaries_half_open(self):
+        t = np.array([10, 19], dtype=np.int64)
+        v = np.array([1.0, 2.0])
+        result = m4_aggregate_arrays(t, v, 10, 19, 1)
+        assert result[0].first == result[0].last == Point(10, 1.0)
+
+    def test_empty_data(self):
+        result = m4_aggregate_arrays(np.empty(0, dtype=np.int64),
+                                     np.empty(0), 0, 10, 3)
+        assert all(span.is_empty() for span in result)
+
+    def test_w_larger_than_points(self):
+        t = np.array([2, 7], dtype=np.int64)
+        v = np.array([1.0, 2.0])
+        result = m4_aggregate_arrays(t, v, 0, 10, 10)
+        non_empty = result.non_empty_spans()
+        assert non_empty == [2, 7]
+
+    def test_invalid_query_rejected(self):
+        with pytest.raises(InvalidQueryRangeError):
+            m4_aggregate_arrays([1], [1.0], 5, 5, 1)
+        with pytest.raises(InvalidQueryRangeError):
+            m4_aggregate_arrays([1], [1.0], 0, 5, 0)
+
+    def test_single_point_per_span_all_four_equal(self):
+        t = np.array([5], dtype=np.int64)
+        v = np.array([2.5])
+        agg = m4_aggregate_arrays(t, v, 0, 10, 1)[0]
+        assert agg.first == agg.last == agg.bottom == agg.top \
+            == Point(5, 2.5)
+
+    def test_tie_break_bottom_top_earliest(self):
+        t = np.array([1, 2, 3], dtype=np.int64)
+        v = np.array([5.0, 5.0, 5.0])
+        agg = m4_aggregate_arrays(t, v, 0, 4, 1)[0]
+        assert agg.bottom.t == 1 and agg.top.t == 1
+
+
+class TestAggregateSeries:
+    def test_defaults_cover_whole_series(self):
+        series = TimeSeries([1, 2, 3], [1.0, 2.0, 3.0])
+        result = m4_aggregate_series(series, w=1)
+        assert result.t_qs == 1 and result.t_qe == 4
+        assert result[0].last == Point(3, 3.0)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(InvalidQueryRangeError):
+            m4_aggregate_series(TimeSeries.empty(), w=1)
+
+    def test_reduction_bound(self):
+        rng = np.random.default_rng(1)
+        t = np.arange(10_000, dtype=np.int64)
+        v = rng.normal(size=10_000)
+        result = m4_aggregate_series(TimeSeries(t, v), w=25)
+        assert result.total_points() <= 4 * 25

@@ -1,0 +1,95 @@
+"""Dedicated tests for the M4-UDF baseline operator."""
+
+import numpy as np
+import pytest
+
+from repro.core import M4UDFOperator, Point
+from repro.core.m4 import m4_aggregate_arrays
+
+
+class TestQuery:
+    def test_equals_direct_aggregation_on_merged_data(self, loaded_engine):
+        engine, t, v = loaded_engine
+        udf = M4UDFOperator(engine)
+        result = udf.query("s", int(t[0]), int(t[-1]) + 1, 8)
+        direct = m4_aggregate_arrays(t, v, int(t[0]), int(t[-1]) + 1, 8)
+        assert result.semantically_equal(direct)
+
+    def test_loads_every_overlapping_chunk(self, loaded_engine):
+        engine, t, _v = loaded_engine
+        before = engine.stats.snapshot()
+        M4UDFOperator(engine).query("s", int(t[0]), int(t[49]) + 1, 2)
+        diff = engine.stats.diff(before)
+        assert diff.chunk_loads == 1  # only the first chunk overlaps
+        before = engine.stats.snapshot()
+        M4UDFOperator(engine).query("s", int(t[0]), int(t[-1]) + 1, 2)
+        assert engine.stats.diff(before).chunk_loads == 10
+
+    def test_skips_fully_deleted_chunks(self, loaded_engine):
+        """The behaviour behind Figure 14: a chunk whose whole interval
+        is deleted is pruned before loading."""
+        engine, t, _v = loaded_engine
+        # Chunk 0 covers t[0]..t[49]; delete it completely.
+        engine.delete("s", int(t[0]), int(t[49]))
+        engine.flush_all()
+        before = engine.stats.snapshot()
+        result = M4UDFOperator(engine).query("s", int(t[0]),
+                                             int(t[-1]) + 1, 2)
+        diff = engine.stats.diff(before)
+        assert diff.chunk_loads == 9
+        assert result[0].first.t == int(t[50])
+
+    def test_empty_range(self, loaded_engine):
+        engine, t, _v = loaded_engine
+        result = M4UDFOperator(engine).query("s", int(t[-1]) + 100,
+                                             int(t[-1]) + 200, 3)
+        assert all(span.is_empty() for span in result)
+
+
+class TestMergedSeries:
+    def test_returns_latest_points_in_range(self, engine):
+        engine.create_series("s")
+        engine.write_batch("s", np.arange(100, dtype=np.int64),
+                           np.zeros(100))
+        engine.flush("s")
+        engine.write_batch("s", np.array([10], dtype=np.int64),
+                           np.array([5.0]))
+        engine.delete("s", 20, 29)
+        engine.flush_all()
+        series = M4UDFOperator(engine).merged_series("s", 5, 50)
+        assert series.first() == Point(5, 0.0)
+        assert series.contains_time(10)
+        assert float(series.slice_time(10, 11).values[0]) == 5.0
+        assert not series.contains_time(25)
+        assert series.last().t == 49
+
+    def test_range_clipping_half_open(self, loaded_engine):
+        engine, t, _v = loaded_engine
+        series = M4UDFOperator(engine).merged_series("s", int(t[3]),
+                                                     int(t[7]))
+        assert series.first().t == int(t[3])
+        assert series.last().t == int(t[6])
+
+    def test_empty_result(self, loaded_engine):
+        engine, t, _v = loaded_engine
+        series = M4UDFOperator(engine).merged_series(
+            "s", int(t[-1]) + 10, int(t[-1]) + 20)
+        assert len(series) == 0
+
+
+class TestStreamingVariant:
+    def test_streaming_counts_merged_points(self, loaded_engine):
+        engine, t, _v = loaded_engine
+        before = engine.stats.snapshot()
+        M4UDFOperator(engine, streaming=True).query(
+            "s", int(t[0]), int(t[-1]) + 1, 4)
+        assert engine.stats.diff(before).points_merged == t.size
+
+    @pytest.mark.parametrize("w", [1, 5, 50])
+    def test_streaming_equals_vectorized(self, loaded_engine, w):
+        engine, t, _v = loaded_engine
+        fast = M4UDFOperator(engine)
+        slow = M4UDFOperator(engine, streaming=True)
+        t_qs, t_qe = int(t[0]), int(t[-1]) + 1
+        assert fast.query("s", t_qs, t_qe, w).semantically_equal(
+            slow.query("s", t_qs, t_qe, w))

@@ -1,0 +1,240 @@
+"""Unit tests for the M4-LSM building blocks: virtual deletes, chunk
+views, candidate generation and verification rules."""
+
+import numpy as np
+import pytest
+
+from repro.core.m4lsm import (
+    BP,
+    FP,
+    LP,
+    TP,
+    ChunkView,
+    candidate_pool,
+    deletes_with_span,
+    span_virtual_deletes,
+    verify_bp_tp,
+    verify_fp_lp,
+)
+from repro.core.m4lsm.candidates import known_candidates, pending_views
+from repro.core.m4lsm.lazyload import (
+    tighten_first_bound,
+    tighten_last_bound,
+)
+from repro.core.series import Point
+from repro.storage import Delete, DeleteList, StorageConfig, write_chunk
+from repro.storage.versions import VERSION_INFINITY
+
+
+def make_meta(times, values, version, series_id=1):
+    _block, meta = write_chunk(series_id, version,
+                               np.array(times, dtype=np.int64),
+                               np.array(values, dtype=np.float64))
+    return meta
+
+
+class TestVirtualDeletes:
+    def test_complement_of_span(self):
+        d1, d2 = span_virtual_deletes(100, 200)
+        for t in (99, -1000):
+            assert d1.covers(t) and not d2.covers(t)
+        for t in (200, 10 ** 12):
+            assert d2.covers(t) and not d1.covers(t)
+        for t in (100, 150, 199):
+            assert not d1.covers(t) and not d2.covers(t)
+
+    def test_infinite_version(self):
+        d1, d2 = span_virtual_deletes(0, 1)
+        assert d1.version == VERSION_INFINITY == d2.version
+
+    def test_deletes_with_span_appends_two(self):
+        base = DeleteList([Delete(0, 1, 1)])
+        extended = deletes_with_span(base, 10, 20)
+        assert len(extended) == 3
+        assert len(base) == 1
+
+
+class TestChunkView:
+    def test_initial_state_is_whole_chunk_metadata(self):
+        meta = make_meta([10, 20, 30], [5.0, -1.0, 7.0], version=3)
+        view = ChunkView(meta, 0, 100)
+        assert view.get_point(FP) == Point(10, 5.0)
+        assert view.get_point(LP) == Point(30, 7.0)
+        assert view.get_point(BP) == Point(20, -1.0)
+        assert view.get_point(TP) == Point(30, 7.0)
+        assert not view.loaded and view.version == 3
+
+    def test_invalidate_and_dead_lifecycle(self):
+        meta = make_meta([10], [1.0], version=1)
+        view = ChunkView(meta, 0, 100)
+        view.invalidate(TP)
+        assert view.is_pending(TP)
+        view.mark_dead(TP)
+        assert view.is_dead(TP) and not view.is_pending(TP)
+        assert view.get_point(TP) is None
+
+    def test_interval_covers_uses_whole_chunk(self):
+        meta = make_meta([10, 30], [1.0, 2.0], version=1)
+        view = ChunkView(meta, 0, 100)
+        assert view.interval_covers(20)  # no point there, interval covers
+        assert not view.interval_covers(31)
+
+    def test_surviving_data_applies_exclusions(self):
+        meta = make_meta([1, 2, 3], [1.0, 2.0, 3.0], version=1)
+        view = ChunkView(meta, 0, 10)
+        view.data_t = np.array([1, 2, 3], dtype=np.int64)
+        view.data_v = np.array([1.0, 2.0, 3.0])
+        view.loaded = True
+        view.excluded.add(2)
+        t, v = view.surviving_data()
+        assert t.tolist() == [1, 3] and v.tolist() == [1.0, 3.0]
+
+
+class TestCandidateGeneration:
+    def make_views(self):
+        a = ChunkView(make_meta([10, 20], [1.0, 9.0], version=1), 0, 100)
+        b = ChunkView(make_meta([15, 25], [0.0, 9.0], version=2), 0, 100)
+        return [a, b]
+
+    def test_fp_picks_min_time(self):
+        pool = candidate_pool(self.make_views(), FP)
+        assert pool[0][1] == Point(10, 1.0)
+
+    def test_lp_picks_max_time(self):
+        pool = candidate_pool(self.make_views(), LP)
+        assert pool[0][1] == Point(25, 9.0)
+
+    def test_bp_picks_min_value(self):
+        pool = candidate_pool(self.make_views(), BP)
+        assert pool[0][1] == Point(15, 0.0)
+
+    def test_tp_tie_broken_by_version(self):
+        pool = candidate_pool(self.make_views(), TP)
+        assert [view.version for view, _p in pool] == [2, 1]
+        assert pool[0][1] == Point(25, 9.0)
+
+    def test_pending_views_excluded_from_pool(self):
+        views = self.make_views()
+        views[0].invalidate(FP)
+        pool = candidate_pool(views, FP)
+        assert len(pool) == 1 and pool[0][0] is views[1]
+        assert pending_views(views, FP) == [views[0]]
+        assert len(known_candidates(views, FP)) == 1
+
+    def test_empty_pool_when_all_dead(self):
+        views = self.make_views()
+        for view in views:
+            view.mark_dead(FP)
+        assert candidate_pool(views, FP) == []
+
+
+class TestVerifyFpLp:
+    """Proposition 3.1: only deletes can kill an FP/LP candidate."""
+
+    def test_latest_when_no_newer_delete_covers(self):
+        view = ChunkView(make_meta([10, 20], [1.0, 2.0], 5), 0, 100)
+        deletes = DeleteList([Delete(10, 10, 3)])  # older than the chunk
+        verdict = verify_fp_lp(Point(10, 1.0), view, deletes)
+        assert verdict.is_latest()
+
+    def test_deleted_by_newer_delete(self):
+        view = ChunkView(make_meta([10, 20], [1.0, 2.0], 5), 0, 100)
+        deletes = DeleteList([Delete(10, 10, 7)])
+        verdict = verify_fp_lp(Point(10, 1.0), view, deletes)
+        assert verdict.status == "deleted"
+        assert verdict.delete.version == 7
+
+    def test_virtual_delete_kills_out_of_span_candidate(self):
+        view = ChunkView(make_meta([10, 200], [1.0, 2.0], 5), 50, 100)
+        deletes = deletes_with_span(DeleteList(), 50, 100)
+        verdict = verify_fp_lp(Point(10, 1.0), view, deletes)
+        assert verdict.status == "deleted"
+        assert verdict.delete.is_virtual()
+
+
+class TestVerifyBpTp:
+    """Proposition 3.3: deletes or overwrites kill a BP/TP candidate."""
+
+    def make_reader(self, engine):
+        return engine.data_reader()
+
+    def test_overwrite_detected_via_index(self, engine):
+        engine.create_series("s")
+        engine.write_batch("s", np.array([10, 20, 30], dtype=np.int64),
+                           np.array([1.0, 9.0, 2.0]))
+        engine.flush("s")
+        engine.write_batch("s", np.array([20], dtype=np.int64),
+                           np.array([0.0]))
+        engine.flush_all()
+        old, new = engine.chunks_for("s")
+        views = [ChunkView(old, 0, 100), ChunkView(new, 0, 100)]
+        reader = engine.data_reader()
+        verdict = verify_bp_tp(Point(20, 9.0), views[0], views,
+                               DeleteList(), reader)
+        assert verdict.status == "overwritten"
+        assert verdict.by_view is views[1]
+
+    def test_interval_overlap_without_point_is_latest(self, engine):
+        engine.create_series("s")
+        engine.write_batch("s", np.array([10, 20, 30], dtype=np.int64),
+                           np.array([1.0, 9.0, 2.0]))
+        engine.flush("s")
+        # Newer chunk covers t=20 by interval but has no point there.
+        engine.write_batch("s", np.array([15, 25], dtype=np.int64),
+                           np.array([0.0, 0.0]))
+        engine.flush_all()
+        old, new = engine.chunks_for("s")
+        views = [ChunkView(old, 0, 100), ChunkView(new, 0, 100)]
+        reader = engine.data_reader()
+        verdict = verify_bp_tp(Point(20, 9.0), views[0], views,
+                               DeleteList(), reader)
+        assert verdict.is_latest()
+
+    def test_older_chunks_never_checked(self, engine):
+        engine.create_series("s")
+        engine.write_batch("s", np.array([20], dtype=np.int64),
+                           np.array([5.0]))
+        engine.flush("s")
+        engine.write_batch("s", np.array([20], dtype=np.int64),
+                           np.array([9.0]))
+        engine.flush_all()
+        old, new = engine.chunks_for("s")
+        views = [ChunkView(old, 0, 100), ChunkView(new, 0, 100)]
+        reader = engine.data_reader()
+        # The *newer* chunk's point is latest even though the older chunk
+        # contains the same timestamp.
+        verdict = verify_bp_tp(Point(20, 9.0), views[1], views,
+                               DeleteList(), reader)
+        assert verdict.is_latest()
+
+    def test_delete_checked_before_overwrite(self, engine):
+        engine.create_series("s")
+        engine.write_batch("s", np.array([20], dtype=np.int64),
+                           np.array([5.0]))
+        engine.flush_all()
+        meta = engine.chunks_for("s")[0]
+        views = [ChunkView(meta, 0, 100)]
+        deletes = DeleteList([Delete(20, 20, meta.version + 1)])
+        verdict = verify_bp_tp(Point(20, 5.0), views[0], views, deletes,
+                               engine.data_reader())
+        assert verdict.status == "deleted"
+
+
+class TestTightening:
+    def test_first_bound_moves_past_delete(self):
+        view = ChunkView(make_meta([10, 50], [1.0, 2.0], 1), 0, 100)
+        tighten_first_bound(view, Delete(5, 20, 9))
+        assert view.first_bound == 21
+        assert view.is_pending(FP)
+
+    def test_last_bound_moves_before_delete(self):
+        view = ChunkView(make_meta([10, 50], [1.0, 2.0], 1), 0, 100)
+        tighten_last_bound(view, Delete(40, 60, 9))
+        assert view.last_bound == 39
+        assert view.is_pending(LP)
+
+    def test_bounds_only_tighten(self):
+        view = ChunkView(make_meta([10, 50], [1.0, 2.0], 1), 0, 100)
+        tighten_first_bound(view, Delete(5, 30, 9))
+        tighten_first_bound(view, Delete(5, 20, 10))
+        assert view.first_bound == 31

@@ -1,0 +1,86 @@
+"""Unit tests for M4Result and SpanAggregate."""
+
+import pytest
+
+from repro.core import M4Result, Point, SpanAggregate
+
+
+def span(first, last, bottom, top):
+    return SpanAggregate(first=Point(*first), last=Point(*last),
+                         bottom=Point(*bottom), top=Point(*top))
+
+
+@pytest.fixture
+def result():
+    spans = (
+        span((0, 1.0), (9, 2.0), (5, -3.0), (7, 8.0)),
+        SpanAggregate(),
+        span((20, 4.0), (29, 5.0), (20, 4.0), (29, 5.0)),
+    )
+    return M4Result(0, 30, 3, spans)
+
+
+class TestSpanAggregate:
+    def test_empty(self):
+        empty = SpanAggregate()
+        assert empty.is_empty()
+        assert empty.points() == []
+
+    def test_points_dedupe_and_sort(self):
+        s = span((1, 1.0), (1, 1.0), (1, 1.0), (1, 1.0))
+        assert s.points() == [Point(1, 1.0)]
+        s = span((1, 5.0), (9, 2.0), (5, -3.0), (3, 8.0))
+        assert [p.t for p in s.points()] == [1, 3, 5, 9]
+
+    def test_semantic_equality_allows_bp_tp_time_latitude(self):
+        a = span((0, 1.0), (9, 2.0), (3, -1.0), (4, 5.0))
+        b = span((0, 1.0), (9, 2.0), (7, -1.0), (8, 5.0))
+        assert a.semantically_equal(b)
+
+    def test_semantic_equality_requires_fp_lp_exact(self):
+        a = span((0, 1.0), (9, 2.0), (3, -1.0), (4, 5.0))
+        b = span((1, 1.0), (9, 2.0), (3, -1.0), (4, 5.0))
+        assert not a.semantically_equal(b)
+
+    def test_semantic_equality_empty_cases(self):
+        a = SpanAggregate()
+        b = span((0, 1.0), (9, 2.0), (3, -1.0), (4, 5.0))
+        assert a.semantically_equal(SpanAggregate())
+        assert not a.semantically_equal(b)
+        assert not b.semantically_equal(a)
+
+    def test_value_bounds(self):
+        s = span((0, 1.0), (9, 2.0), (5, -3.0), (7, 8.0))
+        assert s.value_bounds() == (-3.0, 8.0)
+
+
+class TestM4Result:
+    def test_span_count_enforced(self):
+        with pytest.raises(ValueError):
+            M4Result(0, 10, 3, (SpanAggregate(),))
+
+    def test_access(self, result):
+        assert len(result) == 3
+        assert result[1].is_empty()
+        assert result.non_empty_spans() == [0, 2]
+
+    def test_rows_skip_empty_spans(self, result):
+        rows = result.rows()
+        assert len(rows) == 2
+        assert rows[0][0] == 0 and rows[1][0] == 2
+        assert rows[0][1:] == (0, 1.0, 9, 2.0, 5, -3.0, 7, 8.0)
+
+    def test_to_series_dedupes(self, result):
+        series = result.to_series()
+        assert series.timestamps.tolist() == [0, 5, 7, 9, 20, 29]
+        assert result.total_points() == 6
+
+    def test_to_series_empty(self):
+        empty = M4Result(0, 10, 1, (SpanAggregate(),))
+        assert len(empty.to_series()) == 0
+
+    def test_semantic_equality_checks_geometry(self, result):
+        other = M4Result(0, 30, 3, result.spans)
+        assert result.semantically_equal(other)
+        shifted = M4Result(0, 31, 3, result.spans)
+        assert not result.semantically_equal(shifted)

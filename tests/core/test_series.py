@@ -1,0 +1,150 @@
+"""Unit tests for Point and TimeSeries."""
+
+import numpy as np
+import pytest
+
+from repro.core import Point, TimeSeries, concat_series
+from repro.errors import ReproError
+
+
+class TestPoint:
+    def test_ordering_by_time_then_value(self):
+        assert Point(1, 5.0) < Point(2, 0.0)
+        assert Point(1, 1.0) < Point(1, 2.0)
+
+    def test_iteration(self):
+        t, v = Point(3, 4.0)
+        assert (t, v) == (3, 4.0)
+
+    def test_hashable_and_equal(self):
+        assert Point(1, 2.0) == Point(1, 2.0)
+        assert len({Point(1, 2.0), Point(1, 2.0), Point(2, 2.0)}) == 2
+
+
+class TestConstruction:
+    def test_basic(self):
+        series = TimeSeries([1, 2, 5], [10.0, 20.0, 50.0])
+        assert len(series) == 3 and bool(series)
+
+    def test_empty(self):
+        series = TimeSeries.empty()
+        assert len(series) == 0 and not series
+        assert repr(series) == "TimeSeries(empty)"
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ReproError):
+            TimeSeries([1, 1], [0.0, 0.0])
+        with pytest.raises(ReproError):
+            TimeSeries([2, 1], [0.0, 0.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            TimeSeries([1], [1.0, 2.0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ReproError):
+            TimeSeries(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_from_points_sorts(self):
+        series = TimeSeries.from_points([Point(3, 3.0), (1, 1.0),
+                                         Point(2, 2.0)])
+        assert series.timestamps.tolist() == [1, 2, 3]
+
+    def test_from_points_duplicate_times_rejected(self):
+        with pytest.raises(ReproError):
+            TimeSeries.from_points([(1, 1.0), (1, 2.0)])
+
+    def test_arrays_read_only(self):
+        series = TimeSeries([1, 2], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            series.timestamps[0] = 99
+
+
+class TestAccess:
+    @pytest.fixture
+    def series(self):
+        return TimeSeries([10, 20, 30, 40], [5.0, -1.0, 7.0, 2.0])
+
+    def test_indexing_and_slicing(self, series):
+        assert series[0] == Point(10, 5.0)
+        assert series[-1] == Point(40, 2.0)
+        sliced = series[1:3]
+        assert isinstance(sliced, TimeSeries)
+        assert sliced.timestamps.tolist() == [20, 30]
+
+    def test_iteration_yields_points(self, series):
+        assert list(series)[2] == Point(30, 7.0)
+
+    def test_equality(self, series):
+        assert series == TimeSeries([10, 20, 30, 40], [5.0, -1.0, 7.0, 2.0])
+        assert series != TimeSeries([10], [5.0])
+        assert (series == 42) is False or True  # NotImplemented tolerated
+
+    def test_nan_equality(self):
+        a = TimeSeries([1], [np.nan])
+        b = TimeSeries([1], [np.nan])
+        assert a == b
+
+
+class TestRepresentationPoints:
+    @pytest.fixture
+    def series(self):
+        return TimeSeries([10, 20, 30, 40], [5.0, -1.0, 7.0, 2.0])
+
+    def test_four_functions(self, series):
+        assert series.first() == Point(10, 5.0)
+        assert series.last() == Point(40, 2.0)
+        assert series.bottom() == Point(20, -1.0)
+        assert series.top() == Point(30, 7.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            TimeSeries.empty().first()
+
+    def test_tied_extreme_returns_earliest(self):
+        series = TimeSeries([1, 2], [7.0, 7.0])
+        assert series.top() == Point(1, 7.0)
+
+
+class TestSlicing:
+    @pytest.fixture
+    def series(self):
+        return TimeSeries([10, 20, 30, 40], [1.0, 2.0, 3.0, 4.0])
+
+    def test_slice_time_half_open(self, series):
+        assert series.slice_time(20, 40).timestamps.tolist() == [20, 30]
+        assert series.slice_time(15, 45).timestamps.tolist() == [20, 30, 40]
+        assert len(series.slice_time(41, 50)) == 0
+
+    def test_slice_time_closed(self, series):
+        assert series.slice_time_closed(20, 40).timestamps.tolist() \
+            == [20, 30, 40]
+
+    def test_time_range(self, series):
+        assert series.time_range() == (10, 40)
+
+    def test_contains_time(self, series):
+        assert series.contains_time(30)
+        assert not series.contains_time(31)
+        assert not TimeSeries.empty().contains_time(0)
+
+
+class TestConcat:
+    def test_concatenates_in_order(self):
+        a = TimeSeries([1, 2], [1.0, 2.0])
+        b = TimeSeries([3], [3.0])
+        out = concat_series([a, b])
+        assert out.timestamps.tolist() == [1, 2, 3]
+
+    def test_empty_parts_skipped(self):
+        out = concat_series([TimeSeries.empty(), TimeSeries([1], [1.0])])
+        assert len(out) == 1
+
+    def test_all_empty(self):
+        assert len(concat_series([])) == 0
+
+    def test_overlap_rejected(self):
+        a = TimeSeries([1, 5], [1.0, 5.0])
+        b = TimeSeries([3], [3.0])
+        with pytest.raises(ReproError):
+            concat_series([a, b])

@@ -1,0 +1,97 @@
+"""Unit tests for M4 time span arithmetic (Definition 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.spans import (
+    all_span_bounds,
+    iter_spans,
+    span_bounds,
+    span_index,
+    span_indices,
+    validate_query,
+)
+from repro.errors import InvalidQueryRangeError
+
+
+class TestValidation:
+    def test_empty_range_rejected(self):
+        with pytest.raises(InvalidQueryRangeError):
+            validate_query(10, 10, 5)
+        with pytest.raises(InvalidQueryRangeError):
+            validate_query(10, 5, 5)
+
+    def test_non_positive_w_rejected(self):
+        with pytest.raises(InvalidQueryRangeError):
+            validate_query(0, 10, 0)
+
+
+class TestSpanIndex:
+    def test_matches_sql_floor_formula(self):
+        # floor(w * (t - tqs) / (tqe - tqs)) from Appendix A.1
+        for t in range(0, 10):
+            assert span_index(t, 0, 10, 3) == (3 * t) // 10
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidQueryRangeError):
+            span_index(10, 0, 10, 3)
+        with pytest.raises(InvalidQueryRangeError):
+            span_index(-1, 0, 10, 3)
+
+    def test_vectorized_matches_scalar(self):
+        t = np.arange(0, 100, dtype=np.int64)
+        vec = span_indices(t, 0, 100, 7)
+        assert vec.tolist() == [span_index(x, 0, 100, 7) for x in range(100)]
+
+    def test_negative_timestamps(self):
+        assert span_index(-100, -100, 0, 4) == 0
+        assert span_index(-1, -100, 0, 4) == 3
+
+
+class TestSpanBounds:
+    def test_partition_is_exact(self):
+        # Every timestamp lands in exactly the span whose bounds admit it.
+        t_qs, t_qe, w = 3, 50, 7
+        for t in range(t_qs, t_qe):
+            i = span_index(t, t_qs, t_qe, w)
+            start, end = span_bounds(i, t_qs, t_qe, w)
+            assert start <= t < end
+
+    def test_bounds_tile_the_range(self):
+        t_qs, t_qe, w = 0, 100, 9
+        previous_end = t_qs
+        for i in range(w):
+            start, end = span_bounds(i, t_qs, t_qe, w)
+            assert start == previous_end
+            previous_end = end
+        assert previous_end == t_qe
+
+    def test_w_exceeding_range_gives_empty_spans(self):
+        bounds = [span_bounds(i, 0, 3, 6) for i in range(6)]
+        lengths = [e - s for s, e in bounds]
+        assert sum(lengths) == 3
+        assert 0 in lengths
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(InvalidQueryRangeError):
+            span_bounds(5, 0, 10, 5)
+
+    def test_all_span_bounds_matches_pairwise(self):
+        bounds = all_span_bounds(7, 61, 5)
+        for i in range(5):
+            assert (int(bounds[i]), int(bounds[i + 1])) \
+                == span_bounds(i, 7, 61, 5)
+
+    def test_example_from_docstring(self):
+        assert span_bounds(0, 0, 10, 3) == (0, 4)
+        assert span_bounds(1, 0, 10, 3) == (4, 7)
+        assert span_bounds(2, 0, 10, 3) == (7, 10)
+
+
+class TestIterSpans:
+    def test_yields_all_spans_in_order(self):
+        spans = list(iter_spans(0, 10, 3))
+        assert spans == [(0, 0, 4), (1, 4, 7), (2, 7, 10)]
+
+    def test_single_span(self):
+        assert list(iter_spans(5, 6, 1)) == [(0, 5, 6)]

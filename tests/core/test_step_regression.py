@@ -1,0 +1,135 @@
+"""Unit tests for step regression (Section 3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import StepRegression
+from repro.errors import StepRegressionError
+
+
+def stepped_timestamps(period=9000, runs=((0, 242), (242, 1000)),
+                       gap=3_855_000, start=1_639_966_606_000):
+    """Timestamps with a level gap between runs (Example 3.8's shape)."""
+    t = [start]
+    for run_index, (lo, hi) in enumerate(runs):
+        if run_index:
+            t.append(t[-1] + gap)
+        for _ in range(lo + 1, hi):
+            t.append(t[-1] + period)
+    return np.array(t, dtype=np.int64)
+
+
+class TestLearningSlope:
+    def test_slope_is_inverse_median_delta(self):
+        t = stepped_timestamps()
+        regression = StepRegression.fit(t)
+        assert regression.slope == pytest.approx(1 / 9000)
+
+    def test_regular_data_single_tilt_segment(self):
+        t = np.arange(1000, dtype=np.int64) * 500
+        regression = StepRegression.fit(t)
+        assert regression.n_segments == 1
+        assert regression.max_error == 0.0
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(StepRegressionError):
+            StepRegression.fit(np.array([5], dtype=np.int64))
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(StepRegressionError):
+            StepRegression.fit(np.array([1, 1, 1], dtype=np.int64))
+
+
+class TestProposition37:
+    """f(FP.t) = 1 and f(LP.t) = |C| (Proposition 3.7)."""
+
+    @pytest.mark.parametrize("timestamps", [
+        np.arange(100, dtype=np.int64) * 7,
+        stepped_timestamps(),
+        stepped_timestamps(runs=((0, 100), (100, 200), (200, 300)),
+                           gap=1_000_000),
+    ])
+    def test_endpoints(self, timestamps):
+        regression = StepRegression.fit(timestamps)
+        assert regression.predict(int(timestamps[0])) == pytest.approx(1.0)
+        assert regression.predict(int(timestamps[-1])) \
+            == pytest.approx(len(timestamps))
+
+
+class TestStepShape:
+    def test_example_38_structure(self):
+        """Example 3.8: one gap -> three segments (tilt, level, tilt)."""
+        t = stepped_timestamps()
+        regression = StepRegression.fit(t)
+        assert regression.n_segments == 3
+        assert len(regression.split_timestamps) == 4
+        # The level segment predicts the changing point's position (242).
+        level_value = float(regression.intercepts[1])
+        assert level_value == pytest.approx(242, abs=1)
+
+    def test_prediction_error_bounded(self):
+        t = stepped_timestamps()
+        regression = StepRegression.fit(t)
+        predicted = regression.predict_array(t)
+        errors = np.abs(predicted - np.arange(1, t.size + 1))
+        assert float(errors.max()) <= regression.max_error + 1e-9
+
+    def test_monotone_non_decreasing(self):
+        t = stepped_timestamps()
+        regression = StepRegression.fit(t)
+        probes = np.linspace(t[0], t[-1], 500).astype(np.int64)
+        predictions = regression.predict_array(probes)
+        assert np.all(np.diff(predictions) >= -1e-9)
+
+    def test_prediction_clamped_to_position_range(self):
+        t = stepped_timestamps()
+        regression = StepRegression.fit(t)
+        assert regression.predict(int(t[0]) - 10_000) == 1.0
+        assert regression.predict(int(t[-1]) + 10_000) == float(t.size)
+
+    def test_multiple_gaps(self):
+        t = stepped_timestamps(runs=((0, 50), (50, 120), (120, 400)),
+                               gap=900_000)
+        regression = StepRegression.fit(t)
+        assert regression.n_segments == 5  # tilt level tilt level tilt
+        predicted = regression.predict_array(t)
+        errors = np.abs(predicted - np.arange(1, t.size + 1))
+        assert float(errors.max()) < 5.0
+
+    def test_noisy_deltas_still_bounded_by_max_error(self):
+        rng = np.random.default_rng(5)
+        deltas = rng.integers(900, 1100, 999)
+        deltas[rng.choice(999, 5, replace=False)] = 500_000
+        t = np.concatenate(([0], np.cumsum(deltas))).astype(np.int64)
+        regression = StepRegression.fit(t)
+        predicted = regression.predict_array(t)
+        errors = np.abs(predicted - np.arange(1, t.size + 1))
+        assert float(errors.max()) <= regression.max_error + 1e-9
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        regression = StepRegression.fit(stepped_timestamps())
+        data = regression.to_bytes()
+        out, offset = StepRegression.from_bytes(data)
+        assert offset == len(data)
+        assert out.slope == regression.slope
+        assert out.n_points == regression.n_points
+        assert out.max_error == regression.max_error
+        np.testing.assert_array_equal(out.split_timestamps,
+                                      regression.split_timestamps)
+        np.testing.assert_array_equal(out.intercepts, regression.intercepts)
+
+    def test_roundtrip_predictions_identical(self):
+        regression = StepRegression.fit(stepped_timestamps())
+        out, _ = StepRegression.from_bytes(regression.to_bytes())
+        probes = np.linspace(regression.split_timestamps[0],
+                             regression.split_timestamps[-1],
+                             100).astype(np.int64)
+        np.testing.assert_array_equal(out.predict_array(probes),
+                                      regression.predict_array(probes))
+
+    def test_truncated_rejected(self):
+        regression = StepRegression.fit(stepped_timestamps())
+        with pytest.raises(StepRegressionError):
+            StepRegression.from_bytes(regression.to_bytes()[:8])

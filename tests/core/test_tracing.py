@@ -1,0 +1,73 @@
+"""Tests for M4-LSM query tracing (the EXPLAIN surface)."""
+
+import numpy as np
+import pytest
+
+from repro.core import M4LSMOperator
+from repro.core.m4lsm import EMPTY, FUSED, SOLVER
+
+
+@pytest.fixture
+def traced(engine):
+    """A workload with fused, solver and empty spans, plus its trace."""
+    engine.create_series("s")
+    # Chunks of 50: aligned spans over [0, 500) then a gap to 1000.
+    t = np.arange(500, dtype=np.int64)
+    engine.write_batch("s", t, t.astype(float))
+    engine.write_batch("s", np.array([100], dtype=np.int64),
+                       np.array([999.0]))  # an overwrite: contested chunk
+    engine.flush_all()
+    lsm = M4LSMOperator(engine)
+    result, trace = lsm.query_traced("s", 0, 1000, 10)
+    return engine, result, trace
+
+
+class TestQueryTrace:
+    def test_modes_assigned(self, traced):
+        _engine, _result, trace = traced
+        modes = trace.counts_by_mode()
+        assert modes[EMPTY] == 5      # spans over the data gap
+        assert modes[SOLVER] >= 1     # the contested chunk's span
+        assert modes[FUSED] >= 3      # untouched chunk spans
+        assert sum(modes.values()) == 10
+
+    def test_result_matches_plain_query(self, traced):
+        engine, result, _trace = traced
+        plain = M4LSMOperator(engine).query("s", 0, 1000, 10)
+        assert plain.semantically_equal(result)
+
+    def test_fused_spans_cost_nothing(self, traced):
+        _engine, _result, trace = traced
+        for span in trace.spans:
+            if span.mode == FUSED:
+                assert span.was_metadata_only()
+                assert span.iterations == 0
+
+    def test_totals_and_fraction(self, traced):
+        _engine, _result, trace = traced
+        assert trace.total("iterations") > 0
+        assert 0.0 <= trace.metadata_only_fraction() <= 1.0
+
+    def test_render_is_readable(self, traced):
+        _engine, _result, trace = traced
+        text = trace.render()
+        assert "M4-LSM trace" in text
+        assert "fused" in text and "solver" in text
+        assert "metadata-only spans" in text
+
+    def test_hottest_spans_sorted(self, traced):
+        _engine, _result, trace = traced
+        hottest = trace.hottest_spans()
+        decoded = [s.pages_decoded for s in hottest]
+        assert decoded == sorted(decoded, reverse=True)
+
+    def test_all_fused_when_uncontested(self, engine):
+        engine.create_series("clean")
+        t = np.arange(500, dtype=np.int64)
+        engine.write_batch("clean", t, t.astype(float))
+        engine.flush_all()
+        _result, trace = M4LSMOperator(engine).query_traced(
+            "clean", 0, 500, 10)
+        assert trace.counts_by_mode()[FUSED] == 10
+        assert trace.metadata_only_fraction() == 1.0
+        assert trace.hottest_spans() == []

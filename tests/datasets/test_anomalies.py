@@ -1,0 +1,122 @@
+"""Tests for anomaly injection — including the visualization property
+that motivates M4: injected anomalies stay visible after reduction."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.anomalies import (
+    inject_dropout,
+    inject_drift,
+    inject_flatline,
+    inject_level_shift,
+    inject_spikes,
+    inject_standard_suite,
+)
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def base():
+    t = np.arange(10_000, dtype=np.int64) * 100
+    rng = np.random.default_rng(5)
+    return t, rng.normal(50.0, 1.0, t.size)
+
+
+class TestInjectors:
+    def test_spikes_change_exactly_n_points(self, base):
+        t, v = base
+        out_t, out_v, anomalies = inject_spikes(t, v, n=7)
+        assert len(anomalies) == 7
+        assert int((out_v != v).sum()) == 7
+        np.testing.assert_array_equal(out_t, t)
+
+    def test_spike_magnitude_visible(self, base):
+        t, v = base
+        _t, out_v, anomalies = inject_spikes(t, v, n=1, magnitude=100.0)
+        row = anomalies[0].start_row
+        assert abs(out_v[row] - v[row]) == pytest.approx(100.0)
+
+    def test_spikes_deterministic(self, base):
+        t, v = base
+        a = inject_spikes(t, v, seed=3)[1]
+        b = inject_spikes(t, v, seed=3)[1]
+        np.testing.assert_array_equal(a, b)
+
+    def test_too_many_spikes_rejected(self, base):
+        t, v = base
+        with pytest.raises(ReproError):
+            inject_spikes(t[:3], v[:3], n=5)
+
+    def test_level_shift_bounds(self, base):
+        t, v = base
+        _t, out_v, anomalies = inject_level_shift(t, v, magnitude=10.0)
+        shift = anomalies[0]
+        np.testing.assert_allclose(
+            out_v[shift.start_row:shift.end_row],
+            v[shift.start_row:shift.end_row] + 10.0)
+        np.testing.assert_array_equal(out_v[:shift.start_row],
+                                      v[:shift.start_row])
+
+    def test_flatline_is_constant(self, base):
+        t, v = base
+        _t, out_v, anomalies = inject_flatline(t, v)
+        flat = anomalies[0]
+        segment = out_v[flat.start_row:flat.end_row]
+        assert np.all(segment == segment[0])
+
+    def test_dropout_removes_points(self, base):
+        t, v = base
+        out_t, out_v, anomalies = inject_dropout(t, v)
+        drop = anomalies[0]
+        assert out_t.size == t.size - drop.n_rows
+        assert out_t.size == out_v.size
+        assert np.all(np.diff(out_t) > 0)
+
+    def test_drift_monotone_offset(self, base):
+        t, v = base
+        _t, out_v, anomalies = inject_drift(t, v, rate=0.01)
+        drift = anomalies[0]
+        offsets = out_v[drift.start_row:] - v[drift.start_row:]
+        assert np.all(np.diff(offsets) > 0)
+
+    def test_standard_suite_composes(self, base):
+        t, v = base
+        out_t, out_v, anomalies = inject_standard_suite(t, v)
+        kinds = {a.kind for a in anomalies}
+        assert kinds == {"spike", "level_shift", "flatline", "dropout"}
+        assert out_t.size < t.size  # dropout removed points
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ReproError):
+            inject_spikes(np.empty(0, dtype=np.int64), np.empty(0))
+
+
+class TestAnomaliesSurviveM4:
+    """The motivating property: M4 reduction keeps anomalies visible."""
+
+    def test_spike_survives_reduction(self, base):
+        from repro.core import m4_aggregate_arrays
+        t, v = base
+        out_t, out_v, anomalies = inject_spikes(t, v, n=3,
+                                                magnitude=500.0)
+        result = m4_aggregate_arrays(out_t, out_v, int(out_t[0]),
+                                     int(out_t[-1]) + 1, 100)
+        reduced = result.to_series()
+        for anomaly in anomalies:
+            spiked_value = float(out_v[anomaly.start_row])
+            assert np.any(np.isclose(reduced.values, spiked_value))
+
+    def test_spike_survives_in_pixels(self, base):
+        """A spike lights pixels in the M4 rendering that the clean
+        series' rendering does not."""
+        from repro.core import TimeSeries
+        from repro.viz import PixelGrid, compare_pixels, m4_reduce, rasterize
+        t, v = base
+        out_t, out_v, _ = inject_spikes(t, v, n=1, magnitude=500.0,
+                                        seed=9)
+        grid = PixelGrid(int(t[0]), int(t[-1]) + 1, float(out_v.min()),
+                         float(out_v.max()), 120, 60)
+        clean = rasterize(TimeSeries(t, v), grid)
+        reduced = m4_reduce(out_t, out_v, grid.t_qs, grid.t_qe, 120)
+        spiked = rasterize(reduced, grid)
+        assert compare_pixels(clean, spiked).spurious_pixels > 0

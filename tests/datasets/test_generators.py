@@ -1,0 +1,76 @@
+"""Unit tests for the synthetic dataset generators (Table 2 profiles)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import PROFILES, dataset_summary, generate
+
+
+class TestProfiles:
+    def test_four_paper_datasets_present(self):
+        assert set(PROFILES) == {"BallSpeed", "MF03", "KOB", "RcvTime"}
+
+    @pytest.mark.parametrize("name", list(PROFILES))
+    def test_strictly_increasing_timestamps(self, name):
+        t, v = generate(name, 5000)
+        assert t.size == 5000 and v.size == 5000
+        assert t.dtype == np.int64 and v.dtype == np.float64
+        assert np.all(np.diff(t) > 0)
+        assert np.all(np.isfinite(v))
+
+    @pytest.mark.parametrize("name", list(PROFILES))
+    def test_deterministic_for_seed(self, name):
+        t1, v1 = generate(name, 1000, seed=3)
+        t2, v2 = generate(name, 1000, seed=3)
+        np.testing.assert_array_equal(t1, t2)
+        np.testing.assert_array_equal(v1, v2)
+        t3, v3 = generate(name, 1000, seed=4)
+        # A different seed must change the data (BallSpeed keeps its
+        # perfectly regular clock, so compare values as well).
+        assert not (np.array_equal(t1, t3) and np.array_equal(v1, v3))
+
+    def test_generate_series(self):
+        series = PROFILES["MF03"].generate_series(500)
+        assert len(series) == 500
+
+
+class TestFrequencyProfiles:
+    def test_ballspeed_is_perfectly_regular(self):
+        t, _ = generate("BallSpeed", 2000)
+        assert np.all(np.diff(t) == 500)  # 2000 Hz in microseconds
+
+    def test_mf03_mostly_10ms(self):
+        t, _ = generate("MF03", 5000)
+        deltas = np.diff(t)
+        assert np.median(deltas) == 10
+        assert (deltas > 10).mean() < 0.05  # rare jitter only
+
+    def test_kob_has_9s_period_and_gaps(self):
+        t, _ = generate("KOB", 5000)
+        deltas = np.diff(t)
+        assert np.median(deltas) == 9000
+        assert deltas.max() >= 120_000  # transmission interruptions
+
+    def test_rcvtime_is_bursty(self):
+        t, _ = generate("RcvTime", 10_000)
+        deltas = np.diff(t)
+        # Heavy skew: the largest gap dwarfs the median.
+        assert deltas.max() > 50 * np.median(deltas)
+
+    def test_skewed_datasets_have_varying_chunk_spans(self):
+        """The property behind the paper's Figure 10/14 dataset
+        differences: KOB/RcvTime chunks vary wildly in time length."""
+        for name, factor in (("KOB", 2), ("RcvTime", 20)):
+            t, _ = generate(name, 20_000)
+            spans = [t[i + 1000] - t[i] for i in range(0, 19_000, 1000)]
+            assert max(spans) > factor * min(spans), name
+
+
+class TestSummary:
+    def test_summary_rows(self):
+        rows = dataset_summary(2000)
+        assert len(rows) == 4
+        for name, duration, count in rows:
+            assert name in PROFILES
+            assert count == 2000
+            assert isinstance(duration, str) and duration

@@ -1,0 +1,75 @@
+"""Unit tests for CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_csv, load_csv_series, save_csv
+from repro.errors import ReproError
+
+
+class TestRoundtrip:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "data.csv"
+        t = np.array([1, 2, 3], dtype=np.int64)
+        v = np.array([1.5, -2.25, 0.0])
+        save_csv(path, t, v)
+        out_t, out_v = load_csv(path)
+        np.testing.assert_array_equal(out_t, t)
+        np.testing.assert_array_equal(out_v, v)
+
+    def test_float_precision_preserved(self, tmp_path):
+        path = tmp_path / "data.csv"
+        v = np.array([np.pi, 1 / 3, 1e-300])
+        save_csv(path, np.arange(3, dtype=np.int64), v)
+        _, out_v = load_csv(path)
+        np.testing.assert_array_equal(out_v, v)
+
+    def test_no_header(self, tmp_path):
+        path = tmp_path / "data.csv"
+        save_csv(path, [1], [2.0], header=None)
+        out_t, _ = load_csv(path, has_header=False)
+        assert out_t.tolist() == [1]
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "data.csv"
+        save_csv(path, [], [])
+        out_t, out_v = load_csv(path)
+        assert out_t.size == 0 and out_v.size == 0
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            save_csv(tmp_path / "x.csv", [1, 2], [1.0])
+
+    def test_bad_cell_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,value\n1,2.0\nnot_a_number,3.0\n")
+        with pytest.raises(ReproError, match=":3"):
+            load_csv(path)
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,value\n1\n")
+        with pytest.raises(ReproError, match="two columns"):
+            load_csv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("time,value\n1,1.0\n\n2,2.0\n")
+        out_t, _ = load_csv(path)
+        assert out_t.tolist() == [1, 2]
+
+
+class TestSeriesLoader:
+    def test_sorts_unordered_rows(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("time,value\n3,3.0\n1,1.0\n2,2.0\n")
+        series = load_csv_series(path)
+        assert series.timestamps.tolist() == [1, 2, 3]
+
+    def test_duplicate_times_rejected(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("time,value\n1,1.0\n1,2.0\n")
+        with pytest.raises(ReproError):
+            load_csv_series(path)

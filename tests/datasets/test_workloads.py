@@ -1,0 +1,101 @@
+"""Unit tests for the workload builders (the Sections 4.3-4.5 axes)."""
+
+import numpy as np
+import pytest
+
+from repro.core import M4LSMOperator, M4UDFOperator
+from repro.datasets import (
+    apply_delete_workload,
+    build_engine,
+    load_sequential,
+    load_with_overlap,
+    overlap_percentage,
+)
+
+
+@pytest.fixture
+def arrays():
+    t = np.arange(2000, dtype=np.int64) * 10
+    v = np.sin(t / 100.0)
+    return t, v
+
+
+class TestLoadSequential:
+    def test_no_overlap(self, tmp_path, arrays):
+        t, v = arrays
+        with build_engine(tmp_path / "db", chunk_points=100) as engine:
+            load_sequential(engine, "s", t, v)
+            assert overlap_percentage(engine, "s") == 0.0
+            assert engine.total_points("s") == t.size
+
+
+class TestLoadWithOverlap:
+    @pytest.mark.parametrize("target", [0, 20, 40, 100])
+    def test_overlap_close_to_target(self, tmp_path, arrays, target):
+        t, v = arrays
+        with build_engine(tmp_path / ("db%d" % target),
+                          chunk_points=100) as engine:
+            load_with_overlap(engine, "s", t, v, target)
+            measured = overlap_percentage(engine, "s")
+            assert abs(measured - target) <= 15, measured
+
+    def test_no_data_lost(self, tmp_path, arrays):
+        t, v = arrays
+        with build_engine(tmp_path / "db", chunk_points=100) as engine:
+            load_with_overlap(engine, "s", t, v, 50)
+            assert engine.total_points("s") == t.size
+
+    def test_queries_identical_regardless_of_overlap(self, tmp_path,
+                                                     arrays):
+        t, v = arrays
+        results = []
+        for overlap in (0, 40):
+            with build_engine(tmp_path / ("db%d" % overlap),
+                              chunk_points=100) as engine:
+                load_with_overlap(engine, "s", t, v, overlap)
+                results.append(M4LSMOperator(engine).query(
+                    "s", int(t[0]), int(t[-1]) + 1, 11))
+        assert results[0].semantically_equal(results[1])
+
+    def test_bad_percentage_rejected(self, tmp_path, arrays):
+        t, v = arrays
+        from repro.errors import ReproError
+        with build_engine(tmp_path / "db", chunk_points=100) as engine:
+            with pytest.raises(ReproError):
+                load_with_overlap(engine, "s", t, v, 150)
+
+
+class TestDeleteWorkload:
+    def test_delete_pct_scales_with_chunks(self, tmp_path, arrays):
+        t, v = arrays
+        with build_engine(tmp_path / "db", chunk_points=100) as engine:
+            load_sequential(engine, "s", t, v)  # 20 chunks
+            issued = apply_delete_workload(engine, "s", t, delete_pct=50)
+            assert len(issued) == 10
+
+    def test_explicit_count_and_range(self, tmp_path, arrays):
+        t, v = arrays
+        with build_engine(tmp_path / "db", chunk_points=100) as engine:
+            load_sequential(engine, "s", t, v)
+            issued = apply_delete_workload(engine, "s", t, n_deletes=3,
+                                           delete_range=55)
+            assert len(issued) == 3
+            assert all(d.t_end - d.t_start == 55 for d in issued)
+
+    def test_zero_deletes(self, tmp_path, arrays):
+        t, v = arrays
+        with build_engine(tmp_path / "db", chunk_points=100) as engine:
+            load_sequential(engine, "s", t, v)
+            assert apply_delete_workload(engine, "s", t, delete_pct=0) == []
+
+    def test_operators_agree_under_delete_workload(self, tmp_path, arrays):
+        t, v = arrays
+        with build_engine(tmp_path / "db", chunk_points=100) as engine:
+            load_with_overlap(engine, "s", t, v, 30)
+            apply_delete_workload(engine, "s", t, delete_pct=40,
+                                  delete_range=200)
+            a = M4UDFOperator(engine).query("s", int(t[0]),
+                                            int(t[-1]) + 1, 13)
+            b = M4LSMOperator(engine).query("s", int(t[0]),
+                                            int(t[-1]) + 1, 13)
+            assert a.semantically_equal(b)

@@ -1,0 +1,95 @@
+"""End-to-end integration: ingest -> flush -> SQL -> visualize, and
+cross-layer equivalences at realistic (small) scale."""
+
+import numpy as np
+import pytest
+
+from repro import Session, StorageConfig
+from repro.core import M4LSMOperator, M4UDFOperator, TimeSeries
+from repro.datasets import PROFILES, build_engine, load_with_overlap
+from repro.viz import PixelGrid, compare_pixels, rasterize
+
+
+class TestFullPipeline:
+    def test_ingest_query_visualize(self, tmp_path):
+        """The quickstart path: write a dataset, reduce with M4-LSM, and
+        confirm the reduced rendering is pixel-identical."""
+        t, v = PROFILES["KOB"].generate(20_000)
+        config = StorageConfig(avg_series_point_number_threshold=500,
+                               points_per_page=250)
+        with Session(tmp_path / "db", config) as session:
+            session.create_series("root.kob.sensor")
+            session.insert_batch("root.kob.sensor", t, v)
+            width, height = 150, 80
+            result = session.query_m4("root.kob.sensor", int(t[0]),
+                                      int(t[-1]) + 1, width)
+            reduced = result.to_series()
+            assert len(reduced) <= 4 * width
+
+            full = TimeSeries(t, v, validate=False)
+            grid = PixelGrid(int(t[0]), int(t[-1]) + 1, float(v.min()),
+                             float(v.max()), width, height)
+            comparison = compare_pixels(rasterize(full, grid),
+                                        rasterize(reduced, grid))
+            assert comparison.is_exact()
+
+    def test_sql_agrees_with_api(self, tmp_path):
+        t, v = PROFILES["MF03"].generate(5000)
+        with Session(tmp_path / "db") as session:
+            session.create_series("m")
+            session.insert_batch("m", t, v)
+            api = session.query_m4("m", int(t[0]), int(t[-1]) + 1, 6)
+            sql = session.execute(
+                "SELECT M4(x) FROM m WHERE time >= %d AND time < %d "
+                "GROUP BY SPANS(6)" % (t[0], int(t[-1]) + 1))
+            assert len(sql) == len(api.non_empty_spans())
+            for row, span_index in zip(sql.rows, api.non_empty_spans()):
+                span = api[span_index]
+                assert row[1] == span.first.t
+                assert row[2] == pytest.approx(span.first.v)
+
+    @pytest.mark.parametrize("dataset", ["BallSpeed", "MF03", "KOB",
+                                         "RcvTime"])
+    def test_operators_agree_on_every_dataset_profile(self, tmp_path,
+                                                      dataset):
+        t, v = PROFILES[dataset].generate(20_000)
+        with build_engine(tmp_path / "db", chunk_points=500) as engine:
+            load_with_overlap(engine, "s", t, v, overlap_pct=20)
+            engine.delete("s", int(t[100]), int(t[300]))
+            engine.flush_all()
+            for w in (13, 97):
+                a = M4UDFOperator(engine).query("s", int(t[0]),
+                                                int(t[-1]) + 1, w)
+                b = M4LSMOperator(engine).query("s", int(t[0]),
+                                                int(t[-1]) + 1, w)
+                assert a.semantically_equal(b), (dataset, w)
+
+    def test_multi_series_isolation(self, tmp_path):
+        with Session(tmp_path / "db") as session:
+            for name, scale in (("a", 1.0), ("b", -1.0)):
+                session.create_series(name)
+                t = np.arange(3000, dtype=np.int64)
+                session.insert_batch(name, t, t.astype(float) * scale)
+            res_a = session.query_m4("a", 0, 3000, 3)
+            res_b = session.query_m4("b", 0, 3000, 3)
+            assert res_a[0].top.v >= 0 and res_b[0].top.v <= 0
+            session.delete("a", 0, 2999)
+            assert all(s.is_empty()
+                       for s in session.query_m4("a", 0, 3000, 3))
+            assert not res_b.semantically_equal(
+                session.query_m4("a", 0, 3000, 3))
+
+    def test_io_savings_shape(self, tmp_path):
+        """The substrate-independent headline: M4-LSM touches a small
+        fraction of the points M4-UDF decodes."""
+        t, v = PROFILES["MF03"].generate(50_000)
+        with build_engine(tmp_path / "db", chunk_points=1000,
+                          points_per_page=200) as engine:
+            load_with_overlap(engine, "s", t, v, 10)
+            before = engine.stats.snapshot()
+            M4UDFOperator(engine).query("s", int(t[0]), int(t[-1]) + 1, 10)
+            udf_points = engine.stats.diff(before).points_decoded
+            before = engine.stats.snapshot()
+            M4LSMOperator(engine).query("s", int(t[0]), int(t[-1]) + 1, 10)
+            lsm_points = engine.stats.diff(before).points_decoded
+            assert lsm_points < udf_points / 5

@@ -1,0 +1,152 @@
+"""Failure injection: the engine must fail loudly (never silently wrong)
+under corrupted files, and recover what is recoverable."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import CorruptFileError, EncodingError, ReproError
+from repro.storage import StorageConfig, StorageEngine
+from repro.storage.tsfile import TsFileReader
+
+
+def build_store(db):
+    config = StorageConfig(avg_series_point_number_threshold=100,
+                           points_per_page=50)
+    engine = StorageEngine(db, config)
+    engine.create_series("s")
+    t = np.arange(1000, dtype=np.int64)
+    engine.write_batch("s", t, np.sin(t / 10.0))
+    engine.flush_all()
+    return engine, config
+
+
+class TestTsFileCorruption:
+    def test_flipped_payload_byte_detected_or_decoded_differently(
+            self, tmp_path):
+        """A flipped byte inside a page payload must either raise an
+        EncodingError or change decoded bytes — it can never be silently
+        absorbed into a 'valid' result identical to the original."""
+        engine, _config = build_store(tmp_path / "db")
+        meta = engine.chunks_for("s")[0]
+        original_t, original_v = engine.data_reader().load_chunk(meta)
+        engine.close()
+
+        path = meta.file_path
+        with open(path, "r+b") as f:
+            f.seek(meta.data_offset + 12)
+            byte = f.read(1)
+            f.seek(meta.data_offset + 12)
+            f.write(bytes([byte[0] ^ 0xFF]))
+
+        with TsFileReader(path) as reader:
+            recovered_meta = [m for m in reader.read_metadata()
+                              if m.data_offset == meta.data_offset][0]
+            try:
+                t, v = reader.read_chunk_arrays(recovered_meta)
+            except (EncodingError, CorruptFileError):
+                return  # loud failure: acceptable
+            changed = (not np.array_equal(t, original_t)
+                       or not np.array_equal(v, original_v))
+            assert changed
+
+    def test_truncated_data_section_raises(self, tmp_path):
+        engine, _config = build_store(tmp_path / "db")
+        meta = engine.chunks_for("s")[-1]
+        engine.close()
+        path = meta.file_path
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            f.truncate(size - 30)
+        with pytest.raises((CorruptFileError, ReproError)):
+            with TsFileReader(path) as reader:
+                for m in reader.read_metadata():
+                    reader.read_chunk_arrays(m)
+
+    def test_zeroed_footer_raises(self, tmp_path):
+        engine, _config = build_store(tmp_path / "db")
+        path = engine.chunks_for("s")[0].file_path
+        engine.close()
+        size = os.path.getsize(path)
+        with open(path, "r+b") as f:
+            f.seek(size - 8)
+            f.write(b"\x00" * 8)
+        with TsFileReader(path) as reader:
+            with pytest.raises(CorruptFileError):
+                reader.read_metadata()
+
+
+class TestRecoveryCorruption:
+    def test_corrupt_catalog_raises(self, tmp_path):
+        db = tmp_path / "db"
+        engine, config = build_store(db)
+        engine.close()
+        catalog = db / "catalog.meta"
+        catalog.write_bytes(b"NOTACATALOG")
+        with pytest.raises(CorruptFileError):
+            StorageEngine(db, config)
+
+    def test_mods_for_unknown_series_raises(self, tmp_path):
+        db = tmp_path / "db"
+        engine, config = build_store(db)
+        engine.close()
+        # Forge a mods record for a series id that does not exist.
+        from repro.storage import Delete
+        from repro.storage.mods import ModsFile
+        ModsFile(db / "deletes.mods").append(999, Delete(0, 1, 10_000))
+        with pytest.raises(CorruptFileError):
+            StorageEngine(db, config)
+
+    def test_torn_wal_recovers_prefix(self, tmp_path):
+        db = tmp_path / "db"
+        config = StorageConfig(avg_series_point_number_threshold=100)
+        engine = StorageEngine(db, config)
+        series_id = engine.create_series("s")
+        engine.write("s", 1, 1.0)
+        engine.write("s", 2, 2.0)
+        engine.close()
+        wal_path = db / ("wal-%06d.log" % series_id)
+        wal_path.write_bytes(wal_path.read_bytes()[:-5])
+        reopened = StorageEngine(db, config)
+        assert reopened.recovery_summary["wal_points"] == 1
+        reopened.flush_all()
+        assert reopened.total_points("s") == 1
+        reopened.close()
+
+    def test_deleted_tsfile_missing_from_recovery(self, tmp_path):
+        """Removing a sealed TsFile loses its chunks but the directory
+        still opens; remaining data stays queryable."""
+        db = tmp_path / "db"
+        engine, config = build_store(db)
+        files = sorted({c.file_path for c in engine.chunks_for("s")})
+        engine.close()
+        assert len(files) == 1  # 10 chunks fit one file at this config
+        # Build a second file, then delete the first.
+        engine = StorageEngine(db, config)
+        engine.write_batch("s", np.arange(5000, 5100, dtype=np.int64),
+                           np.zeros(100))
+        engine.flush_all()
+        engine.close()
+        os.remove(files[0])
+        reopened = StorageEngine(db, config)
+        assert reopened.recovery_summary["chunks"] == 1
+        reopened.flush_all()
+        assert reopened.total_points("s") == 100
+        reopened.close()
+
+
+class TestQueryRobustness:
+    def test_missing_chunk_file_raises_cleanly(self, tmp_path):
+        from repro.core import M4UDFOperator
+        from repro.errors import StorageError
+        engine, _config = build_store(tmp_path / "db")
+        path = engine.chunks_for("s")[0].file_path
+        # Close pooled readers, then delete the file under the engine.
+        for reader in list(engine._readers.values()):
+            reader.close()
+        engine._readers.clear()
+        os.remove(path)
+        with pytest.raises(StorageError):
+            M4UDFOperator(engine).query("s", 0, 1000, 4)
+        engine.close()

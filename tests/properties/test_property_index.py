@@ -1,0 +1,78 @@
+"""Property-based tests: chunk index operations are exact for any
+strictly increasing timestamp column."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import BinarySearchIndex, ChunkIndex, StepRegression
+
+
+@st.composite
+def timestamp_columns(draw):
+    """Strictly increasing int64 timestamps with mixed regular/gap deltas,
+    plus a page size."""
+    n = draw(st.integers(2, 300))
+    deltas = draw(st.lists(
+        st.one_of(st.integers(1, 20), st.integers(10_000, 100_000)),
+        min_size=n - 1, max_size=n - 1))
+    start = draw(st.integers(-10 ** 12, 10 ** 12))
+    t = np.concatenate(([start],
+                        start + np.cumsum(np.array(deltas, dtype=np.int64))))
+    page = draw(st.sampled_from([3, 16, 64, 1024]))
+    return t, page
+
+
+def build_indexes(t, page):
+    row_starts = np.arange(0, t.size, page, dtype=np.int64)
+
+    def read_page(i):
+        start = int(row_starts[i])
+        return t[start:start + page]
+
+    step = ChunkIndex(StepRegression.fit(t), row_starts, t.size, read_page)
+    binary = BinarySearchIndex(row_starts, t[row_starts], t.size,
+                               int(t[0]), int(t[-1]), read_page)
+    return step, binary
+
+
+@given(timestamp_columns(), st.data())
+@settings(max_examples=120, deadline=None)
+def test_index_operations_exact(column, data):
+    t, page = column
+    step, binary = build_indexes(t, page)
+    lo, hi = int(t[0]) - 30, int(t[-1]) + 30
+    probes = data.draw(st.lists(st.integers(lo, hi), min_size=1,
+                                max_size=20))
+    probes.extend(int(x) for x in t[:5])
+    present = set(t.tolist())
+    for probe in probes:
+        after_rows = np.flatnonzero(t > probe)
+        before_rows = np.flatnonzero(t < probe)
+        expected_after = int(after_rows[0]) if after_rows.size else None
+        expected_before = int(before_rows[-1]) if before_rows.size else None
+        for index in (step, binary):
+            assert index.exists(probe) == (probe in present)
+            assert index.position_after(probe) == expected_after
+            assert index.position_before(probe) == expected_before
+
+
+@given(timestamp_columns())
+@settings(max_examples=100, deadline=None)
+def test_regression_error_bound_holds(column):
+    t, _page = column
+    regression = StepRegression.fit(t)
+    predicted = regression.predict_array(t)
+    errors = np.abs(predicted - np.arange(1, t.size + 1))
+    assert float(errors.max()) <= regression.max_error + 1e-6
+
+
+@given(timestamp_columns())
+@settings(max_examples=60, deadline=None)
+def test_regression_serialization_stable(column):
+    t, _page = column
+    regression = StepRegression.fit(t)
+    out, _ = StepRegression.from_bytes(regression.to_bytes())
+    probes = np.linspace(int(t[0]), int(t[-1]), 64).astype(np.int64)
+    np.testing.assert_allclose(out.predict_array(probes),
+                               regression.predict_array(probes))

@@ -1,0 +1,120 @@
+"""Property-based tests: M4-LSM is semantically identical to M4-UDF on
+arbitrary LSM states, and the M4 invariants hold."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import M4LSMOperator, M4UDFOperator, m4_aggregate_arrays
+from repro.storage import StorageConfig, StorageEngine
+
+
+@st.composite
+def workload(draw):
+    """A randomized write/delete/overwrite history over a small domain."""
+    domain = draw(st.integers(50, 400))
+    n_points = draw(st.integers(1, min(80, domain // 2)))
+    times = draw(st.lists(st.integers(0, domain - 1), min_size=n_points,
+                          max_size=n_points, unique=True))
+    times.sort()
+    values = draw(st.lists(st.integers(-9, 9), min_size=n_points,
+                           max_size=n_points))
+    batches = draw(st.integers(1, 4))
+    deletes = draw(st.lists(st.tuples(st.integers(0, domain - 1),
+                                      st.integers(0, 50)), max_size=3))
+    overwrites = draw(st.lists(st.tuples(st.integers(0, n_points - 1),
+                                         st.integers(-9, 9)), max_size=10))
+    w = draw(st.sampled_from([1, 2, 3, 7, 20]))
+    chunk_size = draw(st.sampled_from([7, 16, 40]))
+    return (np.array(times, dtype=np.int64),
+            np.array(values, dtype=np.float64),
+            batches, deletes, overwrites, w, chunk_size, domain)
+
+
+def build_engine(tmp_dir, state):
+    t, v, batches, deletes, overwrites, _w, chunk_size, _domain = state
+    config = StorageConfig(avg_series_point_number_threshold=chunk_size,
+                           points_per_page=max(chunk_size // 3, 1))
+    engine = StorageEngine(tmp_dir, config)
+    engine.create_series("s")
+    rng = np.random.default_rng(0)
+    order = rng.permutation(t.size)
+    for part in np.array_split(order, batches):
+        part = np.sort(part)
+        if part.size:
+            engine.write_batch("s", t[part], v[part])
+            engine.flush("s")
+    for start, length in deletes:
+        engine.delete("s", start, start + length)
+    for row, value in overwrites:
+        if row < t.size:
+            engine.write_batch("s", t[row:row + 1],
+                               np.array([float(value)]))
+    engine.flush_all()
+    return engine
+
+
+@given(workload())
+@settings(max_examples=40, deadline=None)
+def test_lsm_equals_udf(tmp_path_factory, state):
+    tmp = tmp_path_factory.mktemp("prop")
+    engine = build_engine(tmp, state)
+    w, domain = state[5], state[7]
+    try:
+        udf = M4UDFOperator(engine).query("s", 0, domain, w)
+        lsm = M4LSMOperator(engine).query("s", 0, domain, w)
+        assert udf.semantically_equal(lsm)
+    finally:
+        engine.close()
+
+
+@given(workload())
+@settings(max_examples=15, deadline=None)
+def test_variants_equal_udf(tmp_path_factory, state):
+    tmp = tmp_path_factory.mktemp("prop")
+    engine = build_engine(tmp, state)
+    w, domain = state[5], state[7]
+    try:
+        udf = M4UDFOperator(engine).query("s", 0, domain, w)
+        for kwargs in ({"lazy": False}, {"use_regression": False}):
+            lsm = M4LSMOperator(engine, **kwargs).query("s", 0, domain, w)
+            assert udf.semantically_equal(lsm), kwargs
+    finally:
+        engine.close()
+
+
+# -- pure-aggregation invariants -------------------------------------------------
+
+series_strategy = st.lists(
+    st.tuples(st.integers(0, 10_000), st.floats(-1e6, 1e6)),
+    min_size=1, max_size=120, unique_by=lambda p: p[0])
+
+
+@given(series_strategy, st.integers(1, 50))
+@settings(max_examples=100, deadline=None)
+def test_m4_aggregate_invariants(points, w):
+    points.sort()
+    t = np.array([p[0] for p in points], dtype=np.int64)
+    v = np.array([p[1] for p in points])
+    result = m4_aggregate_arrays(t, v, int(t[0]), int(t[-1]) + 1, w)
+    seen = 0
+    previous_last = None
+    for span in result.spans:
+        if span.is_empty():
+            continue
+        assert span.first.t <= span.bottom.t <= span.last.t
+        assert span.first.t <= span.top.t <= span.last.t
+        assert span.bottom.v <= span.first.v <= span.top.v
+        assert span.bottom.v <= span.last.v <= span.top.v
+        if previous_last is not None:
+            assert span.first.t > previous_last
+        previous_last = span.last.t
+        seen += 1
+    assert seen >= 1
+    # Global extremes survive reduction.
+    reduced = result.to_series()
+    assert float(reduced.values.min()) == float(v.min())
+    assert float(reduced.values.max()) == float(v.max())
+    assert reduced.first().t == int(t[0])
+    assert reduced.last().t == int(t[-1])

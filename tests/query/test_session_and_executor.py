@@ -1,0 +1,118 @@
+"""Unit tests for Session and query execution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.query import Session
+from repro.storage import StorageConfig
+
+
+@pytest.fixture
+def session(tmp_path):
+    config = StorageConfig(avg_series_point_number_threshold=50,
+                           points_per_page=25)
+    with Session(tmp_path / "db", config) as sess:
+        sess.create_series("root.sg.s")
+        t = np.arange(200, dtype=np.int64) * 5
+        v = np.sin(t / 30.0) * 10
+        sess.insert_batch("root.sg.s", t, v)
+        yield sess
+
+
+class TestSessionWrites:
+    def test_insert_and_count(self, session):
+        session.flush()
+        assert session.engine.total_points("root.sg.s") == 200
+
+    def test_single_insert(self, session):
+        session.insert("root.sg.s", 10_000, 1.0)
+        session.flush()
+        assert session.engine.total_points("root.sg.s") == 201
+
+    def test_delete(self, session):
+        session.delete("root.sg.s", 0, 45)  # kills t = 0,5,...,45
+        session.flush()
+        assert session.engine.total_points("root.sg.s") == 190
+
+
+class TestExecute:
+    def test_m4_lsm_equals_m4_udf(self, session):
+        lsm = session.execute("SELECT M4(s) FROM root.sg.s WHERE time >= 0 "
+                              "AND time < 1000 GROUP BY SPANS(8) USING M4LSM")
+        udf = session.execute("SELECT M4(s) FROM root.sg.s WHERE time >= 0 "
+                              "AND time < 1000 GROUP BY SPANS(8) USING M4UDF")
+        assert lsm.columns == udf.columns
+        assert lsm.rows == udf.rows
+
+    def test_column_names(self, session):
+        table = session.execute("SELECT FirstTime(s), TopValue(s) "
+                                "FROM root.sg.s GROUP BY SPANS(2)")
+        assert table.columns == ("span", "FirstTime", "TopValue")
+        assert len(table) == 2
+
+    def test_column_accessor(self, session):
+        table = session.execute("SELECT FirstTime(s), TopValue(s) "
+                                "FROM root.sg.s GROUP BY SPANS(2)")
+        assert table.column("span") == [0, 1]
+        with pytest.raises(QueryError):
+            table.column("nope")
+
+    def test_default_range_covers_series(self, session):
+        table = session.execute("SELECT M4(s) FROM root.sg.s "
+                                "GROUP BY SPANS(1)")
+        assert len(table) == 1
+        row = table.rows[0]
+        assert row[1] == 0            # FirstTime
+        assert row[3] == 199 * 5      # LastTime
+
+    def test_raw_scan(self, session):
+        table = session.execute("SELECT time, value FROM root.sg.s "
+                                "WHERE time >= 0 AND time < 26")
+        assert table.columns == ("time", "value")
+        assert [r[0] for r in table.rows] == [0, 5, 10, 15, 20, 25]
+
+    def test_read_your_writes(self, session):
+        session.insert("root.sg.s", 10_000, 123.0)
+        table = session.execute("SELECT time, value FROM root.sg.s "
+                                "WHERE time >= 10000 AND time < 10001")
+        assert table.rows == ((10_000, 123.0),)
+
+    def test_pretty_output(self, session):
+        table = session.execute("SELECT M4(s) FROM root.sg.s "
+                                "GROUP BY SPANS(3)")
+        text = table.pretty()
+        assert "FirstTime" in text and "TopValue" in text
+        assert len(text.splitlines()) == 2 + 3
+
+    def test_pretty_truncates(self, session):
+        table = session.execute("SELECT time, value FROM root.sg.s")
+        text = table.pretty(max_rows=5)
+        assert "195 more rows" in text
+
+    def test_empty_series_without_range_raises(self, tmp_path):
+        with Session(tmp_path / "db2") as sess:
+            sess.create_series("x")
+            with pytest.raises(QueryError):
+                sess.execute("SELECT M4(s) FROM x GROUP BY SPANS(2)")
+
+    def test_query_m4_returns_result_object(self, session):
+        result = session.query_m4("root.sg.s", 0, 1000, 4)
+        assert len(result) == 4
+        udf = session.query_m4("root.sg.s", 0, 1000, 4, operator="m4udf")
+        assert result.semantically_equal(udf)
+
+
+class TestExplain:
+    def test_explain_returns_result_and_trace(self, session):
+        result, trace = session.explain_m4("root.sg.s", 0, 1000, 4)
+        assert len(result) == 4
+        assert trace.w == 4
+        assert "M4-LSM trace" in trace.render()
+        # Clean sequential data: every span should be metadata-only.
+        assert trace.metadata_only_fraction() == 1.0
+
+    def test_explain_matches_query(self, session):
+        result, _trace = session.explain_m4("root.sg.s", 0, 1000, 4)
+        assert result.semantically_equal(
+            session.query_m4("root.sg.s", 0, 1000, 4))

@@ -1,0 +1,121 @@
+"""Unit tests for the mini SQL dialect (Appendix A.1)."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.query import parse, tokenize
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        assert tokenize("SELECT M4(s) FROM a.b") \
+            == ["SELECT", "M4", "(", "s", ")", "FROM", "a.b"]
+
+    def test_numbers_and_operators(self):
+        assert tokenize("time >= -5 AND time < 10") \
+            == ["time", ">=", "-5", "AND", "time", "<", "10"]
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT ;")
+
+
+class TestM4Shorthand:
+    def test_full_query(self):
+        q = parse("SELECT M4(s) FROM root.sg.d WHERE time >= 0 AND "
+                  "time < 100 GROUP BY SPANS(10) USING M4LSM")
+        assert q.kind == "m4"
+        assert q.series == "root.sg.d"
+        assert (q.t_qs, q.t_qe, q.w) == (0, 100, 10)
+        assert q.operator == "m4lsm"
+        assert len(q.columns) == 8
+
+    def test_default_operator_is_m4lsm(self):
+        q = parse("SELECT M4(s) FROM x GROUP BY SPANS(5)")
+        assert q.operator == "m4lsm"
+
+    def test_udf_operator(self):
+        q = parse("SELECT M4(s) FROM x GROUP BY SPANS(5) USING M4UDF")
+        assert q.operator == "m4udf"
+
+    def test_case_insensitive_keywords(self):
+        q = parse("select m4(s) from x group by spans(5) using m4udf")
+        assert q.kind == "m4" and q.operator == "m4udf"
+
+    def test_missing_group_by_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT M4(s) FROM x")
+
+
+class TestPaperFloorForm:
+    def test_appendix_a1_shape(self):
+        q = parse("SELECT FirstTime(T), FirstValue(T), LastTime(T), "
+                  "LastValue(T), BottomTime(T), BottomValue(T), "
+                  "TopTime(T), TopValue(T) FROM T "
+                  "GROUP BY floor(1000 * (t - 0) / (500000 - 0))")
+        assert q.kind == "m4"
+        assert q.w == 1000
+        assert (q.t_qs, q.t_qe) == (0, 500000)
+        assert q.columns[0] == ("FP", "t")
+        assert q.columns[-1] == ("TP", "v")
+
+    def test_floor_range_must_match_where(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT M4(s) FROM x WHERE time >= 5 AND time < 10 "
+                  "GROUP BY floor(2 * (t - 0) / (10 - 0))")
+
+    def test_floor_consistent_with_where(self):
+        q = parse("SELECT M4(s) FROM x WHERE time >= 0 AND time < 10 "
+                  "GROUP BY floor(2 * (t - 0) / (10 - 0))")
+        assert q.w == 2
+
+    def test_floor_mismatched_tqs_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT M4(s) FROM x "
+                  "GROUP BY floor(2 * (t - 0) / (10 - 5))")
+
+
+class TestAggregateSubset:
+    def test_subset_of_aggregates(self):
+        q = parse("SELECT BottomValue(s), TopValue(s) FROM x "
+                  "GROUP BY SPANS(4)")
+        assert q.columns == (("BP", "v"), ("TP", "v"))
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT MedianValue(s) FROM x GROUP BY SPANS(4)")
+
+
+class TestRawScan:
+    def test_time_value(self):
+        q = parse("SELECT time, value FROM x WHERE time >= 1 AND time < 9")
+        assert q.kind == "raw"
+        assert q.columns == ("t", "v")
+
+    def test_value_only(self):
+        q = parse("SELECT value FROM x")
+        assert q.columns == ("v",)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT humidity FROM x")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("statement", [
+        "FROM x",
+        "SELECT M4(s)",
+        "SELECT M4(s) FROM x GROUP BY SPANS(0) trailing",
+        "SELECT M4(s) FROM x WHERE time >= 10 AND time < 5 "
+        "GROUP BY SPANS(2)",
+        "SELECT M4(s) FROM x GROUP BY BUCKETS(5)",
+        "SELECT M4(s) FROM x USING M4LSM GROUP BY SPANS(2)",  # order fixed
+        "SELECT M4(s) FROM x GROUP BY SPANS(2) USING TURBO",
+    ])
+    def test_malformed_statements(self, statement):
+        with pytest.raises(SqlSyntaxError):
+            parse(statement)
+
+    def test_unexpected_end(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT M4(s) FROM")

@@ -1,0 +1,65 @@
+"""Unit tests for the bit-level reader/writer."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.storage.encoding import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_single_bits_pack_msb_first(self):
+        writer = BitWriter()
+        for bit in (1, 0, 1, 1):
+            writer.write_bit(bit)
+        assert writer.to_bytes() == bytes([0b10110000])
+
+    def test_write_bits_value(self):
+        writer = BitWriter()
+        writer.write_bits(0b1101, 4)
+        writer.write_bits(0b0010, 4)
+        assert writer.to_bytes() == bytes([0b11010010])
+
+    def test_bit_length_tracks_partial_bytes(self):
+        writer = BitWriter()
+        writer.write_bits(0, 13)
+        assert writer.bit_length == 13
+        assert len(writer.to_bytes()) == 2
+
+    def test_width_over_64_rejected(self):
+        with pytest.raises(EncodingError):
+            BitWriter().write_bits(0, 65)
+
+    def test_zero_width_writes_nothing(self):
+        writer = BitWriter()
+        writer.write_bits(123, 0)
+        assert writer.bit_length == 0
+
+    def test_64_bit_value(self):
+        writer = BitWriter()
+        value = (1 << 63) | 1
+        writer.write_bits(value, 64)
+        reader = BitReader(writer.to_bytes())
+        assert reader.read_bits(64) == value
+
+
+class TestBitReader:
+    def test_roundtrip_mixed_widths(self):
+        writer = BitWriter()
+        fields = [(1, 1), (0b101, 3), (0xABCD, 16), (0, 5), (0x3F, 6)]
+        for value, width in fields:
+            writer.write_bits(value, width)
+        reader = BitReader(writer.to_bytes())
+        for value, width in fields:
+            assert reader.read_bits(width) == value
+
+    def test_exhausted_stream_raises(self):
+        reader = BitReader(b"\xff")
+        reader.read_bits(8)
+        with pytest.raises(EncodingError):
+            reader.read_bit()
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\x00\x00")
+        assert reader.bits_remaining == 16
+        reader.read_bits(5)
+        assert reader.bits_remaining == 11

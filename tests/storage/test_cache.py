@@ -1,0 +1,102 @@
+"""Unit tests for the shared decoded-page ChunkCache."""
+
+import numpy as np
+import pytest
+
+from repro.storage import StorageConfig, StorageEngine
+from repro.storage.cache import ChunkCache
+
+
+class TestChunkCache:
+    def test_get_put(self):
+        cache = ChunkCache(100)
+        assert cache.get("a") is None
+        cache.put("a", np.arange(10))
+        np.testing.assert_array_equal(cache.get("a"), np.arange(10))
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_by_points(self):
+        cache = ChunkCache(25)
+        cache.put("a", np.arange(10))
+        cache.put("b", np.arange(10))
+        cache.get("a")  # refresh a
+        cache.put("c", np.arange(10))  # evicts b (LRU)
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.points <= 25
+
+    def test_oversized_value_not_cached(self):
+        cache = ChunkCache(5)
+        cache.put("big", np.arange(10))
+        assert cache.get("big") is None
+        assert len(cache) == 0
+
+    def test_replace_existing_key(self):
+        cache = ChunkCache(100)
+        cache.put("a", np.arange(10))
+        cache.put("a", np.arange(20))
+        assert cache.points == 20
+        assert cache.get("a").size == 20
+
+    def test_clear(self):
+        cache = ChunkCache(100)
+        cache.put("a", np.arange(10))
+        cache.clear()
+        assert len(cache) == 0 and cache.points == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ChunkCache(0)
+
+    def test_stats(self):
+        cache = ChunkCache(100)
+        cache.put("a", np.arange(4))
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1,
+                                 "points": 4}
+
+
+class TestEngineIntegration:
+    def test_second_query_hits_cache(self, tmp_path):
+        config = StorageConfig(avg_series_point_number_threshold=50,
+                               points_per_page=25,
+                               chunk_cache_points=1_000_000)
+        with StorageEngine(tmp_path / "db", config) as engine:
+            engine.create_series("s")
+            t = np.arange(500, dtype=np.int64)
+            engine.write_batch("s", t, t.astype(float))
+            engine.flush_all()
+            from repro.core import M4UDFOperator
+            udf = M4UDFOperator(engine)
+            udf.query("s", 0, 500, 5)
+            decoded_cold = engine.stats.pages_decoded
+            udf.query("s", 0, 500, 5)
+            assert engine.stats.pages_decoded == decoded_cold  # all hits
+            assert engine.chunk_cache.hits > 0
+
+    def test_cache_disabled_by_default(self, engine):
+        assert engine.chunk_cache is None
+
+    def test_results_identical_with_and_without_cache(self, tmp_path):
+        from repro.core import M4LSMOperator
+        t = np.arange(1000, dtype=np.int64) * 3
+        v = np.sin(t / 100.0)
+        results = []
+        for cache_points in (0, 100_000):
+            config = StorageConfig(avg_series_point_number_threshold=100,
+                                   points_per_page=50,
+                                   chunk_cache_points=cache_points)
+            with StorageEngine(tmp_path / ("db%d" % cache_points),
+                               config) as engine:
+                engine.create_series("s")
+                engine.write_batch("s", t, v)
+                engine.delete("s", 100, 200)
+                engine.flush_all()
+                op = M4LSMOperator(engine)
+                results.append(op.query("s", 0, 3000, 9))
+                results.append(op.query("s", 0, 3000, 9))  # warm
+        assert results[0].semantically_equal(results[1])
+        assert results[0].semantically_equal(results[2])
+        assert results[0].semantically_equal(results[3])

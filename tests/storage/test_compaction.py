@@ -1,0 +1,68 @@
+"""Unit tests for compaction (implemented, but off by default per Table 4)."""
+
+import numpy as np
+
+from repro.storage import compact_all, compact_series, merge_arrays
+
+
+def load_overlapping(engine):
+    engine.create_series("s")
+    engine.write_batch("s", np.arange(0, 100, 2, dtype=np.int64),
+                       np.zeros(50))
+    engine.flush("s")
+    engine.write_batch("s", np.arange(1, 100, 2, dtype=np.int64),
+                       np.ones(50))
+    engine.delete("s", 90, 99)
+    engine.flush_all()
+
+
+class TestCompaction:
+    def test_folds_overlap_and_deletes(self, engine):
+        load_overlapping(engine)
+        before = merge_arrays(
+            [(*engine.data_reader().load_chunk(m), m.version)
+             for m in engine.chunks_for("s")],
+            engine.deletes_for("s"))
+        survivors = compact_series(engine, "s")
+        assert survivors == 90  # 100 points minus the 10 in [90, 99]
+        assert len(engine.deletes_for("s")) == 0
+        chunks = engine.chunks_for("s")
+        for earlier, later in zip(chunks, chunks[1:]):
+            assert earlier.end_time < later.start_time
+        after = merge_arrays(
+            [(*engine.data_reader().load_chunk(m), m.version)
+             for m in chunks])
+        np.testing.assert_array_equal(before[0], after[0])
+        np.testing.assert_array_equal(before[1], after[1])
+
+    def test_queries_unchanged_by_compaction(self, engine):
+        from repro.core import M4UDFOperator, M4LSMOperator
+        load_overlapping(engine)
+        udf = M4UDFOperator(engine)
+        before = udf.query("s", 0, 100, 7)
+        compact_series(engine, "s")
+        after_udf = M4UDFOperator(engine).query("s", 0, 100, 7)
+        after_lsm = M4LSMOperator(engine).query("s", 0, 100, 7)
+        assert before.semantically_equal(after_udf)
+        assert before.semantically_equal(after_lsm)
+
+    def test_compact_empty_series(self, engine):
+        engine.create_series("empty")
+        assert compact_series(engine, "empty") == 0
+
+    def test_compact_all(self, engine):
+        load_overlapping(engine)
+        engine.create_series("other")
+        engine.write_batch("other", np.arange(10, dtype=np.int64),
+                           np.zeros(10))
+        engine.flush_all()
+        counts = compact_all(engine)
+        assert counts == {"s": 90, "other": 10}
+
+    def test_fully_deleted_series_compacts_to_nothing(self, engine):
+        engine.create_series("s")
+        engine.write_batch("s", np.arange(60, dtype=np.int64), np.zeros(60))
+        engine.delete("s", 0, 59)
+        engine.flush_all()
+        assert compact_series(engine, "s") == 0
+        assert engine.chunks_for("s") == []

@@ -1,0 +1,83 @@
+"""Unit tests for LEB128 varints and zigzag mapping."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.storage.encoding import (
+    encode_signed,
+    encode_unsigned,
+    read_signed_varint,
+    read_unsigned_varint,
+    write_signed_varint,
+    write_unsigned_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestZigzag:
+    def test_small_values_map_to_small_codes(self):
+        assert [zigzag_encode(v) for v in (0, -1, 1, -2, 2)] == [0, 1, 2, 3, 4]
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 63, -64, 2 ** 40, -(2 ** 40),
+                                       2 ** 62, -(2 ** 62)])
+    def test_roundtrip(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+
+class TestUnsignedVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2 ** 21,
+                                       2 ** 35, 2 ** 63 - 1])
+    def test_roundtrip(self, value):
+        data = encode_unsigned(value)
+        decoded, offset = read_unsigned_varint(data, 0)
+        assert decoded == value
+        assert offset == len(data)
+
+    def test_single_byte_below_128(self):
+        assert len(encode_unsigned(127)) == 1
+        assert len(encode_unsigned(128)) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_unsigned(-1)
+
+    def test_truncated_stream_raises(self):
+        data = bytes([0x80])  # continuation bit set, nothing follows
+        with pytest.raises(EncodingError):
+            read_unsigned_varint(data, 0)
+
+    def test_overlong_stream_raises(self):
+        data = bytes([0x80] * 11)
+        with pytest.raises(EncodingError):
+            read_unsigned_varint(data, 0)
+
+    def test_sequence_of_values(self):
+        buffer = bytearray()
+        values = [5, 0, 300, 2 ** 30]
+        for value in values:
+            write_unsigned_varint(value, buffer)
+        offset = 0
+        out = []
+        for _ in values:
+            value, offset = read_unsigned_varint(bytes(buffer), offset)
+            out.append(value)
+        assert out == values
+
+
+class TestSignedVarint:
+    @pytest.mark.parametrize("value", [0, -1, 1, -1000, 1000,
+                                       -(2 ** 45), 2 ** 45])
+    def test_roundtrip(self, value):
+        data = encode_signed(value)
+        decoded, _ = read_signed_varint(data, 0)
+        assert decoded == value
+
+    def test_interleaved_with_unsigned(self):
+        buffer = bytearray()
+        write_signed_varint(-42, buffer)
+        write_unsigned_varint(42, buffer)
+        value, offset = read_signed_varint(bytes(buffer), 0)
+        assert value == -42
+        value, _ = read_unsigned_varint(bytes(buffer), offset)
+        assert value == 42

@@ -1,0 +1,150 @@
+"""Unit tests for the storage engine."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import SeriesNotFoundError, StorageError
+from repro.storage import StorageConfig, StorageEngine, merge_arrays
+
+
+class TestSchema:
+    def test_create_series_idempotent(self, engine):
+        first = engine.create_series("a")
+        assert engine.create_series("a") == first
+        assert engine.create_series("b") != first
+        assert set(engine.series_names()) == {"a", "b"}
+
+    def test_unknown_series_raises(self, engine):
+        with pytest.raises(SeriesNotFoundError):
+            engine.write("ghost", 1, 1.0)
+        with pytest.raises(SeriesNotFoundError):
+            engine.chunks_for("ghost")
+
+
+class TestWritesAndFlush:
+    def test_auto_flush_at_threshold(self, engine):
+        engine.create_series("s")
+        for i in range(120):  # threshold is 50
+            engine.write("s", i, float(i))
+        engine.flush_all()
+        chunks = engine.chunks_for("s")
+        assert [c.n_points for c in chunks] == [50, 50, 20]
+
+    def test_batch_write_chunks_cut_in_time_order(self, engine):
+        engine.create_series("s")
+        t = np.arange(130, dtype=np.int64)[::-1].copy()  # reverse order
+        engine.write_batch("s", t, t.astype(float))
+        engine.flush_all()
+        chunks = engine.chunks_for("s")
+        assert chunks[0].start_time == 0
+        assert chunks[-1].end_time == 129
+        # chunks must not overlap: drain sorts before cutting
+        for earlier, later in zip(chunks, chunks[1:]):
+            assert earlier.end_time < later.start_time
+
+    def test_query_before_flush_raises(self, engine):
+        engine.create_series("s")
+        engine.write("s", 1, 1.0)
+        with pytest.raises(StorageError):
+            engine.chunks_for("s")
+
+    def test_out_of_order_batches_create_overlap(self, engine):
+        engine.create_series("s")
+        engine.write_batch("s", np.arange(50, dtype=np.int64) * 2,
+                           np.zeros(50))
+        engine.flush("s")
+        engine.write_batch("s", np.arange(50, dtype=np.int64) * 2 + 1,
+                           np.ones(50))
+        engine.flush_all()
+        chunks = engine.chunks_for("s")
+        assert len(chunks) == 2
+        assert chunks[0].statistics.overlaps(chunks[1].start_time,
+                                             chunks[1].end_time + 1)
+
+    def test_versions_strictly_increase_across_series(self, engine):
+        engine.create_series("a")
+        engine.create_series("b")
+        engine.write_batch("a", np.arange(50, dtype=np.int64), np.zeros(50))
+        engine.write_batch("b", np.arange(50, dtype=np.int64), np.zeros(50))
+        engine.flush_all()
+        versions = ([c.version for c in engine.chunks_for("a")]
+                    + [c.version for c in engine.chunks_for("b")])
+        assert len(set(versions)) == len(versions)
+
+
+class TestDeletes:
+    def test_delete_flushes_memtable_first(self, engine):
+        engine.create_series("s")
+        engine.write("s", 1, 1.0)
+        delete = engine.delete("s", 0, 10)
+        engine.flush_all()
+        chunks = engine.chunks_for("s")
+        assert len(chunks) == 1
+        assert delete.version > chunks[0].version
+
+    def test_delete_recorded_in_mods_log(self, engine):
+        engine.create_series("s")
+        engine.write("s", 1, 1.0)
+        engine.delete("s", 0, 10)
+        records = list(engine._mods.read_all())
+        assert len(records) == 1
+        assert records[0][1].t_start == 0
+
+    def test_deletes_affect_merge(self, engine):
+        engine.create_series("s")
+        engine.write_batch("s", np.arange(60, dtype=np.int64),
+                           np.arange(60, dtype=float))
+        engine.delete("s", 10, 19)
+        engine.flush_all()
+        assert engine.total_points("s") == 50
+
+
+class TestFileManagement:
+    def test_tsfile_rotation(self, tmp_path):
+        config = StorageConfig(avg_series_point_number_threshold=10,
+                               points_per_page=10, chunks_per_tsfile=3)
+        with StorageEngine(tmp_path / "db", config) as engine:
+            engine.create_series("s")
+            engine.write_batch("s", np.arange(100, dtype=np.int64),
+                               np.zeros(100))
+            engine.flush_all()
+            files = {c.file_path for c in engine.chunks_for("s")}
+            assert len(files) == 4  # 10 chunks / 3 per file
+
+    def test_files_exist_on_disk(self, loaded_engine):
+        engine, _t, _v = loaded_engine
+        for meta in engine.chunks_for("s"):
+            assert os.path.exists(meta.file_path)
+
+    def test_reader_pool_reuses_readers(self, loaded_engine):
+        engine, _t, _v = loaded_engine
+        path = engine.chunks_for("s")[0].file_path
+        assert engine.tsfile_reader(path) is engine.tsfile_reader(path)
+
+    def test_total_points(self, loaded_engine):
+        engine, t, _v = loaded_engine
+        assert engine.total_points("s") == t.size
+
+
+class TestPersistenceAcrossReaders:
+    def test_metadata_reloadable_from_disk(self, loaded_engine):
+        """Sealed TsFiles are self-describing: a fresh reader sees the
+        same chunks the engine tracks in memory."""
+        engine, t, v = loaded_engine
+        from repro.storage.tsfile import TsFileReader
+        files = sorted({c.file_path for c in engine.chunks_for("s")})
+        reloaded = []
+        for path in files:
+            with TsFileReader(path) as reader:
+                reloaded.extend(reader.read_metadata())
+        assert len(reloaded) == len(engine.chunks_for("s"))
+        chunk_data = []
+        for meta in sorted(reloaded, key=lambda m: m.version):
+            with TsFileReader(meta.file_path) as reader:
+                out_t, out_v = reader.read_chunk_arrays(meta)
+            chunk_data.append((out_t, out_v, meta.version))
+        merged_t, merged_v = merge_arrays(chunk_data)
+        np.testing.assert_array_equal(merged_t, t)
+        np.testing.assert_array_equal(merged_v, v)

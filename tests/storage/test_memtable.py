@@ -1,0 +1,78 @@
+"""Unit tests for the memtable write buffer."""
+
+import numpy as np
+
+from repro.storage import MemTable
+
+
+class TestAppend:
+    def test_single_points(self):
+        table = MemTable()
+        table.append(5, 1.0)
+        table.append(3, 2.0)
+        assert len(table) == 2 and bool(table)
+
+    def test_batch(self):
+        table = MemTable()
+        table.append_batch([1, 2, 3], [1.0, 2.0, 3.0])
+        assert len(table) == 3
+
+    def test_empty_batch_noop(self):
+        table = MemTable()
+        table.append_batch([], [])
+        assert len(table) == 0 and not table
+
+
+class TestDrain:
+    def test_sorts_by_time(self):
+        table = MemTable()
+        table.append_batch([30, 10, 20], [3.0, 1.0, 2.0])
+        t, v = table.drain()
+        assert t.tolist() == [10, 20, 30]
+        assert v.tolist() == [1.0, 2.0, 3.0]
+        assert len(table) == 0
+
+    def test_last_write_wins_on_duplicates(self):
+        table = MemTable()
+        table.append(5, 1.0)
+        table.append(5, 2.0)
+        table.append_batch([5, 6], [3.0, 6.0])
+        t, v = table.drain()
+        assert t.tolist() == [5, 6]
+        assert v.tolist() == [3.0, 6.0]
+
+    def test_duplicate_within_batch_last_wins(self):
+        table = MemTable()
+        table.append_batch([7, 7, 7], [1.0, 2.0, 3.0])
+        t, v = table.drain()
+        assert t.tolist() == [7] and v.tolist() == [3.0]
+
+    def test_drain_empty(self):
+        t, v = MemTable().drain()
+        assert t.size == 0 and v.size == 0
+        assert t.dtype == np.int64 and v.dtype == np.float64
+
+
+class TestDrainPrefix:
+    def test_keeps_remainder_buffered(self):
+        table = MemTable()
+        table.append_batch([4, 1, 3, 2, 5], np.arange(5, dtype=float))
+        t, _v = table.drain_prefix(3)
+        assert t.tolist() == [1, 2, 3]
+        assert len(table) == 2
+        t2, _ = table.drain()
+        assert t2.tolist() == [4, 5]
+
+    def test_prefix_larger_than_content_drains_all(self):
+        table = MemTable()
+        table.append_batch([2, 1], [1.0, 2.0])
+        t, _ = table.drain_prefix(10)
+        assert t.tolist() == [1, 2]
+        assert len(table) == 0
+
+    def test_dedupe_happens_before_cut(self):
+        table = MemTable()
+        table.append_batch([1, 1, 2, 3], [1.0, 9.0, 2.0, 3.0])
+        t, v = table.drain_prefix(2)
+        assert t.tolist() == [1, 2]
+        assert v.tolist() == [9.0, 2.0]

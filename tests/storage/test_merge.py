@@ -1,0 +1,97 @@
+"""Unit tests for the merge function M(C, D) (Definition 2.7)."""
+
+import numpy as np
+import pytest
+
+from repro.storage import Delete, DeleteList, merge_arrays, merge_reference
+
+
+def chunk(times, values, version):
+    return (np.array(times, dtype=np.int64),
+            np.array(values, dtype=np.float64), version)
+
+
+class TestMergeArrays:
+    def test_disjoint_chunks_concatenate(self):
+        t, v = merge_arrays([chunk([1, 2], [1, 2], 1),
+                             chunk([3, 4], [3, 4], 2)])
+        assert t.tolist() == [1, 2, 3, 4]
+        assert v.tolist() == [1, 2, 3, 4]
+
+    def test_overwrite_takes_higher_version(self):
+        t, v = merge_arrays([chunk([1, 2, 3], [1, 2, 3], 1),
+                             chunk([2], [99], 2)])
+        assert t.tolist() == [1, 2, 3]
+        assert v.tolist() == [1, 99, 3]
+
+    def test_overwrite_order_independent_of_input_order(self):
+        a = chunk([2], [99], 2)
+        b = chunk([1, 2, 3], [1, 2, 3], 1)
+        t1, v1 = merge_arrays([a, b])
+        t2, v2 = merge_arrays([b, a])
+        np.testing.assert_array_equal(t1, t2)
+        np.testing.assert_array_equal(v1, v2)
+
+    def test_delete_applies_to_older_chunks_only(self):
+        deletes = DeleteList([Delete(2, 3, 2)])
+        t, v = merge_arrays([chunk([1, 2, 3], [1, 2, 3], 1),
+                             chunk([3], [33], 3)], deletes)
+        assert t.tolist() == [1, 3]
+        assert v.tolist() == [1, 33]
+
+    def test_paper_example_figure5(self):
+        # C1 (v1), D2 deletes P_C, C3 (v3) overwrites P_A: 11 points remain
+        # out of 13 raw points (one overwritten, one deleted).
+        c1 = chunk([10, 20, 30, 40, 50, 60, 70, 80, 85],
+                   [1, 2, 3, 4, 5, 6, 7, 8, 8.5], 1)
+        c3 = chunk([45, 50, 55, 90], [14, 15, 16, 19], 3)
+        deletes = DeleteList([Delete(60, 60, 2)])
+        t, v = merge_arrays([c1, c3], deletes)
+        assert t.size == 11
+        assert 60 not in t.tolist()          # P_C deleted by D2
+        assert v[t.tolist().index(50)] == 15  # P_A overwritten by P_B
+
+    def test_empty_inputs(self):
+        t, v = merge_arrays([])
+        assert t.size == 0 and v.size == 0
+        t, v = merge_arrays([chunk([], [], 1)])
+        assert t.size == 0
+
+    def test_everything_deleted(self):
+        deletes = DeleteList([Delete(0, 100, 5)])
+        t, _v = merge_arrays([chunk([1, 2], [1, 2], 1)], deletes)
+        assert t.size == 0
+
+    def test_three_way_overwrite(self):
+        t, v = merge_arrays([chunk([5], [1], 1), chunk([5], [2], 2),
+                             chunk([5], [3], 3)])
+        assert t.tolist() == [5] and v.tolist() == [3]
+
+    def test_accepts_plain_iterable_of_deletes(self):
+        t, _v = merge_arrays([chunk([1, 2], [1, 2], 1)], [Delete(1, 1, 2)])
+        assert t.tolist() == [2]
+
+
+class TestMergeReference:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_vectorized_on_random_workloads(self, seed):
+        rng = np.random.default_rng(seed)
+        chunks = []
+        for version in range(1, int(rng.integers(2, 6))):
+            n = int(rng.integers(1, 40))
+            t = np.sort(rng.choice(100, size=n, replace=False))
+            chunks.append(chunk(t, rng.integers(0, 50, n), version))
+        deletes = DeleteList([
+            Delete(int(lo), int(lo + rng.integers(0, 20)), 100 + i)
+            for i, lo in enumerate(rng.integers(0, 90, 3))])
+        ref_t, ref_v = merge_reference(chunks, deletes)
+        vec_t, vec_v = merge_arrays(chunks, deletes)
+        np.testing.assert_array_equal(ref_t, vec_t)
+        np.testing.assert_array_equal(ref_v, vec_v)
+
+    def test_delete_between_versions(self):
+        # Delete v2 kills the v1 point but not the v3 re-insert.
+        chunks = [chunk([5], [1], 1), chunk([5], [3], 3)]
+        deletes = DeleteList([Delete(5, 5, 2)])
+        t, v = merge_reference(chunks, deletes)
+        assert t.tolist() == [5] and v.tolist() == [3]

@@ -1,0 +1,41 @@
+"""Unit tests for the mods (delete log) file."""
+
+import pytest
+
+from repro.errors import CorruptFileError
+from repro.storage import Delete
+from repro.storage.mods import ModsFile
+
+
+class TestModsFile:
+    def test_append_and_read(self, tmp_path):
+        mods = ModsFile(tmp_path / "d.mods")
+        mods.append(1, Delete(10, 20, 3))
+        mods.append(2, Delete(0, 5, 4))
+        records = list(mods.read_all())
+        assert records == [(1, Delete(10, 20, 3)), (2, Delete(0, 5, 4))]
+
+    def test_empty_log(self, tmp_path):
+        mods = ModsFile(tmp_path / "d.mods")
+        assert list(mods.read_all()) == []
+
+    def test_reopen_preserves_records(self, tmp_path):
+        path = tmp_path / "d.mods"
+        ModsFile(path).append(1, Delete(1, 2, 1))
+        reopened = ModsFile(path)
+        reopened.append(1, Delete(3, 4, 2))
+        assert len(list(reopened.read_all())) == 2
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "bad.mods"
+        path.write_bytes(b"garbage!")
+        with pytest.raises(CorruptFileError):
+            list(ModsFile(path).read_all())
+
+    def test_truncated_record_raises(self, tmp_path):
+        path = tmp_path / "d.mods"
+        mods = ModsFile(path)
+        mods.append(1, Delete(1, 2, 1))
+        path.write_bytes(path.read_bytes()[:-3])
+        with pytest.raises(CorruptFileError):
+            list(ModsFile(path).read_all())

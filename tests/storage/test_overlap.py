@@ -1,0 +1,76 @@
+"""Unit tests for the contested-chunk overlap sweep."""
+
+import numpy as np
+import pytest
+
+from repro.storage import Delete, write_chunk
+from repro.storage.overlap import contested_versions
+
+
+def meta(start, end, version):
+    t = np.array([start, end] if end > start else [start], dtype=np.int64)
+    v = np.zeros(t.size)
+    return write_chunk(1, version, t, v)[1]
+
+
+class TestOverlapSweep:
+    def test_disjoint_chunks_uncontested(self):
+        chunks = [meta(0, 9, 1), meta(10, 19, 2), meta(20, 29, 3)]
+        assert contested_versions(chunks) == set()
+
+    def test_adjacent_pair_contested(self):
+        chunks = [meta(0, 10, 1), meta(10, 20, 2)]
+        assert contested_versions(chunks) == {1, 2}
+
+    def test_pair_separated_in_sort_order(self):
+        """The regression case: A overlaps C, but B sorts between them."""
+        a = meta(0, 100, 1)
+        b = meta(5, 8, 2)
+        c = meta(10, 50, 3)
+        assert contested_versions([a, b, c]) == {1, 2, 3}
+
+    def test_chain_with_escaping_tail(self):
+        a = meta(0, 10, 1)
+        b = meta(5, 50, 2)
+        c = meta(40, 60, 3)
+        d = meta(70, 80, 4)
+        assert contested_versions([a, b, c, d]) == {1, 2, 3}
+
+    def test_nested_intervals(self):
+        outer = meta(0, 100, 1)
+        inner = meta(40, 60, 2)
+        assert contested_versions([inner, outer]) == {1, 2}
+
+    def test_every_pairwise_overlap_is_caught(self):
+        """Property check against the quadratic reference."""
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            chunks = []
+            for version in range(1, int(rng.integers(2, 12))):
+                start = int(rng.integers(0, 100))
+                end = start + int(rng.integers(0, 30))
+                chunks.append(meta(start, end, version))
+            expected = set()
+            for i, a in enumerate(chunks):
+                for b in chunks[i + 1:]:
+                    if (a.start_time <= b.end_time
+                            and b.start_time <= a.end_time):
+                        expected.add(a.version)
+                        expected.add(b.version)
+            assert contested_versions(chunks) == expected
+
+    def test_delete_contests_only_older_chunks(self):
+        chunks = [meta(0, 10, 1), meta(20, 30, 5)]
+        deletes = [Delete(5, 25, 3)]
+        assert contested_versions(chunks, deletes) == {1}
+
+    def test_delete_outside_all_chunks(self):
+        chunks = [meta(0, 10, 1)]
+        deletes = [Delete(50, 60, 2)]
+        assert contested_versions(chunks, deletes) == set()
+
+    def test_empty_input(self):
+        assert contested_versions([]) == set()
+
+    def test_single_chunk(self):
+        assert contested_versions([meta(0, 10, 1)]) == set()

@@ -1,0 +1,144 @@
+"""Unit tests for MetadataReader, DataReader and MergeReader."""
+
+import numpy as np
+import pytest
+
+from repro.core.series import Point
+from repro.storage import Delete, DeleteList, IoStats, MergeReader
+from repro.storage.merge import merge_arrays
+from repro.storage.readers import MetadataReader
+
+
+class TestMetadataReader:
+    def test_chunks_overlapping_filters_and_sorts(self, loaded_engine):
+        engine, t, _v = loaded_engine
+        reader = engine.metadata_reader("s")
+        # 500 points, 10 per step, chunks of 50 -> 10 chunks of span 490.
+        subset = reader.chunks_overlapping(int(t[0]), int(t[0]) + 1)
+        assert len(subset) == 1
+        all_chunks = reader.chunks_overlapping(int(t[0]), int(t[-1]) + 1)
+        assert len(all_chunks) == 10
+        versions = [c.version for c in all_chunks]
+        assert versions == sorted(versions)
+
+    def test_accounts_metadata_reads(self, loaded_engine):
+        engine, t, _v = loaded_engine
+        stats = IoStats()
+        reader = MetadataReader(engine.chunks_for("s"), stats)
+        reader.chunks_overlapping(int(t[0]), int(t[-1]) + 1)
+        assert stats.metadata_reads == 10
+
+
+class TestDataReader:
+    def test_load_chunk_roundtrip(self, loaded_engine):
+        engine, t, v = loaded_engine
+        reader = engine.data_reader()
+        meta = engine.chunks_for("s")[0]
+        out_t, out_v = reader.load_chunk(meta)
+        np.testing.assert_array_equal(out_t, t[:50])
+        np.testing.assert_array_equal(out_v, v[:50])
+
+    def test_load_chunk_applies_deletes(self, loaded_engine):
+        engine, t, _v = loaded_engine
+        meta = engine.chunks_for("s")[0]
+        deletes = DeleteList([Delete(int(t[0]), int(t[9]), meta.version + 1)])
+        reader = engine.data_reader()
+        out_t, _ = reader.load_chunk(meta, deletes=deletes)
+        assert out_t.size == 40
+
+    def test_load_chunk_clips_time_range(self, loaded_engine):
+        engine, t, _v = loaded_engine
+        meta = engine.chunks_for("s")[0]
+        reader = engine.data_reader()
+        out_t, _ = reader.load_chunk(meta,
+                                     time_range=(int(t[5]), int(t[10])))
+        assert out_t.tolist() == t[5:10].tolist()
+
+    def test_load_chunk_rows_partial_pages(self, loaded_engine):
+        engine, t, v = loaded_engine
+        meta = engine.chunks_for("s")[0]  # 50 points, pages of 20
+        before = engine.stats.snapshot()
+        reader = engine.data_reader()
+        out_t, out_v = reader.load_chunk_rows(meta, 25, 35)
+        np.testing.assert_array_equal(out_t, t[25:35])
+        np.testing.assert_array_equal(out_v, v[25:35])
+        decoded = engine.stats.diff(before).pages_decoded
+        assert decoded == 2  # one page, both columns
+
+    def test_point_at_row(self, loaded_engine):
+        engine, t, v = loaded_engine
+        meta = engine.chunks_for("s")[0]
+        reader = engine.data_reader()
+        assert reader.point_at_row(meta, 42) == Point(int(t[42]),
+                                                      float(v[42]))
+
+    def test_point_at_row_out_of_bounds(self, loaded_engine):
+        engine, _t, _v = loaded_engine
+        from repro.errors import StorageError
+        meta = engine.chunks_for("s")[0]
+        reader = engine.data_reader()
+        with pytest.raises(StorageError):
+            reader.point_at_row(meta, 50)
+
+    def test_page_cache_avoids_second_decode(self, loaded_engine):
+        engine, _t, _v = loaded_engine
+        meta = engine.chunks_for("s")[0]
+        reader = engine.data_reader()
+        reader.page_timestamps(meta, 0)
+        before = engine.stats.snapshot()
+        reader.page_timestamps(meta, 0)
+        assert engine.stats.diff(before).pages_decoded == 0
+        reader.clear_cache()
+        reader.page_timestamps(meta, 0)
+        assert engine.stats.diff(before).pages_decoded == 1
+
+    def test_chunk_index_kinds(self, loaded_engine):
+        engine, t, _v = loaded_engine
+        from repro.core.index import BinarySearchIndex, ChunkIndex
+        meta = engine.chunks_for("s")[0]
+        reader = engine.data_reader()
+        assert isinstance(reader.chunk_index(meta), ChunkIndex)
+        assert isinstance(reader.chunk_index(meta, use_regression=False),
+                          BinarySearchIndex)
+        assert reader.chunk_index(meta).exists(int(t[3]))
+
+
+class TestMergeReader:
+    def chunk(self, times, values, version):
+        return (np.array(times, dtype=np.int64),
+                np.array(values, dtype=np.float64), version)
+
+    def test_streams_in_time_order(self):
+        reader = MergeReader([self.chunk([5, 10], [1, 2], 1),
+                              self.chunk([1, 7], [3, 4], 2)])
+        points = list(reader)
+        assert [p.t for p in points] == [1, 5, 7, 10]
+
+    def test_duplicate_resolution_by_version(self):
+        reader = MergeReader([self.chunk([5], [1], 1),
+                              self.chunk([5], [2], 2)])
+        assert list(reader) == [Point(5, 2.0)]
+
+    def test_deletes_applied(self):
+        deletes = DeleteList([Delete(4, 6, 3)])
+        reader = MergeReader([self.chunk([3, 5, 7], [1, 2, 3], 1)], deletes)
+        assert [p.t for p in reader] == [3, 7]
+
+    def test_matches_vectorized_merge(self):
+        rng = np.random.default_rng(9)
+        chunks = []
+        for version in range(1, 5):
+            n = int(rng.integers(5, 30))
+            t = np.sort(rng.choice(200, size=n, replace=False))
+            chunks.append(self.chunk(t, rng.normal(size=n), version))
+        deletes = DeleteList([Delete(50, 80, 10)])
+        streamed = list(MergeReader(chunks, deletes))
+        vec_t, vec_v = merge_arrays(chunks, deletes)
+        assert [p.t for p in streamed] == vec_t.tolist()
+        assert [p.v for p in streamed] == vec_v.tolist()
+
+    def test_counts_points_merged(self):
+        stats = IoStats()
+        list(MergeReader([self.chunk([1, 2, 3], [1, 2, 3], 1)],
+                         stats=stats))
+        assert stats.points_merged == 3

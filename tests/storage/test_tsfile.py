@@ -1,0 +1,118 @@
+"""Unit tests for the TsFile container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CorruptFileError, ReadOnlyError
+from repro.storage import IoStats, StorageConfig, write_chunk
+from repro.storage.tsfile import MAGIC, TsFileReader, TsFileWriter
+
+
+def write_file(path, n_chunks=3, points=120, pages=40):
+    config = StorageConfig(avg_series_point_number_threshold=10_000,
+                           points_per_page=pages)
+    expected = []
+    with TsFileWriter(path) as writer:
+        for i in range(n_chunks):
+            t = np.arange(points, dtype=np.int64) + i * points * 2
+            v = np.arange(points, dtype=np.float64) * (i + 1)
+            block, meta = write_chunk(1, i + 1, t, v, config)
+            writer.append_chunk(block, meta)
+            expected.append((t, v))
+    return expected
+
+
+class TestWriter:
+    def test_append_after_close_rejected(self, tmp_path):
+        path = tmp_path / "x.tsfile"
+        writer = TsFileWriter(path)
+        writer.close()
+        with pytest.raises(ReadOnlyError):
+            writer.append_chunk(b"", None)
+
+    def test_close_idempotent(self, tmp_path):
+        path = tmp_path / "x.tsfile"
+        writer = TsFileWriter(path)
+        assert writer.close() == writer.close()
+
+    def test_located_metadata_returned(self, tmp_path):
+        path = tmp_path / "x.tsfile"
+        t = np.arange(10, dtype=np.int64)
+        block, meta = write_chunk(1, 1, t, t.astype(float))
+        with TsFileWriter(path) as writer:
+            located = writer.append_chunk(block, meta)
+        assert located.file_path == str(path)
+        assert located.data_offset == len(MAGIC)
+        assert located.data_length == len(block)
+
+
+class TestReader:
+    def test_metadata_roundtrip(self, tmp_path):
+        path = tmp_path / "x.tsfile"
+        write_file(path, n_chunks=4)
+        with TsFileReader(path) as reader:
+            metadata = reader.read_metadata()
+        assert len(metadata) == 4
+        assert [m.version for m in metadata] == [1, 2, 3, 4]
+
+    def test_chunk_arrays_roundtrip(self, tmp_path):
+        path = tmp_path / "x.tsfile"
+        expected = write_file(path)
+        with TsFileReader(path) as reader:
+            for meta, (t, v) in zip(reader.read_metadata(), expected):
+                out_t, out_v = reader.read_chunk_arrays(meta)
+                np.testing.assert_array_equal(out_t, t)
+                np.testing.assert_array_equal(out_v, v)
+
+    def test_single_page_reads(self, tmp_path):
+        path = tmp_path / "x.tsfile"
+        expected = write_file(path, n_chunks=1, points=120, pages=40)
+        with TsFileReader(path) as reader:
+            meta = reader.read_metadata()[0]
+            page1_t = reader.read_page_timestamps(meta, 1)
+            np.testing.assert_array_equal(page1_t, expected[0][0][40:80])
+            page2_v = reader.read_page_values(meta, 2)
+            np.testing.assert_array_equal(page2_v, expected[0][1][80:120])
+
+    def test_stats_accounting(self, tmp_path):
+        path = tmp_path / "x.tsfile"
+        write_file(path, n_chunks=2, points=100, pages=50)
+        stats = IoStats()
+        with TsFileReader(path, stats) as reader:
+            metadata = reader.read_metadata()
+            assert stats.metadata_reads == 2
+            assert stats.bytes_read > 0
+            before = stats.pages_decoded
+            reader.read_chunk_arrays(metadata[0])
+            assert stats.chunk_loads == 1
+            assert stats.pages_decoded == before + 4  # 2 pages x 2 columns
+            assert stats.points_decoded == 200
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.tsfile"
+        path.write_bytes(b"NOTAFILE" + b"\x00" * 100)
+        with pytest.raises(CorruptFileError):
+            TsFileReader(path)
+
+    def test_truncated_footer(self, tmp_path):
+        path = tmp_path / "x.tsfile"
+        write_file(path, n_chunks=1)
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        with TsFileReader(path) as reader:
+            with pytest.raises(CorruptFileError):
+                reader.read_metadata()
+
+    def test_tiny_file(self, tmp_path):
+        path = tmp_path / "x.tsfile"
+        path.write_bytes(MAGIC)
+        with TsFileReader(path) as reader:
+            with pytest.raises(CorruptFileError):
+                reader.read_metadata()
+
+    def test_missing_file(self, tmp_path):
+        from repro.errors import StorageError
+        with pytest.raises(StorageError):
+            TsFileReader(tmp_path / "absent.tsfile")

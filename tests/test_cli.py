@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def store(tmp_path, capsys):
+    """A storage dir with one loaded series (built through the CLI)."""
+    csv = tmp_path / "data.csv"
+    db = tmp_path / "db"
+    assert main(["generate", "--dataset", "KOB", "--points", "3000",
+                 "--out", str(csv)]) == 0
+    assert main(["load", "--db", str(db), "--series", "root.k",
+                 "--csv", str(csv), "--chunk-points", "500"]) == 0
+    capsys.readouterr()
+    return db
+
+
+class TestGenerateAndLoad:
+    def test_generate_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "x.csv"
+        assert main(["generate", "--points", "100",
+                     "--out", str(out)]) == 0
+        assert "100 points" in capsys.readouterr().out
+        assert out.exists()
+        assert len(out.read_text().splitlines()) == 101  # header + rows
+
+    def test_load_reports_chunks(self, tmp_path, capsys):
+        csv = tmp_path / "x.csv"
+        main(["generate", "--points", "1000", "--out", str(csv)])
+        assert main(["load", "--db", str(tmp_path / "db"), "--series", "s",
+                     "--csv", str(csv), "--chunk-points", "100"]) == 0
+        assert "(10 chunks)" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_info_lists_series(self, store, capsys):
+        assert main(["info", "--db", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "root.k" in out
+        assert "3000" in out
+
+
+class TestQuery:
+    def test_m4_query(self, store, capsys):
+        assert main(["query", "--db", str(store),
+                     "SELECT M4(s) FROM root.k GROUP BY SPANS(4)"]) == 0
+        out = capsys.readouterr().out
+        assert "FirstTime" in out and "TopValue" in out
+
+    def test_aggregate_query(self, store, capsys):
+        assert main(["query", "--db", str(store),
+                     "SELECT COUNT(s) FROM root.k GROUP BY SPANS(2)"]) == 0
+        out = capsys.readouterr().out
+        counts = [int(line.split()[-1]) for line in out.splitlines()[2:]
+                  if line.strip()]
+        assert sum(counts) == 3000
+
+    def test_bad_sql_is_reported(self, store, capsys):
+        assert main(["query", "--db", str(store), "SELEC nothing"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRender:
+    def test_ascii_render(self, store, capsys):
+        assert main(["render", "--db", str(store), "--series", "root.k",
+                     "--width", "60", "--height", "10"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line]
+        assert len(lines) == 10
+        assert any("#" in line for line in lines)
+
+    def test_pbm_render(self, store, tmp_path, capsys):
+        out_file = tmp_path / "chart.pbm"
+        assert main(["render", "--db", str(store), "--series", "root.k",
+                     "--out", str(out_file)]) == 0
+        assert out_file.read_text().startswith("P1\n")
+
+    def test_empty_series_reports_error(self, tmp_path, capsys):
+        db = tmp_path / "db"
+        from repro.storage import StorageEngine
+        with StorageEngine(db) as engine:
+            engine.create_series("empty")
+        assert main(["render", "--db", str(db),
+                     "--series", "empty"]) == 1
+        assert "empty" in capsys.readouterr().err
+
+
+class TestCompact:
+    def test_compact_reports_counts(self, store, capsys):
+        assert main(["compact", "--db", str(store)]) == 0
+        assert "root.k: 3000 points" in capsys.readouterr().out

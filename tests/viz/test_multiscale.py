@@ -1,0 +1,113 @@
+"""Tests for multi-resolution M4 serving (ZoomService / pyramid)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.viz.multiscale import ZoomService, pyramid
+
+
+@pytest.fixture
+def service(engine):
+    engine.create_series("s")
+    t = np.arange(20_000, dtype=np.int64)
+    engine.write_batch("s", t, np.sin(t / 300.0))
+    engine.flush_all()
+    return engine, ZoomService(engine, "s", tile_spans=64, max_tiles=8)
+
+
+class TestViewport:
+    def test_full_extent(self, service):
+        _engine, zoom = service
+        series = zoom.viewport(0, 20_000, 64)
+        assert len(series) > 0
+        assert series.first().t >= 0 and series.last().t < 20_000
+
+    def test_zoomed_viewport_is_clipped(self, service):
+        _engine, zoom = service
+        series = zoom.viewport(5_000, 6_000, 64)
+        assert series.first().t >= 5_000
+        assert series.last().t < 6_000
+
+    def test_panning_reuses_tiles(self, service):
+        _engine, zoom = service
+        zoom.viewport(0, 2_000, 64)
+        misses_after_first = zoom.tile_misses
+        zoom.viewport(500, 2_500, 64)  # overlaps the same tiles
+        assert zoom.tile_hits > 0
+        assert zoom.tile_misses <= misses_after_first + 1
+
+    def test_deeper_zoom_gives_finer_data(self, service):
+        _engine, zoom = service
+        coarse = zoom.viewport(0, 20_000, 64)
+        fine = zoom.viewport(0, 1_000, 64)
+        coarse_in_window = coarse.slice_time(0, 1_000)
+        assert len(fine) >= len(coarse_in_window)
+
+    def test_empty_viewport_rejected(self, service):
+        _engine, zoom = service
+        with pytest.raises(ReproError):
+            zoom.viewport(5, 5, 64)
+
+    def test_values_match_direct_query(self, service):
+        """Tile-served extremes agree with a direct M4 query's bounds."""
+        engine, zoom = service
+        from repro.core import M4LSMOperator
+        series = zoom.viewport(2_000, 10_000, 64)
+        direct = M4LSMOperator(engine).query("s", 2_000, 10_000, 64)
+        reduced = direct.to_series()
+        assert float(series.values.min()) \
+            == pytest.approx(float(reduced.values.min()), abs=1e-9)
+        assert float(series.values.max()) \
+            == pytest.approx(float(reduced.values.max()), abs=1e-9)
+
+
+class TestInvalidation:
+    def test_writes_invalidate_tiles(self, service):
+        engine, zoom = service
+        before = zoom.viewport(0, 2_000, 64)
+        engine.write_batch("s", np.array([100], dtype=np.int64),
+                           np.array([99.0]))
+        engine.flush_all()
+        after = zoom.viewport(0, 2_000, 64)
+        assert float(after.values.max()) == 99.0
+        assert float(before.values.max()) < 99.0
+
+    def test_deletes_invalidate_tiles(self, service):
+        engine, zoom = service
+        zoom.viewport(0, 2_000, 64)
+        engine.delete("s", 0, 1_000)
+        engine.flush_all()
+        after = zoom.viewport(0, 2_000, 64)
+        assert after.first().t > 1_000
+
+    def test_cache_bounded(self, service):
+        _engine, zoom = service
+        deepest = zoom.max_level()
+        for start in range(0, 20_000, 500):
+            zoom.viewport(start, start + 400, 64)
+        assert zoom.cache_stats()["tiles"] <= 8
+        assert deepest >= 1
+
+
+class TestConstruction:
+    def test_empty_series_rejected(self, engine):
+        engine.create_series("empty")
+        with pytest.raises(ReproError):
+            ZoomService(engine, "empty")
+
+    def test_explicit_extent(self, service):
+        engine, _zoom = service
+        custom = ZoomService(engine, "s", t_min=100, t_max=200,
+                             tile_spans=16)
+        series = custom.viewport(100, 200, 16)
+        assert series.first().t >= 100
+
+
+class TestPyramid:
+    def test_levels_coarse_to_fine(self, service):
+        engine, _zoom = service
+        levels = pyramid(engine, "s", 0, 20_000, widths=(10, 100, 1000))
+        assert set(levels) == {10, 100, 1000}
+        sizes = [levels[w].total_points() for w in (10, 100, 1000)]
+        assert sizes == sorted(sizes)

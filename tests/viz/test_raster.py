@@ -1,0 +1,118 @@
+"""Unit tests for the pixel grid and rasterizers."""
+
+import numpy as np
+import pytest
+
+from repro.core import TimeSeries
+from repro.errors import ReproError
+from repro.viz import PixelGrid, rasterize, rasterize_bresenham
+
+
+class TestPixelGrid:
+    def test_column_mapping_matches_span_rule(self):
+        grid = PixelGrid(0, 10, 0.0, 1.0, 3, 5)
+        assert [grid.column_of(t) for t in range(10)] \
+            == [3 * t // 10 for t in range(10)]
+
+    def test_column_clamped(self):
+        grid = PixelGrid(0, 10, 0.0, 1.0, 3, 5)
+        assert grid.column_of(-5) == 0
+        assert grid.column_of(100) == 2
+
+    def test_row_mapping(self):
+        grid = PixelGrid(0, 10, 0.0, 10.0, 4, 11)
+        assert grid.row_of(0.0) == 0
+        assert grid.row_of(10.0) == 10
+        assert grid.row_of(5.0) == 5
+
+    def test_flat_value_range(self):
+        grid = PixelGrid(0, 10, 5.0, 5.0, 4, 8)
+        assert grid.row_of(5.0) == 0
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ReproError):
+            PixelGrid(5, 5, 0, 1, 10, 10)
+        with pytest.raises(ReproError):
+            PixelGrid(0, 5, 0, 1, 0, 10)
+        with pytest.raises(ReproError):
+            PixelGrid(0, 5, 1, 0, 10, 10)
+
+    def test_for_series(self):
+        series = TimeSeries([0, 9], [1.0, 3.0])
+        grid = PixelGrid.for_series(series, 10, 5)
+        assert grid.t_qs == 0 and grid.t_qe == 10
+        assert grid.v_min == 1.0 and grid.v_max == 3.0
+
+    def test_for_empty_series_rejected(self):
+        with pytest.raises(ReproError):
+            PixelGrid.for_series(TimeSeries.empty(), 10, 5)
+
+
+class TestRasterize:
+    def test_single_point(self):
+        series = TimeSeries([5], [1.0])
+        grid = PixelGrid(0, 10, 0.0, 2.0, 10, 3)
+        matrix = rasterize(series, grid)
+        assert matrix.sum() == 1
+        assert matrix[1, 5]
+
+    def test_horizontal_line_lights_one_row(self):
+        series = TimeSeries([0, 9], [1.0, 1.0])
+        grid = PixelGrid(0, 10, 0.0, 2.0, 10, 3)
+        matrix = rasterize(series, grid)
+        assert matrix[1, :].all() is np.True_ or matrix[1, :9].all()
+        assert not matrix[0].any() and not matrix[2].any()
+
+    def test_vertical_jump_fills_column(self):
+        series = TimeSeries([5, 6], [0.0, 10.0])
+        grid = PixelGrid(0, 10, 0.0, 10.0, 10, 11)
+        matrix = rasterize(series, grid)
+        # The segment spans the full height across columns 5..6.
+        assert matrix[:, 5].sum() + matrix[:, 6].sum() >= 11
+
+    def test_empty_series(self):
+        grid = PixelGrid(0, 10, 0.0, 1.0, 4, 4)
+        assert rasterize(TimeSeries.empty(), grid).sum() == 0
+
+    def test_every_column_with_data_is_lit(self):
+        rng = np.random.default_rng(0)
+        t = np.arange(1000, dtype=np.int64)
+        v = rng.normal(size=1000)
+        series = TimeSeries(t, v)
+        grid = PixelGrid.for_series(series, 50, 30)
+        matrix = rasterize(series, grid)
+        assert matrix.any(axis=0).all()
+
+    def test_column_extent_covers_min_max(self):
+        """Within one column, the lit run must include the rows of the
+        column's min and max values — the property M4 relies on."""
+        rng = np.random.default_rng(3)
+        t = np.arange(500, dtype=np.int64)
+        v = rng.normal(size=500)
+        series = TimeSeries(t, v)
+        grid = PixelGrid.for_series(series, 10, 40)
+        matrix = rasterize(series, grid)
+        for col in range(10):
+            rows = [i for i in range(500) if grid.column_of(i) == col]
+            seg = v[rows]
+            lit = np.flatnonzero(matrix[:, col])
+            assert lit[0] <= grid.row_of(float(seg.min()))
+            assert lit[-1] >= grid.row_of(float(seg.max()))
+
+
+class TestBresenham:
+    def test_endpoints_always_lit(self):
+        series = TimeSeries([0, 9], [0.0, 9.0])
+        grid = PixelGrid(0, 10, 0.0, 9.0, 10, 10)
+        matrix = rasterize_bresenham(series, grid)
+        assert matrix[0, 0] and matrix[9, 9]
+
+    def test_diagonal_is_connected(self):
+        series = TimeSeries([0, 9], [0.0, 9.0])
+        grid = PixelGrid(0, 10, 0.0, 9.0, 10, 10)
+        matrix = rasterize_bresenham(series, grid)
+        assert matrix.sum() == 10  # perfect diagonal
+
+    def test_empty_series(self):
+        grid = PixelGrid(0, 10, 0.0, 1.0, 4, 4)
+        assert rasterize_bresenham(TimeSeries.empty(), grid).sum() == 0

@@ -1,0 +1,113 @@
+"""Unit tests for the reduction baselines and M4's zero-error property."""
+
+import numpy as np
+import pytest
+
+from repro.core import TimeSeries
+from repro.viz import (
+    PixelGrid,
+    REDUCERS,
+    compare_pixels,
+    m4_reduce,
+    minmax_reduce,
+    paa_reduce,
+    random_sample,
+    rasterize,
+    systematic_sample,
+)
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(8)
+    t = np.cumsum(rng.integers(1, 4, 5000)).astype(np.int64)
+    v = np.cumsum(rng.normal(0, 1, 5000))
+    return t, v
+
+
+class TestReducers:
+    def test_minmax_keeps_extremes_per_span(self, data):
+        t, v = data
+        reduced = minmax_reduce(t, v, int(t[0]), int(t[-1]) + 1, 10)
+        assert len(reduced) <= 20
+        assert float(reduced.values.min()) == float(v.min())
+        assert float(reduced.values.max()) == float(v.max())
+
+    def test_paa_one_point_per_span(self, data):
+        t, v = data
+        reduced = paa_reduce(t, v, int(t[0]), int(t[-1]) + 1, 16)
+        assert len(reduced) == 16
+
+    def test_systematic_sample_size(self, data):
+        t, v = data
+        reduced = systematic_sample(t, v, 100)
+        assert 100 <= len(reduced) <= 101
+
+    def test_systematic_sample_empty(self):
+        out = systematic_sample(np.empty(0, dtype=np.int64), np.empty(0), 5)
+        assert len(out) == 0
+
+    def test_random_sample_deterministic(self, data):
+        t, v = data
+        a = random_sample(t, v, 50, seed=1)
+        b = random_sample(t, v, 50, seed=1)
+        assert a == b
+
+    def test_random_sample_capped_at_population(self, data):
+        t, v = data
+        assert len(random_sample(t[:10], v[:10], 100)) == 10
+
+    def test_m4_reduce_keeps_at_most_4w(self, data):
+        t, v = data
+        reduced = m4_reduce(t, v, int(t[0]), int(t[-1]) + 1, 25)
+        assert len(reduced) <= 100
+
+
+class TestZeroErrorProperty:
+    """The paper's core quality claim (Figure 1 / Section 5.1)."""
+
+    @pytest.mark.parametrize("width,height", [(100, 50), (173, 61), (37, 97)])
+    def test_m4_is_pixel_exact(self, data, width, height):
+        t, v = data
+        series = TimeSeries(t, v, validate=False)
+        grid = PixelGrid(int(t[0]), int(t[-1]) + 1, float(v.min()),
+                         float(v.max()), width, height)
+        reference = rasterize(series, grid)
+        reduced = m4_reduce(t, v, grid.t_qs, grid.t_qe, width)
+        assert compare_pixels(reference, rasterize(reduced, grid)).is_exact()
+
+    def test_m4_exact_with_gaps_and_spikes(self):
+        rng = np.random.default_rng(4)
+        t = np.cumsum(rng.integers(1, 1000, 2000)).astype(np.int64)
+        v = rng.normal(0, 1, 2000)
+        v[rng.choice(2000, 10)] += 100
+        series = TimeSeries(t, v)
+        grid = PixelGrid.for_series(series, 120, 80)
+        reference = rasterize(series, grid)
+        reduced = m4_reduce(t, v, grid.t_qs, grid.t_qe, 120)
+        assert compare_pixels(reference, rasterize(reduced, grid)).is_exact()
+
+    def test_baselines_are_not_exact(self, data):
+        t, v = data
+        series = TimeSeries(t, v, validate=False)
+        grid = PixelGrid.for_series(series, 150, 80)
+        reference = rasterize(series, grid)
+        errors = {}
+        for name, reducer in REDUCERS.items():
+            reduced = reducer(t, v, grid.t_qs, grid.t_qe, 150)
+            errors[name] = compare_pixels(
+                reference, rasterize(reduced, grid)).differing_pixels
+        assert errors["M4"] == 0
+        for name in ("PAA", "Systematic", "Random"):
+            assert errors[name] > 0, name
+
+    def test_m4_exact_even_at_mismatched_chart_height(self, data):
+        """The guarantee is per-column; height only scales rows."""
+        t, v = data
+        series = TimeSeries(t, v, validate=False)
+        for height in (10, 333):
+            grid = PixelGrid.for_series(series, 90, height)
+            reference = rasterize(series, grid)
+            reduced = m4_reduce(t, v, grid.t_qs, grid.t_qe, 90)
+            assert compare_pixels(reference,
+                                  rasterize(reduced, grid)).is_exact()

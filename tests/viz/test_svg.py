@@ -1,0 +1,81 @@
+"""Tests for SVG chart export."""
+
+import xml.etree.ElementTree as ElementTree
+
+import numpy as np
+import pytest
+
+from repro.core import TimeSeries, m4_aggregate_series
+from repro.errors import ReproError
+from repro.viz.svg import m4_result_to_svg, save_svg, series_to_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture
+def series():
+    t = np.arange(100, dtype=np.int64) * 10
+    v = np.sin(t / 80.0)
+    return TimeSeries(t, v)
+
+
+class TestSeriesToSvg:
+    def test_valid_xml(self, series):
+        document = series_to_svg(series)
+        root = ElementTree.fromstring(document)
+        assert root.tag == SVG_NS + "svg"
+
+    def test_polyline_has_all_points(self, series):
+        root = ElementTree.fromstring(series_to_svg(series))
+        polyline = root.find(SVG_NS + "polyline")
+        assert polyline is not None
+        assert len(polyline.get("points").split()) == len(series)
+
+    def test_coordinates_inside_plot_area(self, series):
+        root = ElementTree.fromstring(
+            series_to_svg(series, width=400, height=200, margin=30))
+        polyline = root.find(SVG_NS + "polyline")
+        for pair in polyline.get("points").split():
+            x, y = map(float, pair.split(","))
+            assert 30 - 1e-6 <= x <= 370 + 1e-6
+            assert 30 - 1e-6 <= y <= 170 + 1e-6
+
+    def test_title_escaped(self, series):
+        document = series_to_svg(series, title="a < b & c")
+        assert "a &lt; b &amp; c" in document
+        ElementTree.fromstring(document)
+
+    def test_ticks_disabled(self, series):
+        root = ElementTree.fromstring(series_to_svg(series, ticks=0))
+        assert root.findall(SVG_NS + "text") == []
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ReproError):
+            series_to_svg(TimeSeries.empty())
+
+    def test_bad_margins_rejected(self, series):
+        with pytest.raises(ReproError):
+            series_to_svg(series, width=50, margin=40)
+
+    def test_single_point(self):
+        document = series_to_svg(TimeSeries([5], [1.0]))
+        ElementTree.fromstring(document)
+
+    def test_constant_value_series(self):
+        document = series_to_svg(TimeSeries([1, 2, 3], [7.0, 7.0, 7.0]))
+        ElementTree.fromstring(document)
+
+
+class TestM4Integration:
+    def test_result_export_stays_small(self):
+        rng = np.random.default_rng(0)
+        t = np.arange(100_000, dtype=np.int64)
+        big = TimeSeries(t, rng.normal(size=t.size))
+        result = m4_aggregate_series(big, w=200)
+        document = m4_result_to_svg(result, width=800)
+        assert len(document) < 60_000  # ~4 * 200 points, not 100k
+
+    def test_save(self, series, tmp_path):
+        path = tmp_path / "chart.svg"
+        save_svg(series, path, title="demo")
+        assert path.read_text().startswith("<svg")
