@@ -108,11 +108,34 @@ def make_operator(prepared, kind, **kwargs):
 
 @dataclasses.dataclass(frozen=True)
 class QueryTiming:
-    """One timed query: latency plus the I/O counters it accumulated."""
+    """One timed query: latency plus the I/O counters it accumulated.
+
+    ``metrics`` is the engine's full metrics-registry snapshot taken
+    right after the final run, so persisted bench rows carry the
+    observability state (histogram quantiles included) alongside the
+    wall-clock number.
+    """
 
     seconds: float
     stats: object  # IoStats diff
     result: object  # M4Result
+    metrics: object = None  # MetricsRegistry snapshot dict
+
+    def as_row(self):
+        """A JSON-able row for BENCH_*.json result files.
+
+        Cache effectiveness is surfaced explicitly: the shared
+        ChunkCache's hits/misses now flow through IoStats, so every
+        bench row reports them even though the cache counts internally.
+        """
+        stats = self.stats.as_dict() if self.stats is not None else {}
+        return {
+            "seconds": self.seconds,
+            "stats": stats,
+            "cache_hits": stats.get("cache_hits", 0),
+            "cache_misses": stats.get("cache_misses", 0),
+            "metrics": self.metrics,
+        }
 
 
 def timed_query(operator, prepared, w, t_qs=None, t_qe=None, repeats=1):
@@ -134,4 +157,5 @@ def timed_query(operator, prepared, w, t_qs=None, t_qe=None, repeats=1):
         elapsed = time.perf_counter() - started
         diff = engine_stats.diff(before)
         best = min(best, elapsed)
-    return QueryTiming(seconds=best, stats=diff, result=result)
+    return QueryTiming(seconds=best, stats=diff, result=result,
+                       metrics=prepared.engine.metrics.snapshot())

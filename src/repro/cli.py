@@ -6,8 +6,11 @@ Commands:
 * ``load``      — ingest a CSV into a storage directory
 * ``info``      — inspect a storage directory (series, chunks, deletes)
 * ``query``     — run a SQL statement and print the result table
+              (``--explain`` adds the span tree and M4-LSM trace)
 * ``render``    — M4-reduce a series and draw it (ASCII or PBM file)
 * ``compact``   — run full compaction on a storage directory
+* ``stats``     — print the store's observability snapshot (counters,
+              histogram quantiles, slow queries; text/JSON/Prometheus)
 
 Every command operates on a plain directory, so the same store can be
 inspected, queried and extended across invocations (recovery included).
@@ -58,6 +61,9 @@ def build_parser():
     query.add_argument("sql", help="statement, e.g. "
                        "\"SELECT M4(s) FROM x GROUP BY SPANS(100)\"")
     query.add_argument("--max-rows", type=int, default=40)
+    query.add_argument("--explain", action="store_true",
+                       help="after the result table, print the span tree "
+                            "and (for M4-LSM) the per-span query trace")
 
     render = commands.add_parser(
         "render", help="M4-reduce a series and draw a line chart")
@@ -70,6 +76,17 @@ def build_parser():
     compact = commands.add_parser(
         "compact", help="fold overlaps and deletes into fresh chunks")
     compact.add_argument("--db", required=True)
+
+    stats = commands.add_parser(
+        "stats", help="print the store's observability snapshot")
+    stats.add_argument("db", help="storage directory")
+    stats.add_argument("--format", choices=("text", "json", "prometheus"),
+                       default="text")
+    stats.add_argument("--probe", metavar="SERIES",
+                       help="run a full-range M4-LSM probe query against "
+                            "SERIES before reporting")
+    stats.add_argument("--probe-w", type=int, default=100,
+                       help="span count for the probe query")
     return parser
 
 
@@ -81,6 +98,12 @@ def main(argv=None):
     except ReproError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Reader went away (e.g. `repro stats db | head`); redirect
+        # stdout to devnull so the interpreter's exit flush stays quiet.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 def _cmd_generate(args):
@@ -131,8 +154,23 @@ def _cmd_info(args):
 def _cmd_query(args):
     with StorageEngine(args.db) as engine:
         engine.flush_all()
-        table = Executor(engine).execute(parse_sql(args.sql))
+        executor = Executor(engine)
+        parsed = parse_sql(args.sql)
+        if args.explain:
+            table, trace = executor.explain(parsed, statement=args.sql)
+        else:
+            table, trace = executor.execute(parsed,
+                                            statement=args.sql), None
         print(table.pretty(max_rows=args.max_rows))
+        if args.explain:
+            root = engine.tracer.last_root
+            if root is not None:
+                print()
+                print("span tree:")
+                print(root.render(indent=1))
+            if trace is not None:
+                print()
+                print(trace.render())
     return 0
 
 
@@ -165,6 +203,31 @@ def _cmd_render(args):
     return 0
 
 
+def _cmd_stats(args):
+    from .core.m4lsm import M4LSMOperator
+    from .obs import render_text, to_json, to_prometheus
+    with StorageEngine(args.db) as engine:
+        if args.probe:
+            engine.flush_all()
+            chunks = engine.chunks_for(args.probe)
+            if not chunks:
+                print("error: series %r is empty" % args.probe,
+                      file=sys.stderr)
+                return 1
+            t_qs = min(c.start_time for c in chunks)
+            t_qe = max(c.end_time for c in chunks) + 1
+            M4LSMOperator(engine).query(args.probe, t_qs, t_qe,
+                                        args.probe_w)
+        snapshot = engine.observability_snapshot()
+    if args.format == "json":
+        print(to_json(snapshot))
+    elif args.format == "prometheus":
+        print(to_prometheus(snapshot["metrics"]), end="")
+    else:
+        print(render_text(snapshot))
+    return 0
+
+
 def _cmd_compact(args):
     with StorageEngine(args.db) as engine:
         engine.flush_all()
@@ -181,4 +244,5 @@ _COMMANDS = {
     "query": _cmd_query,
     "render": _cmd_render,
     "compact": _cmd_compact,
+    "stats": _cmd_stats,
 }

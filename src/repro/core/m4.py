@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import InvalidQueryRangeError
+from ..obs import tracer_of
 from .result import M4Result, SpanAggregate
 from .series import Point, TimeSeries
 from .spans import span_indices, validate_query
@@ -90,20 +91,28 @@ class M4UDFOperator:
     def query(self, series_name, t_qs, t_qe, w):
         """Run the M4 representation query; returns :class:`M4Result`."""
         validate_query(t_qs, t_qe, w)
-        metadata_reader = self._engine.metadata_reader(series_name)
-        deletes = self._engine.deletes_for(series_name)
-        data_reader = self._engine.data_reader()
-        chunk_arrays = []
-        for meta in metadata_reader.chunks_overlapping(t_qs, t_qe):
-            # IoTDB's reader skips chunks whose whole interval is deleted
-            # (the effect behind Figure 14's falling M4-UDF latency).
-            if deletes.fully_deletes(meta.start_time, meta.end_time,
-                                     meta.version):
-                continue
-            t, v = data_reader.load_chunk(meta)
-            chunk_arrays.append((t, v, meta.version))
-        t, v = self._merge(chunk_arrays, deletes)
-        return m4_aggregate_arrays(t, v, t_qs, t_qe, w)
+        tracer = tracer_of(self._engine)
+        with tracer.span("operator.m4udf", series=series_name, w=w):
+            with tracer.span("read.metadata"):
+                metadata_reader = self._engine.metadata_reader(series_name)
+                deletes = self._engine.deletes_for(series_name)
+                overlapping = metadata_reader.chunks_overlapping(t_qs, t_qe)
+            data_reader = self._engine.data_reader()
+            chunk_arrays = []
+            with tracer.span("read.chunks", chunks=len(overlapping)):
+                for meta in overlapping:
+                    # IoTDB's reader skips chunks whose whole interval is
+                    # deleted (the effect behind Figure 14's falling
+                    # M4-UDF latency).
+                    if deletes.fully_deletes(meta.start_time,
+                                             meta.end_time, meta.version):
+                        continue
+                    t, v = data_reader.load_chunk(meta)
+                    chunk_arrays.append((t, v, meta.version))
+            with tracer.span("merge", streaming=self._streaming):
+                t, v = self._merge(chunk_arrays, deletes)
+            with tracer.span("aggregate"):
+                return m4_aggregate_arrays(t, v, t_qs, t_qe, w)
 
     def merged_series(self, series_name, t_qs, t_qe):
         """The fully merged series for a range (loads everything)."""

@@ -16,6 +16,7 @@ true representation point.
 from __future__ import annotations
 
 from ...errors import StorageError
+from ...obs import tracer_of
 from ...storage.overlap import contested_versions
 from ..result import M4Result, SpanAggregate
 from ..spans import all_span_bounds, validate_query
@@ -196,63 +197,78 @@ class M4LSMOperator:
 
     def _execute(self, series_name, t_qs, t_qe, w, collect_trace):
         validate_query(t_qs, t_qe, w)
-        metadata_reader = self._engine.metadata_reader(series_name)
-        chunks = metadata_reader.chunks_overlapping(t_qs, t_qe)
-        real_deletes = self._engine.deletes_for(series_name)
-        data_reader = self._engine.data_reader()
-        stats = self._engine.stats
+        tracer = tracer_of(self._engine)
+        with tracer.span("operator.m4lsm", series=series_name, w=w):
+            with tracer.span("read.metadata"):
+                metadata_reader = self._engine.metadata_reader(series_name)
+                chunks = metadata_reader.chunks_overlapping(t_qs, t_qe)
+                real_deletes = self._engine.deletes_for(series_name)
+            data_reader = self._engine.data_reader()
+            stats = self._engine.stats
 
-        bounds = all_span_bounds(t_qs, t_qe, w)
-        duration = t_qe - t_qs
-        per_span = [[] for _ in range(w)]
-        for meta in chunks:
-            lo = max(meta.start_time, t_qs)
-            hi = min(meta.end_time, t_qe - 1)
-            first_span = int((lo - t_qs) * w // duration)
-            last_span = int((hi - t_qs) * w // duration)
-            for i in range(first_span, last_span + 1):
-                per_span[i].append(meta)
+            bounds = all_span_bounds(t_qs, t_qe, w)
+            duration = t_qe - t_qs
+            per_span = [[] for _ in range(w)]
+            for meta in chunks:
+                lo = max(meta.start_time, t_qs)
+                hi = min(meta.end_time, t_qe - 1)
+                first_span = int((lo - t_qs) * w // duration)
+                last_span = int((hi - t_qs) * w // duration)
+                for i in range(first_span, last_span + 1):
+                    per_span[i].append(meta)
 
-        contested = contested_versions(chunks, real_deletes) \
-            if self._fused_fast_path else None
+            contested = contested_versions(chunks, real_deletes) \
+                if self._fused_fast_path else None
 
-        from .tracing import EMPTY, FUSED, SOLVER, QueryTrace, SpanTrace
-        span_traces = [] if collect_trace else None
-        spans = []
-        for i in range(w):
-            start, end = int(bounds[i]), int(bounds[i + 1])
-            if start >= end or not per_span[i]:
-                spans.append(SpanAggregate())
-                if collect_trace:
-                    span_traces.append(SpanTrace(i, start, end, EMPTY))
-                continue
-            if contested is not None:
-                fused = _fused_span(per_span[i], start, end, contested)
-                if fused is not None:
-                    spans.append(fused)
+            from .tracing import EMPTY, FUSED, SOLVER, QueryTrace, SpanTrace
+            span_traces = [] if collect_trace else None
+            spans = []
+            with tracer.span("solve", spans=w,
+                             chunks=len(chunks)) as solve_span:
+                n_fused = n_solver = 0
+                for i in range(w):
+                    start, end = int(bounds[i]), int(bounds[i + 1])
+                    if start >= end or not per_span[i]:
+                        spans.append(SpanAggregate())
+                        if collect_trace:
+                            span_traces.append(SpanTrace(i, start, end,
+                                                         EMPTY))
+                        continue
+                    if contested is not None:
+                        fused = _fused_span(per_span[i], start, end,
+                                            contested)
+                        if fused is not None:
+                            spans.append(fused)
+                            n_fused += 1
+                            if collect_trace:
+                                span_traces.append(SpanTrace(
+                                    i, start, end, FUSED,
+                                    n_chunks=len(per_span[i])))
+                            continue
+                    before = stats.snapshot() if collect_trace else None
+                    views = [ChunkView(meta, start, end)
+                             for meta in per_span[i]]
+                    solver = SpanSolver(views, real_deletes, data_reader,
+                                        stats=stats, lazy=self._lazy,
+                                        use_regression=self._use_regression)
+                    spans.append(solver.solve())
+                    n_solver += 1
                     if collect_trace:
+                        diff = stats.diff(before)
                         span_traces.append(SpanTrace(
-                            i, start, end, FUSED,
-                            n_chunks=len(per_span[i])))
-                    continue
-            before = stats.snapshot() if collect_trace else None
-            views = [ChunkView(meta, start, end) for meta in per_span[i]]
-            solver = SpanSolver(views, real_deletes, data_reader,
-                                stats=stats, lazy=self._lazy,
-                                use_regression=self._use_regression)
-            spans.append(solver.solve())
-            if collect_trace:
-                diff = stats.diff(before)
-                span_traces.append(SpanTrace(
-                    i, start, end, SOLVER, n_chunks=len(per_span[i]),
-                    iterations=diff.candidate_iterations,
-                    chunk_loads=diff.chunk_loads,
-                    pages_decoded=diff.pages_decoded,
-                    index_lookups=diff.index_lookups))
-        result = M4Result(int(t_qs), int(t_qe), int(w), tuple(spans))
-        trace = QueryTrace(series_name, int(t_qs), int(t_qe), int(w),
-                           tuple(span_traces)) if collect_trace else None
-        return result, trace
+                            i, start, end, SOLVER,
+                            n_chunks=len(per_span[i]),
+                            iterations=diff.candidate_iterations,
+                            chunk_loads=diff.chunk_loads,
+                            pages_decoded=diff.pages_decoded,
+                            index_lookups=diff.index_lookups))
+                solve_span.attrs["fused"] = n_fused
+                solve_span.attrs["solver"] = n_solver
+            result = M4Result(int(t_qs), int(t_qe), int(w), tuple(spans))
+            trace = QueryTrace(series_name, int(t_qs), int(t_qe), int(w),
+                               tuple(span_traces)) if collect_trace \
+                else None
+            return result, trace
 
 
 def _fused_span(metas, start, end, contested):

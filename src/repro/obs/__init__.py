@@ -1,0 +1,45 @@
+"""repro.obs — the engine-wide observability layer.
+
+Three pieces, designed to stay on by default:
+
+* :mod:`repro.obs.metrics` — named counters, gauges and fixed-bucket
+  latency histograms behind a :class:`MetricsRegistry`;
+* :mod:`repro.obs.tracer` — hierarchical spans with attached
+  :class:`~repro.storage.iostats.IoStats` counter deltas, generalizing
+  the M4-LSM-only :class:`~repro.core.m4lsm.tracing.QueryTrace` to the
+  whole engine (writes, WAL, flush, compaction, recovery, both
+  operators);
+* :mod:`repro.obs.export` / :mod:`repro.obs.slowlog` — JSON and
+  Prometheus text exporters plus a rolling slow-query log.
+
+See README.md § Observability for metric names and CLI usage.
+"""
+
+from .export import render_text, to_json, to_prometheus
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .slowlog import SlowQueryLog
+from .tracer import NULL_TRACER, Span, Tracer, tracer_of
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "render_text",
+    "to_json",
+    "to_prometheus",
+    "tracer_of",
+]

@@ -1,0 +1,159 @@
+"""Exporters: registry snapshots as JSON, Prometheus text, or terminal text.
+
+All three operate on the *snapshot dict* produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` (optionally wrapped
+in an engine observability snapshot), not on live registry objects —
+so the same code serves a running engine and a persisted ``obs.json``
+read back by ``repro stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def to_json(snapshot, indent=2):
+    """The snapshot as pretty-printed JSON text."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def _prom_name(name):
+    """A valid Prometheus metric name (invalid chars become ``_``)."""
+    name = _NAME_RE.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _prom_labels(labels, extra=None):
+    """Rendered ``{k="v",...}`` block, or an empty string."""
+    items = dict(labels or {})
+    if extra:
+        items.update(extra)
+    if not items:
+        return ""
+    body = ",".join('%s="%s"' % (_LABEL_RE.sub("_", k),
+                                 _escape(str(v)))
+                    for k, v in sorted(items.items()))
+    return "{%s}" % body
+
+
+def _escape(value):
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def _fmt_value(value):
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def to_prometheus(metrics_snapshot):
+    """The metrics snapshot in Prometheus text exposition format 0.0.4.
+
+    Counters export as ``counter``, gauges as ``gauge``, histograms as
+    classic ``histogram`` families (cumulative ``_bucket`` lines plus
+    ``_sum`` and ``_count``).
+    """
+    lines = []
+    by_family = {}
+    for entry in (metrics_snapshot.get("counters") or {}).values():
+        by_family.setdefault((_prom_name(entry["name"]), "counter"),
+                             []).append(entry)
+    for entry in (metrics_snapshot.get("gauges") or {}).values():
+        by_family.setdefault((_prom_name(entry["name"]), "gauge"),
+                             []).append(entry)
+    for (name, kind), entries in sorted(by_family.items()):
+        lines.append("# HELP %s repro %s" % (name, kind))
+        lines.append("# TYPE %s %s" % (name, kind))
+        for entry in entries:
+            lines.append("%s%s %s" % (name, _prom_labels(entry["labels"]),
+                                      _fmt_value(entry["value"])))
+    histogram_families = {}
+    for entry in (metrics_snapshot.get("histograms") or {}).values():
+        histogram_families.setdefault(_prom_name(entry["name"]),
+                                      []).append(entry)
+    for name, entries in sorted(histogram_families.items()):
+        lines.append("# HELP %s repro histogram" % name)
+        lines.append("# TYPE %s histogram" % name)
+        for entry in entries:
+            cumulative = 0
+            for bound, count in zip(entry["buckets"], entry["counts"]):
+                cumulative += count
+                lines.append("%s_bucket%s %d" % (
+                    name,
+                    _prom_labels(entry["labels"], {"le": _fmt_value(bound)}),
+                    cumulative))
+            cumulative += entry["counts"][-1]
+            lines.append("%s_bucket%s %d" % (
+                name, _prom_labels(entry["labels"], {"le": "+Inf"}),
+                cumulative))
+            lines.append("%s_sum%s %s" % (name,
+                                          _prom_labels(entry["labels"]),
+                                          _fmt_value(float(entry["sum"]))))
+            lines.append("%s_count%s %d" % (name,
+                                            _prom_labels(entry["labels"]),
+                                            entry["count"]))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_text(obs_snapshot, max_slow=10):
+    """A terminal rendering of a full observability snapshot.
+
+    ``obs_snapshot`` is the dict produced by
+    ``StorageEngine.observability_snapshot()``: ``{"metrics": ...,
+    "iostats": ..., "slow_queries": [...]}``.  A bare metrics snapshot
+    (with "counters"/"histograms" at the top level) is accepted too.
+    """
+    if "metrics" in obs_snapshot:
+        metrics = obs_snapshot["metrics"]
+    else:
+        metrics = obs_snapshot
+    lines = []
+    counters = metrics.get("counters") or {}
+    if counters:
+        lines.append("counters:")
+        width = max(len(key) for key in counters)
+        for key in sorted(counters):
+            lines.append("  %-*s %d" % (width, key,
+                                        counters[key]["value"]))
+    gauges = metrics.get("gauges") or {}
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(key) for key in gauges)
+        for key in sorted(gauges):
+            lines.append("  %-*s %s" % (width, key, gauges[key]["value"]))
+    histograms = metrics.get("histograms") or {}
+    if histograms:
+        lines.append("histograms (seconds):")
+        width = max(len(key) for key in histograms)
+        for key in sorted(histograms):
+            entry = histograms[key]
+            quantiles = entry.get("quantiles") or {}
+            lines.append(
+                "  %-*s n=%-6d p50=%.6f p95=%.6f p99=%.6f max=%.6f"
+                % (width, key, entry["count"],
+                   quantiles.get("p50", 0.0), quantiles.get("p95", 0.0),
+                   quantiles.get("p99", 0.0), quantiles.get("max", 0.0)))
+    iostats = obs_snapshot.get("iostats")
+    if iostats:
+        lines.append("io counters (engine lifetime):")
+        width = max(len(key) for key in iostats)
+        for key in sorted(iostats):
+            lines.append("  %-*s %d" % (width, key, iostats[key]))
+    slow = obs_snapshot.get("slow_queries") or []
+    if slow:
+        lines.append("slow queries (most recent %d):" % max_slow)
+        for entry in slow[-max_slow:]:
+            lines.append("  %8.3f s  %s" % (entry.get("seconds", 0.0),
+                                            entry.get("statement", "?")))
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

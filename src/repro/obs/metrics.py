@@ -1,0 +1,315 @@
+"""Metric primitives and the registry that owns them.
+
+Three instrument kinds, deliberately minimal so they are cheap enough to
+stay enabled in production paths:
+
+* :class:`Counter` — a monotonically increasing integer (events, points,
+  bytes).
+* :class:`Gauge` — a last-write-wins value (series count, cache points).
+* :class:`Histogram` — fixed-bucket latency distribution with
+  p50/p95/p99/max read out by interpolation; fixed buckets make
+  histograms mergeable across sessions by adding bucket counts.
+
+A :class:`MetricsRegistry` hands out instruments keyed by name plus an
+optional label set.  A disabled registry hands out shared no-op
+instruments, so instrumented code never branches on an "is observability
+on" flag.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+#: Default latency buckets (seconds): log-spaced from 1 µs to 60 s.
+DEFAULT_LATENCY_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Quantiles reported by :meth:`Histogram.percentiles`.
+REPORTED_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n=1):
+        """Add ``n`` (must be >= 0)."""
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value):
+        """Replace the current value."""
+        self.value = value
+
+    def inc(self, n=1):
+        self.value += n
+
+    def dec(self, n=1):
+        self.value -= n
+
+
+class Histogram:
+    """A fixed-bucket distribution of observed values.
+
+    ``counts[i]`` holds observations ``<= buckets[i]``; the final slot is
+    the overflow (+Inf) bucket.  Sum, count and max are tracked exactly;
+    quantiles are interpolated within the bucket they land in, which is
+    the standard Prometheus-side estimate.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum", "max")
+
+    def __init__(self, buckets=DEFAULT_LATENCY_BUCKETS):
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, value):
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value > self.max:
+            self.max = value
+
+    def quantile(self, q):
+        """Estimated value at quantile ``q`` in [0, 1] (0.0 when empty).
+
+        Interpolates linearly inside the winning bucket; observations in
+        the overflow bucket report the exact maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        for i, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if running + bucket_count >= rank:
+                if i == len(self.buckets):  # overflow bucket
+                    return self.max
+                lo = self.buckets[i - 1] if i > 0 else 0.0
+                hi = min(self.buckets[i], self.max)
+                fraction = (rank - running) / bucket_count
+                return lo + (hi - lo) * max(fraction, 0.0)
+            running += bucket_count
+        return self.max
+
+    def percentiles(self):
+        """``{"p50": ..., "p95": ..., "p99": ..., "max": ...}``."""
+        out = {"p%d" % round(q * 100): self.quantile(q)
+               for q in REPORTED_QUANTILES}
+        out["max"] = self.max
+        return out
+
+    @property
+    def mean(self):
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def merge_state(self, counts, count, total, maximum):
+        """Fold a previously snapshotted state into this histogram.
+
+        Bucket layouts must match (they do when both sides use the same
+        fixed buckets — the reason the buckets are fixed).
+        """
+        if len(counts) != len(self.counts):
+            raise ValueError("bucket layout mismatch: %d vs %d slots"
+                             % (len(counts), len(self.counts)))
+        for i, n in enumerate(counts):
+            self.counts[i] += int(n)
+        self.count += int(count)
+        self.sum += float(total)
+        if float(maximum) > self.max:
+            self.max = float(maximum)
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument kind."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    sum = 0.0
+    max = 0.0
+    mean = 0.0
+    buckets = ()
+
+    def inc(self, n=1):
+        pass
+
+    def dec(self, n=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+    def quantile(self, q):
+        return 0.0
+
+    def percentiles(self):
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+
+_NULL = _NullInstrument()
+
+
+def render_key(name, labels):
+    """Canonical string key: ``name`` or ``name{k="v",...}`` (sorted)."""
+    if not labels:
+        return name
+    inner = ",".join('%s="%s"' % (k, labels[k]) for k in sorted(labels))
+    return "%s{%s}" % (name, inner)
+
+
+class MetricsRegistry:
+    """Owner of all instruments, keyed by ``(name, labels)``.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("writes_total").inc(3)
+    >>> registry.counter("writes_total").value
+    3
+    """
+
+    def __init__(self, enabled=True):
+        self.enabled = enabled
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    @staticmethod
+    def _key(name, labels):
+        return (name, tuple(sorted(labels.items())) if labels else ())
+
+    def counter(self, name, **labels):
+        """The counter for ``name``/``labels`` (created on first use)."""
+        if not self.enabled:
+            return _NULL
+        key = self._key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name, **labels):
+        """The gauge for ``name``/``labels`` (created on first use)."""
+        if not self.enabled:
+            return _NULL
+        key = self._key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name, buckets=None, **labels):
+        """The histogram for ``name``/``labels`` (created on first use)."""
+        if not self.enabled:
+            return _NULL
+        key = self._key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(
+                buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS)
+        return instrument
+
+    # -- snapshot / merge ---------------------------------------------------------
+
+    def snapshot(self):
+        """A JSON-able structured copy of every instrument.
+
+        Shape::
+
+            {"counters":   {key: {"name", "labels", "value"}},
+             "gauges":     {key: {"name", "labels", "value"}},
+             "histograms": {key: {"name", "labels", "buckets", "counts",
+                                  "count", "sum", "max", "quantiles"}}}
+        """
+        counters = {}
+        for (name, labels), instrument in sorted(self._counters.items()):
+            counters[render_key(name, dict(labels))] = {
+                "name": name, "labels": dict(labels),
+                "value": instrument.value}
+        gauges = {}
+        for (name, labels), instrument in sorted(self._gauges.items()):
+            gauges[render_key(name, dict(labels))] = {
+                "name": name, "labels": dict(labels),
+                "value": instrument.value}
+        histograms = {}
+        for (name, labels), instrument in sorted(self._histograms.items()):
+            histograms[render_key(name, dict(labels))] = {
+                "name": name, "labels": dict(labels),
+                "buckets": list(instrument.buckets),
+                "counts": list(instrument.counts),
+                "count": instrument.count,
+                "sum": instrument.sum,
+                "max": instrument.max,
+                "quantiles": instrument.percentiles(),
+            }
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def load(self, snapshot):
+        """Merge a :meth:`snapshot` dict into the live instruments.
+
+        Counters and histograms accumulate; gauges take the snapshot's
+        value.  Unknown or malformed entries are skipped — loading stale
+        observability state must never break the engine.
+        """
+        if not self.enabled or not isinstance(snapshot, dict):
+            return
+        for entry in dict(snapshot.get("counters") or {}).values():
+            try:
+                self.counter(entry["name"],
+                             **entry.get("labels", {})).inc(
+                                 int(entry["value"]))
+            except (KeyError, TypeError, ValueError):
+                continue
+        for entry in dict(snapshot.get("gauges") or {}).values():
+            try:
+                self.gauge(entry["name"],
+                           **entry.get("labels", {})).set(entry["value"])
+            except (KeyError, TypeError):
+                continue
+        for entry in dict(snapshot.get("histograms") or {}).values():
+            try:
+                histogram = self.histogram(entry["name"],
+                                           buckets=entry["buckets"],
+                                           **entry.get("labels", {}))
+                histogram.merge_state(entry["counts"], entry["count"],
+                                      entry["sum"], entry["max"])
+            except (KeyError, TypeError, ValueError):
+                continue
+
+    def reset(self):
+        """Drop every instrument."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+#: A registry that records nothing; safe default for optional hooks.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -1,0 +1,64 @@
+"""Rolling slow-query log for the Session/Executor layer.
+
+Queries slower than a configurable threshold
+(``StorageConfig.slow_query_seconds``) are appended to a bounded ring;
+the newest entries survive, the oldest roll off.  Entries are plain
+dicts so they serialize straight into the engine's persisted ``obs.json``
+and print from ``repro stats``.
+"""
+
+from __future__ import annotations
+
+import collections
+import time
+
+
+class SlowQueryLog:
+    """A bounded ring of slow-query records.
+
+    Args:
+        threshold_seconds: queries at or above this latency are kept;
+            a non-positive threshold keeps everything (trace-all mode).
+        capacity: ring size; the oldest entries are evicted first.
+    """
+
+    def __init__(self, threshold_seconds=1.0, capacity=128):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.threshold_seconds = float(threshold_seconds)
+        self._entries = collections.deque(maxlen=int(capacity))
+
+    def __len__(self):
+        return len(self._entries)
+
+    @property
+    def capacity(self):
+        """Maximum number of retained entries."""
+        return self._entries.maxlen
+
+    def record(self, statement, seconds, **info):
+        """Log one query if it breaches the threshold.
+
+        Returns the entry dict when recorded, else None.
+        """
+        if self.threshold_seconds > 0 and seconds < self.threshold_seconds:
+            return None
+        entry = {"statement": str(statement), "seconds": float(seconds),
+                 "unix_time": time.time()}
+        entry.update(info)
+        self._entries.append(entry)
+        return entry
+
+    def entries(self):
+        """Oldest-to-newest list of retained entries (copies)."""
+        return [dict(entry) for entry in self._entries]
+
+    def load(self, entries):
+        """Seed the ring from persisted entries (oldest first)."""
+        for entry in entries or []:
+            if isinstance(entry, dict):
+                self._entries.append(dict(entry))
+
+    def clear(self):
+        """Drop every entry."""
+        self._entries.clear()

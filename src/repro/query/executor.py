@@ -1,12 +1,21 @@
-"""Execution of parsed queries against a storage engine."""
+"""Execution of parsed queries against a storage engine.
+
+Every :meth:`Executor.execute` call is observed: latency lands in the
+engine's ``query_seconds`` histogram (labelled by query kind and
+operator), the ``queries_total`` counter ticks, and queries slower than
+``StorageConfig.slow_query_seconds`` enter the engine's rolling
+slow-query log.
+"""
 
 from __future__ import annotations
 
 import dataclasses
+import time
 
 from ..core.m4 import M4UDFOperator
 from ..core.m4lsm import M4LSMOperator
 from ..errors import QueryError
+from ..obs import tracer_of
 from .sql import ParsedQuery
 
 _FIELD_NAMES = {
@@ -68,15 +77,43 @@ class Executor:
     def __init__(self, engine):
         self._engine = engine
 
-    def execute(self, parsed):
-        """Dispatch on query kind; returns a :class:`ResultTable`."""
+    def execute(self, parsed, statement=None):
+        """Dispatch on query kind; returns a :class:`ResultTable`.
+
+        ``statement`` is the original SQL text, used verbatim in the
+        slow-query log (a synthesized description is logged otherwise).
+        """
         if not isinstance(parsed, ParsedQuery):
             raise QueryError("execute() expects a ParsedQuery")
-        if parsed.kind == "m4":
-            return self._execute_m4(parsed)
-        if parsed.kind == "agg":
-            return self._execute_agg(parsed)
-        return self._execute_raw(parsed)
+        tracer = tracer_of(self._engine)
+        started = time.perf_counter()
+        with tracer.span("query", kind=parsed.kind,
+                         operator=parsed.operator, series=parsed.series):
+            if parsed.kind == "m4":
+                table = self._execute_m4(parsed)
+            elif parsed.kind == "agg":
+                table = self._execute_agg(parsed)
+            else:
+                table = self._execute_raw(parsed)
+        self._observe(parsed, statement, time.perf_counter() - started)
+        return table
+
+    def _observe(self, parsed, statement, seconds):
+        metrics = getattr(self._engine, "metrics", None)
+        if metrics is not None:
+            metrics.counter("query_total", kind=parsed.kind,
+                            operator=parsed.operator).inc()
+            metrics.histogram("query_seconds", kind=parsed.kind).observe(
+                seconds)
+        slow_log = getattr(self._engine, "slow_log", None)
+        if slow_log is not None:
+            if statement is None:
+                statement = "%s %s [%s, %s) w=%s" % (
+                    parsed.kind, parsed.series, parsed.t_qs, parsed.t_qe,
+                    parsed.w)
+            slow_log.record(statement, seconds, kind=parsed.kind,
+                            series=parsed.series,
+                            operator=parsed.operator)
 
     def _operator(self, name):
         if name == "m4udf":
@@ -95,10 +132,37 @@ class Executor:
                 else t_qe
         return t_qs, t_qe
 
+    def explain(self, parsed, statement=None):
+        """Like :meth:`execute`, also returning the M4-LSM
+        :class:`~repro.core.m4lsm.tracing.QueryTrace`.
+
+        Returns ``(table, trace)``; ``trace`` is None for query kinds
+        (raw scans, plain aggregates, M4-UDF) that have no per-span
+        solver trace — the hierarchical span tree on
+        ``engine.tracer.last_root`` still covers those.
+        """
+        if not isinstance(parsed, ParsedQuery):
+            raise QueryError("explain() expects a ParsedQuery")
+        if parsed.kind != "m4" or parsed.operator == "m4udf":
+            return self.execute(parsed, statement=statement), None
+        tracer = tracer_of(self._engine)
+        started = time.perf_counter()
+        with tracer.span("query", kind=parsed.kind,
+                         operator=parsed.operator, series=parsed.series):
+            t_qs, t_qe = self._resolve_range(parsed)
+            result, trace = M4LSMOperator(self._engine).query_traced(
+                parsed.series, t_qs, t_qe, parsed.w)
+            table = self._m4_table(parsed, result)
+        self._observe(parsed, statement, time.perf_counter() - started)
+        return table, trace
+
     def _execute_m4(self, parsed):
         t_qs, t_qe = self._resolve_range(parsed)
         operator = self._operator(parsed.operator)
         result = operator.query(parsed.series, t_qs, t_qe, parsed.w)
+        return self._m4_table(parsed, result)
+
+    def _m4_table(self, parsed, result):
         columns = ["span"] + [_FIELD_NAMES[c] for c in parsed.columns]
         rows = []
         for i, span in enumerate(result.spans):

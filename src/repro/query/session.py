@@ -33,6 +33,24 @@ class Session:
         """The underlying :class:`StorageEngine`."""
         return self._engine
 
+    @property
+    def metrics(self):
+        """The engine's :class:`repro.obs.MetricsRegistry`."""
+        return self._engine.metrics
+
+    @property
+    def tracer(self):
+        """The engine's :class:`repro.obs.Tracer`."""
+        return self._engine.tracer
+
+    def slow_queries(self):
+        """Entries of the engine's rolling slow-query log."""
+        return self._engine.slow_log.entries()
+
+    def stats_snapshot(self):
+        """The engine's full observability snapshot (JSON-able dict)."""
+        return self._engine.observability_snapshot()
+
     # -- writes --------------------------------------------------------------------
 
     def create_series(self, name):
@@ -64,7 +82,8 @@ class Session:
         latest data (matching IoTDB's read-your-writes behaviour).
         """
         self._engine.flush_all()
-        return self._executor.execute(parse(statement))
+        return self._executor.execute(parse(statement),
+                                      statement=statement)
 
     def query_m4(self, series, t_qs, t_qe, w, operator="m4lsm"):
         """Direct M4 query; returns :class:`repro.core.result.M4Result`."""

@@ -23,12 +23,17 @@ class ChunkCache:
     arrays whose ``size`` is charged against the capacity.
     """
 
-    def __init__(self, capacity_points):
+    def __init__(self, capacity_points, stats=None):
+        """``stats``: an optional :class:`IoStats` whose ``cache_hits`` /
+        ``cache_misses`` counters mirror this cache's — so benchmarks and
+        traces see cache effectiveness through the same counter channel
+        as every other I/O cost."""
         if capacity_points <= 0:
             raise ValueError("capacity must be positive")
         self._capacity = int(capacity_points)
         self._entries = collections.OrderedDict()
         self._points = 0
+        self._io_stats = stats
         self.hits = 0
         self.misses = 0
 
@@ -51,9 +56,13 @@ class ChunkCache:
             value = self._entries[key]
         except KeyError:
             self.misses += 1
+            if self._io_stats is not None:
+                self._io_stats.cache_misses += 1
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        if self._io_stats is not None:
+            self._io_stats.cache_hits += 1
         return value
 
     def put(self, key, value):

@@ -31,6 +31,10 @@ class StorageConfig:
     build_chunk_index: bool = True    # step regression index at flush time
     enable_wal: bool = True           # write-ahead log for buffered points
     chunk_cache_points: int = 0       # shared decoded-page LRU (0 = off)
+    metrics_enabled: bool = True      # repro.obs registry + span tracer
+    persist_metrics: bool = True      # write obs.json on engine close
+    slow_query_seconds: float = 1.0   # slow-query log threshold
+    slow_query_log_size: int = 128    # slow-query ring capacity
 
     def __post_init__(self):
         if self.avg_series_point_number_threshold <= 0:
@@ -44,6 +48,8 @@ class StorageConfig:
             raise ValueError("chunks_per_tsfile must be positive")
         if self.chunk_cache_points < 0:
             raise ValueError("chunk_cache_points must be >= 0")
+        if self.slow_query_log_size <= 0:
+            raise ValueError("slow_query_log_size must be positive")
 
 
 DEFAULT_CONFIG = StorageConfig()

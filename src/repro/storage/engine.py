@@ -16,9 +16,11 @@ the paper's experiments exercise:
 
 from __future__ import annotations
 
+import json
 import os
 
 from ..errors import SeriesNotFoundError, StorageError
+from ..obs import MetricsRegistry, SlowQueryLog, Tracer
 from .cache import ChunkCache
 from .catalog import CatalogFile
 from .chunk import write_chunk
@@ -53,11 +55,21 @@ class StorageEngine:
     >>> # engine.write_batch("root.sg.speed", ts, vs); engine.flush_all()
     """
 
+    #: File the observability snapshot persists to inside ``data_dir``.
+    OBS_FILE = "obs.json"
+
     def __init__(self, data_dir, config=DEFAULT_CONFIG, stats=None):
         self._data_dir = os.fspath(data_dir)
         os.makedirs(self._data_dir, exist_ok=True)
         self._config = config
         self._stats = stats if stats is not None else IoStats()
+        self._metrics = MetricsRegistry(enabled=config.metrics_enabled)
+        self._tracer = Tracer(stats=self._stats, registry=self._metrics,
+                              enabled=config.metrics_enabled)
+        self._slow_log = SlowQueryLog(config.slow_query_seconds,
+                                      config.slow_query_log_size)
+        self._io_base = IoStats()  # counters persisted by prior sessions
+        self._load_obs_snapshot()
         self._versions = VersionAllocator()
         self._series = {}
         self._series_by_id = {}
@@ -69,9 +81,10 @@ class StorageEngine:
         self._mods = ModsFile(os.path.join(self._data_dir, "deletes.mods"))
         self._catalog = CatalogFile(os.path.join(self._data_dir,
                                                  "catalog.meta"))
-        self._wal = WalManager(self._data_dir) if config.enable_wal \
-            else None
-        self._chunk_cache = ChunkCache(config.chunk_cache_points) \
+        self._wal = WalManager(self._data_dir, self._metrics) \
+            if config.enable_wal else None
+        self._chunk_cache = ChunkCache(config.chunk_cache_points,
+                                       stats=self._stats) \
             if config.chunk_cache_points > 0 else None
         self.recovery_summary = None
         if any(True for _ in self._catalog.read_all()):
@@ -91,6 +104,86 @@ class StorageEngine:
         return self._stats
 
     @property
+    def metrics(self):
+        """The engine's :class:`repro.obs.MetricsRegistry`."""
+        return self._metrics
+
+    @property
+    def tracer(self):
+        """The engine's :class:`repro.obs.Tracer` (span trees)."""
+        return self._tracer
+
+    @property
+    def slow_log(self):
+        """The engine's rolling :class:`repro.obs.SlowQueryLog`."""
+        return self._slow_log
+
+    # -- observability snapshot / persistence ------------------------------------------
+
+    def _obs_path(self):
+        return os.path.join(self._data_dir, self.OBS_FILE)
+
+    def _load_obs_snapshot(self):
+        """Best-effort merge of a prior session's persisted metrics."""
+        if not self._config.metrics_enabled:
+            return
+        try:
+            with open(self._obs_path(), "r", encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict):
+            return
+        self._metrics.load(data.get("metrics"))
+        iostats = data.get("iostats")
+        if isinstance(iostats, dict):
+            import dataclasses
+            known = {f.name for f in dataclasses.fields(IoStats)}
+            for key, value in iostats.items():
+                if key in known and isinstance(value, int):
+                    setattr(self._io_base, key, value)
+        self._slow_log.load(data.get("slow_queries"))
+
+    def observability_snapshot(self):
+        """The full observability state as a JSON-able dict.
+
+        ``metrics`` is the registry snapshot with engine-lifetime I/O
+        counters folded in as ``io_<field>_total``; ``iostats`` is the
+        cumulative counter dict (prior sessions + this one);
+        ``slow_queries`` is the rolling slow-query ring.
+        """
+        metrics = self._metrics.snapshot()
+        cumulative = (self._io_base + self._stats).as_dict()
+        for field, value in sorted(cumulative.items()):
+            name = "io_%s_total" % field
+            metrics["counters"][name] = {"name": name, "labels": {},
+                                         "value": int(value)}
+        return {"metrics": metrics, "iostats": cumulative,
+                "slow_queries": self._slow_log.entries()}
+
+    def _persist_obs(self):
+        """Write the observability snapshot next to the data files.
+
+        Counters and histograms accumulate across sessions (the snapshot
+        loaded at open is part of the live registry), so the file always
+        holds store-lifetime totals.  Best-effort: failures never block
+        close().
+        """
+        if not (self._config.metrics_enabled
+                and self._config.persist_metrics):
+            return
+        data = {"metrics": self._metrics.snapshot(),
+                "iostats": (self._io_base + self._stats).as_dict(),
+                "slow_queries": self._slow_log.entries()}
+        try:
+            tmp = self._obs_path() + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump(data, f, sort_keys=True)
+            os.replace(tmp, self._obs_path())
+        except OSError:
+            pass
+
+    @property
     def data_dir(self):
         """Directory holding TsFiles and the mods log."""
         return self._data_dir
@@ -105,6 +198,7 @@ class StorageEngine:
         self._series[name] = state
         self._series_by_id[series_id] = state
         self._catalog.append(series_id, name)
+        self._metrics.gauge("engine_series").set(len(self._series))
         return series_id
 
     def _register_recovered_series(self, series_id, name):
@@ -140,19 +234,25 @@ class StorageEngine:
                                                       int(t), float(v))
         state.memtable.append(int(t), float(v))
         state.points_written += 1
+        self._metrics.counter("engine_points_written_total").inc()
         self._maybe_flush(state)
 
     def write_batch(self, name, timestamps, values):
         """Insert a batch of points in any time order."""
         state = self._state(name)
-        if self._wal is not None:
-            segment = self._wal.segment(state.series_id)
-            segment.append_batch(state.series_id, timestamps, values)
-            segment.sync()
-        before = len(state.memtable)
-        state.memtable.append_batch(timestamps, values)
-        state.points_written += len(state.memtable) - before
-        self._maybe_flush(state)
+        with self._tracer.span("write.batch", series=name):
+            if self._wal is not None:
+                segment = self._wal.segment(state.series_id)
+                segment.append_batch(state.series_id, timestamps, values)
+                segment.sync()
+            before = len(state.memtable)
+            state.memtable.append_batch(timestamps, values)
+            appended = len(state.memtable) - before
+            state.points_written += appended
+            self._metrics.counter("engine_points_written_total") \
+                .inc(appended)
+            self._metrics.counter("engine_write_batches_total").inc()
+            self._maybe_flush(state)
 
     def delete(self, name, t_start, t_end):
         """Delete the closed time range ``[t_start, t_end]`` (Def. 2.5).
@@ -162,11 +262,14 @@ class StorageEngine:
         IoTDB's flush-before-delete on the affected series.
         """
         state = self._state(name)
-        if state.memtable:
-            self.flush(name)
-        delete = Delete(int(t_start), int(t_end), self._versions.next())
-        state.deletes.add(delete)
-        self._mods.append(state.series_id, delete)
+        with self._tracer.span("delete", series=name):
+            if state.memtable:
+                self.flush(name)
+            delete = Delete(int(t_start), int(t_end),
+                            self._versions.next())
+            state.deletes.add(delete)
+            self._mods.append(state.series_id, delete)
+            self._metrics.counter("engine_deletes_total").inc()
         return delete
 
     def _maybe_flush(self, state):
@@ -184,9 +287,11 @@ class StorageEngine:
         state = self._state(name)
         if not state.memtable:
             return
-        t, v = state.memtable.drain()
-        self._seal_chunk(state, t, v)
-        self._checkpoint_wal(state)
+        with self._tracer.span("flush", series=name,
+                               points=len(state.memtable)):
+            t, v = state.memtable.drain()
+            self._seal_chunk(state, t, v)
+            self._checkpoint_wal(state)
 
     def _checkpoint_wal(self, state):
         """Make the series' WAL segment equal its memtable contents.
@@ -214,17 +319,22 @@ class StorageEngine:
     def _seal_chunk(self, state, timestamps, values):
         if timestamps.size == 0:
             return
-        version = self._versions.next()
-        block, metadata = write_chunk(state.series_id, version, timestamps,
-                                      values, self._config)
-        if self._writer is None:
-            self._writer = TsFileWriter(self._next_file_path())
-            self._writer_chunks = 0
-        located = self._writer.append_chunk(block, metadata)
-        state.chunks.append(located)
-        self._writer_chunks += 1
-        if self._writer_chunks >= self._config.chunks_per_tsfile:
-            self._seal_active_file()
+        with self._tracer.span("flush.seal_chunk", series=state.name,
+                               points=int(timestamps.size)):
+            version = self._versions.next()
+            block, metadata = write_chunk(state.series_id, version,
+                                          timestamps, values, self._config)
+            if self._writer is None:
+                self._writer = TsFileWriter(self._next_file_path())
+                self._writer_chunks = 0
+            located = self._writer.append_chunk(block, metadata)
+            state.chunks.append(located)
+            self._writer_chunks += 1
+            self._metrics.counter("engine_chunks_sealed_total").inc()
+            self._metrics.counter("engine_points_flushed_total") \
+                .inc(int(timestamps.size))
+            if self._writer_chunks >= self._config.chunks_per_tsfile:
+                self._seal_active_file()
 
     def _next_file_path(self):
         self._file_seq += 1
@@ -235,6 +345,8 @@ class StorageEngine:
             self._writer.close()
             self._writer = None
             self._writer_chunks = 0
+            self._metrics.counter("engine_tsfiles_sealed_total").inc()
+            self._metrics.gauge("engine_tsfile_seq").set(self._file_seq)
 
     def tsfile_reader(self, path):
         """Pooled :class:`TsFileReader` for a sealed file."""
@@ -301,6 +413,7 @@ class StorageEngine:
         self._readers.clear()
         if self._wal is not None:
             self._wal.close()
+        self._persist_obs()
 
     def __enter__(self):
         return self

@@ -24,6 +24,8 @@ class IoStats:
     bytes_read: int = 0            # raw bytes fetched from disk
     index_lookups: int = 0         # chunk-index probe operations
     candidate_iterations: int = 0  # M4-LSM generate/verify rounds
+    cache_hits: int = 0            # shared ChunkCache hits
+    cache_misses: int = 0          # shared ChunkCache misses
 
     def reset(self):
         """Zero every counter in place."""

@@ -21,6 +21,10 @@ class MemTable:
         self._time_parts = []
         self._value_parts = []
         self._count = 0
+        # Lifetime accounting (read by flush spans and ``repro stats``).
+        self.appended_total = 0
+        self.drained_total = 0
+        self.drain_count = 0
 
     def __len__(self):
         return self._count
@@ -33,6 +37,7 @@ class MemTable:
         self._time_parts.append(np.array([t], dtype=np.int64))
         self._value_parts.append(np.array([v], dtype=np.float64))
         self._count += 1
+        self.appended_total += 1
 
     def append_batch(self, timestamps, values):
         """Insert a batch of points (any order, duplicates allowed)."""
@@ -45,6 +50,7 @@ class MemTable:
         self._time_parts.append(t)
         self._value_parts.append(v)
         self._count += t.size
+        self.appended_total += int(t.size)
 
     def drain(self):
         """Remove and return all points as sorted, de-duplicated arrays.
@@ -64,6 +70,8 @@ class MemTable:
         t = t[order]
         v = v[order]
         keep = np.concatenate((t[1:] != t[:-1], [True]))  # last per timestamp
+        self.drained_total += int(np.count_nonzero(keep))
+        self.drain_count += 1
         return t[keep], v[keep]
 
     def snapshot(self):
@@ -86,4 +94,15 @@ class MemTable:
         if t.size <= n_points:
             return t, v
         self.append_batch(t[n_points:], v[n_points:])
+        # The re-buffered remainder was never new data nor truly drained.
+        remainder = int(t.size) - n_points
+        self.appended_total -= remainder
+        self.drained_total -= remainder
         return t[:n_points], v[:n_points]
+
+    def stats(self):
+        """Lifetime accounting: buffered, appended, drained, drains."""
+        return {"buffered_points": self._count,
+                "appended_total": self.appended_total,
+                "drained_total": self.drained_total,
+                "drain_count": self.drain_count}

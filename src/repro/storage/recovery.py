@@ -46,58 +46,77 @@ def recover_engine_state(engine):
     already has a catalog.  Returns a summary dict (series, chunks,
     deletes, replayed WAL points).
     """
-    # 1. Series registry.
-    for series_id, name in engine._catalog.read_all():
-        state = engine._register_recovered_series(series_id, name)
-        del state
+    tracer = engine.tracer
+    with tracer.span("recovery") as recovery_span:
+        # 1. Series registry.
+        with tracer.span("recovery.catalog") as span:
+            n_series = 0
+            for series_id, name in engine._catalog.read_all():
+                engine._register_recovered_series(series_id, name)
+                n_series += 1
+            span.attrs["series"] = n_series
 
-    # 2. Chunks from sealed TsFiles.
-    n_chunks = 0
-    max_version = 0
-    max_seq = 0
-    for seq, path in list_tsfiles(engine.data_dir):
-        max_seq = max(max_seq, seq)
-        with TsFileReader(path) as reader:
-            for meta in reader.read_metadata():
-                state = engine._series_by_id.get(meta.series_id)
+        # 2. Chunks from sealed TsFiles.
+        n_chunks = 0
+        max_version = 0
+        max_seq = 0
+        with tracer.span("recovery.tsfiles") as span:
+            for seq, path in list_tsfiles(engine.data_dir):
+                max_seq = max(max_seq, seq)
+                with TsFileReader(path) as reader:
+                    for meta in reader.read_metadata():
+                        state = engine._series_by_id.get(meta.series_id)
+                        if state is None:
+                            raise CorruptFileError(
+                                "%s: chunk for unknown series id %d"
+                                % (path, meta.series_id))
+                        state.chunks.append(meta)
+                        state.points_written += meta.n_points
+                        max_version = max(max_version, meta.version)
+                        n_chunks += 1
+            for state in engine._series_by_id.values():
+                state.chunks.sort(key=lambda m: m.version)
+            span.attrs["chunks"] = n_chunks
+
+        # 3. Deletes from the mods log.
+        n_deletes = 0
+        with tracer.span("recovery.mods") as span:
+            for series_id, delete in engine._mods.read_all():
+                state = engine._series_by_id.get(series_id)
                 if state is None:
                     raise CorruptFileError(
-                        "%s: chunk for unknown series id %d"
-                        % (path, meta.series_id))
-                state.chunks.append(meta)
-                state.points_written += meta.n_points
-                max_version = max(max_version, meta.version)
-                n_chunks += 1
-    for state in engine._series_by_id.values():
-        state.chunks.sort(key=lambda m: m.version)
+                        "mods log references unknown series id %d"
+                        % series_id)
+                state.deletes.add(delete)
+                max_version = max(max_version, int(delete.version))
+                n_deletes += 1
+            span.attrs["deletes"] = n_deletes
 
-    # 3. Deletes from the mods log.
-    n_deletes = 0
-    for series_id, delete in engine._mods.read_all():
-        state = engine._series_by_id.get(series_id)
-        if state is None:
-            raise CorruptFileError(
-                "mods log references unknown series id %d" % series_id)
-        state.deletes.add(delete)
-        max_version = max(max_version, int(delete.version))
-        n_deletes += 1
+        # 4. Unflushed points from the WAL.
+        n_replayed = 0
+        if engine._wal is not None:
+            with tracer.span("recovery.wal") as span:
+                for series_id, t, v in engine._wal.replay_all():
+                    state = engine._series_by_id.get(series_id)
+                    if state is None:
+                        raise CorruptFileError(
+                            "WAL references unknown series id %d"
+                            % series_id)
+                    state.memtable.append(t, v)
+                    state.points_written += 1
+                    n_replayed += 1
+                span.attrs["wal_points"] = n_replayed
 
-    # 4. Unflushed points from the WAL.
-    n_replayed = 0
-    if engine._wal is not None:
-        for series_id, t, v in engine._wal.replay_all():
-            state = engine._series_by_id.get(series_id)
-            if state is None:
-                raise CorruptFileError(
-                    "WAL references unknown series id %d" % series_id)
-            state.memtable.append(t, v)
-            state.points_written += 1
-            n_replayed += 1
-
-    engine._restore_counters(max_version, max_seq)
-    return {
-        "series": len(engine._series_by_id),
-        "chunks": n_chunks,
-        "deletes": n_deletes,
-        "wal_points": n_replayed,
-    }
+        engine._restore_counters(max_version, max_seq)
+        summary = {
+            "series": len(engine._series_by_id),
+            "chunks": n_chunks,
+            "deletes": n_deletes,
+            "wal_points": n_replayed,
+        }
+        recovery_span.attrs.update(summary)
+    metrics = engine.metrics
+    metrics.counter("engine_recoveries_total").inc()
+    metrics.counter("engine_recovered_wal_points_total").inc(n_replayed)
+    metrics.gauge("engine_series").set(summary["series"])
+    return summary

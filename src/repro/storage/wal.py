@@ -27,9 +27,19 @@ _RECORD = struct.Struct("<Iqd")
 
 
 class WriteAheadLog:
-    """Append-only point log with rotation."""
+    """Append-only point log with rotation.
 
-    def __init__(self, path):
+    ``registry``: an optional :class:`repro.obs.MetricsRegistry`; when
+    given, appended records/bytes, syncs and rotations are counted.
+    """
+
+    def __init__(self, path, registry=None):
+        from ..obs import NULL_REGISTRY
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._c_records = registry.counter("wal_records_total")
+        self._c_bytes = registry.counter("wal_bytes_total")
+        self._c_syncs = registry.counter("wal_syncs_total")
+        self._c_rotations = registry.counter("wal_rotations_total")
         self._path = os.fspath(path)
         if not os.path.exists(self._path):
             self._start_fresh()
@@ -47,22 +57,28 @@ class WriteAheadLog:
     def append(self, series_id, t, v):
         """Log a single point."""
         self._file.write(_RECORD.pack(series_id, int(t), float(v)))
+        self._c_records.inc()
+        self._c_bytes.inc(_RECORD.size)
 
     def append_batch(self, series_id, timestamps, values):
         """Log a batch of points with one file write."""
         parts = [_RECORD.pack(series_id, int(t), float(v))
                  for t, v in zip(timestamps, values)]
         self._file.write(b"".join(parts))
+        self._c_records.inc(len(parts))
+        self._c_bytes.inc(_RECORD.size * len(parts))
 
     def sync(self):
         """Flush OS buffers (called before acknowledging writes)."""
         self._file.flush()
+        self._c_syncs.inc()
 
     def rotate(self):
         """Drop all records: everything logged so far is now in chunks."""
         self._file.close()
         self._start_fresh()
         self._file = open(self._path, "ab")
+        self._c_rotations.inc()
 
     def close(self):
         """Release the file handle."""
@@ -113,8 +129,9 @@ class WalManager:
     giving old points fresh versions.
     """
 
-    def __init__(self, data_dir):
+    def __init__(self, data_dir, registry=None):
         self._data_dir = os.fspath(data_dir)
+        self._registry = registry
         self._segments = {}
 
     def segment(self, series_id):
@@ -122,7 +139,7 @@ class WalManager:
         if series_id not in self._segments:
             path = os.path.join(self._data_dir,
                                 "wal-%06d.log" % series_id)
-            self._segments[series_id] = WriteAheadLog(path)
+            self._segments[series_id] = WriteAheadLog(path, self._registry)
         return self._segments[series_id]
 
     def replay_all(self):

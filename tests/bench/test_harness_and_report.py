@@ -78,6 +78,22 @@ class TestHarness:
             assert udf_run.result.semantically_equal(lsm_run.result)
             assert udf_run.stats.chunk_loads >= lsm_run.stats.chunk_loads
 
+    def test_timing_row_reports_cache_and_metrics(self, tmp_path):
+        with prepare_engine("MF03", n_points=2000, chunk_points=500,
+                            data_dir=str(tmp_path / "db")) as prepared:
+            lsm = make_operator(prepared, "m4lsm")
+            run = timed_query(lsm, prepared, 9)
+            row = run.as_row()
+            assert row["seconds"] == run.seconds
+            assert row["stats"]["metadata_reads"] > 0
+            # Cache counters always present (0 when the cache is off).
+            assert row["cache_hits"] == row["stats"]["cache_hits"]
+            assert row["cache_misses"] == row["stats"]["cache_misses"]
+            # The metrics snapshot rides along with every bench row.
+            counters = row["metrics"]["counters"]
+            assert counters["engine_points_written_total"]["value"] \
+                >= 2000
+
     def test_owned_temp_dir_cleaned_up(self):
         import os
         prepared = prepare_engine("KOB", n_points=2000, chunk_points=500)

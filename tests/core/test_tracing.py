@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import M4LSMOperator
 from repro.core.m4lsm import EMPTY, FUSED, SOLVER
+from repro.core.m4lsm.tracing import QueryTrace, SpanTrace
 
 
 @pytest.fixture
@@ -60,6 +61,32 @@ class TestQueryTrace:
         hottest = trace.hottest_spans()
         decoded = [s.pages_decoded for s in hottest]
         assert decoded == sorted(decoded, reverse=True)
+
+    def test_hottest_spans_respects_limit(self):
+        spans = tuple(SpanTrace(span_index=i, start=i, end=i + 1,
+                                mode=SOLVER, pages_decoded=i)
+                      for i in range(8))
+        trace = QueryTrace("s", 0, 8, 8, spans)
+        hottest = trace.hottest_spans(limit=3)
+        assert [s.pages_decoded for s in hottest] == [7, 6, 5]
+        # Spans that decoded nothing never appear, however large the
+        # limit — only index 0 is excluded here.
+        assert len(trace.hottest_spans(limit=100)) == 7
+
+    def test_metadata_only_fraction_of_all_empty_trace(self):
+        spans = tuple(SpanTrace(span_index=i, start=i, end=i + 1,
+                                mode=EMPTY) for i in range(4))
+        trace = QueryTrace("s", 0, 4, 4, spans)
+        # No non-empty spans: vacuously metadata-only (nothing was read).
+        assert trace.metadata_only_fraction() == 1.0
+        assert trace.counts_by_mode() == {EMPTY: 4, FUSED: 0, SOLVER: 0}
+        assert trace.hottest_spans() == []
+
+    def test_render_of_empty_trace_is_readable(self):
+        trace = QueryTrace("s", 0, 0, 0, ())
+        text = trace.render()
+        assert "M4-LSM trace" in text
+        assert "metadata-only spans: 100.0%" in text
 
     def test_all_fused_when_uncontested(self, engine):
         engine.create_series("clean")

@@ -1,0 +1,188 @@
+"""Tests for the JSON / Prometheus / terminal exporters.
+
+``parse_exposition`` is a miniature parser for the Prometheus text
+exposition format (0.0.4): it validates comment lines, metric/label
+syntax and sample values, and returns the parsed families.  The
+integration tests reuse it against real ``repro stats`` output, which is
+how the "exporter output parses as valid exposition text" acceptance
+criterion is asserted.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.obs import MetricsRegistry, render_text, to_json, to_prometheus
+
+_METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>\S+)$")
+_LABEL_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"$')
+
+
+def parse_exposition(text):
+    """Parse Prometheus text format; raises AssertionError when invalid.
+
+    Returns ``{family: {"type": kind, "samples": [(name, labels, value)]}}``
+    where ``family`` strips histogram ``_bucket``/``_sum``/``_count``
+    suffixes back to the declared family name.
+    """
+    families = {}
+    declared = {}
+    for line in text.splitlines():
+        assert line == line.rstrip(), "trailing whitespace: %r" % line
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            assert len(parts) >= 3, "malformed comment: %r" % line
+            assert parts[1] in ("HELP", "TYPE"), line
+            assert _METRIC_RE.match(parts[2]), line
+            if parts[1] == "TYPE":
+                kind = parts[3]
+                assert kind in ("counter", "gauge", "histogram",
+                                "summary", "untyped"), line
+                declared[parts[2]] = kind
+                families[parts[2]] = {"type": kind, "samples": []}
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match, "malformed sample line: %r" % line
+        name = match.group("name")
+        labels = {}
+        if match.group("labels"):
+            for pair in re.split(r",(?=[a-zA-Z_])",
+                                 match.group("labels")):
+                assert _LABEL_RE.match(pair), \
+                    "malformed label pair %r in %r" % (pair, line)
+                key, value = pair.split("=", 1)
+                labels[key] = value[1:-1]
+        raw = match.group("value")
+        value = float("inf") if raw == "+Inf" else float(raw)
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[:-len(suffix)] if name.endswith(suffix) else None
+            if base and declared.get(base) == "histogram":
+                family = base
+        assert family in declared, \
+            "sample %r precedes its TYPE declaration" % line
+        if declared[family] != "histogram":
+            assert name == family, \
+                "suffixed sample %r for non-histogram family" % line
+        families[family]["samples"].append((name, labels, value))
+    # Histogram invariants per label set: buckets cumulative, +Inf
+    # equals _count.
+    for family, data in families.items():
+        if data["type"] != "histogram":
+            continue
+        last = {}
+        inf_value = {}
+        count_value = {}
+        for name, labels, value in data["samples"]:
+            series = tuple(sorted((k, v) for k, v in labels.items()
+                                  if k != "le"))
+            if name == family + "_bucket":
+                assert value >= last.get(series, -1.0), \
+                    "non-cumulative bucket in %s%r" % (family, series)
+                last[series] = value
+                if labels.get("le") == "+Inf":
+                    inf_value[series] = value
+            elif name == family + "_count":
+                count_value[series] = value
+        assert inf_value, "%s has no +Inf bucket" % family
+        for series, value in inf_value.items():
+            assert value == count_value.get(series), \
+                "%s%r: +Inf bucket %s != count %s" \
+                % (family, series, value, count_value.get(series))
+    return families
+
+
+@pytest.fixture
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("engine_points_written_total").inc(500)
+    registry.counter("query_total", kind="m4", operator="m4lsm").inc(3)
+    registry.gauge("engine_series").set(2)
+    histogram = registry.histogram("query_seconds", kind="m4")
+    for value in (0.001, 0.004, 0.02, 1.2):
+        histogram.observe(value)
+    return registry
+
+
+class TestToJson:
+    def test_round_trips_through_json(self, populated_registry):
+        text = to_json(populated_registry.snapshot())
+        data = json.loads(text)
+        assert data["counters"]["engine_points_written_total"]["value"] \
+            == 500
+        assert 'query_seconds{kind="m4"}' in data["histograms"]
+
+    def test_sorted_and_indented(self, populated_registry):
+        text = to_json(populated_registry.snapshot())
+        assert text.index('"counters"') < text.index('"gauges"')
+
+
+class TestToPrometheus:
+    def test_output_parses_as_valid_exposition_text(
+            self, populated_registry):
+        families = parse_exposition(
+            to_prometheus(populated_registry.snapshot()))
+        assert families["engine_points_written_total"]["type"] == "counter"
+        assert families["engine_series"]["type"] == "gauge"
+        assert families["query_seconds"]["type"] == "histogram"
+
+    def test_counter_value_and_labels(self, populated_registry):
+        families = parse_exposition(
+            to_prometheus(populated_registry.snapshot()))
+        ((name, labels, value),) = families["query_total"]["samples"]
+        assert labels == {"kind": "m4", "operator": "m4lsm"}
+        assert value == 3.0
+
+    def test_histogram_count_and_sum(self, populated_registry):
+        families = parse_exposition(
+            to_prometheus(populated_registry.snapshot()))
+        samples = {name: value for name, labels, value
+                   in families["query_seconds"]["samples"]
+                   if not name.endswith("_bucket")}
+        assert samples["query_seconds_count"] == 4.0
+        assert samples["query_seconds_sum"] == pytest.approx(1.225)
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path='a"b\\c').inc()
+        families = parse_exposition(to_prometheus(registry.snapshot()))
+        ((_, labels, _),) = families["c"]["samples"]
+        assert labels == {"path": 'a\\"b\\\\c'}
+
+    def test_invalid_metric_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("bad-name.total").inc(1)
+        families = parse_exposition(to_prometheus(registry.snapshot()))
+        assert "bad_name_total" in families
+
+    def test_empty_snapshot_is_empty_text(self):
+        assert to_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+class TestRenderText:
+    def test_sections_present(self, populated_registry):
+        text = render_text({"metrics": populated_registry.snapshot(),
+                            "iostats": {"chunk_loads": 9},
+                            "slow_queries": [{"statement": "SELECT slow",
+                                              "seconds": 2.5}]})
+        assert "counters:" in text
+        assert "engine_points_written_total" in text
+        assert "p50=" in text and "p99=" in text
+        assert "chunk_loads" in text
+        assert "SELECT slow" in text
+
+    def test_accepts_bare_metrics_snapshot(self, populated_registry):
+        text = render_text(populated_registry.snapshot())
+        assert "engine_series" in text
+
+    def test_empty_snapshot(self):
+        assert render_text(MetricsRegistry().snapshot()) \
+            == "(no metrics recorded)"

@@ -1,0 +1,184 @@
+"""Tests for the metric primitives and the registry."""
+
+import pytest
+
+from repro.obs import (DEFAULT_LATENCY_BUCKETS, Counter, Gauge, Histogram,
+                       MetricsRegistry, NULL_REGISTRY)
+from repro.obs.metrics import render_key
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+
+
+class TestHistogram:
+    def test_empty_histogram(self):
+        histogram = Histogram()
+        assert histogram.count == 0
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.mean == 0.0
+        assert histogram.percentiles() == {"p50": 0.0, "p95": 0.0,
+                                           "p99": 0.0, "max": 0.0}
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_observe_tracks_count_sum_max(self):
+        histogram = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 8.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(13.0)
+        assert histogram.max == 8.0
+        # One observation per bucket, one in overflow.
+        assert histogram.counts == [1, 1, 1, 1]
+
+    def test_quantiles_are_ordered_and_bounded(self):
+        histogram = Histogram()
+        for i in range(100):
+            histogram.observe(0.001 * (i + 1))
+        quantiles = histogram.percentiles()
+        assert 0.0 < quantiles["p50"] <= quantiles["p95"]
+        assert quantiles["p95"] <= quantiles["p99"] <= quantiles["max"]
+        assert quantiles["max"] == pytest.approx(0.1)
+
+    def test_overflow_bucket_reports_exact_max(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(123.456)
+        assert histogram.quantile(0.5) == 123.456
+        assert histogram.quantile(1.0) == 123.456
+
+    def test_quantile_validates_range(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_merge_state_accumulates(self):
+        a = Histogram(buckets=(1.0, 2.0))
+        b = Histogram(buckets=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(10.0)
+        a.merge_state(b.counts, b.count, b.sum, b.max)
+        assert a.count == 3
+        assert a.sum == pytest.approx(12.0)
+        assert a.max == 10.0
+        assert a.counts == [1, 1, 1]
+
+    def test_merge_state_rejects_layout_mismatch(self):
+        a = Histogram(buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            a.merge_state([1, 2], 3, 1.0, 1.0)
+
+
+class TestRenderKey:
+    def test_plain_name(self):
+        assert render_key("writes_total", {}) == "writes_total"
+
+    def test_labels_sorted(self):
+        key = render_key("query_seconds", {"kind": "m4", "b": "2"})
+        assert key == 'query_seconds{b="2",kind="m4"}'
+
+
+class TestMetricsRegistry:
+    def test_same_key_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("writes_total", series="s").inc(3)
+        assert registry.counter("writes_total", series="s").value == 3
+        # Different labels get an independent counter.
+        assert registry.counter("writes_total", series="t").value == 0
+
+    def test_histogram_custom_buckets_on_first_use(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        assert histogram.buckets == (1.0, 2.0)
+        assert registry.histogram("h") is histogram
+
+    def test_default_buckets(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.buckets == tuple(DEFAULT_LATENCY_BUCKETS)
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", kind="flush").inc(2)
+        registry.gauge("series").set(7)
+        registry.histogram("latency").observe(0.01)
+        snapshot = registry.snapshot()
+        counter = snapshot["counters"]['events_total{kind="flush"}']
+        assert counter == {"name": "events_total",
+                           "labels": {"kind": "flush"}, "value": 2}
+        assert snapshot["gauges"]["series"]["value"] == 7
+        histogram = snapshot["histograms"]["latency"]
+        assert histogram["count"] == 1
+        assert histogram["sum"] == pytest.approx(0.01)
+        assert set(histogram["quantiles"]) == {"p50", "p95", "p99", "max"}
+        assert len(histogram["counts"]) == len(histogram["buckets"]) + 1
+
+    def test_load_accumulates_counters_and_histograms(self):
+        first = MetricsRegistry()
+        first.counter("events_total").inc(5)
+        first.gauge("series").set(3)
+        first.histogram("latency").observe(0.5)
+        second = MetricsRegistry()
+        second.counter("events_total").inc(1)
+        second.histogram("latency").observe(1.5)
+        second.load(first.snapshot())
+        assert second.counter("events_total").value == 6
+        assert second.gauge("series").value == 3
+        histogram = second.histogram("latency")
+        assert histogram.count == 2
+        assert histogram.sum == pytest.approx(2.0)
+
+    def test_load_skips_malformed_entries(self):
+        registry = MetricsRegistry()
+        registry.load({"counters": {"bad": {"nope": 1},
+                                    "ok": {"name": "c", "value": 2}},
+                       "gauges": {"bad": 5},
+                       "histograms": {"bad": {"name": "h"}}})
+        assert registry.counter("c").value == 2
+        assert registry.snapshot()["histograms"] == {}
+
+    def test_load_ignores_non_dict(self):
+        registry = MetricsRegistry()
+        registry.load(None)
+        registry.load("garbage")
+        assert registry.snapshot()["counters"] == {}
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.counter("c").value == 0
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["c"]
+
+    def test_disabled_registry_is_inert(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc(100)
+        registry.gauge("g").set(5)
+        registry.histogram("h").observe(1.0)
+        snapshot = registry.snapshot()
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+        # load() on a disabled registry is also a no-op.
+        registry.load({"counters": {"c": {"name": "c", "value": 1}}})
+        assert registry.snapshot()["counters"] == {}
+
+    def test_null_registry_shared_instrument(self):
+        counter = NULL_REGISTRY.counter("anything")
+        counter.inc(10)
+        assert counter.value == 0
+        assert NULL_REGISTRY.histogram("h").percentiles()["max"] == 0.0

@@ -1,0 +1,64 @@
+"""Tests for the rolling slow-query log."""
+
+import pytest
+
+from repro.obs import SlowQueryLog
+
+
+class TestThreshold:
+    def test_fast_queries_are_not_recorded(self):
+        log = SlowQueryLog(threshold_seconds=1.0)
+        assert log.record("SELECT fast", 0.5) is None
+        assert len(log) == 0
+
+    def test_slow_queries_are_recorded_with_info(self):
+        log = SlowQueryLog(threshold_seconds=1.0)
+        entry = log.record("SELECT slow", 2.5, kind="m4", series="s")
+        assert entry["statement"] == "SELECT slow"
+        assert entry["seconds"] == 2.5
+        assert entry["kind"] == "m4" and entry["series"] == "s"
+        assert entry["unix_time"] > 0
+        assert len(log) == 1
+
+    def test_exactly_at_threshold_is_recorded(self):
+        log = SlowQueryLog(threshold_seconds=1.0)
+        assert log.record("SELECT edge", 1.0) is not None
+
+    def test_non_positive_threshold_keeps_everything(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        assert log.record("SELECT anything", 0.000001) is not None
+        assert len(log) == 1
+
+
+class TestRing:
+    def test_capacity_evicts_oldest(self):
+        log = SlowQueryLog(threshold_seconds=0.0, capacity=3)
+        for i in range(5):
+            log.record("q%d" % i, 0.1)
+        statements = [e["statement"] for e in log.entries()]
+        assert statements == ["q2", "q3", "q4"]
+        assert log.capacity == 3
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+
+    def test_entries_are_copies(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        log.record("q", 0.1)
+        log.entries()[0]["statement"] = "mutated"
+        assert log.entries()[0]["statement"] == "q"
+
+    def test_load_and_clear(self):
+        log = SlowQueryLog(threshold_seconds=0.0, capacity=2)
+        log.load([{"statement": "old", "seconds": 9.0},
+                  "not-a-dict",
+                  {"statement": "older", "seconds": 8.0}])
+        assert [e["statement"] for e in log.entries()] == ["old", "older"]
+        log.clear()
+        assert len(log) == 0
+
+    def test_load_none_is_noop(self):
+        log = SlowQueryLog()
+        log.load(None)
+        assert len(log) == 0

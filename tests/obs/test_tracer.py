@@ -1,0 +1,158 @@
+"""Tests for the hierarchical span tracer."""
+
+from repro.obs import MetricsRegistry, NULL_TRACER, Tracer, tracer_of
+from repro.storage.iostats import IoStats
+
+
+class TestSpanTree:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child.a") as a:
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child.b"):
+                pass
+        assert [c.name for c in root.children] == ["child.a", "child.b"]
+        assert a.children[0].name == "grandchild"
+        assert a.parent is root
+        assert [s.name for s in root.walk()] == [
+            "root", "child.a", "grandchild", "child.b"]
+
+    def test_last_root_is_the_completed_root(self):
+        tracer = Tracer()
+        assert tracer.last_root is None
+        with tracer.span("first"):
+            assert tracer.last_root is None  # not finished yet
+        with tracer.span("second"):
+            pass
+        assert tracer.last_root.name == "second"
+
+    def test_current_tracks_the_open_span(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_find_and_find_all(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("load"):
+                pass
+            with tracer.span("load"):
+                pass
+        assert root.find("load") is root.children[0]
+        assert len(root.find_all("load")) == 2
+        assert root.find("missing") is None
+
+    def test_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("op", series="s", points=10) as span:
+            pass
+        assert span.duration > 0.0
+        assert span.attrs == {"series": "s", "points": 10}
+
+
+class TestCounterDeltas:
+    def test_span_captures_nonzero_deltas_only(self):
+        stats = IoStats()
+        tracer = Tracer(stats=stats)
+        with tracer.span("read") as span:
+            stats.chunk_loads += 3
+            stats.pages_decoded += 7
+        assert span.counters == {"chunk_loads": 3, "pages_decoded": 7}
+
+    def test_nested_spans_get_their_own_window(self):
+        stats = IoStats()
+        tracer = Tracer(stats=stats)
+        with tracer.span("outer") as outer:
+            stats.metadata_reads += 1
+            with tracer.span("inner") as inner:
+                stats.chunk_loads += 2
+        # Inner sees only its own window; outer sees the whole query.
+        assert inner.counters == {"chunk_loads": 2}
+        assert outer.counters == {"metadata_reads": 1, "chunk_loads": 2}
+
+    def test_no_stats_means_no_counters(self):
+        tracer = Tracer()
+        with tracer.span("op") as span:
+            pass
+        assert span.counters == {}
+
+
+class TestRenderAndDump:
+    def test_render_shows_names_attrs_counters(self):
+        stats = IoStats()
+        tracer = Tracer(stats=stats)
+        with tracer.span("query", series="s"):
+            with tracer.span("read"):
+                stats.bytes_read += 99
+        text = tracer.last_root.render()
+        assert "query" in text and "series=s" in text
+        assert "read" in text and "[bytes_read=99]" in text
+        assert "ms" in text
+        # The child line is indented under the root line.
+        lines = text.splitlines()
+        assert lines[1].startswith("  read")
+
+    def test_to_dict_is_recursive(self):
+        tracer = Tracer()
+        with tracer.span("a", k="v"):
+            with tracer.span("b"):
+                pass
+        dump = tracer.last_root.to_dict()
+        assert dump["name"] == "a"
+        assert dump["attrs"] == {"k": "v"}
+        assert dump["children"][0]["name"] == "b"
+        assert dump["seconds"] > 0.0
+
+
+class TestRegistryIntegration:
+    def test_span_duration_lands_in_histogram(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry)
+        with tracer.span("flush"):
+            pass
+        with tracer.span("flush"):
+            pass
+        histogram = registry.histogram("repro_span_seconds", span="flush")
+        assert histogram.count == 2
+        assert histogram.sum > 0.0
+
+
+class TestDisabledTracer:
+    def test_disabled_tracer_hands_out_noop_span(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("anything", series="s") as span:
+            span.attrs["extra"] = 1  # annotation is silently discarded
+        assert tracer.last_root is None
+        assert span.render() == ""
+        assert span.to_dict() == {}
+        assert span.find("anything") is None
+        assert list(span.walk()) == []
+
+    def test_null_tracer_is_disabled(self):
+        with NULL_TRACER.span("x") as span:
+            pass
+        assert span.duration == 0.0
+        assert NULL_TRACER.last_root is None
+
+
+class TestTracerOf:
+    def test_engine_with_tracer(self):
+        class Engine:
+            tracer = Tracer()
+        engine = Engine()
+        assert tracer_of(engine) is Engine.tracer
+
+    def test_stand_in_without_tracer(self):
+        class Bare:
+            pass
+        tracer = tracer_of(Bare())
+        with tracer.span("op"):
+            pass
+        assert tracer.last_root is None  # no-op fallback
