@@ -1,0 +1,71 @@
+"""E12 — parallel chunk pipeline: serial vs parallel wall-clock.
+
+Runs the full serial-vs-parallel sweep (both operators, all four paper
+datasets) and writes the wall-clock rows into ``BENCH_parallelism.json``
+next to this file, so the speedup numbers survive the run.
+
+The hard assertion is exactness: at any worker count the pipeline's
+ordered fan-out must return results *identical* to the serial loop —
+the parallelism reorders I/O, never the merge.  Wall-clock speedup is
+reported but only loosely checked (decode work releases the GIL via
+numpy/zlib, but small bench scales are noisy and single-core CI gains
+nothing).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import make_operator, parallel_speedup, prepare_engine
+
+from conftest import print_tables
+
+RESULT_FILE = os.path.join(os.path.dirname(__file__),
+                           "BENCH_parallelism.json")
+
+
+@pytest.mark.parametrize("parallelism", [2, 4])
+def test_parallel_results_identical(parallelism):
+    """Byte-identical M4 output at any worker count (quick dataset)."""
+    with prepare_engine("MF03", n_points=20_000, overlap_pct=20,
+                        delete_pct=10,
+                        parallelism=parallelism) as parallel, \
+            prepare_engine("MF03", n_points=20_000, overlap_pct=20,
+                           delete_pct=10) as serial:
+        for kind in ("m4udf", "m4lsm"):
+            a = make_operator(serial, kind).query(
+                serial.series, serial.t_qs, serial.t_qe, 100)
+            b = make_operator(parallel, kind).query(
+                parallel.series, parallel.t_qs, parallel.t_qe, 100)
+            assert a == b, kind
+
+
+def test_parallel_speedup_sweep(benchmark):
+    tables = benchmark.pedantic(
+        parallel_speedup, kwargs={"parallelism": 4, "repeats": 2},
+        rounds=1, iterations=1)
+    print_tables(tables)
+    rows = []
+    for table in tables:
+        assert all(table.column("identical")), table.title
+        for operator, serial_s, parallel_s, speedup, identical in zip(
+                table.column("operator"), table.column("serial (s)"),
+                table.column("parallel (s)"), table.column("speedup"),
+                table.column("identical")):
+            rows.append({
+                "experiment": table.title,
+                "operator": operator,
+                "parallelism": 4,
+                "serial_seconds": float(serial_s),
+                "parallel_seconds": float(parallel_s),
+                "speedup": float(speedup),
+                "identical": bool(identical),
+            })
+        # Sanity floor: the fan-out must never be catastrophically
+        # slower than serial (thread dispatch is cheap next to decode).
+        for speedup in table.column("speedup"):
+            assert float(speedup) > 0.2, table.title
+    with open(RESULT_FILE, "w", encoding="utf-8") as f:
+        json.dump({"rows": rows}, f, indent=2, sort_keys=True)
+    print("wrote %d rows to %s" % (len(rows), RESULT_FILE))

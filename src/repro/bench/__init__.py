@@ -12,6 +12,7 @@ from .experiments import (
     fig13_vary_delete_pct,
     fig14_vary_delete_range,
     headline_scaling,
+    parallel_speedup,
     table2_datasets,
 )
 from .harness import (
@@ -42,6 +43,7 @@ __all__ = [
     "headline_scaling",
     "make_operator",
     "monotone_non_decreasing",
+    "parallel_speedup",
     "prepare_engine",
     "roughly_constant",
     "table2_datasets",

@@ -66,7 +66,7 @@ class PreparedEngine:
 def prepare_engine(dataset="MF03", n_points=None, chunk_points=1000,
                    overlap_pct=0, delete_pct=0, n_deletes=None,
                    delete_range=None, data_dir=None, seed=0,
-                   points_per_page=None):
+                   points_per_page=None, parallelism=1):
     """Build an engine loaded with one dataset under one workload.
 
     Args:
@@ -77,6 +77,7 @@ def prepare_engine(dataset="MF03", n_points=None, chunk_points=1000,
         delete_pct / n_deletes / delete_range: delete workload
             (Figs. 13/14).
         data_dir: reuse a directory; a temp dir is created otherwise.
+        parallelism: chunk pipeline workers (1 = serial).
     """
     t, v = PROFILES[dataset].generate(bench_points(n_points), seed=seed)
     owns = data_dir is None
@@ -84,7 +85,8 @@ def prepare_engine(dataset="MF03", n_points=None, chunk_points=1000,
         data_dir = tempfile.mkdtemp(prefix="repro-bench-")
     config = StorageConfig(
         avg_series_point_number_threshold=chunk_points,
-        points_per_page=points_per_page or chunk_points)
+        points_per_page=points_per_page or chunk_points,
+        parallelism=parallelism)
     engine = StorageEngine(data_dir, config)
     series = dataset.lower()
     load_with_overlap(engine, series, t, v, overlap_pct, seed=seed)

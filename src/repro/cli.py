@@ -30,6 +30,13 @@ from .storage.compaction import compact_all
 from .storage.engine import StorageEngine
 
 
+def _add_parallelism(subparser):
+    subparser.add_argument(
+        "--parallelism", type=int, default=1, metavar="N",
+        help="chunk pipeline worker threads (default 1 = serial; "
+             "results are identical at any setting)")
+
+
 def build_parser():
     """The argparse tree for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -52,6 +59,7 @@ def build_parser():
     load.add_argument("--series", required=True, help="series name")
     load.add_argument("--csv", required=True, help="input CSV path")
     load.add_argument("--chunk-points", type=int, default=1000)
+    _add_parallelism(load)
 
     info = commands.add_parser("info", help="inspect a storage directory")
     info.add_argument("--db", required=True)
@@ -64,6 +72,7 @@ def build_parser():
     query.add_argument("--explain", action="store_true",
                        help="after the result table, print the span tree "
                             "and (for M4-LSM) the per-span query trace")
+    _add_parallelism(query)
 
     render = commands.add_parser(
         "render", help="M4-reduce a series and draw a line chart")
@@ -72,10 +81,12 @@ def build_parser():
     render.add_argument("--width", type=int, default=100)
     render.add_argument("--height", type=int, default=24)
     render.add_argument("--out", help="write a PBM image instead of ASCII")
+    _add_parallelism(render)
 
     compact = commands.add_parser(
         "compact", help="fold overlaps and deletes into fresh chunks")
     compact.add_argument("--db", required=True)
+    _add_parallelism(compact)
 
     stats = commands.add_parser(
         "stats", help="print the store's observability snapshot")
@@ -87,7 +98,15 @@ def build_parser():
                             "SERIES before reporting")
     stats.add_argument("--probe-w", type=int, default=100,
                        help="span count for the probe query")
+    _add_parallelism(stats)
     return parser
+
+
+def _engine_config(args, **overrides):
+    """A :class:`StorageConfig` from the common CLI knobs."""
+    from .storage.config import StorageConfig
+    return StorageConfig(parallelism=getattr(args, "parallelism", 1),
+                         **overrides)
 
 
 def main(argv=None):
@@ -114,10 +133,9 @@ def _cmd_generate(args):
 
 
 def _cmd_load(args):
-    from .storage.config import StorageConfig
     t, v = load_csv(args.csv)
-    config = StorageConfig(
-        avg_series_point_number_threshold=args.chunk_points)
+    config = _engine_config(
+        args, avg_series_point_number_threshold=args.chunk_points)
     with StorageEngine(args.db, config) as engine:
         engine.create_series(args.series)
         engine.write_batch(args.series, t, v)
@@ -152,7 +170,7 @@ def _cmd_info(args):
 
 
 def _cmd_query(args):
-    with StorageEngine(args.db) as engine:
+    with StorageEngine(args.db, _engine_config(args)) as engine:
         engine.flush_all()
         executor = Executor(engine)
         parsed = parse_sql(args.sql)
@@ -178,7 +196,7 @@ def _cmd_render(args):
     from .core.m4lsm import M4LSMOperator
     from .viz.chart import save_pbm, to_ascii
     from .viz.raster import PixelGrid, rasterize
-    with StorageEngine(args.db) as engine:
+    with StorageEngine(args.db, _engine_config(args)) as engine:
         engine.flush_all()
         chunks = engine.chunks_for(args.series)
         if not chunks:
@@ -206,7 +224,7 @@ def _cmd_render(args):
 def _cmd_stats(args):
     from .core.m4lsm import M4LSMOperator
     from .obs import render_text, to_json, to_prometheus
-    with StorageEngine(args.db) as engine:
+    with StorageEngine(args.db, _engine_config(args)) as engine:
         if args.probe:
             engine.flush_all()
             chunks = engine.chunks_for(args.probe)
@@ -229,7 +247,7 @@ def _cmd_stats(args):
 
 
 def _cmd_compact(args):
-    with StorageEngine(args.db) as engine:
+    with StorageEngine(args.db, _engine_config(args)) as engine:
         engine.flush_all()
         counts = compact_all(engine)
     for name, survivors in sorted(counts.items()):

@@ -49,7 +49,7 @@ class SpanSolver:
     """Solves the four representation functions for one span."""
 
     def __init__(self, views, real_deletes, data_reader, stats=None,
-                 lazy=True, use_regression=True):
+                 lazy=True, use_regression=True, parallel_map=None):
         if not views:
             raise StorageError("SpanSolver needs at least one chunk view")
         self._views = views
@@ -62,6 +62,7 @@ class SpanSolver:
         self._stats = stats
         self._lazy = lazy
         self._use_regression = use_regression
+        self._parallel_map = parallel_map
 
     def solve(self):
         """All four representation points as a :class:`SpanAggregate`."""
@@ -135,6 +136,7 @@ class SpanSolver:
         for _ in range(_MAX_ITERATIONS):
             self._count_iteration()
             pending = pending_views(views, function)
+            self._prefetch(pending)
             for view in pending:
                 recalc_bottom_top(view, self._real_deletes, self._reader,
                                   functions=(function,))
@@ -153,9 +155,21 @@ class SpanSolver:
                     break  # eager: reload immediately, no pool iteration
         raise StorageError("BP/TP solve did not converge")
 
+    def _prefetch(self, pending):
+        """Fan the pending views' chunk loads out over the engine's
+        pipeline (a pure prefetch: each worker materializes a distinct
+        view's in-span data, after which the serial recalc below is all
+        in-memory, so results are identical to a serial load order)."""
+        unloaded = [view for view in pending if not view.loaded]
+        if self._parallel_map is None or len(unloaded) < 2:
+            return
+        self._parallel_map(
+            lambda view: load_view_data(view, self._real_deletes,
+                                        self._reader), unloaded)
+
     def _count_iteration(self):
         if self._stats is not None:
-            self._stats.candidate_iterations += 1
+            self._stats.add(candidate_iterations=1)
 
 
 class M4LSMOperator:
@@ -205,6 +219,8 @@ class M4LSMOperator:
                 real_deletes = self._engine.deletes_for(series_name)
             data_reader = self._engine.data_reader()
             stats = self._engine.stats
+            parallel_map = self._engine.parallel_map \
+                if self._engine.parallelism > 1 else None
 
             bounds = all_span_bounds(t_qs, t_qe, w)
             duration = t_qe - t_qs
@@ -250,7 +266,8 @@ class M4LSMOperator:
                              for meta in per_span[i]]
                     solver = SpanSolver(views, real_deletes, data_reader,
                                         stats=stats, lazy=self._lazy,
-                                        use_regression=self._use_regression)
+                                        use_regression=self._use_regression,
+                                        parallel_map=parallel_map)
                     spans.append(solver.solve())
                     n_solver += 1
                     if collect_trace:

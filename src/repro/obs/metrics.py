@@ -14,11 +14,19 @@ A :class:`MetricsRegistry` hands out instruments keyed by name plus an
 optional label set.  A disabled registry hands out shared no-op
 instruments, so instrumented code never branches on an "is observability
 on" flag.
+
+Everything here is thread-safe: instrument creation is serialized by a
+registry lock, and every update (``inc``/``set``/``observe``) is atomic
+under a per-instrument lock, so concurrent queries never lose counts.
+Snapshots take each instrument's lock in turn — consistent per
+instrument, not across the whole registry, which is the usual metrics
+contract.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 
 #: Default latency buckets (seconds): log-spaced from 1 µs to 60 s.
 DEFAULT_LATENCY_BUCKETS = (
@@ -31,35 +39,41 @@ REPORTED_QUANTILES = (0.5, 0.95, 0.99)
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (atomic increments)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self):
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n=1):
         """Add ``n`` (must be >= 0)."""
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 class Gauge:
-    """A point-in-time value."""
+    """A point-in-time value (atomic updates)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self):
         self.value = 0
+        self._lock = threading.Lock()
 
     def set(self, value):
         """Replace the current value."""
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, n=1):
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def dec(self, n=1):
-        self.value -= n
+        with self._lock:
+            self.value -= n
 
 
 class Histogram:
@@ -71,7 +85,7 @@ class Histogram:
     the standard Prometheus-side estimate.
     """
 
-    __slots__ = ("buckets", "counts", "count", "sum", "max")
+    __slots__ = ("buckets", "counts", "count", "sum", "max", "_lock")
 
     def __init__(self, buckets=DEFAULT_LATENCY_BUCKETS):
         self.buckets = tuple(sorted(float(b) for b in buckets))
@@ -81,15 +95,17 @@ class Histogram:
         self.count = 0
         self.sum = 0.0
         self.max = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value):
         """Record one observation."""
         value = float(value)
-        self.counts[bisect.bisect_left(self.buckets, value)] += 1
-        self.count += 1
-        self.sum += value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.counts[bisect.bisect_left(self.buckets, value)] += 1
+            self.count += 1
+            self.sum += value
+            if value > self.max:
+                self.max = value
 
     def quantile(self, q):
         """Estimated value at quantile ``q`` in [0, 1] (0.0 when empty).
@@ -137,12 +153,13 @@ class Histogram:
         if len(counts) != len(self.counts):
             raise ValueError("bucket layout mismatch: %d vs %d slots"
                              % (len(counts), len(self.counts)))
-        for i, n in enumerate(counts):
-            self.counts[i] += int(n)
-        self.count += int(count)
-        self.sum += float(total)
-        if float(maximum) > self.max:
-            self.max = float(maximum)
+        with self._lock:
+            for i, n in enumerate(counts):
+                self.counts[i] += int(n)
+            self.count += int(count)
+            self.sum += float(total)
+            if float(maximum) > self.max:
+                self.max = float(maximum)
 
 
 class _NullInstrument:
@@ -197,6 +214,7 @@ class MetricsRegistry:
 
     def __init__(self, enabled=True):
         self.enabled = enabled
+        self._lock = threading.Lock()
         self._counters = {}
         self._gauges = {}
         self._histograms = {}
@@ -212,7 +230,8 @@ class MetricsRegistry:
         key = self._key(name, labels)
         instrument = self._counters.get(key)
         if instrument is None:
-            instrument = self._counters[key] = Counter()
+            with self._lock:
+                instrument = self._counters.setdefault(key, Counter())
         return instrument
 
     def gauge(self, name, **labels):
@@ -222,7 +241,8 @@ class MetricsRegistry:
         key = self._key(name, labels)
         instrument = self._gauges.get(key)
         if instrument is None:
-            instrument = self._gauges[key] = Gauge()
+            with self._lock:
+                instrument = self._gauges.setdefault(key, Gauge())
         return instrument
 
     def histogram(self, name, buckets=None, **labels):
@@ -232,8 +252,10 @@ class MetricsRegistry:
         key = self._key(name, labels)
         instrument = self._histograms.get(key)
         if instrument is None:
-            instrument = self._histograms[key] = Histogram(
-                buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS)
+            with self._lock:
+                instrument = self._histograms.setdefault(key, Histogram(
+                    buckets if buckets is not None
+                    else DEFAULT_LATENCY_BUCKETS))
         return instrument
 
     # -- snapshot / merge ---------------------------------------------------------
@@ -248,27 +270,32 @@ class MetricsRegistry:
              "histograms": {key: {"name", "labels", "buckets", "counts",
                                   "count", "sum", "max", "quantiles"}}}
         """
+        with self._lock:
+            counter_items = sorted(self._counters.items())
+            gauge_items = sorted(self._gauges.items())
+            histogram_items = sorted(self._histograms.items())
         counters = {}
-        for (name, labels), instrument in sorted(self._counters.items()):
+        for (name, labels), instrument in counter_items:
             counters[render_key(name, dict(labels))] = {
                 "name": name, "labels": dict(labels),
                 "value": instrument.value}
         gauges = {}
-        for (name, labels), instrument in sorted(self._gauges.items()):
+        for (name, labels), instrument in gauge_items:
             gauges[render_key(name, dict(labels))] = {
                 "name": name, "labels": dict(labels),
                 "value": instrument.value}
         histograms = {}
-        for (name, labels), instrument in sorted(self._histograms.items()):
-            histograms[render_key(name, dict(labels))] = {
-                "name": name, "labels": dict(labels),
-                "buckets": list(instrument.buckets),
-                "counts": list(instrument.counts),
-                "count": instrument.count,
-                "sum": instrument.sum,
-                "max": instrument.max,
-                "quantiles": instrument.percentiles(),
-            }
+        for (name, labels), instrument in histogram_items:
+            with instrument._lock:
+                histograms[render_key(name, dict(labels))] = {
+                    "name": name, "labels": dict(labels),
+                    "buckets": list(instrument.buckets),
+                    "counts": list(instrument.counts),
+                    "count": instrument.count,
+                    "sum": instrument.sum,
+                    "max": instrument.max,
+                    "quantiles": instrument.percentiles(),
+                }
         return {"counters": counters, "gauges": gauges,
                 "histograms": histograms}
 
@@ -306,9 +333,10 @@ class MetricsRegistry:
 
     def reset(self):
         """Drop every instrument."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
 
 #: A registry that records nothing; safe default for optional hooks.

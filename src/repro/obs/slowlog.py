@@ -10,11 +10,12 @@ and print from ``repro stats``.
 from __future__ import annotations
 
 import collections
+import threading
 import time
 
 
 class SlowQueryLog:
-    """A bounded ring of slow-query records.
+    """A bounded ring of slow-query records (safe for concurrent use).
 
     Args:
         threshold_seconds: queries at or above this latency are kept;
@@ -26,6 +27,7 @@ class SlowQueryLog:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.threshold_seconds = float(threshold_seconds)
+        self._lock = threading.Lock()
         self._entries = collections.deque(maxlen=int(capacity))
 
     def __len__(self):
@@ -46,19 +48,23 @@ class SlowQueryLog:
         entry = {"statement": str(statement), "seconds": float(seconds),
                  "unix_time": time.time()}
         entry.update(info)
-        self._entries.append(entry)
+        with self._lock:
+            self._entries.append(entry)
         return entry
 
     def entries(self):
         """Oldest-to-newest list of retained entries (copies)."""
-        return [dict(entry) for entry in self._entries]
+        with self._lock:
+            return [dict(entry) for entry in self._entries]
 
     def load(self, entries):
         """Seed the ring from persisted entries (oldest first)."""
-        for entry in entries or []:
-            if isinstance(entry, dict):
-                self._entries.append(dict(entry))
+        with self._lock:
+            for entry in entries or []:
+                if isinstance(entry, dict):
+                    self._entries.append(dict(entry))
 
     def clear(self):
         """Drop every entry."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -27,6 +27,7 @@ operators).  The two compose — an EXPLAIN prints both.
 
 from __future__ import annotations
 
+import threading
 import time
 
 
@@ -51,10 +52,10 @@ class Span:
 
     def __enter__(self):
         tracer = self._tracer
-        self.parent = tracer._current
+        self.parent = tracer.current()
         if self.parent is not None:
             self.parent.children.append(self)
-        tracer._current = self
+        tracer._set_current(self)
         if tracer._stats is not None:
             self._io_before = tracer._stats.snapshot()
         self.started = time.perf_counter()
@@ -67,7 +68,7 @@ class Span:
             diff = tracer._stats.diff(self._io_before)
             self.counters = {k: v for k, v in diff.as_dict().items() if v}
             self._io_before = None
-        tracer._current = self.parent
+        tracer._set_current(self.parent)
         if self.parent is None:
             tracer.last_root = self
         tracer._registry.histogram("repro_span_seconds",
@@ -183,7 +184,10 @@ class Tracer:
         self.enabled = enabled
         self._stats = stats
         self._registry = registry if registry is not None else NULL_REGISTRY
-        self._current = None
+        # Per-thread span stacks: concurrent queries each build their own
+        # tree; ``last_root`` is the most recent completed root from any
+        # thread (last-writer-wins, which is what EXPLAIN wants).
+        self._local = threading.local()
         self.last_root = None
 
     def span(self, name, **attrs):
@@ -193,8 +197,11 @@ class Tracer:
         return Span(self, name, attrs)
 
     def current(self):
-        """The innermost open span, or None."""
-        return self._current
+        """The innermost span open *on this thread*, or None."""
+        return getattr(self._local, "current", None)
+
+    def _set_current(self, span):
+        self._local.current = span
 
 
 #: A tracer that records nothing; safe default for optional hooks.

@@ -12,10 +12,12 @@ from .deletes import TIME_MAX, TIME_MIN, Delete, DeleteList
 from .encoding import Compression, Encoding
 from .engine import StorageEngine
 from .iostats import IoStats
+from .locks import RWLock
 from .memtable import MemTable
 from .merge import merge_arrays, merge_reference, merge_to_series
 from .mods import ModsFile
 from .page import PageMetadata, split_rows
+from .parallel import ChunkPipeline, in_worker_thread, serial_map
 from .readers import DataReader, MergeReader, MetadataReader
 from .statistics import Statistics
 from .recovery import list_tsfiles, recover_engine_state
@@ -26,6 +28,7 @@ from .wal import WalManager, WriteAheadLog
 __all__ = [
     "CatalogFile",
     "ChunkMetadata",
+    "ChunkPipeline",
     "Compression",
     "DEFAULT_CONFIG",
     "DataReader",
@@ -38,6 +41,7 @@ __all__ = [
     "MetadataReader",
     "ModsFile",
     "PageMetadata",
+    "RWLock",
     "Statistics",
     "StorageConfig",
     "StorageEngine",
@@ -51,11 +55,13 @@ __all__ = [
     "WriteAheadLog",
     "compact_all",
     "compact_series",
+    "in_worker_thread",
     "list_tsfiles",
     "merge_arrays",
     "merge_reference",
     "merge_to_series",
     "recover_engine_state",
+    "serial_map",
     "split_rows",
     "write_chunk",
 ]

@@ -8,11 +8,18 @@ numbers are cold-cache per query — but can be enabled through
 
 Capacity is counted in *points* rather than entries so pages of different
 sizes are budgeted fairly.
+
+The cache is thread-safe: one internal lock covers lookup, insert and
+eviction, so the capacity bound and the hit/miss accounting hold under
+concurrent queries (asserted by ``tests/properties``).  Cached arrays
+are treated as immutable by every reader, so handing the same array to
+two threads is safe.
 """
 
 from __future__ import annotations
 
 import collections
+import threading
 
 
 class ChunkCache:
@@ -34,6 +41,7 @@ class ChunkCache:
         self._entries = collections.OrderedDict()
         self._points = 0
         self._io_stats = stats
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -52,18 +60,22 @@ class ChunkCache:
 
     def get(self, key):
         """The cached array for ``key`` (refreshing recency), or None."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            if self._io_stats is not None:
-                self._io_stats.cache_misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                miss = True
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                miss = False
         if self._io_stats is not None:
-            self._io_stats.cache_hits += 1
-        return value
+            if miss:
+                self._io_stats.add(cache_misses=1)
+            else:
+                self._io_stats.add(cache_hits=1)
+        return None if miss else value
 
     def put(self, key, value):
         """Insert an array, evicting least-recently-used pages to fit.
@@ -73,20 +85,23 @@ class ChunkCache:
         size = int(value.size)
         if size > self._capacity:
             return
-        if key in self._entries:
-            self._points -= int(self._entries.pop(key).size)
-        while self._points + size > self._capacity and self._entries:
-            _old_key, old = self._entries.popitem(last=False)
-            self._points -= int(old.size)
-        self._entries[key] = value
-        self._points += size
+        with self._lock:
+            if key in self._entries:
+                self._points -= int(self._entries.pop(key).size)
+            while self._points + size > self._capacity and self._entries:
+                _old_key, old = self._entries.popitem(last=False)
+                self._points -= int(old.size)
+            self._entries[key] = value
+            self._points += size
 
     def clear(self):
         """Drop every entry (hit/miss counters are kept)."""
-        self._entries.clear()
-        self._points = 0
+        with self._lock:
+            self._entries.clear()
+            self._points = 0
 
     def stats(self):
         """Dict of hits, misses, entries and cached points."""
-        return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self._entries), "points": self._points}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._entries), "points": self._points}

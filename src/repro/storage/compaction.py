@@ -24,27 +24,30 @@ def compact_series(engine, name):
     Returns the number of surviving points.
     """
     state = engine._state(name)
-    with engine.tracer.span("compaction", series=name,
-                            chunks=len(state.chunks)) as span:
-        if state.memtable:
-            engine.flush(name)
-            engine._seal_active_file()
-        reader = engine.data_reader()
-        chunks = [(*reader.load_chunk(meta), meta.version)
-                  for meta in state.chunks]
-        t, v = merge_arrays(chunks, state.deletes)
-        state.chunks = []
-        state.deletes = DeleteList()
-        if t.size:
-            threshold = engine.config.avg_series_point_number_threshold
-            for start in range(0, t.size, threshold):
-                engine._seal_chunk(state, t[start:start + threshold],
-                                   v[start:start + threshold])
-            engine._seal_active_file()
-        span.attrs["survivors"] = int(t.size)
-        engine.metrics.counter("engine_compactions_total").inc()
-        engine.metrics.counter("engine_compacted_points_total") \
-            .inc(int(t.size))
+    # The whole rewrite holds the series write lock: queries either see
+    # the old chunks + deletes or the compacted chunks, never a mix.
+    with state.lock.write():
+        with engine.tracer.span("compaction", series=name,
+                                chunks=len(state.chunks)) as span:
+            if state.memtable:
+                engine._flush_locked(state)
+                engine._seal_active_file()
+            reader = engine.data_reader()
+            chunks = [(*reader.load_chunk(meta), meta.version)
+                      for meta in state.chunks]
+            t, v = merge_arrays(chunks, state.deletes)
+            state.chunks = []
+            state.deletes = DeleteList()
+            if t.size:
+                threshold = engine.config.avg_series_point_number_threshold
+                for start in range(0, t.size, threshold):
+                    engine._seal_chunk(state, t[start:start + threshold],
+                                       v[start:start + threshold])
+                engine._seal_active_file()
+            span.attrs["survivors"] = int(t.size)
+            engine.metrics.counter("engine_compactions_total").inc()
+            engine.metrics.counter("engine_compacted_points_total") \
+                .inc(int(t.size))
     return int(t.size)
 
 

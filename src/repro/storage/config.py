@@ -33,6 +33,7 @@ class StorageConfig:
     chunk_cache_points: int = 0       # shared decoded-page LRU (0 = off)
     metrics_enabled: bool = True      # repro.obs registry + span tracer
     persist_metrics: bool = True      # write obs.json on engine close
+    parallelism: int = 1              # chunk pipeline workers (1 = serial)
     slow_query_seconds: float = 1.0   # slow-query log threshold
     slow_query_log_size: int = 128    # slow-query ring capacity
 
@@ -48,6 +49,8 @@ class StorageConfig:
             raise ValueError("chunks_per_tsfile must be positive")
         if self.chunk_cache_points < 0:
             raise ValueError("chunk_cache_points must be >= 0")
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
         if self.slow_query_log_size <= 0:
             raise ValueError("slow_query_log_size must be positive")
 

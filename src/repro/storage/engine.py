@@ -12,12 +12,24 @@ the paper's experiments exercise:
   kept in TsFile tail sections and mirrored in memory once sealed;
 * compaction exists but is **off by default**, matching the paper's
   Table 4 (``NO_COMPACTION``).
+
+The engine is safe for concurrent use from many threads.  The lock
+hierarchy (see DESIGN.md § Concurrency model) is two-level: a
+reader/writer lock per series guards that series' memtable, chunk list
+and delete list; a single engine lock guards cross-series state (the
+catalog, version allocator, active TsFile writer, reader pool).  Series
+locks are always taken before the engine lock, never after, so the two
+levels cannot deadlock.  ``write_batch``/``flush``/``delete``/query
+interleavings are linearizable per series: each takes effect atomically
+at the moment its series write lock (or read lock, for queries) is
+held, and a query sees exactly the chunks of the committed prefix.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 
 from ..errors import SeriesNotFoundError, StorageError
 from ..obs import MetricsRegistry, SlowQueryLog, Tracer
@@ -27,8 +39,10 @@ from .chunk import write_chunk
 from .config import DEFAULT_CONFIG
 from .deletes import Delete, DeleteList
 from .iostats import IoStats
+from .locks import RWLock
 from .memtable import MemTable
 from .mods import ModsFile
+from .parallel import ChunkPipeline
 from .readers import DataReader, MetadataReader
 from .tsfile import TsFileReader, TsFileWriter
 from .versions import VersionAllocator
@@ -36,11 +50,17 @@ from .wal import WalManager
 
 
 class SeriesState:
-    """Per-series bookkeeping inside the engine."""
+    """Per-series bookkeeping inside the engine.
+
+    ``lock`` is the series' reader/writer lock: writes, flushes and
+    deletes hold the write side; queries snapshot chunk/delete state
+    under the read side.
+    """
 
     def __init__(self, series_id, name):
         self.series_id = series_id
         self.name = name
+        self.lock = RWLock()
         self.memtable = MemTable()
         self.chunks = []          # sealed ChunkMetadata, version order
         self.deletes = DeleteList()
@@ -70,6 +90,10 @@ class StorageEngine:
                                       config.slow_query_log_size)
         self._io_base = IoStats()  # counters persisted by prior sessions
         self._load_obs_snapshot()
+        # Engine-level lock: catalog, versions, active writer, reader
+        # pool, close/persist.  Reentrant, and ordered AFTER any series
+        # lock (never acquire a series lock while holding it).
+        self._lock = threading.RLock()
         self._versions = VersionAllocator()
         self._series = {}
         self._series_by_id = {}
@@ -78,6 +102,9 @@ class StorageEngine:
         self._writer_chunks = 0
         self._file_seq = 0
         self._readers = {}
+        self._closed = False
+        self._pipeline = ChunkPipeline(config.parallelism) \
+            if config.parallelism > 1 else None
         self._mods = ModsFile(os.path.join(self._data_dir, "deletes.mods"))
         self._catalog = CatalogFile(os.path.join(self._data_dir,
                                                  "catalog.meta"))
@@ -153,7 +180,7 @@ class StorageEngine:
         ``slow_queries`` is the rolling slow-query ring.
         """
         metrics = self._metrics.snapshot()
-        cumulative = (self._io_base + self._stats).as_dict()
+        cumulative = (self._io_base + self._stats.snapshot()).as_dict()
         for field, value in sorted(cumulative.items()):
             name = "io_%s_total" % field
             metrics["counters"][name] = {"name": name, "labels": {},
@@ -166,22 +193,32 @@ class StorageEngine:
 
         Counters and histograms accumulate across sessions (the snapshot
         loaded at open is part of the live registry), so the file always
-        holds store-lifetime totals.  Best-effort: failures never block
-        close().
+        holds store-lifetime totals.  The write is atomic — a uniquely
+        named temp file is written, fsynced, then renamed over
+        ``obs.json`` — so a concurrent or crashed writer can never leave
+        a torn JSON behind that poisons the next startup.  Best-effort:
+        failures never block close().
         """
         if not (self._config.metrics_enabled
                 and self._config.persist_metrics):
             return
         data = {"metrics": self._metrics.snapshot(),
-                "iostats": (self._io_base + self._stats).as_dict(),
+                "iostats": (self._io_base + self._stats.snapshot())
+                .as_dict(),
                 "slow_queries": self._slow_log.entries()}
+        tmp = "%s.%d.%d.tmp" % (self._obs_path(), os.getpid(),
+                                threading.get_ident())
         try:
-            tmp = self._obs_path() + ".tmp"
             with open(tmp, "w", encoding="utf-8") as f:
                 json.dump(data, f, sort_keys=True)
+                f.flush()
+                os.fsync(f.fileno())
             os.replace(tmp, self._obs_path())
         except OSError:
-            pass
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
     @property
     def data_dir(self):
@@ -190,69 +227,78 @@ class StorageEngine:
 
     def create_series(self, name):
         """Register a series; returns its id.  Idempotent, durable."""
-        if name in self._series:
-            return self._series[name].series_id
-        series_id = self._next_series_id
-        self._next_series_id += 1
-        state = SeriesState(series_id, name)
-        self._series[name] = state
-        self._series_by_id[series_id] = state
-        self._catalog.append(series_id, name)
-        self._metrics.gauge("engine_series").set(len(self._series))
-        return series_id
+        with self._lock:
+            if name in self._series:
+                return self._series[name].series_id
+            series_id = self._next_series_id
+            self._next_series_id += 1
+            state = SeriesState(series_id, name)
+            self._series[name] = state
+            self._series_by_id[series_id] = state
+            self._catalog.append(series_id, name)
+            self._metrics.gauge("engine_series").set(len(self._series))
+            return series_id
 
     def _register_recovered_series(self, series_id, name):
         """Recovery hook: re-register a series read from the catalog."""
-        state = SeriesState(series_id, name)
-        self._series[name] = state
-        self._series_by_id[series_id] = state
-        self._next_series_id = max(self._next_series_id, series_id + 1)
-        return state
+        with self._lock:
+            state = SeriesState(series_id, name)
+            self._series[name] = state
+            self._series_by_id[series_id] = state
+            self._next_series_id = max(self._next_series_id, series_id + 1)
+            return state
 
     def _restore_counters(self, max_version, max_file_seq):
         """Recovery hook: continue version/file numbering after restart."""
-        self._versions = VersionAllocator(start=max_version + 1)
-        self._file_seq = max_file_seq
+        with self._lock:
+            self._versions = VersionAllocator(start=max_version + 1)
+            self._file_seq = max_file_seq
 
     def series_names(self):
         """All registered series names."""
-        return list(self._series)
+        with self._lock:
+            return list(self._series)
 
     def _state(self, name):
-        try:
-            return self._series[name]
-        except KeyError:
-            raise SeriesNotFoundError("unknown series %r" % name) from None
+        with self._lock:
+            try:
+                return self._series[name]
+            except KeyError:
+                raise SeriesNotFoundError("unknown series %r"
+                                          % name) from None
 
     # -- writes ------------------------------------------------------------------------
 
     def write(self, name, t, v):
         """Insert one point (auto-flushing at the threshold)."""
         state = self._state(name)
-        if self._wal is not None:
-            self._wal.segment(state.series_id).append(state.series_id,
-                                                      int(t), float(v))
-        state.memtable.append(int(t), float(v))
-        state.points_written += 1
-        self._metrics.counter("engine_points_written_total").inc()
-        self._maybe_flush(state)
+        with state.lock.write():
+            if self._wal is not None:
+                self._wal.segment(state.series_id).append(state.series_id,
+                                                          int(t), float(v))
+            state.memtable.append(int(t), float(v))
+            state.points_written += 1
+            self._metrics.counter("engine_points_written_total").inc()
+            self._maybe_flush(state)
 
     def write_batch(self, name, timestamps, values):
         """Insert a batch of points in any time order."""
         state = self._state(name)
         with self._tracer.span("write.batch", series=name):
-            if self._wal is not None:
-                segment = self._wal.segment(state.series_id)
-                segment.append_batch(state.series_id, timestamps, values)
-                segment.sync()
-            before = len(state.memtable)
-            state.memtable.append_batch(timestamps, values)
-            appended = len(state.memtable) - before
-            state.points_written += appended
-            self._metrics.counter("engine_points_written_total") \
-                .inc(appended)
-            self._metrics.counter("engine_write_batches_total").inc()
-            self._maybe_flush(state)
+            with state.lock.write():
+                if self._wal is not None:
+                    segment = self._wal.segment(state.series_id)
+                    segment.append_batch(state.series_id, timestamps,
+                                         values)
+                    segment.sync()
+                before = len(state.memtable)
+                state.memtable.append_batch(timestamps, values)
+                appended = len(state.memtable) - before
+                state.points_written += appended
+                self._metrics.counter("engine_points_written_total") \
+                    .inc(appended)
+                self._metrics.counter("engine_write_batches_total").inc()
+                self._maybe_flush(state)
 
     def delete(self, name, t_start, t_end):
         """Delete the closed time range ``[t_start, t_end]`` (Def. 2.5).
@@ -263,16 +309,19 @@ class StorageEngine:
         """
         state = self._state(name)
         with self._tracer.span("delete", series=name):
-            if state.memtable:
-                self.flush(name)
-            delete = Delete(int(t_start), int(t_end),
-                            self._versions.next())
-            state.deletes.add(delete)
-            self._mods.append(state.series_id, delete)
+            with state.lock.write():
+                if state.memtable:
+                    self._flush_locked(state)
+                with self._lock:
+                    delete = Delete(int(t_start), int(t_end),
+                                    self._versions.next())
+                    state.deletes.add(delete)
+                    self._mods.append(state.series_id, delete)
             self._metrics.counter("engine_deletes_total").inc()
         return delete
 
     def _maybe_flush(self, state):
+        """Threshold flush; caller holds the series write lock."""
         threshold = self._config.avg_series_point_number_threshold
         flushed = False
         while len(state.memtable) >= threshold:
@@ -285,9 +334,14 @@ class StorageEngine:
     def flush(self, name):
         """Flush a series' memtable into a final (possibly smaller) chunk."""
         state = self._state(name)
+        with state.lock.write():
+            self._flush_locked(state)
+
+    def _flush_locked(self, state):
+        """Flush body; caller holds the series write lock."""
         if not state.memtable:
             return
-        with self._tracer.span("flush", series=name,
+        with self._tracer.span("flush", series=state.name,
                                points=len(state.memtable)):
             t, v = state.memtable.drain()
             self._seal_chunk(state, t, v)
@@ -298,6 +352,7 @@ class StorageEngine:
 
         After a full flush the segment rotates empty; after a partial
         (threshold) flush the still-buffered remainder is re-logged.
+        Caller holds the series write lock.
         """
         if self._wal is None:
             return
@@ -310,30 +365,35 @@ class StorageEngine:
     def flush_all(self):
         """Flush every series and seal the active TsFile so that all data
         is query-visible (each flush checkpoints its WAL segment)."""
-        for name in self._series:
+        for name in self.series_names():
             self.flush(name)
         self._seal_active_file()
 
     # -- TsFile management ---------------------------------------------------------------
 
     def _seal_chunk(self, state, timestamps, values):
+        """Seal one chunk; caller holds the series write lock."""
         if timestamps.size == 0:
             return
         with self._tracer.span("flush.seal_chunk", series=state.name,
                                points=int(timestamps.size)):
-            version = self._versions.next()
-            block, metadata = write_chunk(state.series_id, version,
-                                          timestamps, values, self._config)
-            if self._writer is None:
-                self._writer = TsFileWriter(self._next_file_path())
-                self._writer_chunks = 0
-            located = self._writer.append_chunk(block, metadata)
-            state.chunks.append(located)
-            self._writer_chunks += 1
+            with self._lock:
+                version = self._versions.next()
+                block, metadata = write_chunk(state.series_id, version,
+                                              timestamps, values,
+                                              self._config)
+                if self._writer is None:
+                    self._writer = TsFileWriter(self._next_file_path())
+                    self._writer_chunks = 0
+                located = self._writer.append_chunk(block, metadata)
+                state.chunks.append(located)
+                self._writer_chunks += 1
+                seal_file = (self._writer_chunks
+                             >= self._config.chunks_per_tsfile)
             self._metrics.counter("engine_chunks_sealed_total").inc()
             self._metrics.counter("engine_points_flushed_total") \
                 .inc(int(timestamps.size))
-            if self._writer_chunks >= self._config.chunks_per_tsfile:
+            if seal_file:
                 self._seal_active_file()
 
     def _next_file_path(self):
@@ -341,18 +401,38 @@ class StorageEngine:
         return os.path.join(self._data_dir, "%06d.tsfile" % self._file_seq)
 
     def _seal_active_file(self):
-        if self._writer is not None:
-            self._writer.close()
-            self._writer = None
-            self._writer_chunks = 0
-            self._metrics.counter("engine_tsfiles_sealed_total").inc()
-            self._metrics.gauge("engine_tsfile_seq").set(self._file_seq)
+        with self._lock:
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
+                self._writer_chunks = 0
+                self._metrics.counter("engine_tsfiles_sealed_total").inc()
+                self._metrics.gauge("engine_tsfile_seq").set(self._file_seq)
 
     def tsfile_reader(self, path):
         """Pooled :class:`TsFileReader` for a sealed file."""
-        if path not in self._readers:
-            self._readers[path] = TsFileReader(path, self._stats)
-        return self._readers[path]
+        with self._lock:
+            if path not in self._readers:
+                self._readers[path] = TsFileReader(path, self._stats)
+            return self._readers[path]
+
+    # -- parallel chunk pipeline ---------------------------------------------------------
+
+    @property
+    def parallelism(self):
+        """Worker count of the chunk pipeline (1 = serial)."""
+        return self._config.parallelism
+
+    def parallel_map(self, fn, items):
+        """``[fn(x) for x in items]`` through the shared chunk pipeline.
+
+        Results come back in submission order, so callers that merge
+        them see the serial sequence and produce byte-identical output.
+        Serial when ``parallelism`` is 1 or from within a pool worker.
+        """
+        if self._pipeline is None:
+            return [fn(item) for item in items]
+        return self._pipeline.map_ordered(fn, items)
 
     # -- query surface -----------------------------------------------------------------
 
@@ -360,18 +440,27 @@ class StorageEngine:
         """Sealed chunk metadata for a series (version order).
 
         Raises if the series still has buffered points — call
-        :meth:`flush_all` before querying.
+        :meth:`flush_all` before querying.  The returned list is a
+        snapshot: chunks sealed later do not appear in it.
         """
         state = self._state(name)
-        if state.memtable:
-            raise StorageError(
-                "series %r has unflushed points; call flush_all() first"
-                % name)
-        return list(state.chunks)
+        with state.lock.read():
+            if state.memtable:
+                raise StorageError(
+                    "series %r has unflushed points; call flush_all() first"
+                    % name)
+            return list(state.chunks)
 
     def deletes_for(self, name):
-        """The series' :class:`DeleteList`."""
-        return self._state(name).deletes
+        """A consistent snapshot of the series' :class:`DeleteList`."""
+        state = self._state(name)
+        with state.lock.read():
+            return DeleteList(state.deletes)
+
+    def series_lock(self, name):
+        """The series' :class:`RWLock` (operators may hold ``read()``
+        across a multi-step query for a full-query-stable view)."""
+        return self._state(name).lock
 
     def metadata_reader(self, name):
         """A :class:`MetadataReader` over the series' sealed chunks."""
@@ -406,13 +495,20 @@ class StorageEngine:
 
         Buffered points stay in the WAL (not flushed), so a reopened
         engine recovers them — closing is not an implicit flush.
+        Idempotent and safe to race: the first close wins.
         """
-        self._seal_active_file()
-        for reader in self._readers.values():
-            reader.close()
-        self._readers.clear()
-        if self._wal is not None:
-            self._wal.close()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._seal_active_file()
+            for reader in self._readers.values():
+                reader.close()
+            self._readers.clear()
+            if self._wal is not None:
+                self._wal.close()
+        if self._pipeline is not None:
+            self._pipeline.shutdown()
         self._persist_obs()
 
     def __enter__(self):

@@ -5,11 +5,18 @@ paper's Java-on-HDD testbed, so besides timing we count the operations
 whose asymmetry drives every experiment: metadata reads (cheap), page
 decodes (the expensive part of chunk loading) and merged points (the CPU
 cost of MergeReader).  Benchmarks report both clock time and counters.
+
+One :class:`IoStats` is shared by an engine, its pooled readers and
+every concurrent query, so increments go through :meth:`add`, which is
+atomic under an internal lock.  Direct ``stats.field += n`` still works
+for single-threaded code (tests, ad-hoc accounting) but can lose
+updates under concurrency — engine code paths never use it.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 
 
 @dataclasses.dataclass
@@ -27,26 +34,42 @@ class IoStats:
     cache_hits: int = 0            # shared ChunkCache hits
     cache_misses: int = 0          # shared ChunkCache misses
 
+    def __post_init__(self):
+        # Not a dataclass field, so reset/diff/as_dict never touch it.
+        self._lock = threading.Lock()
+
+    def add(self, **deltas):
+        """Atomically add ``field=n`` deltas (thread-safe increment)."""
+        with self._lock:
+            for name, n in deltas.items():
+                setattr(self, name, getattr(self, name) + n)
+
     def reset(self):
         """Zero every counter in place."""
-        for field in dataclasses.fields(self):
-            setattr(self, field.name, 0)
+        with self._lock:
+            for field in dataclasses.fields(self):
+                setattr(self, field.name, 0)
 
     def snapshot(self):
         """An independent copy of the current counters."""
-        return dataclasses.replace(self)
+        with self._lock:
+            return dataclasses.replace(self)
 
     def diff(self, earlier):
         """Counters accumulated since ``earlier`` (a snapshot)."""
         out = IoStats()
-        for field in dataclasses.fields(self):
-            setattr(out, field.name,
-                    getattr(self, field.name) - getattr(earlier, field.name))
+        with self._lock:
+            for field in dataclasses.fields(self):
+                setattr(out, field.name,
+                        getattr(self, field.name)
+                        - getattr(earlier, field.name))
         return out
 
     def as_dict(self):
         """Plain-dict view for reports."""
-        return dataclasses.asdict(self)
+        with self._lock:
+            return {field.name: getattr(self, field.name)
+                    for field in dataclasses.fields(self)}
 
     def __add__(self, other):
         out = IoStats()

@@ -1,0 +1,129 @@
+"""Lock primitives for the concurrent storage engine.
+
+The engine's lock hierarchy (documented in DESIGN.md § Concurrency
+model) has exactly two levels:
+
+1. a **per-series reader/writer lock** (:class:`RWLock`) guarding one
+   :class:`~repro.storage.engine.SeriesState` — memtable, sealed chunk
+   list and delete list;
+2. an **engine-level lock** guarding cross-series state — the catalog,
+   the version allocator, the active TsFile writer and the reader pool.
+
+The ordering rule is *series before engine*: a thread holding a series
+lock may acquire the engine lock (flushing does), but never the
+reverse.  Both levels are reentrant per thread, so ``delete`` can flush
+under its own write lock without deadlocking itself.
+
+:class:`RWLock` is writer-preferring: once a writer is waiting, new
+readers queue behind it, so a stream of M4 queries cannot starve a
+flush.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+
+class RWLock:
+    """A reentrant, writer-preferring readers/writer lock.
+
+    Any number of threads may hold the read side at once; the write side
+    is exclusive.  A thread holding the write lock may re-acquire either
+    side (lock downgrades for the duration of the inner block are *not*
+    performed — the thread simply stays exclusive).  A thread holding
+    only the read lock must not request the write lock (upgrade
+    deadlock); the engine's call graph never does.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition(threading.Lock())
+        self._readers = {}          # thread id -> recursive read depth
+        self._writer = None         # thread id of the exclusive holder
+        self._writer_depth = 0
+        self._writers_waiting = 0
+
+    # -- read side ------------------------------------------------------------------
+
+    def acquire_read(self):
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me or me in self._readers:
+                # Reentrant: already a reader, or exclusive holder.
+                if self._writer == me:
+                    self._writer_depth += 1
+                else:
+                    self._readers[me] += 1
+                return
+            while self._writer is not None or self._writers_waiting:
+                self._cond.wait()
+            self._readers[me] = 1
+
+    def release_read(self):
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth -= 1
+                if self._writer_depth == 0:
+                    self._writer = None
+                    self._cond.notify_all()
+                return
+            depth = self._readers.get(me, 0)
+            if depth <= 0:
+                raise RuntimeError("release_read without acquire_read")
+            if depth == 1:
+                del self._readers[me]
+                if not self._readers:
+                    self._cond.notify_all()
+            else:
+                self._readers[me] = depth - 1
+
+    # -- write side -----------------------------------------------------------------
+
+    def acquire_write(self):
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if me in self._readers:
+                raise RuntimeError(
+                    "read-to-write lock upgrade would deadlock")
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._writer_depth = 1
+
+    def release_write(self):
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise RuntimeError("release_write by non-holder")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # -- context managers -----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def read(self):
+        """Context manager holding the shared (read) side."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextlib.contextmanager
+    def write(self):
+        """Context manager holding the exclusive (write) side."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()

@@ -16,6 +16,7 @@ These mirror the IoTDB components of the paper's Figure 15:
 from __future__ import annotations
 
 import heapq
+import threading
 
 import numpy as np
 
@@ -47,7 +48,7 @@ class MetadataReader:
 
     def _account(self, n):
         if self._stats is not None:
-            self._stats.metadata_reads += n
+            self._stats.add(metadata_reads=n)
 
 
 class DataReader:
@@ -62,6 +63,7 @@ class DataReader:
         self._reader_pool = reader_pool
         self._stats = stats
         self._page_cache = {}
+        self._page_lock = threading.Lock()
         self._shared_cache = shared_cache
 
     # -- page / chunk loading ---------------------------------------------------
@@ -87,9 +89,17 @@ class DataReader:
 
     def _cached_page(self, key, decode):
         """Per-query map first, then the engine's shared cache, then
-        an actual (counted) decode."""
-        if key in self._page_cache:
-            return self._page_cache[key]
+        an actual (counted) decode.
+
+        Thread-safe for the parallel chunk pipeline: the per-query map
+        is guarded by a lock, and the decode itself runs outside it so
+        pool workers decode different pages concurrently.  Two workers
+        racing on the *same* page may both decode it — the arrays are
+        identical, so the race is benign (the duplicate is dropped).
+        """
+        with self._page_lock:
+            if key in self._page_cache:
+                return self._page_cache[key]
         array = None
         if self._shared_cache is not None:
             array = self._shared_cache.get(key)
@@ -97,8 +107,8 @@ class DataReader:
             array = decode()
             if self._shared_cache is not None:
                 self._shared_cache.put(key, array)
-        self._page_cache[key] = array
-        return array
+        with self._page_lock:
+            return self._page_cache.setdefault(key, array)
 
     def load_chunk(self, chunk_meta, deletes=None, time_range=None):
         """Load a chunk's arrays, optionally delete-filtered and clipped.
@@ -111,7 +121,7 @@ class DataReader:
             ``(timestamps, values)``.
         """
         if self._stats is not None:
-            self._stats.chunk_loads += 1
+            self._stats.add(chunk_loads=1)
         times = []
         values = []
         for page_index in range(len(chunk_meta.pages)):
@@ -177,7 +187,7 @@ class DataReader:
 
         def on_lookup():
             if self._stats is not None:
-                self._stats.index_lookups += 1
+                self._stats.add(index_lookups=1)
 
         regression = chunk_meta.step_regression() if use_regression else None
         if regression is not None:
@@ -190,7 +200,8 @@ class DataReader:
 
     def clear_cache(self):
         """Drop all decoded pages (simulate a cold query)."""
-        self._page_cache.clear()
+        with self._page_lock:
+            self._page_cache.clear()
 
 
 class MergeReader:
@@ -230,7 +241,7 @@ class MergeReader:
                 heapq.heappush(heap, (int(times[row + 1]), neg_version,
                                       chunk_id, row + 1, times, values))
             if self._stats is not None:
-                self._stats.points_merged += 1
+                self._stats.add(points_merged=1)
             if self._deletes.covers(t, min_version=version):
                 continue
             yield Point(t, float(values[row]))
@@ -240,5 +251,5 @@ def merged_series_arrays(chunks, deletes=None, stats=None):
     """Vectorized merged series with MergeReader-compatible accounting."""
     t, v = merge_arrays(chunks, deletes)
     if stats is not None:
-        stats.points_merged += sum(np.asarray(c[0]).size for c in chunks)
+        stats.add(points_merged=sum(np.asarray(c[0]).size for c in chunks))
     return t, v

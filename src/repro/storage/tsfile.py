@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 
 import numpy as np
 
@@ -55,6 +56,10 @@ class TsFileWriter:
             raise ReadOnlyError("TsFile %s is already sealed" % self._path)
         located = metadata.located(self._path, self._offset, len(data_block))
         self._file.write(data_block)
+        # Push the block out of the userspace buffer so concurrent
+        # readers (pooled TsFileReaders opened on the still-growing
+        # file) can fetch sealed chunks by offset right away.
+        self._file.flush()
         self._offset += len(data_block)
         self._metadata.append(located)
         return located
@@ -86,13 +91,18 @@ class TsFileWriter:
 class TsFileReader:
     """Random-access reader over a sealed TsFile.
 
-    One reader per file; the storage engine keeps a pool of them.  Every
-    byte fetched and every page decoded is charged to ``stats``.
+    One reader per file; the storage engine keeps a pool of them, so one
+    reader may serve many concurrent queries.  Seek+read pairs on the
+    shared file handle are serialized by an internal lock; the expensive
+    page decode (numpy + zlib, both GIL-releasing) happens outside it,
+    which is what makes the parallel chunk pipeline pay.  Every byte
+    fetched and every page decoded is charged to ``stats``.
     """
 
     def __init__(self, path, stats=None):
         self._path = os.fspath(path)
         self._stats = stats if stats is not None else IoStats()
+        self._lock = threading.Lock()
         try:
             self._file = open(self._path, "rb")
         except OSError as exc:
@@ -120,20 +130,22 @@ class TsFileReader:
 
     def read_metadata(self):
         """Load every chunk's metadata from the tail section."""
-        self._file.seek(0, os.SEEK_END)
-        size = self._file.tell()
-        if size < len(MAGIC) + _FOOTER.size:
-            raise CorruptFileError("%s: file too small" % self._path)
-        self._file.seek(size - _FOOTER.size)
-        meta_offset, meta_length, tail_magic = _FOOTER.unpack(
-            self._file.read(_FOOTER.size))
-        if tail_magic != MAGIC:
-            raise CorruptFileError("%s: bad footer magic" % self._path)
-        if meta_offset + meta_length + _FOOTER.size > size:
-            raise CorruptFileError("%s: footer points past EOF" % self._path)
-        self._file.seek(meta_offset)
-        blob = self._file.read(meta_length)
-        self._stats.bytes_read += meta_length
+        with self._lock:
+            self._file.seek(0, os.SEEK_END)
+            size = self._file.tell()
+            if size < len(MAGIC) + _FOOTER.size:
+                raise CorruptFileError("%s: file too small" % self._path)
+            self._file.seek(size - _FOOTER.size)
+            meta_offset, meta_length, tail_magic = _FOOTER.unpack(
+                self._file.read(_FOOTER.size))
+            if tail_magic != MAGIC:
+                raise CorruptFileError("%s: bad footer magic" % self._path)
+            if meta_offset + meta_length + _FOOTER.size > size:
+                raise CorruptFileError("%s: footer points past EOF"
+                                       % self._path)
+            self._file.seek(meta_offset)
+            blob = self._file.read(meta_length)
+        self._stats.add(bytes_read=meta_length)
         if len(blob) < 4:
             raise CorruptFileError("%s: truncated metadata section" % self._path)
         (count,) = struct.unpack_from("<I", blob)
@@ -143,17 +155,18 @@ class TsFileReader:
             meta, offset = ChunkMetadata.from_bytes(blob, offset,
                                                     file_path=self._path)
             metadata.append(meta)
-        self._stats.metadata_reads += count
+        self._stats.add(metadata_reads=count)
         return metadata
 
     # -- page reads ------------------------------------------------------------------
 
     def _read_payload(self, chunk_meta, rel_offset, length):
-        self._file.seek(chunk_meta.data_offset + rel_offset)
-        payload = self._file.read(length)
+        with self._lock:
+            self._file.seek(chunk_meta.data_offset + rel_offset)
+            payload = self._file.read(length)
         if len(payload) != length:
             raise CorruptFileError("%s: truncated page payload" % self._path)
-        self._stats.bytes_read += length
+        self._stats.add(bytes_read=length)
         return payload
 
     def read_page_timestamps(self, chunk_meta, page_index):
@@ -161,8 +174,7 @@ class TsFileReader:
         page = chunk_meta.pages[page_index]
         payload = self._read_payload(chunk_meta, page.time_offset,
                                      page.time_length)
-        self._stats.pages_decoded += 1
-        self._stats.points_decoded += page.n_points
+        self._stats.add(pages_decoded=1, points_decoded=page.n_points)
         return decode_page(payload, chunk_meta.time_encoding,
                            chunk_meta.compression)
 
@@ -171,14 +183,13 @@ class TsFileReader:
         page = chunk_meta.pages[page_index]
         payload = self._read_payload(chunk_meta, page.value_offset,
                                      page.value_length)
-        self._stats.pages_decoded += 1
-        self._stats.points_decoded += page.n_points
+        self._stats.add(pages_decoded=1, points_decoded=page.n_points)
         return decode_page(payload, chunk_meta.value_encoding,
                            chunk_meta.compression)
 
     def read_chunk_arrays(self, chunk_meta):
         """Decode every page; returns ``(timestamps, values)``."""
-        self._stats.chunk_loads += 1
+        self._stats.add(chunk_loads=1)
         times = []
         values = []
         for page_index in range(len(chunk_meta.pages)):

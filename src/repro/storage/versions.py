@@ -8,10 +8,14 @@ total order of versions is the append order of operations.
 from __future__ import annotations
 
 import itertools
+import threading
 
 
 class VersionAllocator:
     """Hands out strictly increasing version numbers starting at 1.
+
+    Allocation is atomic, so concurrent flushes and deletes always get
+    distinct versions.
 
     >>> alloc = VersionAllocator()
     >>> alloc.next(), alloc.next()
@@ -21,11 +25,13 @@ class VersionAllocator:
     def __init__(self, start=1):
         self._counter = itertools.count(start)
         self._last = start - 1
+        self._lock = threading.Lock()
 
     def next(self):
         """Allocate and return the next version number."""
-        self._last = next(self._counter)
-        return self._last
+        with self._lock:
+            self._last = next(self._counter)
+            return self._last
 
     @property
     def last(self):

@@ -19,6 +19,7 @@ from __future__ import annotations
 import os
 import re
 import struct
+import threading
 
 from ..errors import CorruptFileError
 
@@ -133,14 +134,21 @@ class WalManager:
         self._data_dir = os.fspath(data_dir)
         self._registry = registry
         self._segments = {}
+        self._lock = threading.Lock()
 
     def segment(self, series_id):
-        """The WAL segment for a series (created on first use)."""
-        if series_id not in self._segments:
-            path = os.path.join(self._data_dir,
-                                "wal-%06d.log" % series_id)
-            self._segments[series_id] = WriteAheadLog(path, self._registry)
-        return self._segments[series_id]
+        """The WAL segment for a series (created on first use).
+
+        Creation is serialized; use of the returned segment is guarded
+        by the owning series' write lock, not here.
+        """
+        with self._lock:
+            if series_id not in self._segments:
+                path = os.path.join(self._data_dir,
+                                    "wal-%06d.log" % series_id)
+                self._segments[series_id] = WriteAheadLog(path,
+                                                          self._registry)
+            return self._segments[series_id]
 
     def replay_all(self):
         """Yield ``(series_id, t, v)`` across every on-disk segment."""
@@ -154,6 +162,7 @@ class WalManager:
 
     def close(self):
         """Release every segment's file handle."""
-        for segment in self._segments.values():
-            segment.close()
-        self._segments.clear()
+        with self._lock:
+            for segment in self._segments.values():
+                segment.close()
+            self._segments.clear()

@@ -1,0 +1,28 @@
+"""Concurrency-suite safety net: a hard per-test timeout.
+
+A deadlocked lock hierarchy hangs instead of failing, so every test in
+this package arms :func:`faulthandler.dump_traceback_later` — if a test
+exceeds the budget, all thread stacks are dumped to stderr and the
+process exits hard.  That turns a silent CI hang into an actionable
+traceback showing exactly which locks each thread is blocked on.
+
+Budget via ``REPRO_CONCURRENCY_TIMEOUT`` (seconds, default 120).
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import os
+
+import pytest
+
+HARD_TIMEOUT_SECONDS = float(os.environ.get("REPRO_CONCURRENCY_TIMEOUT",
+                                            120))
+
+
+@pytest.fixture(autouse=True)
+def hard_timeout():
+    """Arm a whole-process watchdog for the duration of each test."""
+    faulthandler.dump_traceback_later(HARD_TIMEOUT_SECONDS, exit=True)
+    yield
+    faulthandler.cancel_dump_traceback_later()

@@ -1,0 +1,97 @@
+"""Race-detection harness: exception-collecting threads and seeded
+interleaving jitter.
+
+``run_threads`` is the suite's workhorse: it starts every worker behind
+a barrier (maximum contention at t=0), joins them with a deadlock
+timeout, and re-raises collected exceptions with their thread names —
+so a race that throws in a worker fails the test instead of vanishing
+into a daemon thread.
+
+``Interleaver`` injects tiny seeded sleeps at caller-chosen checkpoints.
+Thread scheduling is the one input a test cannot fix, but seeding the
+jitter makes each named schedule reproducible enough that a failure's
+seed can be replayed while still exploring different interleavings
+across seeds.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import traceback
+
+
+class ThreadFailure(AssertionError):
+    """One or more worker threads raised (or deadlocked)."""
+
+
+def run_threads(workers, timeout=90.0, barrier=True):
+    """Run callables concurrently; fail loudly on exception or hang.
+
+    Args:
+        workers: iterable of zero-argument callables, one thread each.
+        timeout: seconds to wait for *all* threads; exceeding it is
+            reported as a deadlock (the faulthandler watchdog in
+            conftest.py will then dump stacks).
+        barrier: start all workers simultaneously for max contention.
+    Returns:
+        list of worker return values, in worker order.
+    """
+    workers = list(workers)
+    start = threading.Barrier(len(workers)) if barrier and workers \
+        else None
+    errors = []
+    results = [None] * len(workers)
+    errors_lock = threading.Lock()
+
+    def runner(index, fn):
+        try:
+            if start is not None:
+                start.wait()
+            results[index] = fn()
+        except BaseException as exc:  # noqa: BLE001 — reraised below
+            with errors_lock:
+                errors.append((threading.current_thread().name, exc,
+                               traceback.format_exc()))
+
+    threads = [threading.Thread(target=runner, args=(i, fn),
+                                name="worker-%d" % i, daemon=True)
+               for i, fn in enumerate(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout)
+    alive = [thread.name for thread in threads if thread.is_alive()]
+    if alive:
+        raise ThreadFailure("deadlock suspected: %s still running after "
+                            "%.0fs" % (", ".join(alive), timeout))
+    if errors:
+        details = "\n".join("--- %s ---\n%s" % (name, tb)
+                            for name, _exc, tb in errors)
+        raise ThreadFailure("%d worker(s) raised:\n%s"
+                            % (len(errors), details))
+    return results
+
+
+class Interleaver:
+    """Seeded jitter source; one independent stream per thread.
+
+    >>> interleaver = Interleaver(seed=7)
+    >>> jitter = interleaver.stream(0)   # thread 0's checkpoint hook
+    >>> jitter()                         # sleeps 0..scale seconds
+    """
+
+    def __init__(self, seed, scale=2e-4):
+        self._seed = int(seed)
+        self._scale = float(scale)
+
+    def stream(self, thread_index):
+        """A zero-argument jitter callable for one thread."""
+        rng = random.Random(self._seed * 1_000_003 + thread_index)
+        scale = self._scale
+
+        def jitter():
+            import time
+            time.sleep(rng.random() * scale)
+
+        return jitter

@@ -1,0 +1,138 @@
+"""RWLock unit tests: reentrancy, exclusion, writer preference."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.storage import RWLock
+
+
+def test_many_concurrent_readers():
+    lock = RWLock()
+    inside = []
+    barrier = threading.Barrier(4)
+
+    def reader():
+        with lock.read():
+            barrier.wait(timeout=10)  # all 4 hold the read side at once
+            inside.append(1)
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(10)
+    assert len(inside) == 4
+
+
+def test_writer_is_exclusive():
+    lock = RWLock()
+    counter = {"value": 0, "max_seen": 0}
+
+    def writer():
+        for _ in range(200):
+            with lock.write():
+                counter["value"] += 1
+                counter["max_seen"] = max(counter["max_seen"],
+                                          counter["value"])
+                counter["value"] -= 1
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(10)
+    assert counter["max_seen"] == 1  # never two writers inside
+
+
+def test_write_lock_is_reentrant():
+    lock = RWLock()
+    with lock.write():
+        with lock.write():
+            with lock.read():   # holder may take the read side too
+                pass
+    # Fully released: another thread can now acquire (and release).
+    def other():
+        lock.acquire_write()
+        lock.release_write()
+
+    t = threading.Thread(target=other)
+    t.start()
+    t.join(5)
+    assert not t.is_alive()
+
+
+def test_read_lock_is_reentrant():
+    lock = RWLock()
+    with lock.read():
+        with lock.read():
+            pass
+    with lock.write():  # fully released afterwards
+        pass
+
+
+def test_read_to_write_upgrade_raises():
+    lock = RWLock()
+    with lock.read():
+        with pytest.raises(RuntimeError):
+            lock.acquire_write()
+
+
+def test_reader_blocks_writer_until_release():
+    lock = RWLock()
+    order = []
+    lock.acquire_read()
+
+    def writer():
+        with lock.write():
+            order.append("writer")
+
+    t = threading.Thread(target=writer)
+    t.start()
+    time.sleep(0.05)
+    assert order == []  # writer parked behind the reader
+    order.append("reader-release")
+    lock.release_read()
+    t.join(5)
+    assert order == ["reader-release", "writer"]
+
+
+def test_waiting_writer_blocks_new_readers():
+    """Writer preference: once a writer waits, fresh readers queue
+    behind it instead of starving it."""
+    lock = RWLock()
+    events = []
+    lock.acquire_read()
+    writer_waiting = threading.Event()
+
+    def writer():
+        writer_waiting.set()
+        with lock.write():
+            events.append("writer")
+
+    def late_reader():
+        writer_waiting.wait(5)
+        time.sleep(0.05)  # let the writer reach its wait loop
+        with lock.read():
+            events.append("late-reader")
+
+    tw = threading.Thread(target=writer)
+    tr = threading.Thread(target=late_reader)
+    tw.start()
+    tr.start()
+    time.sleep(0.15)
+    lock.release_read()
+    tw.join(5)
+    tr.join(5)
+    assert events == ["writer", "late-reader"]
+
+
+def test_release_errors():
+    lock = RWLock()
+    with pytest.raises(RuntimeError):
+        lock.release_read()
+    with pytest.raises(RuntimeError):
+        lock.release_write()

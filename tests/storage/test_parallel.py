@@ -1,0 +1,77 @@
+"""ChunkPipeline unit tests: ordering, nesting, shutdown fallback."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.storage import ChunkPipeline, in_worker_thread, serial_map
+
+
+def test_map_ordered_preserves_submission_order():
+    with ChunkPipeline(4) as pipeline:
+        out = pipeline.map_ordered(lambda x: x * x, range(50))
+    assert out == [x * x for x in range(50)]
+
+
+def test_runs_on_worker_threads():
+    with ChunkPipeline(3) as pipeline:
+        names = pipeline.map_ordered(
+            lambda _x: threading.current_thread().name, range(12))
+    assert all(name.startswith("repro-chunk") for name in names)
+
+
+def test_nested_fanout_degrades_to_serial():
+    """A map issued from inside a worker must not re-enter the pool —
+    with every worker busy waiting, that would deadlock."""
+    with ChunkPipeline(2) as pipeline:
+
+        def outer(x):
+            assert in_worker_thread()
+            inner = pipeline.map_ordered(
+                lambda y: (y, threading.current_thread().name), range(3))
+            me = threading.current_thread().name
+            assert all(name == me for _y, name in inner)
+            return x + sum(y for y, _name in inner)
+
+        out = pipeline.map_ordered(outer, range(8))
+    assert out == [x + 3 for x in range(8)]
+
+
+def test_exception_propagates_like_serial_loop():
+    def boom(x):
+        if x == 3:
+            raise ValueError("item 3")
+        return x
+
+    with ChunkPipeline(4) as pipeline:
+        with pytest.raises(ValueError, match="item 3"):
+            pipeline.map_ordered(boom, range(6))
+
+
+def test_shutdown_falls_back_to_serial():
+    pipeline = ChunkPipeline(2)
+    pipeline.shutdown()
+    pipeline.shutdown()  # idempotent
+    assert pipeline.map_ordered(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+
+
+def test_single_item_and_empty_stay_inline():
+    with ChunkPipeline(2) as pipeline:
+        assert pipeline.map_ordered(
+            lambda _x: in_worker_thread(), [1]) == [False]
+        assert pipeline.map_ordered(lambda x: x, []) == []
+
+
+def test_invalid_worker_count():
+    with pytest.raises(ValueError):
+        ChunkPipeline(0)
+
+
+def test_serial_map_matches():
+    assert serial_map(lambda x: x * 2, range(4)) == [0, 2, 4, 6]
+
+
+def test_main_thread_is_not_worker():
+    assert not in_worker_thread()
