@@ -1,0 +1,77 @@
+"""E13 — server throughput under session workloads and overload.
+
+Boots a live ``repro.server`` over BallSpeed and KOB, sweeps
+closed-loop users (1/4/16/64) and finishes with an open-loop overload
+cell at 4x the measured capacity.  The rows land in
+``BENCH_server.json`` next to this file.
+
+The hard assertions encode the serving design's acceptance criteria:
+
+* the overload cell must *shed* (503s) rather than queue without bound;
+* the p99 latency of the requests the server accepted must stay
+  bounded by the request deadline (plus client-side slack) even while
+  the offered load is far above capacity.
+"""
+
+import json
+import os
+
+from repro.bench import server_throughput
+
+from conftest import print_tables
+
+RESULT_FILE = os.path.join(os.path.dirname(__file__), "BENCH_server.json")
+
+TIMEOUT_MS = 1000
+# Latency is measured from the *scheduled* arrival on the client; give
+# connection setup and thread scheduling some headroom on top of the
+# server-enforced deadline.
+CLIENT_SLACK_S = 1.0
+
+
+def test_server_throughput_sweep(benchmark):
+    tables = benchmark.pedantic(
+        server_throughput,
+        kwargs={"n_points": 20_000, "duration": 1.0,
+                "timeout_ms": TIMEOUT_MS},
+        rounds=1, iterations=1)
+    print_tables(tables)
+    rows = []
+    for table in tables:
+        for row in table.rows:
+            cells = dict(zip(table.columns, row))
+            rows.append({
+                "experiment": table.title,
+                "mode": cells["mode"],
+                "users": int(cells["users"]),
+                "rate": (None if cells["rate (req/s)"] == "-"
+                         else float(cells["rate (req/s)"])),
+                "total": int(cells["total"]),
+                "ok": int(cells["ok"]),
+                "shed": int(cells["shed"]),
+                "timeouts": int(cells["timeout"]),
+                "throughput": float(cells["throughput (req/s)"]),
+                "p50_seconds": float(cells["p50 (s)"]),
+                "p95_seconds": float(cells["p95 (s)"]),
+                "p99_seconds": float(cells["p99 (s)"]),
+                "shed_rate": float(cells["shed rate"]),
+            })
+        closed = [dict(zip(table.columns, r)) for r in table.rows
+                  if r[0] == "closed"]
+        assert closed, table.title
+        for cells in closed:
+            assert int(cells["ok"]) > 0, table.title
+        overload = [dict(zip(table.columns, r)) for r in table.rows
+                    if r[0] == "open"]
+        assert len(overload) == 1, table.title
+        cells = overload[0]
+        assert int(cells["shed"]) > 0, \
+            "%s: overload must shed, not buffer" % table.title
+        assert int(cells["ok"]) > 0, table.title
+        assert float(cells["p99 (s)"]) <= (TIMEOUT_MS / 1000.0
+                                           + CLIENT_SLACK_S), \
+            "%s: accepted-request p99 must stay deadline-bounded" \
+            % table.title
+    with open(RESULT_FILE, "w", encoding="utf-8") as f:
+        json.dump({"rows": rows}, f, indent=2, sort_keys=True)
+    print("wrote %d rows to %s" % (len(rows), RESULT_FILE))

@@ -13,6 +13,7 @@ from .experiments import (
     fig14_vary_delete_range,
     headline_scaling,
     parallel_speedup,
+    server_throughput,
     table2_datasets,
 )
 from .harness import (
@@ -46,5 +47,6 @@ __all__ = [
     "parallel_speedup",
     "prepare_engine",
     "roughly_constant",
+    "server_throughput",
     "table2_datasets",
 ]

@@ -11,6 +11,10 @@ Commands:
 * ``compact``   — run full compaction on a storage directory
 * ``stats``     — print the store's observability snapshot (counters,
               histogram quantiles, slow queries; text/JSON/Prometheus)
+* ``serve``     — expose a store over HTTP (``repro.server``): SQL
+              queries, M4 renders, stats/health, admission control
+* ``loadgen``   — drive a running server with seeded pan/zoom
+              dashboard sessions and report throughput/latency
 
 Every command operates on a plain directory, so the same store can be
 inspected, queried and extended across invocations (recovery included).
@@ -19,6 +23,7 @@ inspected, queried and extended across invocations (recovery included).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .datasets.generators import PROFILES
@@ -99,6 +104,46 @@ def build_parser():
     stats.add_argument("--probe-w", type=int, default=100,
                        help="span count for the probe query")
     _add_parallelism(stats)
+
+    serve = commands.add_parser(
+        "serve", help="serve a store over HTTP (queries, renders, stats)")
+    serve.add_argument("--db", required=True, help="storage directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8731,
+                       help="listen port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="admission worker pool size")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="queued requests before shedding with 503")
+    serve.add_argument("--timeout", type=float, default=10.0,
+                       help="default per-request deadline (seconds)")
+    serve.add_argument("--max-timeout", type=float, default=60.0,
+                       help="cap on client-requested deadlines (seconds)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request log lines")
+    _add_parallelism(serve)
+
+    loadgen = commands.add_parser(
+        "loadgen", help="drive a server with pan/zoom dashboard sessions")
+    loadgen.add_argument("--url", required=True,
+                         help="server base URL, e.g. http://127.0.0.1:8731")
+    loadgen.add_argument("--series", action="append",
+                         help="series to load (repeatable; default: all)")
+    loadgen.add_argument("--mode", choices=("closed", "open"),
+                         default="closed")
+    loadgen.add_argument("--users", type=int, default=4,
+                         help="concurrent users (closed-loop)")
+    loadgen.add_argument("--rate", type=float,
+                         help="arrival rate in req/s (open-loop)")
+    loadgen.add_argument("--duration", type=float, default=5.0,
+                         help="run length in seconds")
+    loadgen.add_argument("--width", type=int, default=256,
+                         help="spans per query (dashboard pixel width)")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--timeout-ms", type=int,
+                         help="per-request deadline sent to the server")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the report as JSON instead of text")
     return parser
 
 
@@ -109,20 +154,37 @@ def _engine_config(args, **overrides):
                          **overrides)
 
 
+def _require_store(path):
+    """``path`` for commands that read an existing store.
+
+    ``StorageEngine`` creates its directory on open, so without this
+    check a typo'd ``--db`` would silently materialize an empty store
+    instead of failing.
+    """
+    if not os.path.isdir(path):
+        raise ReproError("no store at %r (directory does not exist)"
+                         % str(path))
+    return path
+
+
 def main(argv=None):
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Every anticipated failure — bad SQL, missing series, a corrupt or
+    absent store, filesystem errors — prints a one-line ``error:``
+    message and exits 1; tracebacks are reserved for actual bugs.
+    """
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except ReproError as exc:
-        print("error: %s" % exc, file=sys.stderr)
-        return 1
     except BrokenPipeError:
         # Reader went away (e.g. `repro stats db | head`); redirect
         # stdout to devnull so the interpreter's exit flush stays quiet.
-        import os
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except (ReproError, OSError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
 
 
 def _cmd_generate(args):
@@ -147,7 +209,7 @@ def _cmd_load(args):
 
 
 def _cmd_info(args):
-    with StorageEngine(args.db) as engine:
+    with StorageEngine(_require_store(args.db)) as engine:
         if engine.recovery_summary:
             print("recovered: %s" % engine.recovery_summary)
         engine.flush_all()
@@ -170,7 +232,8 @@ def _cmd_info(args):
 
 
 def _cmd_query(args):
-    with StorageEngine(args.db, _engine_config(args)) as engine:
+    with StorageEngine(_require_store(args.db),
+                       _engine_config(args)) as engine:
         engine.flush_all()
         executor = Executor(engine)
         parsed = parse_sql(args.sql)
@@ -193,25 +256,14 @@ def _cmd_query(args):
 
 
 def _cmd_render(args):
-    from .core.m4lsm import M4LSMOperator
+    from .server.service import render_chart
     from .viz.chart import save_pbm, to_ascii
-    from .viz.raster import PixelGrid, rasterize
-    with StorageEngine(args.db, _engine_config(args)) as engine:
+    with StorageEngine(_require_store(args.db),
+                       _engine_config(args)) as engine:
         engine.flush_all()
-        chunks = engine.chunks_for(args.series)
-        if not chunks:
-            print("error: series %r is empty" % args.series,
-                  file=sys.stderr)
-            return 1
-        t_qs = min(c.start_time for c in chunks)
-        t_qe = max(c.end_time for c in chunks) + 1
-        result = M4LSMOperator(engine).query(args.series, t_qs, t_qe,
-                                             args.width)
-        reduced = result.to_series()
-        grid = PixelGrid(t_qs, t_qe, float(reduced.values.min()),
-                         float(reduced.values.max()), args.width,
-                         args.height)
-        matrix = rasterize(reduced, grid)
+        # Shared with GET /render, so server output is byte-identical.
+        matrix, _result = render_chart(engine, args.series, args.width,
+                                       args.height)
         if args.out:
             save_pbm(matrix, args.out)
             print("wrote %dx%d PBM to %s" % (args.width, args.height,
@@ -224,7 +276,8 @@ def _cmd_render(args):
 def _cmd_stats(args):
     from .core.m4lsm import M4LSMOperator
     from .obs import render_text, to_json, to_prometheus
-    with StorageEngine(args.db, _engine_config(args)) as engine:
+    with StorageEngine(_require_store(args.db),
+                       _engine_config(args)) as engine:
         if args.probe:
             engine.flush_all()
             chunks = engine.chunks_for(args.probe)
@@ -247,12 +300,77 @@ def _cmd_stats(args):
 
 
 def _cmd_compact(args):
-    with StorageEngine(args.db, _engine_config(args)) as engine:
+    with StorageEngine(_require_store(args.db),
+                       _engine_config(args)) as engine:
         engine.flush_all()
         counts = compact_all(engine)
     for name, survivors in sorted(counts.items()):
         print("%s: %d points" % (name, survivors))
     return 0
+
+
+def _cmd_serve(args):
+    import signal
+    import threading
+
+    from .server import ServerConfig, start_server
+
+    engine = StorageEngine(_require_store(args.db), _engine_config(args))
+    if engine.recovery_summary:
+        print("recovered: %s" % engine.recovery_summary)
+    engine.flush_all()  # buffered WAL points become query-visible
+    config = ServerConfig(host=args.host, port=args.port,
+                          workers=args.workers,
+                          queue_depth=args.queue_depth,
+                          default_timeout_seconds=args.timeout,
+                          max_timeout_seconds=max(args.max_timeout,
+                                                  args.timeout),
+                          quiet=args.quiet)
+    handle = start_server(engine, config, own_engine=True)
+    host, port = handle.address
+    print("serving %s on http://%s:%d (workers=%d queue=%d "
+          "timeout=%.1fs); Ctrl-C to drain and stop"
+          % (args.db, host, port, config.workers, config.queue_depth,
+             config.default_timeout_seconds), flush=True)
+    stop = threading.Event()
+    try:
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    except ValueError:
+        pass  # not the main thread (tests); Ctrl-C still works
+    try:
+        while not stop.is_set():
+            stop.wait(0.5)
+    except KeyboardInterrupt:
+        pass
+    print("draining in-flight requests ...", flush=True)
+    handle.stop()
+    print("server stopped; obs.json persisted")
+    return 0
+
+
+def _cmd_loadgen(args):
+    import json as json_module
+
+    from .server.workload import SessionWorkload
+
+    if args.mode == "open" and not args.rate:
+        print("error: --mode open requires --rate", file=sys.stderr)
+        return 1
+    workload = SessionWorkload(args.url, series=args.series,
+                               width=args.width, seed=args.seed,
+                               timeout_ms=args.timeout_ms)
+    try:
+        report = workload.run(mode=args.mode, users=args.users,
+                              rate=args.rate, duration=args.duration)
+    except (OSError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_module.dumps(report.as_dict(), indent=2,
+                                sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 _COMMANDS = {
@@ -263,4 +381,6 @@ _COMMANDS = {
     "render": _cmd_render,
     "compact": _cmd_compact,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }

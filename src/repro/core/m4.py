@@ -14,6 +14,7 @@ import numpy as np
 
 from ..errors import InvalidQueryRangeError
 from ..obs import tracer_of
+from ..storage.deadline import check_deadline
 from .result import M4Result, SpanAggregate
 from .series import Point, TimeSeries
 from .spans import span_indices, validate_query
@@ -115,8 +116,10 @@ class M4UDFOperator:
                 chunk_arrays = [(t, v, meta.version) for (t, v), meta
                                 in zip(loaded, metas)]
             with tracer.span("merge", streaming=self._streaming):
+                check_deadline()  # cancellation point: before the merge
                 t, v = self._merge(chunk_arrays, deletes)
             with tracer.span("aggregate"):
+                check_deadline()
                 return m4_aggregate_arrays(t, v, t_qs, t_qe, w)
 
     def merged_series(self, series_name, t_qs, t_qe):

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from ...errors import StorageError
 from ...obs import tracer_of
+from ...storage.deadline import check_deadline
 from ...storage.overlap import contested_versions
 from ..result import M4Result, SpanAggregate
 from ..spans import all_span_bounds, validate_query
@@ -243,6 +244,7 @@ class M4LSMOperator:
                              chunks=len(chunks)) as solve_span:
                 n_fused = n_solver = 0
                 for i in range(w):
+                    check_deadline()  # cancellation point: between spans
                     start, end = int(bounds[i]), int(bounds[i + 1])
                     if start >= end or not per_span[i]:
                         spans.append(SpanAggregate())

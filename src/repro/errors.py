@@ -37,6 +37,41 @@ class ReadOnlyError(StorageError):
     """Raised on an attempt to mutate sealed, read-only storage."""
 
 
+class DeadlineExceededError(ReproError):
+    """Raised when a request's cooperative deadline expires mid-query.
+
+    The chunk pipeline and the M4 operators check the current thread's
+    deadline at their natural cancellation points, so a timed-out query
+    aborts cleanly between chunks/spans instead of running to
+    completion."""
+
+
+class ServerError(ReproError):
+    """Base class for query-service failures (client and server side).
+
+    ``status`` is the HTTP status code associated with the failure."""
+
+    status = 500
+
+    def __init__(self, message, status=None):
+        super().__init__(message)
+        if status is not None:
+            self.status = int(status)
+
+
+class ServerOverloadedError(ServerError):
+    """Raised when the admission queue is full and a request is shed.
+
+    ``retry_after`` is the suggested client back-off in seconds (the
+    HTTP ``Retry-After`` value)."""
+
+    status = 503
+
+    def __init__(self, message, retry_after=1):
+        super().__init__(message)
+        self.retry_after = int(retry_after)
+
+
 class QueryError(ReproError):
     """Base class for query layer failures."""
 

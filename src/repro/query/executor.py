@@ -77,11 +77,14 @@ class Executor:
     def __init__(self, engine):
         self._engine = engine
 
-    def execute(self, parsed, statement=None):
+    def execute(self, parsed, statement=None, slow_info=None):
         """Dispatch on query kind; returns a :class:`ResultTable`.
 
         ``statement`` is the original SQL text, used verbatim in the
         slow-query log (a synthesized description is logged otherwise).
+        ``slow_info`` is an optional dict of extra fields for the
+        slow-query entry — the server passes its request id and
+        endpoint through here.
         """
         if not isinstance(parsed, ParsedQuery):
             raise QueryError("execute() expects a ParsedQuery")
@@ -95,10 +98,11 @@ class Executor:
                 table = self._execute_agg(parsed)
             else:
                 table = self._execute_raw(parsed)
-        self._observe(parsed, statement, time.perf_counter() - started)
+        self._observe(parsed, statement, time.perf_counter() - started,
+                      slow_info=slow_info)
         return table
 
-    def _observe(self, parsed, statement, seconds):
+    def _observe(self, parsed, statement, seconds, slow_info=None):
         metrics = getattr(self._engine, "metrics", None)
         if metrics is not None:
             metrics.counter("query_total", kind=parsed.kind,
@@ -113,7 +117,8 @@ class Executor:
                     parsed.w)
             slow_log.record(statement, seconds, kind=parsed.kind,
                             series=parsed.series,
-                            operator=parsed.operator)
+                            operator=parsed.operator,
+                            **(slow_info or {}))
 
     def _operator(self, name):
         if name == "m4udf":

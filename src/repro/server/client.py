@@ -1,0 +1,142 @@
+"""A small urllib-based client for the query service.
+
+Two layers: :meth:`ReproClient.request` returns the raw
+:class:`ClientResponse` (status + headers + body) without raising — the
+load generator needs to *count* 503s and 504s, not die on them — while
+the typed helpers (:meth:`query`, :meth:`render`, ...) raise
+:class:`~repro.errors.ServerError` subclasses on non-200 so scripts get
+clean failures.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+
+from ..errors import ServerError, ServerOverloadedError
+
+
+class ClientResponse:
+    """One HTTP exchange: status, headers, raw body."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(self, status, headers, body):
+        self.status = int(status)
+        self.headers = dict(headers)
+        self.body = body
+
+    @property
+    def ok(self):
+        """True for a 2xx status."""
+        return 200 <= self.status < 300
+
+    def json(self):
+        """The body decoded as JSON."""
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def request_id(self):
+        """The server-assigned request id, when present."""
+        return self.headers.get("X-Repro-Request-Id")
+
+
+class ReproClient:
+    """Typed access to a running :class:`~repro.server.http.ReproServer`.
+
+    >>> # client = ReproClient("http://127.0.0.1:8731")
+    >>> # client.query("SELECT M4(s) FROM x GROUP BY SPANS(100)")
+    """
+
+    def __init__(self, base_url, timeout=30.0):
+        self._base = base_url.rstrip("/")
+        self._timeout = float(timeout)
+
+    # -- raw layer ---------------------------------------------------------------------
+
+    def request(self, method, path, body=None, headers=None):
+        """One exchange; HTTP error statuses return, they don't raise.
+
+        Transport failures (connection refused, socket timeout) still
+        raise ``urllib.error.URLError`` / ``OSError`` — there is no
+        response to return.
+        """
+        req = urllib.request.Request(self._base + path, data=body,
+                                     headers=headers or {}, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self._timeout) as r:
+                return ClientResponse(r.status, r.headers.items(), r.read())
+        except urllib.error.HTTPError as exc:
+            with exc:
+                return ClientResponse(exc.code,
+                                      (exc.headers or {}).items()
+                                      if exc.headers else [],
+                                      exc.read())
+
+    def query_response(self, sql, timeout_ms=None, sleep_ms=None):
+        """``POST /query`` returning the raw :class:`ClientResponse`."""
+        payload = {"sql": sql}
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        if sleep_ms is not None:
+            payload["sleep_ms"] = sleep_ms
+        return self.request("POST", "/query",
+                            body=json.dumps(payload).encode("utf-8"),
+                            headers={"Content-Type": "application/json"})
+
+    def render_response(self, series, width=256, height=64, fmt="json",
+                        timeout_ms=None, sleep_ms=None):
+        """``GET /render`` returning the raw :class:`ClientResponse`."""
+        params = {"series": series, "width": width, "height": height,
+                  "format": fmt}
+        if timeout_ms is not None:
+            params["timeout_ms"] = timeout_ms
+        if sleep_ms is not None:
+            params["sleep_ms"] = sleep_ms
+        return self.request("GET", "/render?"
+                            + urllib.parse.urlencode(params))
+
+    # -- typed layer -------------------------------------------------------------------
+
+    def query(self, sql, timeout_ms=None):
+        """Run SQL; returns ``{"columns": [...], "rows": [...]}``."""
+        return self._checked(self.query_response(sql,
+                                                 timeout_ms=timeout_ms)) \
+            .json()
+
+    def render(self, series, width=256, height=64, fmt="json",
+               timeout_ms=None):
+        """Render a series; a dict for ``json``, bytes for ``pbm``."""
+        response = self._checked(self.render_response(
+            series, width=width, height=height, fmt=fmt,
+            timeout_ms=timeout_ms))
+        return response.body if fmt == "pbm" else response.json()
+
+    def series(self):
+        """Registered series with their time ranges."""
+        return self._checked(self.request("GET", "/series")) \
+            .json()["series"]
+
+    def stats(self):
+        """The server's observability snapshot."""
+        return self._checked(self.request("GET", "/stats")).json()
+
+    def healthz(self):
+        """The health/load document."""
+        return self._checked(self.request("GET", "/healthz")).json()
+
+    def _checked(self, response):
+        if response.ok:
+            return response
+        try:
+            message = response.json().get("error", "unknown error")
+        except ValueError:
+            message = response.body.decode("utf-8", "replace")
+        if response.status == 503:
+            raise ServerOverloadedError(
+                message,
+                retry_after=int(response.headers.get("Retry-After", 1)))
+        raise ServerError("%s (HTTP %d)" % (message, response.status),
+                          status=response.status)

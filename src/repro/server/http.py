@@ -1,0 +1,205 @@
+"""The HTTP front end: routing, serialization, graceful shutdown.
+
+A :class:`ReproServer` is a stdlib ``ThreadingHTTPServer`` — one
+handler thread per connection — but handler threads do no engine work:
+they parse the request, hand a closure to the service's admission
+controller, and block until the job is fulfilled.  Concurrency is
+therefore governed by the worker pool + bounded queue, not by the
+accept loop, which is what keeps overload behaviour shaped (503s with
+``Retry-After``) instead of unbounded thread pile-ups.
+
+Endpoints::
+
+    POST /query    {"sql": ..., "timeout_ms": ...}  -> JSON rows
+    GET  /render?series=..&width=..&height=..&format=json|pbm
+    GET  /series   registered series + time ranges
+    GET  /stats    observability snapshot (+ server section)
+    GET  /healthz  liveness and load signals
+
+Shutdown (:meth:`ServerHandle.stop`) is a strict sequence: stop
+accepting, drain the admission queue (in-flight requests complete and
+are answered), close the listening socket, then flush the engine and
+close it — which persists ``obs.json`` — so a drained server never
+loses buffered writes or tears its observability snapshot.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlsplit
+
+from .service import QueryService, Response, ServerConfig
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin request handler: parse, dispatch to the service, serialize."""
+
+    server_version = "repro-server"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self):
+        with self.server.track_request():
+            split = urlsplit(self.path)
+            params = dict(parse_qsl(split.query))
+            service = self.server.service
+            if split.path == "/render":
+                self._send(service.render(params))
+            elif split.path == "/series":
+                self._send(service.series())
+            elif split.path == "/stats":
+                self._send(service.stats())
+            elif split.path == "/healthz":
+                self._send(service.healthz())
+            else:
+                self._send(Response(404,
+                                    b'{"error": "no such endpoint"}'))
+
+    def do_POST(self):
+        with self.server.track_request():
+            split = urlsplit(self.path)
+            if split.path != "/query":
+                self._send(Response(404,
+                                    b'{"error": "no such endpoint"}'))
+                return
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                payload = json.loads(self.rfile.read(length) or b"{}")
+            except (ValueError, TypeError):
+                self._send(Response(400,
+                                    b'{"error": "body is not JSON"}'))
+                return
+            self._send(self.server.service.query(payload))
+
+    def _send(self, response):
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(response.body)))
+            for name, value in response.headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(response.body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to answer
+
+    def log_message(self, format, *args):  # noqa: A002 (stdlib signature)
+        if not self.server.service.config.quiet:
+            sys.stderr.write("[repro-server] %s %s\n"
+                             % (self.address_string(), format % args))
+
+
+class ReproServer(ThreadingHTTPServer):
+    """The listening socket + accept loop around one :class:`QueryService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, service, address=None):
+        self.service = service
+        config = service.config
+        self._active_requests = 0
+        self._active_lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+        if address is None:
+            address = (config.host, config.port)
+        super().__init__(address, _Handler)
+
+    @contextlib.contextmanager
+    def track_request(self):
+        """Count a request from dispatch through response write.
+
+        Handler threads are daemons (a stalled client must not be able
+        to hold shutdown hostage), so stdlib ``server_close`` does not
+        join them; this counter is what lets :meth:`wait_idle` sequence
+        "every answered request is fully written and observed" before
+        the engine snapshots ``obs.json``.
+        """
+        with self._active_lock:
+            self._active_requests += 1
+            self._idle.clear()
+        try:
+            yield
+        finally:
+            with self._active_lock:
+                self._active_requests -= 1
+                if self._active_requests == 0:
+                    self._idle.set()
+
+    def wait_idle(self, timeout=10.0):
+        """Block until no request is mid-dispatch (True on success)."""
+        return self._idle.wait(timeout)
+
+
+class ServerHandle:
+    """A running server: its thread, address and graceful stop."""
+
+    def __init__(self, server, own_engine=False):
+        self._server = server
+        self._own_engine = own_engine
+        self._thread = threading.Thread(target=server.serve_forever,
+                                        name="repro-server-accept",
+                                        daemon=True)
+        self._stopped = False
+        self._lock = threading.Lock()
+        self._thread.start()
+
+    @property
+    def service(self):
+        """The underlying :class:`QueryService`."""
+        return self._server.service
+
+    @property
+    def address(self):
+        """The bound ``(host, port)`` (port resolved when 0 was asked)."""
+        return self._server.server_address[:2]
+
+    @property
+    def url(self):
+        """Base URL clients should use."""
+        host, port = self.address
+        return "http://%s:%d" % (host, port)
+
+    def stop(self):
+        """Graceful shutdown: drain in-flight requests, then close.
+
+        Idempotent.  When the handle owns the engine (the CLI path),
+        the engine is flushed and closed last, persisting ``obs.json``.
+        """
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        self._server.shutdown()           # 1. stop accepting
+        self.service.shutdown()           # 2. drain admitted jobs
+        self._server.wait_idle()          # 3. responses written + observed
+        self._server.server_close()       # 4. release the socket
+        self._thread.join(timeout=10)
+        if self._own_engine:
+            engine = self.service.engine  # 5. flush WAL state + obs.json
+            engine.flush_all()
+            engine.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+
+def start_server(engine, config=None, own_engine=False):
+    """Start serving ``engine`` in a background thread.
+
+    Pass ``port=0`` in the config for an ephemeral port (tests); read
+    the actual one back from ``handle.address``.  The engine must be
+    flushed (``flush_all``) before queries will succeed; the caller
+    keeps ownership unless ``own_engine`` is set.
+    """
+    config = config if config is not None else ServerConfig()
+    service = QueryService(engine, config)
+    server = ReproServer(service)
+    return ServerHandle(server, own_engine=own_engine)

@@ -1,0 +1,357 @@
+"""Transport-independent request execution for the query service.
+
+:class:`QueryService` turns endpoint payloads into :class:`Response`
+objects; the HTTP layer only parses/serializes.  Heavy endpoints
+(``query``, ``render``) go through the :class:`AdmissionController` —
+bounded queue, worker pool, per-request deadline — while ``series``,
+``stats`` and ``healthz`` are answered inline so the server stays
+observable even when fully loaded.
+
+Every request gets an id (``r000042``); it is returned in the response
+body, stamped on the ``X-Repro-Request-Id`` header, and attached to any
+slow-query log entry the request produces, so a slow dashboard frame
+can be traced from client to engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import threading
+import time
+
+from ..errors import (
+    DeadlineExceededError,
+    QueryError,
+    ReproError,
+    SeriesNotFoundError,
+    ServerOverloadedError,
+)
+from ..query.executor import Executor
+from ..query.sql import parse as parse_sql
+from ..storage.deadline import Deadline, check_deadline
+from .admission import AdmissionController
+
+_JSON = "application/json"
+_PBM = "image/x-portable-bitmap"
+
+
+@dataclasses.dataclass
+class ServerConfig:
+    """Tunable knobs of the query service."""
+
+    host: str = "127.0.0.1"
+    port: int = 8731
+    workers: int = 4                     # admission worker pool size
+    queue_depth: int = 16                # queued jobs before shedding
+    default_timeout_seconds: float = 10.0
+    max_timeout_seconds: float = 60.0    # per-request cap
+    retry_after_seconds: int = 1         # suggested back-off on 503
+    debug_hooks: bool = False            # honor test-only sleep_ms
+    quiet: bool = False                  # suppress per-request log lines
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.default_timeout_seconds <= 0:
+            raise ValueError("default_timeout_seconds must be positive")
+        if self.max_timeout_seconds < self.default_timeout_seconds:
+            raise ValueError("max_timeout_seconds must be >= default")
+
+
+@dataclasses.dataclass
+class Response:
+    """One finished response, ready for any transport."""
+
+    status: int
+    body: bytes
+    content_type: str = _JSON
+    headers: dict = dataclasses.field(default_factory=dict)
+
+
+def render_chart(engine, series, width, height, t_qs=None, t_qe=None):
+    """The shared render pipeline: M4-LSM reduce, then rasterize.
+
+    Used verbatim by both ``repro render`` and ``GET /render`` so the
+    two surfaces are byte-identical by construction.  Returns
+    ``(matrix, result)``: the binary pixel matrix and the
+    :class:`~repro.core.result.M4Result` it was drawn from.
+    """
+    from ..core.m4lsm import M4LSMOperator
+    from ..viz.raster import PixelGrid, rasterize
+    chunks = engine.chunks_for(series)
+    if not chunks:
+        raise QueryError("series %r is empty" % series)
+    if t_qs is None:
+        t_qs = min(c.start_time for c in chunks)
+    if t_qe is None:
+        t_qe = max(c.end_time for c in chunks) + 1
+    result = M4LSMOperator(engine).query(series, int(t_qs), int(t_qe),
+                                         int(width))
+    reduced = result.to_series()
+    grid = PixelGrid(int(t_qs), int(t_qe), float(reduced.values.min()),
+                     float(reduced.values.max()), int(width), int(height))
+    return rasterize(reduced, grid), result
+
+
+def _spans_as_json(result):
+    """Per-pixel-column representation points, empty spans skipped."""
+    spans = []
+    for i, span in enumerate(result.spans):
+        if span.is_empty():
+            continue
+        spans.append({"span": i,
+                      "first": [span.first.t, span.first.v],
+                      "last": [span.last.t, span.last.v],
+                      "bottom": [span.bottom.t, span.bottom.v],
+                      "top": [span.top.t, span.top.v]})
+    return spans
+
+
+class QueryService:
+    """Endpoint execution against one engine, behind admission control.
+
+    The service does not own the engine's lifecycle beyond
+    :meth:`shutdown`, which drains the admission queue (in-flight
+    requests complete) without closing the engine — the
+    :class:`~repro.server.http.ServerHandle` sequences the full
+    drain → flush → close.
+    """
+
+    def __init__(self, engine, config=None):
+        self._engine = engine
+        self._config = config if config is not None else ServerConfig()
+        self._executor = Executor(engine)
+        self._metrics = engine.metrics
+        self._ids = itertools.count(1)
+        self._id_lock = threading.Lock()
+        self._admission = AdmissionController(
+            workers=self._config.workers,
+            queue_depth=self._config.queue_depth,
+            metrics=engine.metrics,
+            retry_after=self._config.retry_after_seconds)
+
+    @property
+    def config(self):
+        """The service's :class:`ServerConfig`."""
+        return self._config
+
+    @property
+    def engine(self):
+        """The served :class:`~repro.storage.engine.StorageEngine`."""
+        return self._engine
+
+    @property
+    def admission(self):
+        """The service's :class:`AdmissionController`."""
+        return self._admission
+
+    def shutdown(self):
+        """Drain the admission queue (blocks until in-flight work ends)."""
+        self._admission.shutdown()
+
+    # -- endpoints ---------------------------------------------------------------------
+
+    def query(self, payload):
+        """``POST /query``: ``{"sql": ..., "timeout_ms": optional}``."""
+        if not isinstance(payload, dict) or "sql" not in payload:
+            return self._error(400, None, "body must be a JSON object "
+                                          "with an 'sql' field")
+        sql = payload["sql"]
+        rid = self._next_id()
+        sleep_s = self._debug_sleep(payload)
+
+        def run():
+            if sleep_s:
+                self._sleep_checked(sleep_s)
+            parsed = parse_sql(sql)
+            table = self._executor.execute(
+                parsed, statement=sql,
+                slow_info={"request_id": rid, "endpoint": "query"})
+            return Response(200, _json_bytes({
+                "request_id": rid,
+                "columns": list(table.columns),
+                "rows": [list(row) for row in table.rows]}))
+
+        return self._admit("query", rid, run,
+                           timeout_ms=payload.get("timeout_ms"))
+
+    def render(self, params):
+        """``GET /render``: M4-reduce a series to pixel columns.
+
+        Params: ``series`` (required), ``width``/``height``,
+        ``format`` = ``json`` (pixel-column aggregates) or ``pbm``
+        (image bytes, byte-identical to ``repro render --out``),
+        ``timeout_ms``.
+        """
+        series = params.get("series")
+        if not series:
+            return self._error(400, None, "missing 'series' parameter")
+        try:
+            width = int(params.get("width", 256))
+            height = int(params.get("height", 64))
+        except ValueError:
+            return self._error(400, None, "width/height must be integers")
+        fmt = params.get("format", "json")
+        if fmt not in ("json", "pbm"):
+            return self._error(400, None, "format must be json or pbm")
+        rid = self._next_id()
+        sleep_s = self._debug_sleep(params)
+
+        def run():
+            if sleep_s:
+                self._sleep_checked(sleep_s)
+            started = time.perf_counter()
+            matrix, result = render_chart(self._engine, series, width,
+                                          height)
+            self._engine.slow_log.record(
+                "RENDER %s %dx%d" % (series, width, height),
+                time.perf_counter() - started,
+                endpoint="render", request_id=rid, series=series)
+            if fmt == "pbm":
+                from ..viz.chart import to_pbm
+                return Response(200, to_pbm(matrix).encode("ascii"),
+                                content_type=_PBM)
+            return Response(200, _json_bytes({
+                "request_id": rid, "series": series,
+                "width": width, "height": height,
+                "t_qs": result.t_qs, "t_qe": result.t_qe,
+                "spans": _spans_as_json(result)}))
+
+        return self._admit("render", rid, run,
+                           timeout_ms=params.get("timeout_ms"))
+
+    def series(self):
+        """``GET /series``: name + time range per series (inline)."""
+        out = []
+        for name in sorted(self._engine.series_names()):
+            try:
+                chunks = self._engine.chunks_for(name)
+            except ReproError:
+                continue  # unflushed or racing a writer: skip, not fail
+            if chunks:
+                out.append({
+                    "name": name,
+                    "start_time": min(c.start_time for c in chunks),
+                    "end_time": max(c.end_time for c in chunks),
+                    "chunks": len(chunks),
+                    "points": sum(c.n_points for c in chunks)})
+            else:
+                out.append({"name": name, "start_time": None,
+                            "end_time": None, "chunks": 0, "points": 0})
+        self._count("series", 200)
+        return Response(200, _json_bytes({"series": out}))
+
+    def stats(self):
+        """``GET /stats``: obs snapshot + server section (inline)."""
+        snapshot = self._engine.observability_snapshot()
+        snapshot["server"] = {
+            "workers": self._admission.workers,
+            "queue_depth_limit": self._admission.queue_depth,
+            "default_timeout_seconds":
+                self._config.default_timeout_seconds,
+        }
+        self._count("stats", 200)
+        return Response(200, _json_bytes(snapshot))
+
+    def healthz(self):
+        """``GET /healthz``: cheap liveness + load signals (inline)."""
+        metrics = self._metrics
+        body = {
+            "status": "ok",
+            "series": len(self._engine.series_names()),
+            "queue_depth": metrics.gauge("server_queue_depth").value,
+            "inflight": metrics.gauge("server_inflight").value,
+            "shed_total": metrics.counter("server_shed_total").value,
+            "timeout_total": metrics.counter("server_timeout_total").value,
+        }
+        return Response(200, _json_bytes(body))
+
+    # -- admission plumbing ------------------------------------------------------------
+
+    def _admit(self, endpoint, rid, fn, timeout_ms=None):
+        deadline = Deadline(self._timeout_seconds(timeout_ms))
+        started = time.perf_counter()
+        try:
+            job = self._admission.submit(fn, deadline=deadline,
+                                         request_id=rid)
+        except ServerOverloadedError as exc:
+            response = self._error(503, rid, str(exc))
+            response.headers["Retry-After"] = str(exc.retry_after)
+            return self._finish(endpoint, rid, started, response)
+        job.wait()  # fulfilment is guaranteed: run, queued-expiry or drain
+        if job.error is not None:
+            return self._finish(endpoint, rid, started,
+                                self._map_error(rid, job.error))
+        response = job.result
+        response.headers.setdefault("X-Repro-Request-Id", rid)
+        return self._finish(endpoint, rid, started, response)
+
+    def _finish(self, endpoint, rid, started, response):
+        seconds = time.perf_counter() - started
+        self._metrics.histogram("server_request_seconds",
+                                endpoint=endpoint).observe(seconds)
+        self._count(endpoint, response.status)
+        response.headers.setdefault("X-Repro-Request-Id", rid or "-")
+        return response
+
+    def _count(self, endpoint, status):
+        self._metrics.counter("server_requests_total", endpoint=endpoint,
+                              status=str(status)).inc()
+
+    def _map_error(self, rid, error):
+        if isinstance(error, DeadlineExceededError):
+            return self._error(504, rid, str(error))
+        if isinstance(error, (QueryError, SeriesNotFoundError,
+                              ValueError)):
+            return self._error(400, rid, str(error))
+        if isinstance(error, ReproError):
+            return self._error(500, rid, str(error))
+        return self._error(500, rid, "%s: %s"
+                           % (type(error).__name__, error))
+
+    def _error(self, status, rid, message):
+        return Response(status, _json_bytes({"error": message,
+                                             "request_id": rid}))
+
+    def _timeout_seconds(self, timeout_ms):
+        if timeout_ms is None:
+            return self._config.default_timeout_seconds
+        try:
+            seconds = float(timeout_ms) / 1000.0
+        except (TypeError, ValueError):
+            return self._config.default_timeout_seconds
+        if seconds <= 0:
+            return self._config.default_timeout_seconds
+        return min(seconds, self._config.max_timeout_seconds)
+
+    def _next_id(self):
+        with self._id_lock:
+            return "r%06d" % next(self._ids)
+
+    def _debug_sleep(self, params):
+        """Seconds of test-only artificial work (0 unless enabled)."""
+        if not self._config.debug_hooks:
+            return 0.0
+        try:
+            return max(float(params.get("sleep_ms", 0)) / 1000.0, 0.0)
+        except (TypeError, ValueError):
+            return 0.0
+
+    @staticmethod
+    def _sleep_checked(seconds):
+        """Sleep in slices so the request's deadline still cancels it."""
+        end = time.monotonic() + seconds
+        while True:
+            check_deadline()
+            remaining = end - time.monotonic()
+            if remaining <= 0:
+                return
+            time.sleep(min(remaining, 0.01))
+
+
+def _json_bytes(obj):
+    return json.dumps(obj, sort_keys=True).encode("utf-8")

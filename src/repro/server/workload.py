@@ -1,0 +1,307 @@
+"""Seeded dashboard-session workloads and the load-test runner.
+
+A *session* models what the paper's interactive-visualization story
+actually produces at a server: a user opens the full range, zooms in a
+couple of levels around some focus point, pans sideways at the deep
+level, then zooms back out.  :func:`zoom_pan_session` generates that
+viewport sequence deterministically from a seeded RNG (the same
+trajectory logic as ``benchmarks/test_interactive_zoom.py``, made
+per-user random), and every viewport becomes one M4 query over the
+wire.
+
+Two driving modes, the standard pair from load-testing practice:
+
+* **closed-loop** — N users, each issuing its next request only after
+  the previous one returns.  Measures capacity under think-time-free
+  users; offered load self-limits to server speed.
+* **open-loop** — a fixed arrival rate, independent of server speed.
+  This is the mode that exposes overload behaviour: when the rate
+  exceeds capacity the admission queue fills, requests shed with 503,
+  and the latency of *accepted* requests must stay bounded by the
+  deadline (the acceptance criterion of a load-shedding design).
+
+Latencies are measured from the *scheduled* arrival in open-loop mode
+(so coordinated omission cannot hide queueing delay) and from the
+request start in closed-loop mode.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import threading
+import time
+
+from .client import ReproClient
+
+
+def zoom_pan_session(t_qs, t_qe, rng, zoom_levels=2, pans=6,
+                     zoom_factor=4):
+    """One user's viewport sequence over ``[t_qs, t_qe)``.
+
+    Returns a list of ``(start, end)`` half-open viewports: overview,
+    ``zoom_levels`` zoom-ins around an rng-chosen focus, ``pans``
+    half-window pans at the deepest level, then the overview again
+    (zoom-out).  Deterministic for a given rng state.
+    """
+    t_qs, t_qe = int(t_qs), int(t_qe)
+    duration = t_qe - t_qs
+    if duration <= 0:
+        raise ValueError("empty time range for a session")
+    sequence = [(t_qs, t_qe)]
+    window = duration
+    start = t_qs
+    for _ in range(max(zoom_levels, 0)):
+        window = max(window // zoom_factor, 1)
+        focus = t_qs + int(rng.random() * max(duration - window, 1))
+        start = min(max(focus, t_qs), t_qe - window)
+        sequence.append((start, start + window))
+    step = max(window // 2, 1)
+    for _ in range(max(pans, 0)):
+        start = min(start + step, max(t_qe - window, t_qs))
+        sequence.append((start, start + window))
+    sequence.append((t_qs, t_qe))
+    return sequence
+
+
+@dataclasses.dataclass
+class WorkloadReport:
+    """Outcome of one workload run."""
+
+    mode: str
+    users: int
+    rate: float            # requests/s offered (open-loop; 0 = closed)
+    duration_seconds: float
+    total: int = 0
+    ok: int = 0
+    shed: int = 0          # 503: admission queue full
+    timeouts: int = 0      # 504: deadline exceeded
+    errors: int = 0        # anything else (transport, 4xx/5xx)
+    latencies: list = dataclasses.field(default_factory=list)
+
+    @property
+    def throughput(self):
+        """Completed (200) requests per second."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.ok / self.duration_seconds
+
+    @property
+    def shed_rate(self):
+        """Fraction of requests answered 503."""
+        return self.shed / self.total if self.total else 0.0
+
+    def percentile(self, q):
+        """Nearest-rank percentile of accepted-request latency."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = max(int(q * len(ordered) + 0.5), 1)
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def as_dict(self):
+        """A JSON-able summary row."""
+        return {
+            "mode": self.mode,
+            "users": self.users,
+            "rate": self.rate,
+            "duration_seconds": self.duration_seconds,
+            "total": self.total,
+            "ok": self.ok,
+            "shed": self.shed,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "throughput": self.throughput,
+            "shed_rate": self.shed_rate,
+            "p50_seconds": self.percentile(0.50),
+            "p95_seconds": self.percentile(0.95),
+            "p99_seconds": self.percentile(0.99),
+        }
+
+    def render(self):
+        """One human line, loadgen's stdout format."""
+        return ("%s users=%d rate=%s: %d req in %.2fs | %.1f req/s | "
+                "ok=%d shed=%d timeout=%d error=%d | "
+                "p50=%.3fs p95=%.3fs p99=%.3fs"
+                % (self.mode, self.users,
+                   ("%.0f/s" % self.rate) if self.rate else "-",
+                   self.total, self.duration_seconds, self.throughput,
+                   self.ok, self.shed, self.timeouts, self.errors,
+                   self.percentile(0.5), self.percentile(0.95),
+                   self.percentile(0.99)))
+
+
+class SessionWorkload:
+    """Drive a server with seeded pan/zoom sessions.
+
+    Args:
+        base_url: the server to load.
+        series: series names to use; discovered via ``GET /series``
+            when omitted.
+        width: spans per query (the dashboard's pixel width).
+        seed: base RNG seed; user ``i`` uses ``seed * 1000 + i`` so
+            runs are reproducible and users decorrelated.
+        timeout_ms: per-request deadline passed to the server.
+        render_every: every n-th viewport issues ``GET /render``
+            instead of SQL, mixing both heavy endpoints (0 = never).
+    """
+
+    def __init__(self, base_url, series=None, width=256, seed=0,
+                 timeout_ms=None, client_timeout=30.0, render_every=8):
+        self._base_url = base_url
+        self._series = list(series) if series else None
+        self._width = int(width)
+        self._seed = int(seed)
+        self._timeout_ms = timeout_ms
+        self._client_timeout = float(client_timeout)
+        self._render_every = int(render_every)
+        self._lock = threading.Lock()
+
+    def _client(self):
+        return ReproClient(self._base_url, timeout=self._client_timeout)
+
+    def _targets(self):
+        """``(name, t_qs, t_qe)`` per usable series."""
+        listing = self._client().series()
+        targets = []
+        for entry in listing:
+            if entry["start_time"] is None:
+                continue
+            if self._series and entry["name"] not in self._series:
+                continue
+            targets.append((entry["name"], int(entry["start_time"]),
+                            int(entry["end_time"]) + 1))
+        if not targets:
+            raise ValueError("no loaded series to generate load against "
+                             "(asked for %r)" % (self._series,))
+        return targets
+
+    def _session_ops(self, rng, targets):
+        """One session's request closures' arguments as a list."""
+        name, t_qs, t_qe = targets[rng.randrange(len(targets))]
+        ops = []
+        for i, (start, end) in enumerate(
+                zoom_pan_session(t_qs, t_qe, rng)):
+            if self._render_every and i and i % self._render_every == 0:
+                ops.append(("render", name, start, end))
+            else:
+                ops.append(("query", name, start, end))
+        return ops
+
+    def _issue(self, client, op):
+        kind, name, start, end = op
+        if kind == "render":
+            return client.render_response(name, width=self._width,
+                                          height=64, fmt="json",
+                                          timeout_ms=self._timeout_ms)
+        sql = ("SELECT M4(v) FROM %s WHERE time >= %d AND time < %d "
+               "GROUP BY SPANS(%d)" % (name, start, end, self._width))
+        return client.query_response(sql, timeout_ms=self._timeout_ms)
+
+    def _record(self, report, status, latency):
+        with self._lock:
+            report.total += 1
+            if status == 200:
+                report.ok += 1
+                report.latencies.append(latency)
+            elif status == 503:
+                report.shed += 1
+            elif status == 504:
+                report.timeouts += 1
+            else:
+                report.errors += 1
+
+    # -- closed loop -------------------------------------------------------------------
+
+    def run_closed(self, users=4, duration=5.0):
+        """N think-time-free users issuing sessions back to back."""
+        targets = self._targets()
+        report = WorkloadReport(mode="closed", users=int(users), rate=0.0,
+                                duration_seconds=float(duration))
+        stop_at = time.monotonic() + float(duration)
+
+        def user_loop(index):
+            rng = random.Random(self._seed * 1000 + index)
+            client = self._client()
+            while time.monotonic() < stop_at:
+                for op in self._session_ops(rng, targets):
+                    if time.monotonic() >= stop_at:
+                        return
+                    started = time.monotonic()
+                    try:
+                        response = self._issue(client, op)
+                        status = response.status
+                    except OSError:
+                        status = -1
+                    self._record(report, status,
+                                 time.monotonic() - started)
+
+        threads = [threading.Thread(target=user_loop, args=(i,),
+                                    daemon=True)
+                   for i in range(int(users))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return report
+
+    # -- open loop ---------------------------------------------------------------------
+
+    def run_open(self, rate, duration=5.0, users=0):
+        """Fixed arrival rate, independent of server speed.
+
+        Each arrival runs in its own thread; latency counts from the
+        *scheduled* arrival time, so server-side queueing delay is
+        fully visible.  ``users`` only labels the report.
+        """
+        if rate <= 0:
+            raise ValueError("open-loop mode needs a positive rate")
+        targets = self._targets()
+        report = WorkloadReport(mode="open", users=int(users),
+                                rate=float(rate),
+                                duration_seconds=float(duration))
+        rng = random.Random(self._seed)
+        interval = 1.0 / float(rate)
+        begin = time.monotonic()
+        end = begin + float(duration)
+        ops = self._session_ops(rng, targets)
+        threads = []
+        k = 0
+        while True:
+            scheduled = begin + k * interval
+            if scheduled >= end:
+                break
+            delay = scheduled - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            op = ops[k % len(ops)]
+            if (k + 1) % len(ops) == 0:  # fresh session trajectory
+                ops = self._session_ops(rng, targets)
+
+            def fire(op=op, scheduled=scheduled):
+                client = self._client()
+                try:
+                    response = self._issue(client, op)
+                    status = response.status
+                except OSError:
+                    status = -1
+                self._record(report, status,
+                             time.monotonic() - scheduled)
+
+            thread = threading.Thread(target=fire, daemon=True)
+            thread.start()
+            threads.append(thread)
+            k += 1
+        for thread in threads:
+            thread.join(timeout=self._client_timeout + 5.0)
+        return report
+
+    def run(self, mode="closed", users=4, rate=None, duration=5.0):
+        """Dispatch on mode; returns a :class:`WorkloadReport`."""
+        if mode == "closed":
+            return self.run_closed(users=users, duration=duration)
+        if mode == "open":
+            if rate is None:
+                raise ValueError("open-loop mode needs --rate")
+            return self.run_open(rate, duration=duration, users=users)
+        raise ValueError("unknown workload mode %r" % mode)

@@ -42,7 +42,7 @@ from .iostats import IoStats
 from .locks import RWLock
 from .memtable import MemTable
 from .mods import ModsFile
-from .parallel import ChunkPipeline
+from .parallel import ChunkPipeline, serial_map
 from .readers import DataReader, MetadataReader
 from .tsfile import TsFileReader, TsFileWriter
 from .versions import VersionAllocator
@@ -410,8 +410,15 @@ class StorageEngine:
                 self._metrics.gauge("engine_tsfile_seq").set(self._file_seq)
 
     def tsfile_reader(self, path):
-        """Pooled :class:`TsFileReader` for a sealed file."""
+        """Pooled :class:`TsFileReader` for a sealed file.
+
+        Raises :class:`StorageError` once the engine is closed, so a
+        query racing :meth:`close` fails with a clean, typed error
+        instead of reviving the drained reader pool.
+        """
         with self._lock:
+            if self._closed:
+                raise StorageError("engine is closed")
             if path not in self._readers:
                 self._readers[path] = TsFileReader(path, self._stats)
             return self._readers[path]
@@ -431,7 +438,7 @@ class StorageEngine:
         Serial when ``parallelism`` is 1 or from within a pool worker.
         """
         if self._pipeline is None:
-            return [fn(item) for item in items]
+            return serial_map(fn, items)
         return self._pipeline.map_ordered(fn, items)
 
     # -- query surface -----------------------------------------------------------------
@@ -490,12 +497,26 @@ class StorageEngine:
         t, _v = merge_arrays(chunks, self.deletes_for(name))
         return int(t.size)
 
+    @property
+    def closed(self):
+        """True once :meth:`close` has begun (no new readers issued)."""
+        return self._closed
+
     def close(self):
         """Seal the active file and release every reader and the WAL.
 
         Buffered points stay in the WAL (not flushed), so a reopened
         engine recovers them — closing is not an implicit flush.
-        Idempotent and safe to race: the first close wins.
+        Idempotent and safe to call concurrently — from many threads at
+        once, and while queries are still in flight.  The first caller
+        wins and performs the teardown; every other call returns
+        immediately (it does not wait for the teardown to finish).
+        In-flight queries either complete normally (chunk data already
+        read: metadata, memtables and the decoded-page cache stay
+        valid) or fail with a clean :class:`StorageError` /
+        ``ValueError`` when they next touch a released file handle —
+        never a crash or a deadlock, because close never waits on a
+        series lock.
         """
         with self._lock:
             if self._closed:

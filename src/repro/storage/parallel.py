@@ -20,6 +20,8 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
+from .deadline import check_deadline, current_deadline, deadline_scope
+
 _WORKER_PREFIX = "repro-chunk"
 
 _local = threading.local()
@@ -65,10 +67,24 @@ class ChunkPipeline:
         failing item's exception is raised (later results discarded).
         Falls back to a plain loop when called from a worker thread
         (no nested fan-out) or after :meth:`shutdown`.
+
+        The submitting thread's :class:`~repro.storage.deadline.Deadline`
+        (if any) propagates into the workers: each item checks it before
+        running, so a timed-out query's queued chunk loads fail fast and
+        the first :class:`~repro.errors.DeadlineExceededError` surfaces
+        on the submitting thread exactly like a serial abort.
         """
         items = list(items)
+        deadline = current_deadline()
         if self._closed or len(items) <= 1 or in_worker_thread():
-            return [fn(item) for item in items]
+            return [_checked(fn, item, deadline) for item in items]
+        if deadline is not None:
+            inner = fn
+
+            def fn(item):
+                with deadline_scope(deadline):
+                    deadline.check()
+                    return inner(item)
         return list(self._executor.map(fn, items))
 
     def shutdown(self):
@@ -84,6 +100,13 @@ class ChunkPipeline:
         self.shutdown()
 
 
+def _checked(fn, item, deadline):
+    if deadline is not None:
+        deadline.check()
+    return fn(item)
+
+
 def serial_map(fn, items):
-    """The ``parallelism=1`` stand-in: a plain ordered loop."""
-    return [fn(item) for item in items]
+    """The ``parallelism=1`` stand-in: a plain ordered loop (still a
+    deadline checkpoint per item)."""
+    return [_checked(fn, item, current_deadline()) for item in items]

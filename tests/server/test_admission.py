@@ -1,0 +1,116 @@
+"""Unit tests for the bounded admission queue and its worker pool."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceededError, ServerOverloadedError
+from repro.obs import MetricsRegistry
+from repro.server import AdmissionController
+from repro.storage.deadline import Deadline, current_deadline
+
+
+def wait_all(jobs, timeout=10.0):
+    for job in jobs:
+        assert job.wait(timeout), "job never fulfilled"
+
+
+class TestAdmission:
+    def test_jobs_run_and_return_results(self):
+        with AdmissionController(workers=2, queue_depth=8) as ctl:
+            jobs = [ctl.submit(lambda i=i: i * i) for i in range(6)]
+            wait_all(jobs)
+        assert [j.result for j in jobs] == [i * i for i in range(6)]
+        assert all(j.error is None for j in jobs)
+
+    def test_full_queue_sheds_with_503_semantics(self):
+        metrics = MetricsRegistry()
+        release = threading.Event()
+        ctl = AdmissionController(workers=1, queue_depth=1,
+                                  metrics=metrics, retry_after=7)
+        try:
+            running = threading.Event()
+
+            def block():
+                running.set()
+                release.wait(10)
+
+            first = ctl.submit(block)
+            assert running.wait(5)          # worker busy
+            queued = ctl.submit(lambda: "queued")  # fills the queue
+            with pytest.raises(ServerOverloadedError) as info:
+                ctl.submit(lambda: "shed")
+            assert info.value.retry_after == 7
+            assert info.value.status == 503
+            assert metrics.counter("server_shed_total").value == 1
+        finally:
+            release.set()
+            ctl.shutdown()
+        wait_all([first, queued])
+        assert queued.result == "queued"
+
+    def test_queued_expiry_fails_without_running(self):
+        metrics = MetricsRegistry()
+        release = threading.Event()
+        ctl = AdmissionController(workers=1, queue_depth=4,
+                                  metrics=metrics)
+        try:
+            running = threading.Event()
+
+            def block():
+                running.set()
+                release.wait(10)
+
+            ctl.submit(block)
+            assert running.wait(5)
+            ran = []
+            doomed = ctl.submit(lambda: ran.append(1),
+                                deadline=Deadline(0.02))
+            time.sleep(0.1)  # let the queued deadline lapse
+        finally:
+            release.set()
+            ctl.shutdown()
+        assert doomed.wait(0)
+        assert isinstance(doomed.error, DeadlineExceededError)
+        assert ran == []  # the engine-side fn never executed
+        assert metrics.counter("server_timeout_total").value == 1
+
+    def test_job_runs_under_its_deadline_scope(self):
+        seen = []
+        deadline = Deadline(30.0)
+        with AdmissionController(workers=1, queue_depth=4) as ctl:
+            job = ctl.submit(lambda: seen.append(current_deadline()),
+                             deadline=deadline)
+            assert job.wait(5)
+        assert seen == [deadline]
+        # and the worker thread's scope was popped afterwards
+        assert current_deadline() is None
+
+    def test_shutdown_drains_queued_jobs(self):
+        ctl = AdmissionController(workers=1, queue_depth=16)
+        done = []
+        jobs = [ctl.submit(lambda i=i: done.append(i) or i)
+                for i in range(8)]
+        ctl.shutdown()  # blocks until every admitted job is fulfilled
+        assert sorted(done) == list(range(8))
+        assert [j.result for j in jobs] == list(range(8))
+
+    def test_submit_after_shutdown_is_shed(self):
+        ctl = AdmissionController(workers=1, queue_depth=4)
+        ctl.shutdown()
+        ctl.shutdown()  # idempotent
+        with pytest.raises(ServerOverloadedError):
+            ctl.submit(lambda: None)
+
+    def test_job_error_is_captured_not_raised(self):
+        with AdmissionController(workers=1, queue_depth=4) as ctl:
+            job = ctl.submit(lambda: 1 / 0)
+            assert job.wait(5)
+        assert isinstance(job.error, ZeroDivisionError)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(workers=0)
+        with pytest.raises(ValueError):
+            AdmissionController(queue_depth=0)

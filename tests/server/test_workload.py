@@ -1,0 +1,117 @@
+"""Tests for the pan/zoom session generator and the load runner.
+
+The open-loop overload test is the acceptance criterion of the whole
+serving design: offered load far above capacity must produce 503s, and
+the latency of the requests the server *does* accept must stay bounded
+by the request deadline.
+"""
+
+import random
+
+import pytest
+
+from repro.server.workload import (
+    SessionWorkload,
+    WorkloadReport,
+    zoom_pan_session,
+)
+
+
+class TestSessionGenerator:
+    def test_deterministic_for_a_seed(self):
+        a = zoom_pan_session(0, 42000, random.Random(3))
+        b = zoom_pan_session(0, 42000, random.Random(3))
+        assert a == b
+        assert a != zoom_pan_session(0, 42000, random.Random(4))
+
+    def test_shape_and_bounds(self):
+        session = zoom_pan_session(100, 42100, random.Random(0),
+                                   zoom_levels=2, pans=6)
+        # overview + 2 zooms + 6 pans + zoom-out
+        assert len(session) == 10
+        assert session[0] == (100, 42100)
+        assert session[-1] == (100, 42100)
+        for start, end in session:
+            assert 100 <= start < end <= 42100
+
+    def test_zoom_shrinks_window(self):
+        session = zoom_pan_session(0, 64000, random.Random(1),
+                                   zoom_levels=2, pans=0, zoom_factor=4)
+        widths = [end - start for start, end in session]
+        assert widths[1] == 64000 // 4
+        assert widths[2] == 64000 // 16
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            zoom_pan_session(5, 5, random.Random(0))
+
+
+class TestReport:
+    def test_percentiles_nearest_rank(self):
+        report = WorkloadReport(mode="closed", users=1, rate=0.0,
+                                duration_seconds=1.0)
+        report.latencies = [0.01 * i for i in range(1, 101)]
+        assert report.percentile(0.50) == pytest.approx(0.50)
+        assert report.percentile(0.99) == pytest.approx(0.99)
+        assert WorkloadReport("closed", 1, 0.0, 1.0).percentile(0.5) == 0.0
+
+    def test_as_dict_and_render(self):
+        report = WorkloadReport(mode="open", users=2, rate=50.0,
+                                duration_seconds=2.0, total=100, ok=80,
+                                shed=15, timeouts=3, errors=2,
+                                latencies=[0.1] * 80)
+        row = report.as_dict()
+        assert row["throughput"] == pytest.approx(40.0)
+        assert row["shed_rate"] == pytest.approx(0.15)
+        assert "shed=15" in report.render()
+
+
+class TestAgainstLiveServer:
+    def test_closed_loop_completes_sessions(self, served):
+        workload = SessionWorkload(served.handle.url, width=64, seed=1)
+        report = workload.run(mode="closed", users=2, duration=0.8)
+        assert report.mode == "closed"
+        assert report.ok > 0
+        assert report.errors == 0
+        assert report.total == (report.ok + report.shed + report.timeouts)
+        assert len(report.latencies) == report.ok
+        assert report.throughput > 0
+
+    def test_series_filter_unknown_name_fails(self, served):
+        workload = SessionWorkload(served.handle.url, series=["nope"])
+        with pytest.raises(ValueError):
+            workload.run(mode="closed", users=1, duration=0.2)
+
+    def test_open_loop_needs_rate(self, served):
+        workload = SessionWorkload(served.handle.url)
+        with pytest.raises(ValueError):
+            workload.run(mode="open")
+        with pytest.raises(ValueError):
+            workload.run(mode="nope")
+
+    def test_open_loop_overload_sheds_and_bounds_accepted_latency(
+            self, make_served):
+        # Capacity: 1 worker x 100ms artificial work = ~10 req/s.
+        # Offered: 80/s for 1s.  The queue (depth 2) must fill and the
+        # rest shed; accepted requests must finish within the deadline.
+        served = make_served(workers=1, queue_depth=2)
+        deadline_s = 0.5
+
+        class SlowWorkload(SessionWorkload):
+            def _issue(self, client, op):
+                _kind, name, start, end = op
+                sql = ("SELECT M4(v) FROM %s WHERE time >= %d AND "
+                       "time < %d GROUP BY SPANS(%d)"
+                       % (name, start, end, self._width))
+                return client.query_response(
+                    sql, timeout_ms=int(deadline_s * 1000), sleep_ms=100)
+
+        workload = SlowWorkload(served.handle.url, width=64, seed=2)
+        report = workload.run(mode="open", rate=80, duration=1.0)
+        assert report.total >= 70
+        assert report.shed > 0, "overload must shed, not buffer"
+        assert report.ok > 0, "accepted requests must still complete"
+        # Accepted latency is measured from the *scheduled* arrival and
+        # the server aborts at the deadline; allow client-side slack.
+        assert report.percentile(0.99) <= deadline_s + 0.5
+        assert report.errors == 0

@@ -1,0 +1,120 @@
+"""Cooperative deadline propagation through the query stack."""
+
+import time
+
+import pytest
+
+from repro.core.m4 import M4UDFOperator
+from repro.core.m4lsm import M4LSMOperator
+from repro.errors import DeadlineExceededError
+from repro.storage import StorageConfig, StorageEngine
+from repro.storage.deadline import (
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+from repro.storage.parallel import ChunkPipeline
+
+
+class TestDeadline:
+    def test_remaining_and_expired(self):
+        fresh = Deadline(30.0)
+        assert not fresh.expired()
+        assert 0 < fresh.remaining() <= 30.0
+        fresh.check()  # no raise
+
+        spent = Deadline(-1.0)
+        assert spent.expired()
+        assert spent.remaining() < 0
+        with pytest.raises(DeadlineExceededError):
+            spent.check()
+
+    def test_check_deadline_is_noop_without_scope(self):
+        assert current_deadline() is None
+        check_deadline()  # must not raise on hot paths
+
+    def test_scope_installs_and_restores(self):
+        outer = Deadline(30.0)
+        inner = Deadline(10.0)
+        with deadline_scope(outer):
+            assert current_deadline() is outer
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+            with deadline_scope(None):  # no-op scope keeps the outer
+                assert current_deadline() is outer
+        assert current_deadline() is None
+
+    def test_expired_scope_raises_at_checkpoint(self):
+        with deadline_scope(Deadline(-1.0)):
+            with pytest.raises(DeadlineExceededError):
+                check_deadline()
+
+
+class TestPipelineCancellation:
+    def test_map_ordered_aborts_parallel_fanout(self):
+        with ChunkPipeline(workers=2) as pipeline:
+            with deadline_scope(Deadline(0.05)):
+                with pytest.raises(DeadlineExceededError):
+                    pipeline.map_ordered(
+                        lambda i: time.sleep(0.05) or i, list(range(20)))
+
+    def test_serial_map_aborts(self):
+        from repro.storage.parallel import serial_map
+        with deadline_scope(Deadline(0.05)):
+            with pytest.raises(DeadlineExceededError):
+                serial_map(lambda i: time.sleep(0.05) or i,
+                           list(range(20)))
+
+    def test_map_ordered_aborts_after_shutdown_fallback(self):
+        pipeline = ChunkPipeline(workers=2)
+        pipeline.shutdown()  # maps now run serially
+        with deadline_scope(Deadline(0.05)):
+            with pytest.raises(DeadlineExceededError):
+                pipeline.map_ordered(lambda i: time.sleep(0.05) or i,
+                                     list(range(20)))
+
+    def test_map_ordered_unaffected_without_deadline(self):
+        with ChunkPipeline(workers=2) as pipeline:
+            assert pipeline.map_ordered(lambda i: i + 1,
+                                        list(range(8))) == list(range(1, 9))
+
+    def test_worker_threads_see_the_deadline(self):
+        seen = []
+        deadline = Deadline(30.0)
+        with ChunkPipeline(workers=2) as pipeline:
+            with deadline_scope(deadline):
+                pipeline.map_ordered(
+                    lambda i: seen.append(current_deadline()), [0, 1, 2])
+        assert seen == [deadline] * 3
+
+
+@pytest.mark.parametrize("parallelism", [1, 4])
+class TestQueryCancellation:
+    def _loaded(self, tmp_path, parallelism, n=800):
+        import numpy as np
+        engine = StorageEngine(
+            tmp_path / "db",
+            StorageConfig(avg_series_point_number_threshold=50,
+                          points_per_page=20, parallelism=parallelism))
+        t = np.arange(n, dtype=np.int64) * 10
+        v = np.round(np.random.default_rng(0).normal(0.0, 10.0, n), 3)
+        engine.create_series("s")
+        engine.write_batch("s", t, v)
+        engine.flush_all()
+        return engine
+
+    def test_m4lsm_aborts_on_expired_deadline(self, tmp_path, parallelism):
+        with self._loaded(tmp_path, parallelism) as engine:
+            operator = M4LSMOperator(engine)
+            assert operator.query("s", 0, 8000, 20).spans  # sane baseline
+            with deadline_scope(Deadline(-1.0)):
+                with pytest.raises(DeadlineExceededError):
+                    operator.query("s", 0, 8000, 20)
+
+    def test_m4udf_aborts_on_expired_deadline(self, tmp_path, parallelism):
+        with self._loaded(tmp_path, parallelism) as engine:
+            with deadline_scope(Deadline(-1.0)):
+                with pytest.raises(DeadlineExceededError):
+                    M4UDFOperator(engine).query("s", 0, 8000, 20)

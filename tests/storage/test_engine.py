@@ -148,3 +148,93 @@ class TestPersistenceAcrossReaders:
         merged_t, merged_v = merge_arrays(chunk_data)
         np.testing.assert_array_equal(merged_t, t)
         np.testing.assert_array_equal(merged_v, v)
+
+
+class TestCloseLifecycle:
+    """close() is idempotent and safe to race with in-flight queries."""
+
+    def test_close_is_idempotent(self, tmp_path):
+        engine = StorageEngine(tmp_path / "db", StorageConfig())
+        engine.create_series("s")
+        engine.close()
+        assert engine.closed
+        engine.close()  # second call is a no-op, not an error
+        assert engine.closed
+
+    def test_concurrent_close_single_winner(self, loaded_engine, tmp_path):
+        import json
+        import threading
+        engine, _t, _v = loaded_engine
+        barrier = threading.Barrier(8)
+        failures = []
+
+        def racer():
+            barrier.wait()
+            try:
+                engine.close()
+            except Exception as exc:  # noqa: BLE001 - recording all
+                failures.append(exc)
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        assert not failures
+        assert engine.closed
+        # exactly one close persisted a parseable snapshot
+        snapshot = json.loads(
+            (tmp_path / "db" / "obs.json").read_text())
+        assert "metrics" in snapshot
+
+    def test_close_races_inflight_queries_cleanly(self, tmp_path):
+        """Queries racing close() either complete or fail with a clean
+        engine-closed error; nothing hangs, nothing corrupts obs.json."""
+        import json
+        import threading
+        from repro.core.m4lsm import M4LSMOperator
+        from repro.errors import ReproError
+
+        engine = StorageEngine(
+            tmp_path / "db",
+            StorageConfig(avg_series_point_number_threshold=50,
+                          points_per_page=20, parallelism=2))
+        t = np.arange(2000, dtype=np.int64) * 5
+        engine.create_series("s")
+        engine.write_batch("s", t, np.sin(t / 37.0))
+        engine.flush_all()
+
+        unexpected = []
+        stop = threading.Event()
+
+        def query_loop():
+            operator = M4LSMOperator(engine)
+            while not stop.is_set():
+                try:
+                    operator.query("s", 0, 10000, 25)
+                except (ReproError, OSError, ValueError):
+                    return  # clean refusal once the engine is closed
+                except Exception as exc:  # noqa: BLE001 - the test's point
+                    unexpected.append(exc)
+                    return
+
+        threads = [threading.Thread(target=query_loop) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        import time
+        time.sleep(0.15)  # let queries get in flight
+        engine.close()
+        stop.set()
+        for thread in threads:
+            thread.join(10)
+            assert not thread.is_alive(), "query thread hung after close"
+        assert not unexpected, unexpected
+        snapshot = json.loads((tmp_path / "db" / "obs.json").read_text())
+        assert "metrics" in snapshot
+
+    def test_tsfile_reader_refused_after_close(self, loaded_engine):
+        engine, _t, _v = loaded_engine
+        path = engine.chunks_for("s")[0].file_path
+        engine.close()
+        with pytest.raises(StorageError):
+            engine.tsfile_reader(path)

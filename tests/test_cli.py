@@ -92,3 +92,58 @@ class TestCompact:
     def test_compact_reports_counts(self, store, capsys):
         assert main(["compact", "--db", str(store)]) == 0
         assert "root.k: 3000 points" in capsys.readouterr().out
+
+
+class TestStoreErrorPaths:
+    """Missing or corrupt stores fail with one line, never a traceback."""
+
+    def _assert_one_line_error(self, capsys):
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_query_missing_store(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main(["query", "--db", str(missing),
+                     "SELECT COUNT(s) FROM x GROUP BY SPANS(2)"]) == 1
+        self._assert_one_line_error(capsys)
+        assert not missing.exists()  # the typo'd path was not created
+
+    def test_render_missing_store(self, tmp_path, capsys):
+        assert main(["render", "--db", str(tmp_path / "nope"),
+                     "--series", "s"]) == 1
+        self._assert_one_line_error(capsys)
+
+    def test_info_missing_store(self, tmp_path, capsys):
+        assert main(["info", "--db", str(tmp_path / "nope")]) == 1
+        self._assert_one_line_error(capsys)
+
+    def test_compact_missing_store(self, tmp_path, capsys):
+        assert main(["compact", "--db", str(tmp_path / "nope")]) == 1
+        self._assert_one_line_error(capsys)
+
+    def test_query_corrupt_store(self, store, capsys):
+        (store / "catalog.meta").write_bytes(b"\x00garbage\xff" * 16)
+        assert main(["query", "--db", str(store),
+                     "SELECT COUNT(s) FROM root.k GROUP BY SPANS(2)"]) == 1
+        self._assert_one_line_error(capsys)
+
+    def test_render_corrupt_store(self, store, capsys):
+        (store / "catalog.meta").write_bytes(b"\x00garbage\xff" * 16)
+        assert main(["render", "--db", str(store),
+                     "--series", "root.k"]) == 1
+        self._assert_one_line_error(capsys)
+
+
+class TestLoadgenCLI:
+    def test_open_mode_requires_rate(self, capsys):
+        assert main(["loadgen", "--url", "http://127.0.0.1:1",
+                     "--mode", "open"]) == 1
+        assert "requires --rate" in capsys.readouterr().err
+
+    def test_unreachable_server_is_one_line_error(self, capsys):
+        assert main(["loadgen", "--url", "http://127.0.0.1:9",
+                     "--duration", "0.1"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
