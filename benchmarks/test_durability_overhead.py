@@ -1,0 +1,50 @@
+"""E14 — the durability tax: read-side CRC verification overhead.
+
+Every persisted page carries a CRC32 that is verified on read by
+default.  This bench runs the two read shapes — a full merged read
+(every page decoded) and the M4-LSM reduction — with verification on
+and off, cold (fresh readers, every payload re-hashed) and warm
+(pooled readers, verify-once cache), on BallSpeed and KOB, and writes
+the rows into ``BENCH_durability.json`` next to this file.
+
+The target is < 5% cold overhead and ~0% warm; the hard assertion is
+looser (wall-clock noise on shared runners), and results must be
+identical in both modes.
+"""
+
+import json
+import os
+
+from repro.bench import durability_overhead
+
+from conftest import print_tables
+
+RESULT_FILE = os.path.join(os.path.dirname(__file__),
+                           "BENCH_durability.json")
+
+
+def test_checksum_overhead_is_small():
+    tables = durability_overhead(repeats=5)
+    print_tables(tables)
+    rows = []
+    for table in tables:
+        assert all(table.column("equal")), table.title
+        for path, regime, on_s, off_s, overhead in zip(
+                table.column("path"), table.column("regime"),
+                table.column("verify on (s)"),
+                table.column("verify off (s)"), table.column("overhead")):
+            rows.append({
+                "experiment": table.title,
+                "path": path,
+                "regime": regime,
+                "verify_on_seconds": float(on_s),
+                "verify_off_seconds": float(off_s),
+                "overhead": float(overhead),
+                "target": "< 5% cold, ~0% warm",
+            })
+            # Generous slack over the 5% target so only a real
+            # regression (e.g. per-point hashing) trips the bench.
+            assert float(overhead) < 0.25, table.title
+    with open(RESULT_FILE, "w", encoding="utf-8") as f:
+        json.dump({"rows": rows}, f, indent=2, sort_keys=True)
+    print("wrote %d rows to %s" % (len(rows), RESULT_FILE))

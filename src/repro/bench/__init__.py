@@ -4,6 +4,7 @@ from .experiments import (
     DATASETS,
     ablation_index,
     ablation_lazy,
+    durability_overhead,
     fig1_pixel_accuracy,
     fig8_9_step_regression,
     fig10_vary_w,
@@ -34,6 +35,7 @@ __all__ = [
     "ablation_index",
     "ablation_lazy",
     "bench_points",
+    "durability_overhead",
     "fig1_pixel_accuracy",
     "fig8_9_step_regression",
     "fig10_vary_w",

@@ -10,6 +10,8 @@ functions directly.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..core.index import StepRegression
@@ -304,6 +306,90 @@ def ablation_lazy(n_points=None, w=DEFAULT_W, overlap_pct=30,
                 run = timed_query(lsm, prepared, w, repeats=repeats)
                 table.add_row(label, run.seconds, run.stats.chunk_loads,
                               run.stats.points_decoded)
+        tables.append(table)
+    return tables
+
+
+def durability_overhead(n_points=None, w=DEFAULT_W, repeats=5,
+                        datasets=("BallSpeed", "KOB")):
+    """E14 — the durability tax: page-CRC verification cost on reads.
+
+    The write path always checksums; what a deployment pays per query
+    is the read-side verify.  This runs the two read shapes — a full
+    merged read (every page decoded) and the M4-LSM reduction (only
+    the pages the solver touches) — with ``verify_checksums`` on and
+    off, in two regimes:
+
+    * ``cold``: the reader pool is drained before every run, so each
+      query re-verifies every payload it touches — the worst case and
+      the true hashing tax (target < 5%);
+    * ``warm``: pooled readers survive across runs, so the
+      verify-once-per-reader cache absorbs the CRC after the first
+      query — the steady state a server actually lives in (~0%).
+
+    Both regimes take the best of ``repeats`` runs and must return
+    results identical to the unverified mode.
+    """
+    tables = []
+    for dataset in datasets:
+        table = BenchTable(
+            "Durability overhead (%s): read-side CRC verification"
+            % dataset,
+            ["path", "regime", "verify on (s)", "verify off (s)",
+             "overhead", "equal"])
+        with prepare_engine(dataset, n_points=n_points) as prepared:
+            engine = prepared.engine
+
+            def _drain():
+                # Pooled readers capture the verify flag (and their
+                # verified-payload cache) at construction: drain the
+                # pool so the next query starts from scratch.
+                for reader in list(engine._readers.values()):
+                    reader.close()
+                engine._readers.clear()
+
+            def _one(kind):
+                if kind == "full-read":
+                    operator = make_operator(prepared, "m4udf")
+                    started = time.perf_counter()
+                    result = operator.merged_series(
+                        prepared.series, prepared.t_qs, prepared.t_qe)
+                    return time.perf_counter() - started, result
+                operator = make_operator(prepared, "m4lsm")
+                run = timed_query(operator, prepared, w, repeats=1)
+                return run.seconds, run.result
+
+            def _timed(kind, verify, cold):
+                engine.config.verify_checksums = verify
+                _drain()
+                best = float("inf")
+                result = None
+                for _ in range(repeats):
+                    if cold:
+                        _drain()
+                    seconds, result = _one(kind)
+                    best = min(best, seconds)
+                return best, result
+
+            def _equal(kind, a, b):
+                if kind == "full-read":
+                    return (np.array_equal(a.timestamps, b.timestamps)
+                            and np.array_equal(a.values, b.values))
+                return a == b
+
+            try:
+                for kind in ("full-read", "m4-lsm"):
+                    for regime in ("cold", "warm"):
+                        on_s, on_result = _timed(kind, True,
+                                                 regime == "cold")
+                        off_s, off_result = _timed(kind, False,
+                                                   regime == "cold")
+                        table.add_row(kind, regime, on_s, off_s,
+                                      (on_s - off_s) / off_s,
+                                      _equal(kind, on_result, off_result))
+            finally:
+                engine.config.verify_checksums = True
+                _drain()
         tables.append(table)
     return tables
 

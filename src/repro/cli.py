@@ -8,6 +8,9 @@ Commands:
 * ``query``     — run a SQL statement and print the result table
               (``--explain`` adds the span tree and M4-LSM trace)
 * ``render``    — M4-reduce a series and draw it (ASCII or PBM file)
+* ``fsck``      — verify every checksum in a store (exits non-zero on
+              data-affecting damage; ``--quarantine`` records damaged
+              chunks so reads skip them)
 * ``compact``   — run full compaction on a storage directory
 * ``stats``     — print the store's observability snapshot (counters,
               histogram quantiles, slow queries; text/JSON/Prometheus)
@@ -93,6 +96,19 @@ def build_parser():
     compact.add_argument("--db", required=True)
     _add_parallelism(compact)
 
+    fsck = commands.add_parser(
+        "fsck", help="verify every checksum in a store")
+    fsck.add_argument("--db", required=True, help="storage directory")
+    fsck.add_argument("--json", action="store_true",
+                      help="print the report as JSON instead of text")
+    fsck.add_argument("--quarantine", action="store_true",
+                      help="record damaged chunks in the store's "
+                           "quarantine registry so degraded reads skip "
+                           "them")
+    fsck.add_argument("--no-pages", action="store_true",
+                      help="skip page payload verification (fast: only "
+                           "magics, metadata and record logs)")
+
     stats = commands.add_parser(
         "stats", help="print the store's observability snapshot")
     stats.add_argument("db", help="storage directory")
@@ -121,6 +137,10 @@ def build_parser():
                        help="cap on client-requested deadlines (seconds)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request log lines")
+    serve.add_argument("--strict", action="store_true",
+                       help="disable degraded reads: a corrupt chunk "
+                            "fails the request with 500 instead of a "
+                            "flagged partial answer")
     _add_parallelism(serve)
 
     loadgen = commands.add_parser(
@@ -299,6 +319,21 @@ def _cmd_stats(args):
     return 0
 
 
+def _cmd_fsck(args):
+    import json as json_module
+
+    from .storage.fsck import fsck_store
+    report = fsck_store(_require_store(args.db),
+                        quarantine=args.quarantine,
+                        verify_pages=not args.no_pages)
+    if args.json:
+        print(json_module.dumps(report.as_dict(), indent=2,
+                                sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
+
+
 def _cmd_compact(args):
     with StorageEngine(_require_store(args.db),
                        _engine_config(args)) as engine:
@@ -325,7 +360,7 @@ def _cmd_serve(args):
                           default_timeout_seconds=args.timeout,
                           max_timeout_seconds=max(args.max_timeout,
                                                   args.timeout),
-                          quiet=args.quiet)
+                          quiet=args.quiet, strict=args.strict)
     handle = start_server(engine, config, own_engine=True)
     host, port = handle.address
     print("serving %s on http://%s:%d (workers=%d queue=%d "
@@ -379,6 +414,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "query": _cmd_query,
     "render": _cmd_render,
+    "fsck": _cmd_fsck,
     "compact": _cmd_compact,
     "stats": _cmd_stats,
     "serve": _cmd_serve,

@@ -10,12 +10,14 @@ chunk overlapping the query range, merge them into one ordered series
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
-from ..errors import InvalidQueryRangeError
+from ..errors import CorruptFileError, InvalidQueryRangeError
 from ..obs import tracer_of
 from ..storage.deadline import check_deadline
-from .result import M4Result, SpanAggregate
+from .result import M4Result, SpanAggregate, merge_time_ranges
 from .series import Point, TimeSeries
 from .spans import span_indices, validate_query
 
@@ -69,6 +71,14 @@ def m4_aggregate_series(series, t_qs=None, t_qe=None, w=1000):
                                t_qs, t_qe, w)
 
 
+def _count_degraded(engine, operator_name):
+    """Tick the engine's degraded-query counter (no-op without metrics)."""
+    metrics = getattr(engine, "metrics", None)
+    if metrics is not None:
+        metrics.counter("degraded_queries_total",
+                        operator=operator_name).inc()
+
+
 class M4UDFOperator:
     """The baseline: merge online, then scan (Figure 2(b)).
 
@@ -81,18 +91,29 @@ class M4UDFOperator:
         engine: a :class:`repro.storage.engine.StorageEngine`.
         streaming: use the heap :class:`MergeReader` instead of the
             vectorized merge (slower; byte-for-byte IoTDB behaviour).
+        degraded: skip quarantined/corrupt chunks and flag the result
+            instead of raising; ``None`` (default) follows
+            ``engine.config.degraded_reads``.
     """
 
     name = "M4-UDF"
 
-    def __init__(self, engine, streaming=False):
+    def __init__(self, engine, streaming=False, degraded=None):
         self._engine = engine
         self._streaming = streaming
+        self._degraded = degraded
+
+    def _degraded_enabled(self):
+        if self._degraded is not None:
+            return self._degraded
+        return getattr(self._engine.config, "degraded_reads", True)
 
     def query(self, series_name, t_qs, t_qe, w):
         """Run the M4 representation query; returns :class:`M4Result`."""
         validate_query(t_qs, t_qe, w)
         tracer = tracer_of(self._engine)
+        degraded = self._degraded_enabled()
+        skipped = []
         with tracer.span("operator.m4udf", series=series_name, w=w):
             with tracer.span("read.metadata"):
                 metadata_reader = self._engine.metadata_reader(series_name)
@@ -105,37 +126,94 @@ class M4UDFOperator:
                      if not deletes.fully_deletes(meta.start_time,
                                                   meta.end_time,
                                                   meta.version)]
+            if degraded:
+                metas = self._drop_quarantined(metas, skipped)
             with tracer.span("read.chunks", chunks=len(metas),
                              parallelism=self._engine.parallelism):
                 # Fan chunk load+decode out over the engine's pipeline.
                 # Results return in submission order, so the merge below
                 # sees the same version-ordered sequence as a serial loop
                 # and the output is byte-identical.
-                loaded = self._engine.parallel_map(data_reader.load_chunk,
-                                                   metas)
-                chunk_arrays = [(t, v, meta.version) for (t, v), meta
-                                in zip(loaded, metas)]
+                chunk_arrays = self._load_chunks(data_reader, metas,
+                                                 degraded, skipped)
             with tracer.span("merge", streaming=self._streaming):
                 check_deadline()  # cancellation point: before the merge
                 t, v = self._merge(chunk_arrays, deletes)
             with tracer.span("aggregate"):
                 check_deadline()
-                return m4_aggregate_arrays(t, v, t_qs, t_qe, w)
+                result = m4_aggregate_arrays(t, v, t_qs, t_qe, w)
+        if skipped:
+            result = dataclasses.replace(
+                result, skipped=merge_time_ranges(skipped, t_qs, t_qe))
+            _count_degraded(self._engine, self.name)
+        return result
 
-    def merged_series(self, series_name, t_qs, t_qe):
-        """The fully merged series for a range (loads everything)."""
+    def _drop_quarantined(self, metas, skipped):
+        """Filter out already-quarantined chunks, recording their ranges."""
+        quarantine = getattr(self._engine, "quarantine", None)
+        if quarantine is None or not len(quarantine):
+            return metas
+        healthy = []
+        for meta in metas:
+            if quarantine.contains_meta(meta):
+                skipped.append((meta.start_time, meta.end_time + 1))
+            else:
+                healthy.append(meta)
+        return healthy
+
+    def _load_chunks(self, data_reader, metas, degraded, skipped):
+        """``(t, v, version)`` per chunk; in degraded mode a chunk that
+        fails its checksum is quarantined and skipped instead of
+        aborting the query."""
+        if not degraded:
+            loaded = self._engine.parallel_map(data_reader.load_chunk,
+                                               metas)
+            return [(t, v, meta.version) for (t, v), meta
+                    in zip(loaded, metas)]
+
+        def load(meta):
+            try:
+                return data_reader.load_chunk(meta)
+            except CorruptFileError as exc:
+                self._engine.quarantine.add_meta(meta, reason=str(exc))
+                return None
+
+        loaded = self._engine.parallel_map(load, metas)
+        chunk_arrays = []
+        for arrays, meta in zip(loaded, metas):
+            if arrays is None:
+                skipped.append((meta.start_time, meta.end_time + 1))
+            else:
+                chunk_arrays.append((arrays[0], arrays[1], meta.version))
+        return chunk_arrays
+
+    def merged_series(self, series_name, t_qs, t_qe, skipped=None):
+        """The fully merged series for a range (loads everything).
+
+        ``skipped``: optional list; in degraded mode the time ranges of
+        damaged chunks left out of the merge are appended to it.
+        """
+        degraded = self._degraded_enabled()
+        collect = skipped if skipped is not None else []
         metadata_reader = self._engine.metadata_reader(series_name)
         deletes = self._engine.deletes_for(series_name)
         data_reader = self._engine.data_reader()
-        chunk_arrays = [(*data_reader.load_chunk(meta), meta.version)
-                        for meta in metadata_reader.chunks_overlapping(
-                            t_qs, t_qe)]
+        metas = metadata_reader.chunks_overlapping(t_qs, t_qe)
+        if degraded:
+            metas = self._drop_quarantined(metas, collect)
+        chunk_arrays = self._load_chunks(data_reader, metas, degraded,
+                                         collect)
+        if skipped is not None:
+            skipped[:] = merge_time_ranges(collect, t_qs, t_qe)
         t, v = self._merge(chunk_arrays, deletes)
         lo = int(np.searchsorted(t, t_qs, side="left"))
         hi = int(np.searchsorted(t, t_qe, side="left"))
         return TimeSeries(t[lo:hi], v[lo:hi], validate=False)
 
     def _merge(self, chunk_arrays, deletes):
+        if not chunk_arrays:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.float64))
         if self._streaming:
             from ..storage.readers import MergeReader
             points = list(MergeReader(chunk_arrays, deletes,

@@ -15,11 +15,14 @@ true representation point.
 
 from __future__ import annotations
 
-from ...errors import StorageError
+import os
+
+from ...errors import CorruptFileError, StorageError
 from ...obs import tracer_of
 from ...storage.deadline import check_deadline
 from ...storage.overlap import contested_versions
-from ..result import M4Result, SpanAggregate
+from ..m4 import _count_degraded
+from ..result import M4Result, SpanAggregate, merge_time_ranges
 from ..spans import all_span_bounds, validate_query
 from .candidates import (
     BP,
@@ -182,16 +185,66 @@ class M4LSMOperator:
             verification (the E11 ablation).
         use_regression: disable to fall back to binary-search chunk
             indexes (the E10 ablation).
+        degraded: skip quarantined/corrupt chunks and flag the result
+            instead of raising; ``None`` (default) follows
+            ``engine.config.degraded_reads``.
     """
 
     name = "M4-LSM"
 
     def __init__(self, engine, lazy=True, use_regression=True,
-                 fused_fast_path=True):
+                 fused_fast_path=True, degraded=None):
         self._engine = engine
         self._lazy = lazy
         self._use_regression = use_regression
         self._fused_fast_path = fused_fast_path
+        self._degraded = degraded
+
+    def _degraded_enabled(self):
+        if self._degraded is not None:
+            return self._degraded
+        return getattr(self._engine.config, "degraded_reads", True)
+
+    def _drop_quarantined(self, metas, skipped):
+        """Filter out already-quarantined chunks, recording their ranges."""
+        quarantine = getattr(self._engine, "quarantine", None)
+        if quarantine is None or not len(quarantine):
+            return metas
+        healthy = []
+        for meta in metas:
+            if quarantine.contains_meta(meta):
+                skipped.append((meta.start_time, meta.end_time + 1))
+            else:
+                healthy.append(meta)
+        return healthy
+
+    def _quarantine_bad(self, exc, metas, skipped, dead):
+        """Quarantine the chunk behind a checksum failure; returns the
+        surviving metas for a re-solve.
+
+        The failing chunk is identified by the ``(file, data_offset)``
+        the :class:`CorruptFileError` carries; when the error cannot be
+        attributed, every chunk of the span is dropped (conservative:
+        the span degrades to empty rather than looping forever).
+        """
+        target = getattr(exc, "chunk", None)
+        bad = []
+        if target is not None:
+            t_file = os.path.basename(str(target[0]))
+            t_offset = int(target[1])
+            bad = [m for m in metas
+                   if os.path.basename(m.file_path) == t_file
+                   and m.data_offset == t_offset]
+        if not bad:
+            bad = list(metas)
+        quarantine = getattr(self._engine, "quarantine", None)
+        for meta in bad:
+            if quarantine is not None:
+                quarantine.add_meta(meta, reason=str(exc))
+            dead.add((meta.file_path, meta.data_offset))
+            skipped.append((meta.start_time, meta.end_time + 1))
+        return [m for m in metas
+                if (m.file_path, m.data_offset) not in dead]
 
     def query(self, series_name, t_qs, t_qe, w):
         """Run the M4 representation query; returns :class:`M4Result`.
@@ -213,11 +266,16 @@ class M4LSMOperator:
     def _execute(self, series_name, t_qs, t_qe, w, collect_trace):
         validate_query(t_qs, t_qe, w)
         tracer = tracer_of(self._engine)
+        degraded = self._degraded_enabled()
+        skipped = []   # (start, end) per damaged chunk left out
+        dead = set()   # (file_path, data_offset) quarantined mid-query
         with tracer.span("operator.m4lsm", series=series_name, w=w):
             with tracer.span("read.metadata"):
                 metadata_reader = self._engine.metadata_reader(series_name)
                 chunks = metadata_reader.chunks_overlapping(t_qs, t_qe)
                 real_deletes = self._engine.deletes_for(series_name)
+            if degraded:
+                chunks = self._drop_quarantined(chunks, skipped)
             data_reader = self._engine.data_reader()
             stats = self._engine.stats
             parallel_map = self._engine.parallel_map \
@@ -246,14 +304,17 @@ class M4LSMOperator:
                 for i in range(w):
                     check_deadline()  # cancellation point: between spans
                     start, end = int(bounds[i]), int(bounds[i + 1])
-                    if start >= end or not per_span[i]:
+                    metas_i = per_span[i] if not dead else \
+                        [m for m in per_span[i]
+                         if (m.file_path, m.data_offset) not in dead]
+                    if start >= end or not metas_i:
                         spans.append(SpanAggregate())
                         if collect_trace:
                             span_traces.append(SpanTrace(i, start, end,
                                                          EMPTY))
                         continue
                     if contested is not None:
-                        fused = _fused_span(per_span[i], start, end,
+                        fused = _fused_span(metas_i, start, end,
                                             contested)
                         if fused is not None:
                             spans.append(fused)
@@ -261,29 +322,47 @@ class M4LSMOperator:
                             if collect_trace:
                                 span_traces.append(SpanTrace(
                                     i, start, end, FUSED,
-                                    n_chunks=len(per_span[i])))
+                                    n_chunks=len(metas_i)))
                             continue
                     before = stats.snapshot() if collect_trace else None
-                    views = [ChunkView(meta, start, end)
-                             for meta in per_span[i]]
-                    solver = SpanSolver(views, real_deletes, data_reader,
-                                        stats=stats, lazy=self._lazy,
-                                        use_regression=self._use_regression,
-                                        parallel_map=parallel_map)
-                    spans.append(solver.solve())
+                    while True:
+                        views = [ChunkView(meta, start, end)
+                                 for meta in metas_i]
+                        solver = SpanSolver(
+                            views, real_deletes, data_reader,
+                            stats=stats, lazy=self._lazy,
+                            use_regression=self._use_regression,
+                            parallel_map=parallel_map)
+                        try:
+                            spans.append(solver.solve())
+                            break
+                        except CorruptFileError as exc:
+                            if not degraded:
+                                raise
+                            # Quarantine the damaged chunk and re-solve
+                            # the span from the survivors.
+                            metas_i = self._quarantine_bad(exc, metas_i,
+                                                           skipped, dead)
+                            if not metas_i:
+                                spans.append(SpanAggregate())
+                                break
                     n_solver += 1
                     if collect_trace:
                         diff = stats.diff(before)
                         span_traces.append(SpanTrace(
                             i, start, end, SOLVER,
-                            n_chunks=len(per_span[i]),
+                            n_chunks=len(metas_i),
                             iterations=diff.candidate_iterations,
                             chunk_loads=diff.chunk_loads,
                             pages_decoded=diff.pages_decoded,
                             index_lookups=diff.index_lookups))
                 solve_span.attrs["fused"] = n_fused
                 solve_span.attrs["solver"] = n_solver
-            result = M4Result(int(t_qs), int(t_qe), int(w), tuple(spans))
+            result = M4Result(
+                int(t_qs), int(t_qe), int(w), tuple(spans),
+                skipped=merge_time_ranges(skipped, t_qs, t_qe))
+            if result.degraded:
+                _count_degraded(self._engine, self.name)
             trace = QueryTrace(series_name, int(t_qs), int(t_qe), int(w),
                                tuple(span_traces)) if collect_trace \
                 else None

@@ -52,19 +52,58 @@ class SpanAggregate:
                 and self.top.v == other.top.v)
 
 
+def merge_time_ranges(ranges, t_qs=None, t_qe=None):
+    """Clip half-open ``(start, end)`` ranges to ``[t_qs, t_qe)``, merge
+    overlapping/adjacent ones, and return them as a sorted tuple.
+
+    The canonical form of an :attr:`M4Result.skipped` list: operators
+    collect one range per damaged chunk and normalize through here, so
+    equal damage yields equal metadata regardless of discovery order.
+    """
+    clipped = []
+    for start, end in ranges:
+        start, end = int(start), int(end)
+        if t_qs is not None:
+            start = max(start, int(t_qs))
+        if t_qe is not None:
+            end = min(end, int(t_qe))
+        if start < end:
+            clipped.append((start, end))
+    clipped.sort()
+    merged = []
+    for start, end in clipped:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return tuple(merged)
+
+
 @dataclasses.dataclass(frozen=True)
 class M4Result:
-    """Aggregates for all ``w`` spans of one M4 query."""
+    """Aggregates for all ``w`` spans of one M4 query.
+
+    ``skipped`` carries the time ranges of quarantined (damaged) chunks
+    a degraded read left out — empty for a healthy query.  It is
+    excluded from equality so a degraded M4-UDF and M4-LSM answer over
+    the same surviving data still compare equal span-by-span.
+    """
 
     t_qs: int
     t_qe: int
     w: int
     spans: tuple  # of SpanAggregate, length w
+    skipped: tuple = dataclasses.field(default=(), compare=False)
 
     def __post_init__(self):
         if len(self.spans) != self.w:
             raise ValueError("expected %d spans, got %d"
                              % (self.w, len(self.spans)))
+
+    @property
+    def degraded(self):
+        """True when damaged chunks were skipped to produce this result."""
+        return bool(self.skipped)
 
     def __len__(self):
         return self.w

@@ -21,8 +21,18 @@ class EncodingError(StorageError):
 
 
 class CorruptFileError(StorageError):
-    """Raised when a TsFile fails structural validation (bad magic,
-    truncated section, checksum mismatch)."""
+    """Raised when a persisted file fails structural validation (bad
+    magic, truncated section, checksum mismatch).
+
+    ``path`` names the damaged file when known; ``chunk`` is a
+    ``(file_path, data_offset)`` pair when the damage is attributable to
+    one chunk — the degraded-read path uses it to quarantine exactly the
+    offending chunk and keep serving the rest of the series."""
+
+    def __init__(self, message, *, path=None, chunk=None):
+        super().__init__(message)
+        self.path = path
+        self.chunk = chunk
 
 
 class ChunkNotFoundError(StorageError):

@@ -29,10 +29,16 @@ _POINT_ATTR = {"FP": "first", "LP": "last", "BP": "bottom", "TP": "top"}
 
 @dataclasses.dataclass(frozen=True)
 class ResultTable:
-    """A tabular query result: column names plus row tuples."""
+    """A tabular query result: column names plus row tuples.
+
+    ``meta`` carries out-of-band result annotations — currently the
+    degraded-read flag and skipped time ranges — and never affects
+    equality: two tables with the same rows are the same answer.
+    """
 
     columns: tuple
     rows: tuple
+    meta: dict = dataclasses.field(default_factory=dict, compare=False)
 
     def __len__(self):
         return len(self.rows)
@@ -71,11 +77,26 @@ def _fmt(cell):
     return str(cell)
 
 
-class Executor:
-    """Runs :class:`ParsedQuery` objects against one engine."""
+def _degraded_meta(skipped):
+    """``ResultTable.meta`` for a degraded answer (empty when healthy)."""
+    if not skipped:
+        return {}
+    return {"degraded": True,
+            "skipped_ranges": [[int(s), int(e)] for s, e in skipped]}
 
-    def __init__(self, engine):
+
+class Executor:
+    """Runs :class:`ParsedQuery` objects against one engine.
+
+    ``degraded``: skip quarantined/corrupt chunks and annotate the
+    result (``ResultTable.meta``) instead of raising; ``None`` follows
+    ``engine.config.degraded_reads``; ``False`` is strict mode — any
+    checksum failure surfaces as a :class:`CorruptFileError`.
+    """
+
+    def __init__(self, engine, degraded=None):
         self._engine = engine
+        self._degraded = degraded
 
     def execute(self, parsed, statement=None, slow_info=None):
         """Dispatch on query kind; returns a :class:`ResultTable`.
@@ -122,8 +143,8 @@ class Executor:
 
     def _operator(self, name):
         if name == "m4udf":
-            return M4UDFOperator(self._engine)
-        return M4LSMOperator(self._engine)
+            return M4UDFOperator(self._engine, degraded=self._degraded)
+        return M4LSMOperator(self._engine, degraded=self._degraded)
 
     def _resolve_range(self, parsed):
         t_qs, t_qe = parsed.t_qs, parsed.t_qe
@@ -155,7 +176,8 @@ class Executor:
         with tracer.span("query", kind=parsed.kind,
                          operator=parsed.operator, series=parsed.series):
             t_qs, t_qe = self._resolve_range(parsed)
-            result, trace = M4LSMOperator(self._engine).query_traced(
+            operator = M4LSMOperator(self._engine, degraded=self._degraded)
+            result, trace = operator.query_traced(
                 parsed.series, t_qs, t_qe, parsed.w)
             table = self._m4_table(parsed, result)
         self._observe(parsed, statement, time.perf_counter() - started)
@@ -178,7 +200,9 @@ class Executor:
                 point = getattr(span, _POINT_ATTR[function])
                 row.append(point.t if field == "t" else point.v)
             rows.append(tuple(row))
-        return ResultTable(tuple(columns), tuple(rows))
+        return ResultTable(tuple(columns), tuple(rows),
+                           _degraded_meta(result.skipped
+                                          if result.degraded else None))
 
     def _execute_agg(self, parsed):
         from ..core.aggregation import aggregate_lsm, aggregate_udf
@@ -195,8 +219,10 @@ class Executor:
 
     def _execute_raw(self, parsed):
         t_qs, t_qe = self._resolve_range(parsed)
-        operator = M4UDFOperator(self._engine)
-        series = operator.merged_series(parsed.series, t_qs, t_qe)
+        operator = M4UDFOperator(self._engine, degraded=self._degraded)
+        skipped = []
+        series = operator.merged_series(parsed.series, t_qs, t_qe,
+                                        skipped=skipped)
         names = {"t": "time", "v": "value"}
         columns = tuple(names[c] for c in parsed.columns)
         t = series.timestamps
@@ -207,4 +233,5 @@ class Executor:
                            else float(col[i])
                            for j, col in enumerate(stacked))
                      for i in range(t.size))
-        return ResultTable(columns, rows)
+        return ResultTable(columns, rows,
+                           _degraded_meta(skipped if skipped else None))

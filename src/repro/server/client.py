@@ -75,19 +75,27 @@ class ReproClient:
                                       if exc.headers else [],
                                       exc.read())
 
-    def query_response(self, sql, timeout_ms=None, sleep_ms=None):
-        """``POST /query`` returning the raw :class:`ClientResponse`."""
+    def query_response(self, sql, timeout_ms=None, sleep_ms=None,
+                       strict=None):
+        """``POST /query`` returning the raw :class:`ClientResponse`.
+
+        ``strict``: override the server's degraded-read policy for this
+        request (True: a corrupt chunk fails with 500 instead of a
+        flagged partial answer).
+        """
         payload = {"sql": sql}
         if timeout_ms is not None:
             payload["timeout_ms"] = timeout_ms
         if sleep_ms is not None:
             payload["sleep_ms"] = sleep_ms
+        if strict is not None:
+            payload["strict"] = bool(strict)
         return self.request("POST", "/query",
                             body=json.dumps(payload).encode("utf-8"),
                             headers={"Content-Type": "application/json"})
 
     def render_response(self, series, width=256, height=64, fmt="json",
-                        timeout_ms=None, sleep_ms=None):
+                        timeout_ms=None, sleep_ms=None, strict=None):
         """``GET /render`` returning the raw :class:`ClientResponse`."""
         params = {"series": series, "width": width, "height": height,
                   "format": fmt}
@@ -95,6 +103,8 @@ class ReproClient:
             params["timeout_ms"] = timeout_ms
         if sleep_ms is not None:
             params["sleep_ms"] = sleep_ms
+        if strict is not None:
+            params["strict"] = "1" if strict else "0"
         return self.request("GET", "/render?"
                             + urllib.parse.urlencode(params))
 

@@ -50,6 +50,7 @@ class ServerConfig:
     retry_after_seconds: int = 1         # suggested back-off on 503
     debug_hooks: bool = False            # honor test-only sleep_ms
     quiet: bool = False                  # suppress per-request log lines
+    strict: bool = False                 # corrupt chunk -> 500, no skip
 
     def __post_init__(self):
         if self.workers < 1:
@@ -72,13 +73,18 @@ class Response:
     headers: dict = dataclasses.field(default_factory=dict)
 
 
-def render_chart(engine, series, width, height, t_qs=None, t_qe=None):
+def render_chart(engine, series, width, height, t_qs=None, t_qe=None,
+                 degraded=None):
     """The shared render pipeline: M4-LSM reduce, then rasterize.
 
     Used verbatim by both ``repro render`` and ``GET /render`` so the
     two surfaces are byte-identical by construction.  Returns
     ``(matrix, result)``: the binary pixel matrix and the
     :class:`~repro.core.result.M4Result` it was drawn from.
+
+    ``degraded`` is passed through to the operator (``None`` follows
+    the engine config); a fully-skipped series renders an empty chart
+    rather than crashing on the empty value range.
     """
     from ..core.m4lsm import M4LSMOperator
     from ..viz.raster import PixelGrid, rasterize
@@ -89,12 +95,24 @@ def render_chart(engine, series, width, height, t_qs=None, t_qe=None):
         t_qs = min(c.start_time for c in chunks)
     if t_qe is None:
         t_qe = max(c.end_time for c in chunks) + 1
-    result = M4LSMOperator(engine).query(series, int(t_qs), int(t_qe),
-                                         int(width))
+    operator = M4LSMOperator(engine, degraded=degraded)
+    result = operator.query(series, int(t_qs), int(t_qe), int(width))
     reduced = result.to_series()
-    grid = PixelGrid(int(t_qs), int(t_qe), float(reduced.values.min()),
-                     float(reduced.values.max()), int(width), int(height))
+    if len(reduced):
+        v_lo, v_hi = float(reduced.values.min()), \
+            float(reduced.values.max())
+    else:
+        v_lo, v_hi = 0.0, 1.0  # every chunk skipped: blank canvas
+    grid = PixelGrid(int(t_qs), int(t_qe), v_lo, v_hi,
+                     int(width), int(height))
     return rasterize(reduced, grid), result
+
+
+def _degraded_warning(ranges):
+    """The human-readable warning attached to a degraded response."""
+    return ("degraded result: %d damaged chunk range(s) skipped (%s)"
+            % (len(ranges),
+               ", ".join("[%d, %d)" % (s, e) for s, e in ranges)))
 
 
 def _spans_as_json(result):
@@ -124,7 +142,10 @@ class QueryService:
     def __init__(self, engine, config=None):
         self._engine = engine
         self._config = config if config is not None else ServerConfig()
-        self._executor = Executor(engine)
+        # Strict servers disable degraded reads outright: a checksum
+        # failure surfaces as a 500 instead of a flagged 200.
+        self._executor = Executor(
+            engine, degraded=False if self._config.strict else None)
         self._metrics = engine.metrics
         self._ids = itertools.count(1)
         self._id_lock = threading.Lock()
@@ -163,18 +184,27 @@ class QueryService:
         sql = payload["sql"]
         rid = self._next_id()
         sleep_s = self._debug_sleep(payload)
+        executor = self._request_executor(payload)
 
         def run():
             if sleep_s:
                 self._sleep_checked(sleep_s)
             parsed = parse_sql(sql)
-            table = self._executor.execute(
+            table = executor.execute(
                 parsed, statement=sql,
                 slow_info={"request_id": rid, "endpoint": "query"})
-            return Response(200, _json_bytes({
+            body = {
                 "request_id": rid,
                 "columns": list(table.columns),
-                "rows": [list(row) for row in table.rows]}))
+                "rows": [list(row) for row in table.rows],
+                "degraded": bool(table.meta.get("degraded", False))}
+            headers = {}
+            if body["degraded"]:
+                body["skipped_ranges"] = table.meta["skipped_ranges"]
+                body["warning"] = _degraded_warning(
+                    table.meta["skipped_ranges"])
+                headers["X-Repro-Degraded"] = "1"
+            return Response(200, _json_bytes(body), headers=headers)
 
         return self._admit("query", rid, run,
                            timeout_ms=payload.get("timeout_ms"))
@@ -200,26 +230,40 @@ class QueryService:
             return self._error(400, None, "format must be json or pbm")
         rid = self._next_id()
         sleep_s = self._debug_sleep(params)
+        strict = self._strict(params)
 
         def run():
             if sleep_s:
                 self._sleep_checked(sleep_s)
             started = time.perf_counter()
-            matrix, result = render_chart(self._engine, series, width,
-                                          height)
+            matrix, result = render_chart(
+                self._engine, series, width, height,
+                degraded=False if strict else None)
             self._engine.slow_log.record(
                 "RENDER %s %dx%d" % (series, width, height),
                 time.perf_counter() - started,
                 endpoint="render", request_id=rid, series=series)
+            headers = {}
+            if result.degraded:
+                # Binary formats carry the flag in headers only.
+                headers["X-Repro-Degraded"] = "1"
+                headers["X-Repro-Skipped-Ranges"] = ",".join(
+                    "%d-%d" % (s, e) for s, e in result.skipped)
             if fmt == "pbm":
                 from ..viz.chart import to_pbm
                 return Response(200, to_pbm(matrix).encode("ascii"),
-                                content_type=_PBM)
-            return Response(200, _json_bytes({
+                                content_type=_PBM, headers=headers)
+            body = {
                 "request_id": rid, "series": series,
                 "width": width, "height": height,
                 "t_qs": result.t_qs, "t_qe": result.t_qe,
-                "spans": _spans_as_json(result)}))
+                "spans": _spans_as_json(result),
+                "degraded": result.degraded}
+            if result.degraded:
+                ranges = [[int(s), int(e)] for s, e in result.skipped]
+                body["skipped_ranges"] = ranges
+                body["warning"] = _degraded_warning(ranges)
+            return Response(200, _json_bytes(body), headers=headers)
 
         return self._admit("render", rid, run,
                            timeout_ms=params.get("timeout_ms"))
@@ -253,13 +297,21 @@ class QueryService:
             "queue_depth_limit": self._admission.queue_depth,
             "default_timeout_seconds":
                 self._config.default_timeout_seconds,
+            "strict": self._config.strict,
         }
+        quarantine = getattr(self._engine, "quarantine", None)
+        if quarantine is not None:
+            snapshot["quarantine"] = {
+                "chunks": len(quarantine),
+                "entries": quarantine.entries(),
+            }
         self._count("stats", 200)
         return Response(200, _json_bytes(snapshot))
 
     def healthz(self):
         """``GET /healthz``: cheap liveness + load signals (inline)."""
         metrics = self._metrics
+        quarantine = getattr(self._engine, "quarantine", None)
         body = {
             "status": "ok",
             "series": len(self._engine.series_names()),
@@ -267,6 +319,8 @@ class QueryService:
             "inflight": metrics.gauge("server_inflight").value,
             "shed_total": metrics.counter("server_shed_total").value,
             "timeout_total": metrics.counter("server_timeout_total").value,
+            "quarantined_chunks":
+                len(quarantine) if quarantine is not None else 0,
         }
         return Response(200, _json_bytes(body))
 
@@ -331,6 +385,21 @@ class QueryService:
     def _next_id(self):
         with self._id_lock:
             return "r%06d" % next(self._ids)
+
+    def _strict(self, params):
+        """Per-request strictness: ``strict`` param overrides config."""
+        value = params.get("strict")
+        if value is None:
+            return self._config.strict
+        if isinstance(value, bool):
+            return value
+        return str(value).lower() in ("1", "true", "yes", "on")
+
+    def _request_executor(self, payload):
+        """The shared executor, or a strict one for this request."""
+        if self._strict(payload) and not self._config.strict:
+            return Executor(self._engine, degraded=False)
+        return self._executor
 
     def _debug_sleep(self, params):
         """Seconds of test-only artificial work (0 unless enabled)."""

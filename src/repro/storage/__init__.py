@@ -11,6 +11,8 @@ from .config import DEFAULT_CONFIG, StorageConfig
 from .deletes import TIME_MAX, TIME_MIN, Delete, DeleteList
 from .encoding import Compression, Encoding
 from .engine import StorageEngine
+from .faultfs import FaultInjector, FaultRule, retry_io
+from .fsck import FsckReport, fsck_store
 from .iostats import IoStats
 from .locks import RWLock
 from .memtable import MemTable
@@ -18,6 +20,7 @@ from .merge import merge_arrays, merge_reference, merge_to_series
 from .mods import ModsFile
 from .page import PageMetadata, split_rows
 from .parallel import ChunkPipeline, in_worker_thread, serial_map
+from .quarantine import QuarantineRegistry
 from .readers import DataReader, MergeReader, MetadataReader
 from .statistics import Statistics
 from .recovery import list_tsfiles, recover_engine_state
@@ -35,12 +38,16 @@ __all__ = [
     "Delete",
     "DeleteList",
     "Encoding",
+    "FaultInjector",
+    "FaultRule",
+    "FsckReport",
     "IoStats",
     "MemTable",
     "MergeReader",
     "MetadataReader",
     "ModsFile",
     "PageMetadata",
+    "QuarantineRegistry",
     "RWLock",
     "Statistics",
     "StorageConfig",
@@ -55,8 +62,10 @@ __all__ = [
     "WriteAheadLog",
     "compact_all",
     "compact_series",
+    "fsck_store",
     "in_worker_thread",
     "list_tsfiles",
+    "retry_io",
     "merge_arrays",
     "merge_reference",
     "merge_to_series",

@@ -3,17 +3,35 @@
 Chunk metadata and the mods log identify series by numeric id; the
 catalog is the append-only file that makes those ids meaningful across
 restarts.
+
+Record layout (little endian, format v2)::
+
+    u32 series_id, u16 name_length, name bytes, u32 crc32(header + name)
+
+Because records are variable length, a flipped ``name_length`` would
+mis-frame everything after it; the CRC covers the header too, so any
+such flip fails the very record it lands in instead of silently eating
+its successors.  A short final record (crash mid-append) is a torn
+tail: truncate, warn, keep prior registrations.  v1 (seed) files have
+no checksums and read as before.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import struct
+import zlib
 
 from ..errors import CorruptFileError
+from . import faultfs
 
-MAGIC = b"CATv1\n\0\0"
+MAGIC = b"CATv2\n\0\0"
+MAGIC_V1 = b"CATv1\n\0\0"
 _HEADER = struct.Struct("<IH")  # series_id, name length
+_CRC = struct.Struct("<I")
+
+log = logging.getLogger("repro.storage.catalog")
 
 
 class CatalogFile:
@@ -22,7 +40,7 @@ class CatalogFile:
     def __init__(self, path):
         self._path = os.fspath(path)
         if not os.path.exists(self._path):
-            with open(self._path, "wb") as f:
+            with faultfs.fopen(self._path, "wb") as f:
                 f.write(MAGIC)
 
     @property
@@ -31,28 +49,81 @@ class CatalogFile:
         return self._path
 
     def append(self, series_id, name):
-        """Persist one series registration."""
+        """Persist one series registration (flushed before returning)."""
         encoded = name.encode("utf-8")
-        with open(self._path, "ab") as f:
-            f.write(_HEADER.pack(series_id, len(encoded)))
-            f.write(encoded)
+        payload = _HEADER.pack(series_id, len(encoded)) + encoded
+        with faultfs.fopen(self._path, "ab") as f:
+            f.write(payload + _CRC.pack(zlib.crc32(payload)))
+            f.flush()
 
-    def read_all(self):
-        """Yield every ``(series_id, name)`` in registration order."""
-        with open(self._path, "rb") as f:
+    def read_all(self, repair=True, report=None):
+        """Yield every ``(series_id, name)`` in registration order.
+
+        Torn-tail policy matches the WAL and mods log: a short final
+        record is truncated (when ``repair``) with a warning; a
+        complete record with a CRC mismatch raises
+        :class:`CorruptFileError`.
+        """
+        size = os.path.getsize(self._path)
+        with faultfs.fopen(self._path, "rb") as f:
             head = f.read(len(MAGIC))
-            if head != MAGIC:
-                raise CorruptFileError("%s: bad catalog magic" % self._path)
+            if head == MAGIC:
+                checked = True
+            elif head == MAGIC_V1:
+                checked = False
+            elif MAGIC.startswith(head) or MAGIC_V1.startswith(head):
+                self._torn(len(head), 0, repair, report,
+                           "torn catalog header")
+                return
+            else:
+                raise CorruptFileError(
+                    "%s: bad catalog magic" % self._path, path=self._path)
+            offset = len(head)
             while True:
                 raw = f.read(_HEADER.size)
                 if not raw:
                     return
+                trailer = _CRC.size if checked else 0
                 if len(raw) < _HEADER.size:
-                    raise CorruptFileError(
-                        "%s: truncated catalog header" % self._path)
+                    self._torn(offset, size - offset, repair, report,
+                               "torn catalog header record")
+                    return
                 series_id, name_length = _HEADER.unpack(raw)
-                encoded = f.read(name_length)
-                if len(encoded) < name_length:
+                rest = f.read(name_length + trailer)
+                if len(rest) < name_length + trailer:
+                    # Could be a genuine torn tail *or* a flipped
+                    # name_length pointing past EOF.  With checksums we
+                    # can tell: a torn tail is only plausible when the
+                    # claimed record would have ended past the file.
+                    self._torn(offset, size - offset, repair, report,
+                               "torn catalog record")
+                    return
+                encoded = rest[:name_length]
+                if checked:
+                    (crc,) = _CRC.unpack(rest[name_length:])
+                    if zlib.crc32(raw + encoded) != crc:
+                        raise CorruptFileError(
+                            "%s: catalog record CRC mismatch at offset %d"
+                            % (self._path, offset), path=self._path)
+                try:
+                    name = encoded.decode("utf-8")
+                except UnicodeDecodeError as exc:
                     raise CorruptFileError(
-                        "%s: truncated catalog name" % self._path)
-                yield series_id, encoded.decode("utf-8")
+                        "%s: undecodable catalog name at offset %d: %s"
+                        % (self._path, offset, exc),
+                        path=self._path) from exc
+                offset += _HEADER.size + name_length + trailer
+                yield series_id, name
+
+    def _torn(self, keep_bytes, torn_bytes, repair, report, what):
+        log.warning("%s: %s (%d bytes) — keeping prior records",
+                    self._path, what, torn_bytes)
+        if report is not None:
+            report({"file": self._path, "severity": "warning",
+                    "issue": what, "torn_bytes": torn_bytes})
+        if repair:
+            if keep_bytes < len(MAGIC):
+                with faultfs.fopen(self._path, "wb") as f:
+                    f.write(MAGIC)
+            else:
+                os.truncate(self._path, keep_bytes)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import struct
+import zlib
 
 import numpy as np
 
@@ -79,11 +80,12 @@ class ChunkMetadata:
 
     # -- serialization ---------------------------------------------------------------
 
-    def to_bytes(self):
+    def to_bytes(self, format_version=2):
         """Binary form stored in the TsFile metadata section.
 
         File path and data offsets are appended by the TsFile writer, so
-        they are included here.
+        they are included here.  ``format_version`` selects the page
+        directory layout (v2 adds per-payload CRCs).
         """
         out = bytearray(_META_HEADER.pack(
             self.series_id, int(self.version), int(self.time_encoding),
@@ -92,12 +94,12 @@ class ChunkMetadata:
         out += struct.pack("<QQ", self.data_offset, self.data_length)
         out += self.statistics.to_bytes()
         for page in self.pages:
-            out += page.to_bytes()
+            out += page.to_bytes(format_version)
         out += self.index_bytes
         return bytes(out)
 
     @classmethod
-    def from_bytes(cls, data, offset=0, file_path=""):
+    def from_bytes(cls, data, offset=0, file_path="", format_version=2):
         """Inverse of :meth:`to_bytes`; returns ``(metadata, next_offset)``."""
         if len(data) - offset < _META_HEADER.size + 16:
             raise StorageError("truncated chunk metadata header")
@@ -110,7 +112,8 @@ class ChunkMetadata:
         offset += Statistics.SERIALIZED_SIZE
         pages = []
         for _ in range(n_pages):
-            page, offset = PageMetadata.from_bytes(data, offset)
+            page, offset = PageMetadata.from_bytes(data, offset,
+                                                   format_version)
             pages.append(page)
         index_bytes = bytes(data[offset:offset + index_len])
         if len(index_bytes) != index_len:
@@ -153,6 +156,8 @@ def write_chunk(series_id, version, timestamps, values, config=DEFAULT_CONFIG):
             time_length=len(time_payload),
             value_offset=cursor + len(time_payload),
             value_length=len(value_payload),
+            time_crc=zlib.crc32(time_payload),
+            value_crc=zlib.crc32(value_payload),
         ))
         payloads.append(time_payload)
         payloads.append(value_payload)

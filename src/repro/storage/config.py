@@ -36,6 +36,11 @@ class StorageConfig:
     parallelism: int = 1              # chunk pipeline workers (1 = serial)
     slow_query_seconds: float = 1.0   # slow-query log threshold
     slow_query_log_size: int = 128    # slow-query ring capacity
+    verify_checksums: bool = True     # CRC-check page payloads on read
+    degraded_reads: bool = True       # skip+flag quarantined chunks (False: raise)
+    io_retry_attempts: int = 4        # transient-EIO retries per read
+    io_retry_base_delay: float = 0.005  # first backoff sleep (doubles, capped)
+    io_retry_max_delay: float = 0.1
 
     def __post_init__(self):
         if self.avg_series_point_number_threshold <= 0:
@@ -53,6 +58,8 @@ class StorageConfig:
             raise ValueError("parallelism must be >= 1")
         if self.slow_query_log_size <= 0:
             raise ValueError("slow_query_log_size must be positive")
+        if self.io_retry_attempts < 1:
+            raise ValueError("io_retry_attempts must be >= 1")
 
 
 DEFAULT_CONFIG = StorageConfig()

@@ -28,11 +28,13 @@ held, and a query sees exactly the chunks of the committed prefix.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import threading
 
 from ..errors import SeriesNotFoundError, StorageError
 from ..obs import MetricsRegistry, SlowQueryLog, Tracer
+from . import faultfs
 from .cache import ChunkCache
 from .catalog import CatalogFile
 from .chunk import write_chunk
@@ -43,10 +45,13 @@ from .locks import RWLock
 from .memtable import MemTable
 from .mods import ModsFile
 from .parallel import ChunkPipeline, serial_map
+from .quarantine import QuarantineRegistry
 from .readers import DataReader, MetadataReader
 from .tsfile import TsFileReader, TsFileWriter
 from .versions import VersionAllocator
 from .wal import WalManager
+
+log = logging.getLogger("repro.storage.engine")
 
 
 class SeriesState:
@@ -113,10 +118,27 @@ class StorageEngine:
         self._chunk_cache = ChunkCache(config.chunk_cache_points,
                                        stats=self._stats) \
             if config.chunk_cache_points > 0 else None
+        self._quarantine = QuarantineRegistry(self._data_dir,
+                                              self._metrics)
         self.recovery_summary = None
-        if any(True for _ in self._catalog.read_all()):
+        if self._has_persisted_state():
             from .recovery import recover_engine_state
             self.recovery_summary = recover_engine_state(self)
+
+    def _has_persisted_state(self):
+        """Does the directory hold any prior session's data?
+
+        Checks the catalog *and* for TsFiles/WAL segments, so a store
+        whose catalog was lost (e.g. torn back to its header) still
+        triggers recovery — which then fails loudly on the orphaned
+        chunks instead of silently opening an empty engine over them.
+        """
+        if any(True for _ in self._catalog.read_all()):
+            return True
+        from .recovery import list_tsfiles
+        if list_tsfiles(self._data_dir):
+            return True
+        return self._wal is not None and bool(self._wal.segment_paths())
 
     # -- schema ---------------------------------------------------------------------
 
@@ -151,15 +173,30 @@ class StorageEngine:
         return os.path.join(self._data_dir, self.OBS_FILE)
 
     def _load_obs_snapshot(self):
-        """Best-effort merge of a prior session's persisted metrics."""
+        """Best-effort merge of a prior session's persisted metrics.
+
+        A corrupt or truncated ``obs.json`` (e.g. a crash between the
+        temp write and the rename on the seed format) resets the stats
+        with a logged warning — observability damage must never block
+        an engine open.
+        """
         if not self._config.metrics_enabled:
             return
+        path = self._obs_path()
+        if not os.path.exists(path):
+            return
         try:
-            with open(self._obs_path(), "r", encoding="utf-8") as f:
-                data = json.load(f)
-        except (OSError, ValueError):
+            with faultfs.fopen(path, "rb") as f:
+                data = json.loads(f.read().decode("utf-8"))
+        except (OSError, ValueError) as exc:
+            log.warning("%s: unreadable observability snapshot (%s) — "
+                        "resetting stats", path, exc)
+            self._metrics.counter("obs_snapshot_resets_total").inc()
             return
         if not isinstance(data, dict):
+            log.warning("%s: malformed observability snapshot — "
+                        "resetting stats", path)
+            self._metrics.counter("obs_snapshot_resets_total").inc()
             return
         self._metrics.load(data.get("metrics"))
         iostats = data.get("iostats")
@@ -209,11 +246,11 @@ class StorageEngine:
         tmp = "%s.%d.%d.tmp" % (self._obs_path(), os.getpid(),
                                 threading.get_ident())
         try:
-            with open(tmp, "w", encoding="utf-8") as f:
-                json.dump(data, f, sort_keys=True)
+            with faultfs.fopen(tmp, "wb") as f:
+                f.write(json.dumps(data, sort_keys=True).encode("utf-8"))
                 f.flush()
-                os.fsync(f.fileno())
-            os.replace(tmp, self._obs_path())
+                faultfs.fsync(f)
+            faultfs.replace(tmp, self._obs_path())
         except OSError:
             try:
                 os.unlink(tmp)
@@ -409,6 +446,23 @@ class StorageEngine:
                 self._metrics.counter("engine_tsfiles_sealed_total").inc()
                 self._metrics.gauge("engine_tsfile_seq").set(self._file_seq)
 
+    def _on_io_retry(self, attempt, exc):
+        self._metrics.counter("storage_io_retries_total").inc()
+
+    def _open_reader(self, path):
+        """A fresh (unpooled) :class:`TsFileReader` with engine config.
+
+        Used by recovery and fsck, which manage the reader's lifetime
+        themselves; queries go through the :meth:`tsfile_reader` pool.
+        """
+        return TsFileReader(
+            path, self._stats,
+            verify_checksums=self._config.verify_checksums,
+            on_retry=self._on_io_retry,
+            retry_attempts=self._config.io_retry_attempts,
+            retry_base_delay=self._config.io_retry_base_delay,
+            retry_max_delay=self._config.io_retry_max_delay)
+
     def tsfile_reader(self, path):
         """Pooled :class:`TsFileReader` for a sealed file.
 
@@ -420,7 +474,7 @@ class StorageEngine:
             if self._closed:
                 raise StorageError("engine is closed")
             if path not in self._readers:
-                self._readers[path] = TsFileReader(path, self._stats)
+                self._readers[path] = self._open_reader(path)
             return self._readers[path]
 
     # -- parallel chunk pipeline ---------------------------------------------------------
@@ -477,6 +531,11 @@ class StorageEngine:
     def chunk_cache(self):
         """The shared decoded-page cache (None when disabled)."""
         return self._chunk_cache
+
+    @property
+    def quarantine(self):
+        """The engine's :class:`QuarantineRegistry` of damaged chunks."""
+        return self._quarantine
 
     def data_reader(self):
         """A fresh :class:`DataReader`.

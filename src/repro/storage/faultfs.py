@@ -1,0 +1,376 @@
+"""Deterministic fault injection at the file-I/O boundary.
+
+Every storage component (WAL, TsFile writer/reader, mods, catalog, obs
+persistence) performs its file I/O through this module's thin wrappers —
+:func:`fopen`, :func:`fsync`, :func:`replace` — instead of the builtins.
+With no injector installed the wrappers are pass-throughs; with one
+installed (:func:`install`), every operation is counted and matched
+against scripted :class:`FaultRule`\\ s, which can then:
+
+* raise a transient ``EIO`` (``action="eio"``),
+* write only a prefix of the buffer (``"torn"``, optionally crashing),
+* flip one bit of the data read or written (``"bitflip"``),
+* return fewer bytes than asked (``"short_read"``),
+* silently skip an fsync (``"fsync_noop"``),
+* kill the process on the spot via ``os._exit`` (``"crash"``).
+
+Rules fire at a scripted 1-based operation count (``at=``), with a
+seeded probability, or on every match — which is what makes crash
+torture reproducible: the same seed and script always die at the same
+byte.  The module is intentionally free of any engine imports so every
+layer of the storage stack can use it.
+
+:func:`retry_io` is the read-side companion: it retries a callable over
+transient ``OSError`` s (``EIO``/``EAGAIN``/``EINTR``) with capped
+exponential backoff, so one glitched read does not fail a whole query.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import threading
+import time
+
+#: errnos considered transient (worth retrying) by :func:`retry_io`.
+TRANSIENT_ERRNOS = frozenset({errno.EIO, errno.EAGAIN, errno.EINTR})
+
+#: exit code used by ``action="crash"`` so a parent can tell an injected
+#: kill apart from any organic failure.
+CRASH_EXIT_CODE = 173
+
+#: operations the wrappers report.  ``"any"`` in a rule matches all.
+OPS = ("open", "read", "write", "flush", "fsync", "replace")
+
+_ACTIONS = ("eio", "torn", "bitflip", "short_read", "fsync_noop", "crash")
+
+
+class FaultRule:
+    """One scripted fault.
+
+    ``op``
+        which operation to target (one of :data:`OPS`, or ``"any"``).
+    ``action``
+        what to do when the rule fires (see module docstring).
+    ``at``
+        1-based index among this rule's *matching* operations at which
+        to fire; ``None`` means every match (or roll ``probability``).
+    ``path_substr``
+        only operations on paths containing this substring match.
+    ``times``
+        maximum number of firings (``None`` = unlimited); transient
+        errors are modeled with e.g. ``times=2`` + a retry loop.
+    ``probability``
+        seeded chance of firing per match, instead of a scripted ``at``.
+    ``params``
+        action tuning: ``keep`` (bytes kept by ``torn``/``short_read``),
+        ``crash`` (bool: ``torn`` exits after the partial write),
+        ``exit_code``, ``bit`` (absolute bit index for ``bitflip``).
+    """
+
+    def __init__(self, op, action, at=None, path_substr=None, times=1,
+                 probability=None, **params):
+        if op != "any" and op not in OPS:
+            raise ValueError("unknown faultfs op %r" % (op,))
+        if action not in _ACTIONS:
+            raise ValueError("unknown faultfs action %r" % (action,))
+        self.op = op
+        self.action = action
+        self.at = at
+        self.path_substr = path_substr
+        self.times = times
+        self.probability = probability
+        self.params = params
+        self.seen = 0    # matching operations observed
+        self.fired = 0   # times this rule actually fired
+
+    def matches(self, op, path):
+        """Does this rule target operation ``op`` on ``path``?"""
+        if self.op != "any" and self.op != op:
+            return False
+        if self.path_substr is not None and self.path_substr not in path:
+            return False
+        return True
+
+    def __repr__(self):
+        return ("FaultRule(op=%r, action=%r, at=%r, path_substr=%r, "
+                "times=%r, fired=%d)" % (self.op, self.action, self.at,
+                                         self.path_substr, self.times,
+                                         self.fired))
+
+
+class FaultInjector:
+    """Counts file operations and decides which ones fault.
+
+    Thread-safe; one injector is installed process-wide via
+    :func:`install`.  ``seed`` drives both probabilistic rules and the
+    bit position chosen by ``bitflip``.
+    """
+
+    def __init__(self, rules=(), seed=0):
+        self.rules = list(rules)
+        self.random = random.Random(seed)
+        self._lock = threading.RLock()
+        self.total_ops = 0
+        self.op_counts = {}
+        self.fire_log = []   # (global_op_index, op, path, rule)
+
+    def add_rule(self, rule):
+        """Append one more scripted fault."""
+        with self._lock:
+            self.rules.append(rule)
+
+    def decide(self, op, path):
+        """Record one operation; return the rule that fires, if any."""
+        path = os.fspath(path) if path is not None else ""
+        with self._lock:
+            self.total_ops += 1
+            self.op_counts[op] = self.op_counts.get(op, 0) + 1
+            for rule in self.rules:
+                if not rule.matches(op, path):
+                    continue
+                rule.seen += 1
+                if rule.times is not None and rule.fired >= rule.times:
+                    continue
+                if rule.at is not None:
+                    if rule.seen != rule.at:
+                        continue
+                elif rule.probability is not None:
+                    if self.random.random() >= rule.probability:
+                        continue
+                rule.fired += 1
+                self.fire_log.append((self.total_ops, op, path, rule))
+                return rule
+            return None
+
+    def flip_bit(self, data, rule):
+        """Return ``data`` with one (seeded or scripted) bit flipped."""
+        if not data:
+            return data
+        out = bytearray(data)
+        bit = rule.params.get("bit")
+        if bit is None:
+            with self._lock:
+                bit = self.random.randrange(len(out) * 8)
+        byte_index, bit_index = divmod(int(bit) % (len(out) * 8), 8)
+        out[byte_index] ^= 1 << bit_index
+        return bytes(out)
+
+
+# -- the process-wide installation point ---------------------------------------------
+
+_installed = None
+_install_lock = threading.Lock()
+
+
+def install(injector):
+    """Make ``injector`` the process-wide fault source; returns it."""
+    global _installed
+    with _install_lock:
+        _installed = injector
+    return injector
+
+
+def uninstall():
+    """Remove any installed injector (pass-through I/O again)."""
+    global _installed
+    with _install_lock:
+        _installed = None
+
+
+def current():
+    """The installed :class:`FaultInjector`, or None."""
+    return _installed
+
+
+def _crash(rule):
+    code = rule.params.get("exit_code", CRASH_EXIT_CODE)
+    # os._exit skips atexit/flush: userspace buffers genuinely vanish,
+    # exactly like a SIGKILL'd process.
+    os._exit(code)
+
+
+def _transient(op, path):
+    return OSError(errno.EIO, "injected %s fault" % op, path)
+
+
+def inject(op, path=""):
+    """Checkpoint for non-file code paths (e.g. between rename steps).
+
+    Counts one ``op`` against the installed injector and applies
+    ``eio``/``crash`` rules; data-shaping actions are ignored here.
+    """
+    injector = _installed
+    if injector is None:
+        return
+    rule = injector.decide(op, path)
+    if rule is None:
+        return
+    if rule.action == "crash":
+        _crash(rule)
+    if rule.action == "eio":
+        raise _transient(op, path)
+
+
+class _FaultyFile:
+    """A binary file handle whose every operation may fault."""
+
+    def __init__(self, path, mode, injector):
+        self._injector = injector
+        self.name = os.fspath(path)
+        rule = injector.decide("open", self.name)
+        if rule is not None:
+            if rule.action == "crash":
+                _crash(rule)
+            if rule.action == "eio":
+                raise _transient("open", self.name)
+        self._file = open(self.name, mode)
+
+    # -- faulted operations ----------------------------------------------------------
+
+    def write(self, data):
+        rule = self._injector.decide("write", self.name)
+        if rule is None:
+            return self._file.write(data)
+        if rule.action == "crash":
+            _crash(rule)
+        if rule.action == "eio":
+            raise _transient("write", self.name)
+        if rule.action == "bitflip":
+            return self._file.write(self._injector.flip_bit(data, rule))
+        if rule.action == "torn":
+            keep = rule.params.get("keep", len(data) // 2)
+            self._file.write(data[:keep])
+            # A torn write is one the OS *did* see a prefix of: push it
+            # out of the userspace buffer before dying/failing.
+            self._file.flush()
+            if rule.params.get("crash"):
+                _crash(rule)
+            raise _transient("write", self.name)
+        return self._file.write(data)
+
+    def read(self, size=-1):
+        rule = self._injector.decide("read", self.name)
+        if rule is None:
+            return self._file.read(size)
+        if rule.action == "crash":
+            _crash(rule)
+        if rule.action == "eio":
+            raise _transient("read", self.name)
+        data = self._file.read(size)
+        if rule.action == "bitflip":
+            return self._injector.flip_bit(data, rule)
+        if rule.action == "short_read":
+            keep = rule.params.get("keep", len(data) // 2)
+            # A genuine short read: the position advances only by what
+            # was returned, so the caller's next read resumes there.
+            self._file.seek(keep - len(data), os.SEEK_CUR)
+            return data[:keep]
+        return data
+
+    def flush(self):
+        rule = self._injector.decide("flush", self.name)
+        if rule is not None:
+            if rule.action == "crash":
+                _crash(rule)
+            if rule.action == "eio":
+                raise _transient("flush", self.name)
+        return self._file.flush()
+
+    # -- transparent pass-throughs ---------------------------------------------------
+
+    def seek(self, offset, whence=os.SEEK_SET):
+        return self._file.seek(offset, whence)
+
+    def tell(self):
+        return self._file.tell()
+
+    def fileno(self):
+        return self._file.fileno()
+
+    def truncate(self, size=None):
+        return self._file.truncate(size)
+
+    def close(self):
+        return self._file.close()
+
+    @property
+    def closed(self):
+        return self._file.closed
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def fopen(path, mode="rb"):
+    """Open a binary file through the fault layer.
+
+    With no injector installed this is exactly ``open(path, mode)``.
+    Only binary modes are supported: the injectors operate on bytes.
+    """
+    if "b" not in mode:
+        raise ValueError("faultfs.fopen requires a binary mode, got %r"
+                         % mode)
+    injector = _installed
+    if injector is None:
+        return open(path, mode)
+    return _FaultyFile(path, mode, injector)
+
+
+def fsync(fileobj):
+    """``os.fsync`` through the fault layer (``fsync_noop`` skips it)."""
+    injector = _installed
+    if injector is not None:
+        rule = injector.decide("fsync", getattr(fileobj, "name", ""))
+        if rule is not None:
+            if rule.action == "crash":
+                _crash(rule)
+            if rule.action == "eio":
+                raise _transient("fsync", getattr(fileobj, "name", ""))
+            if rule.action == "fsync_noop":
+                return
+    os.fsync(fileobj.fileno())
+
+
+def replace(src, dst):
+    """``os.replace`` through the fault layer."""
+    injector = _installed
+    if injector is not None:
+        rule = injector.decide("replace", os.fspath(dst))
+        if rule is not None:
+            if rule.action == "crash":
+                _crash(rule)
+            if rule.action == "eio":
+                raise _transient("replace", os.fspath(dst))
+    os.replace(src, dst)
+
+
+def retry_io(fn, attempts=4, base_delay=0.005, max_delay=0.1,
+             sleep=time.sleep, on_retry=None):
+    """Call ``fn`` retrying transient ``OSError`` s with capped backoff.
+
+    Retries only the errnos in :data:`TRANSIENT_ERRNOS`; anything else
+    (including :class:`repro.errors.CorruptFileError`, which is not an
+    ``OSError``) propagates immediately.  The last attempt's error is
+    re-raised.  ``on_retry(attempt, exc)`` is called before each sleep —
+    the engine hooks a metrics counter there.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    delay = base_delay
+    for attempt in range(1, attempts + 1):
+        try:
+            return fn()
+        except OSError as exc:
+            if getattr(exc, "errno", None) not in TRANSIENT_ERRNOS:
+                raise
+            if attempt == attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(min(delay, max_delay))
+            delay *= 2

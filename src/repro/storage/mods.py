@@ -2,18 +2,36 @@
 
 Delete operations never rewrite sealed TsFiles; they are appended here and
 applied at read time (and, if compaction is enabled, folded in then).
+
+Record layout (little endian, format v2)::
+
+    u32 series_id, i64 t_start, i64 t_end, u64 version, u32 crc32(payload)
+
+Torn-tail policy matches the WAL: a short final record (crash
+mid-append) is truncated with a warning and prior records survive; a
+full-size record with a bad CRC raises :class:`CorruptFileError` —
+silently dropping a delete would resurrect data, which is worse than
+failing loudly.  v1 (seed) files have no checksums and read as before.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import struct
+import zlib
 
 from ..errors import CorruptFileError
+from . import faultfs
 from .deletes import Delete
 
-MAGIC = b"MODSv1\n\0"
-_RECORD = struct.Struct("<IqqQ")  # series_id, t_start, t_end, version
+MAGIC = b"MODSv2\n\0"
+MAGIC_V1 = b"MODSv1\n\0"
+_PAYLOAD = struct.Struct("<IqqQ")  # series_id, t_start, t_end, version
+_CRC = struct.Struct("<I")
+RECORD_SIZE = _PAYLOAD.size + _CRC.size
+
+log = logging.getLogger("repro.storage.mods")
 
 
 class ModsFile:
@@ -22,7 +40,7 @@ class ModsFile:
     def __init__(self, path):
         self._path = os.fspath(path)
         if not os.path.exists(self._path):
-            with open(self._path, "wb") as f:
+            with faultfs.fopen(self._path, "wb") as f:
                 f.write(MAGIC)
 
     @property
@@ -31,23 +49,66 @@ class ModsFile:
         return self._path
 
     def append(self, series_id, delete):
-        """Persist one delete record."""
-        with open(self._path, "ab") as f:
-            f.write(_RECORD.pack(series_id, delete.t_start, delete.t_end,
-                                 int(delete.version)))
+        """Persist one delete record (flushed before returning)."""
+        payload = _PAYLOAD.pack(series_id, delete.t_start, delete.t_end,
+                                int(delete.version))
+        with faultfs.fopen(self._path, "ab") as f:
+            f.write(payload + _CRC.pack(zlib.crc32(payload)))
+            f.flush()
 
-    def read_all(self):
-        """Yield every ``(series_id, Delete)`` record in append order."""
-        with open(self._path, "rb") as f:
+    def read_all(self, repair=True, report=None):
+        """Yield every ``(series_id, Delete)`` record in append order.
+
+        A short final record is a torn tail: warn, truncate (when
+        ``repair``), keep the prior records.  A full-size record with a
+        CRC mismatch raises :class:`CorruptFileError`.
+        """
+        size = os.path.getsize(self._path)
+        with faultfs.fopen(self._path, "rb") as f:
             head = f.read(len(MAGIC))
-            if head != MAGIC:
-                raise CorruptFileError("%s: bad mods magic" % self._path)
+            if head == MAGIC:
+                record_size, checked = RECORD_SIZE, True
+            elif head == MAGIC_V1:
+                record_size, checked = _PAYLOAD.size, False
+            elif MAGIC.startswith(head) or MAGIC_V1.startswith(head):
+                self._torn(len(head), 0, repair, report,
+                           "torn mods header")
+                return
+            else:
+                raise CorruptFileError("%s: bad mods magic" % self._path,
+                                       path=self._path)
+            offset = len(head)
             while True:
-                raw = f.read(_RECORD.size)
+                raw = f.read(record_size)
                 if not raw:
                     return
-                if len(raw) != _RECORD.size:
-                    raise CorruptFileError(
-                        "%s: truncated mods record" % self._path)
-                series_id, t_start, t_end, version = _RECORD.unpack(raw)
+                if len(raw) < record_size:
+                    self._torn(offset, size - offset, repair, report,
+                               "torn mods record")
+                    return
+                if checked:
+                    payload, (crc,) = raw[:_PAYLOAD.size], _CRC.unpack(
+                        raw[_PAYLOAD.size:])
+                    if zlib.crc32(payload) != crc:
+                        raise CorruptFileError(
+                            "%s: mods record CRC mismatch at offset %d"
+                            % (self._path, offset), path=self._path)
+                else:
+                    payload = raw
+                series_id, t_start, t_end, version = _PAYLOAD.unpack(
+                    payload)
+                offset += record_size
                 yield series_id, Delete(t_start, t_end, version)
+
+    def _torn(self, keep_bytes, torn_bytes, repair, report, what):
+        log.warning("%s: %s (%d bytes) — keeping prior records",
+                    self._path, what, torn_bytes)
+        if report is not None:
+            report({"file": self._path, "severity": "warning",
+                    "issue": what, "torn_bytes": torn_bytes})
+        if repair:
+            if keep_bytes < len(MAGIC):
+                with faultfs.fopen(self._path, "wb") as f:
+                    f.write(MAGIC)
+            else:
+                os.truncate(self._path, keep_bytes)

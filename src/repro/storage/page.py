@@ -5,6 +5,11 @@ time column and value column as two independently encoded payloads.  The
 per-page directory (statistics + payload offsets) lives in the chunk's
 metadata, so a reader can decode exactly the pages a query touches —
 the mechanism behind the "partial scan" of Example 3.4.
+
+Format v2 adds a CRC32 per payload to the directory entry, so a reader
+detects a silently flipped bit in a data block before the decoder turns
+it into wrong values.  A CRC of 0 means "not recorded" (v1 files): the
+reader skips verification for those pages.
 """
 
 from __future__ import annotations
@@ -16,6 +21,10 @@ from ..errors import StorageError
 from .statistics import Statistics
 
 _OFFSETS = struct.Struct("<QIQI")  # time_offset, time_len, value_offset, value_len
+_CRCS = struct.Struct("<II")       # time_crc, value_crc (v2 only)
+
+FORMAT_V1 = 1
+FORMAT_V2 = 2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -24,6 +33,8 @@ class PageMetadata:
 
     Offsets are relative to the start of the chunk's data block.
     ``first_row`` is the page's first point's 0-based row within the chunk.
+    ``time_crc``/``value_crc`` are CRC32s of the encoded payloads; 0
+    means the file predates checksums (format v1).
     """
 
     statistics: Statistics
@@ -32,33 +43,47 @@ class PageMetadata:
     time_length: int
     value_offset: int
     value_length: int
+    time_crc: int = 0
+    value_crc: int = 0
 
     @property
     def n_points(self):
         """Number of points in this page."""
         return self.statistics.count
 
-    SERIALIZED_SIZE = Statistics.SERIALIZED_SIZE + 8 + _OFFSETS.size
+    SERIALIZED_SIZE_V1 = Statistics.SERIALIZED_SIZE + 8 + _OFFSETS.size
+    SERIALIZED_SIZE = SERIALIZED_SIZE_V1 + _CRCS.size
 
-    def to_bytes(self):
+    def to_bytes(self, format_version=FORMAT_V2):
         """Fixed-width binary form, stored inside chunk metadata."""
-        return (self.statistics.to_bytes()
-                + struct.pack("<q", self.first_row)
-                + _OFFSETS.pack(self.time_offset, self.time_length,
-                                self.value_offset, self.value_length))
+        out = (self.statistics.to_bytes()
+               + struct.pack("<q", self.first_row)
+               + _OFFSETS.pack(self.time_offset, self.time_length,
+                               self.value_offset, self.value_length))
+        if format_version >= FORMAT_V2:
+            out += _CRCS.pack(self.time_crc, self.value_crc)
+        return out
 
     @classmethod
-    def from_bytes(cls, data, offset=0):
+    def from_bytes(cls, data, offset=0, format_version=FORMAT_V2):
         """Inverse of :meth:`to_bytes`; returns ``(page_meta, next_offset)``."""
         stats = Statistics.from_bytes(data, offset)
         offset += Statistics.SERIALIZED_SIZE
-        if len(data) - offset < 8 + _OFFSETS.size:
+        tail = 8 + _OFFSETS.size
+        if format_version >= FORMAT_V2:
+            tail += _CRCS.size
+        if len(data) - offset < tail:
             raise StorageError("truncated page metadata")
         (first_row,) = struct.unpack_from("<q", data, offset)
         offset += 8
         t_off, t_len, v_off, v_len = _OFFSETS.unpack_from(data, offset)
         offset += _OFFSETS.size
-        return cls(stats, first_row, t_off, t_len, v_off, v_len), offset
+        t_crc = v_crc = 0
+        if format_version >= FORMAT_V2:
+            t_crc, v_crc = _CRCS.unpack_from(data, offset)
+            offset += _CRCS.size
+        return cls(stats, first_row, t_off, t_len, v_off, v_len,
+                   t_crc, v_crc), offset
 
 
 def split_rows(n_points, points_per_page):

@@ -1,0 +1,148 @@
+"""Quarantine: the per-chunk damage registry behind degraded reads.
+
+When a read finds a chunk whose bytes fail their checksum (or cannot be
+decoded, or whose file is gone), the chunk is *quarantined*: recorded
+here, skipped by subsequent queries, and surfaced to the user as a
+degraded result carrying the skipped time range — one damaged chunk out
+of thousands must not take down the series, let alone the server.
+
+Entries are keyed by ``(file basename, data_offset)`` — stable across
+engine restarts and directory moves — and persisted atomically to
+``quarantine.json`` next to the data files.  The registry is loaded
+tolerantly: a corrupt quarantine file resets to empty with a warning
+(its contents are re-discoverable by ``repro fsck`` or by the next
+failing read; losing it never loses data, only the memo of damage).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+
+from . import faultfs
+
+FILENAME = "quarantine.json"
+
+log = logging.getLogger("repro.storage.quarantine")
+
+
+def chunk_key(file_path, data_offset):
+    """The stable identity of a chunk: ``(basename, data_offset)``."""
+    return os.path.basename(file_path), int(data_offset)
+
+
+class QuarantineRegistry:
+    """Thread-safe set of damaged chunks, persisted per data directory.
+
+    ``registry``: optional :class:`repro.obs.MetricsRegistry` for the
+    quarantined counter/gauge.
+    """
+
+    def __init__(self, data_dir, registry=None):
+        from ..obs import NULL_REGISTRY
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._c_added = registry.counter("quarantined_chunks_total")
+        self._g_size = registry.gauge("quarantined_chunks")
+        self._path = os.path.join(os.fspath(data_dir), FILENAME)
+        self._lock = threading.Lock()
+        self._entries = {}
+        self._load()
+
+    @property
+    def path(self):
+        """Location of the persisted registry."""
+        return self._path
+
+    def _load(self):
+        if not os.path.exists(self._path):
+            return
+        try:
+            with faultfs.fopen(self._path, "rb") as f:
+                raw = json.loads(f.read().decode("utf-8"))
+            for entry in raw["chunks"]:
+                key = (str(entry["file"]), int(entry["data_offset"]))
+                self._entries[key] = dict(entry)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            log.warning("%s: unreadable quarantine registry (%s) — "
+                        "starting empty", self._path, exc)
+            self._entries = {}
+        self._g_size.set(len(self._entries))
+
+    def _persist_locked(self):
+        payload = json.dumps(
+            {"chunks": sorted(self._entries.values(),
+                              key=lambda e: (e["file"], e["data_offset"]))},
+            indent=2, sort_keys=True).encode("utf-8")
+        tmp = "%s.%d.tmp" % (self._path, os.getpid())
+        try:
+            with faultfs.fopen(tmp, "wb") as f:
+                f.write(payload)
+                f.flush()
+                faultfs.fsync(f)
+            faultfs.replace(tmp, self._path)
+        except OSError as exc:
+            # Quarantine persistence is best-effort: the in-memory set
+            # still protects this process, and damage is rediscoverable.
+            log.warning("%s: could not persist quarantine registry: %s",
+                        self._path, exc)
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+
+    def add(self, file_path, data_offset, *, series_id=None,
+            start_time=None, end_time=None, reason=""):
+        """Quarantine one chunk; returns True if it was newly added."""
+        key = chunk_key(file_path, data_offset)
+        with self._lock:
+            if key in self._entries:
+                return False
+            self._entries[key] = {
+                "file": key[0],
+                "data_offset": key[1],
+                "series_id": series_id,
+                "start_time": start_time,
+                "end_time": end_time,
+                "reason": str(reason),
+            }
+            self._c_added.inc()
+            self._g_size.set(len(self._entries))
+            self._persist_locked()
+        log.warning("quarantined chunk %s@%d (series %s): %s",
+                    key[0], key[1], series_id, reason)
+        return True
+
+    def add_meta(self, meta, reason=""):
+        """Quarantine the chunk a :class:`ChunkMetadata` describes."""
+        return self.add(meta.file_path, meta.data_offset,
+                        series_id=meta.series_id,
+                        start_time=int(meta.start_time),
+                        end_time=int(meta.end_time), reason=reason)
+
+    def contains(self, file_path, data_offset):
+        """Is this chunk quarantined?"""
+        with self._lock:
+            return chunk_key(file_path, data_offset) in self._entries
+
+    def contains_meta(self, meta):
+        """Is the chunk behind this metadata quarantined?"""
+        return self.contains(meta.file_path, meta.data_offset)
+
+    def entries(self):
+        """A snapshot list of entry dicts, sorted by (file, offset)."""
+        with self._lock:
+            return sorted(self._entries.values(),
+                          key=lambda e: (e["file"], e["data_offset"]))
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self):
+        """Forget all quarantined chunks (used after repair/compaction)."""
+        with self._lock:
+            self._entries = {}
+            self._g_size.set(0)
+            self._persist_locked()

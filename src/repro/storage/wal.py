@@ -5,33 +5,59 @@ turns the buffered points into immutable chunks, the log is rotated.  On
 restart, :mod:`repro.storage.recovery` replays any surviving records so
 no acknowledged point is lost.
 
-Record layout (little endian)::
+Record layout (little endian, format v2)::
 
-    u32 series_id, i64 timestamp, f64 value
+    u32 series_id, i64 timestamp, f64 value, u32 crc32(payload)
 
-The file starts with a magic string.  A torn tail (partial record from a
-crash mid-write) is tolerated on replay: complete records before it are
-recovered, the torn bytes are dropped.
+The file starts with a magic string.  Torn-tail policy (v2): a *short*
+final record — the crash-common case, the OS saw only a prefix of the
+last append — is truncated away with a logged warning and every prior
+record is recovered.  A full-size record whose CRC does not match is
+*corruption*, not a torn tail, and raises :class:`CorruptFileError`
+loudly: silently dropping it could lose an acknowledged point while the
+bytes after it still parse.  Files written by the v1 (seed) format carry
+no checksums and are replayed with the old lenient tail handling.
+
+Rotation and rewrite build the replacement log in a temp file and
+``os.replace`` it into place, so a crash at any byte leaves either the
+old complete log or the new complete log — never a half-truncated one.
+All file I/O goes through :mod:`repro.storage.faultfs` so the crash
+torture suite can kill or glitch any individual operation.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import re
 import struct
 import threading
+import zlib
 
 from ..errors import CorruptFileError
+from . import faultfs
 
-MAGIC = b"WALv1\n\0\0"
-_RECORD = struct.Struct("<Iqd")
+MAGIC = b"WALv2\n\0\0"
+MAGIC_V1 = b"WALv1\n\0\0"
+_PAYLOAD = struct.Struct("<Iqd")
+_CRC = struct.Struct("<I")
+RECORD_SIZE = _PAYLOAD.size + _CRC.size
+_V1_RECORD = _PAYLOAD
+
+log = logging.getLogger("repro.storage.wal")
+
+
+def _pack_record(series_id, t, v):
+    payload = _PAYLOAD.pack(series_id, int(t), float(v))
+    return payload + _CRC.pack(zlib.crc32(payload))
 
 
 class WriteAheadLog:
     """Append-only point log with rotation.
 
     ``registry``: an optional :class:`repro.obs.MetricsRegistry`; when
-    given, appended records/bytes, syncs and rotations are counted.
+    given, appended records/bytes, syncs, rotations and repaired torn
+    tails are counted.
     """
 
     def __init__(self, path, registry=None):
@@ -41,13 +67,14 @@ class WriteAheadLog:
         self._c_bytes = registry.counter("wal_bytes_total")
         self._c_syncs = registry.counter("wal_syncs_total")
         self._c_rotations = registry.counter("wal_rotations_total")
+        self._c_torn = registry.counter("wal_torn_tails_total")
         self._path = os.fspath(path)
         if not os.path.exists(self._path):
             self._start_fresh()
-        self._file = open(self._path, "ab")
+        self._file = faultfs.fopen(self._path, "ab")
 
     def _start_fresh(self):
-        with open(self._path, "wb") as f:
+        with faultfs.fopen(self._path, "wb") as f:
             f.write(MAGIC)
 
     @property
@@ -57,28 +84,42 @@ class WriteAheadLog:
 
     def append(self, series_id, t, v):
         """Log a single point."""
-        self._file.write(_RECORD.pack(series_id, int(t), float(v)))
+        self._file.write(_pack_record(series_id, t, v))
         self._c_records.inc()
-        self._c_bytes.inc(_RECORD.size)
+        self._c_bytes.inc(RECORD_SIZE)
 
     def append_batch(self, series_id, timestamps, values):
         """Log a batch of points with one file write."""
-        parts = [_RECORD.pack(series_id, int(t), float(v))
+        parts = [_pack_record(series_id, t, v)
                  for t, v in zip(timestamps, values)]
         self._file.write(b"".join(parts))
         self._c_records.inc(len(parts))
-        self._c_bytes.inc(_RECORD.size * len(parts))
+        self._c_bytes.inc(RECORD_SIZE * len(parts))
 
     def sync(self):
         """Flush OS buffers (called before acknowledging writes)."""
         self._file.flush()
         self._c_syncs.inc()
 
+    def _replace_with(self, build):
+        """Atomically swap the log for one built by ``build(file)``.
+
+        The append handle is closed first (an O_APPEND handle kept open
+        across ``os.replace`` would keep writing to the unlinked inode)
+        and reopened on the new file afterwards.  A crash at any point
+        leaves either the complete old log or the complete new one.
+        """
+        self._file.close()
+        tmp = self._path + ".tmp"
+        with faultfs.fopen(tmp, "wb") as f:
+            build(f)
+            f.flush()
+        faultfs.replace(tmp, self._path)
+        self._file = faultfs.fopen(self._path, "ab")
+
     def rotate(self):
         """Drop all records: everything logged so far is now in chunks."""
-        self._file.close()
-        self._start_fresh()
-        self._file = open(self._path, "ab")
+        self._replace_with(lambda f: f.write(MAGIC))
         self._c_rotations.inc()
 
     def close(self):
@@ -92,31 +133,77 @@ class WriteAheadLog:
         still-buffered remainder is re-logged, so the log always equals
         the memtable's contents.
         """
-        self._file.close()
-        self._start_fresh()
-        self._file = open(self._path, "ab")
-        self.append_batch(series_id, timestamps, values)
+        def build(f):
+            f.write(MAGIC)
+            f.write(b"".join(_pack_record(series_id, t, v)
+                             for t, v in zip(timestamps, values)))
+
+        self._replace_with(build)
+        self._c_records.inc(len(timestamps))
         self.sync()
 
-    def replay(self):
+    def replay(self, repair=True, report=None):
         """Yield ``(series_id, t, v)`` for every complete record.
 
-        A torn final record (crash mid-append) is silently dropped; any
-        other structural damage raises :class:`CorruptFileError`.
+        A *short* final record (crash mid-append) is a torn tail: it is
+        logged, counted, truncated away when ``repair`` is true, and all
+        prior records are yielded.  A full-size record with a CRC
+        mismatch is mid-file corruption and raises
+        :class:`CorruptFileError`.  ``report``: optional callable
+        receiving a dict per issue found (used by ``repro fsck``).
         """
-        self.sync()
-        with open(self._path, "rb") as f:
+        if not self._file.closed:
+            self.sync()
+        size = os.path.getsize(self._path)
+        with faultfs.fopen(self._path, "rb") as f:
             head = f.read(len(MAGIC))
-            if head != MAGIC:
-                raise CorruptFileError("%s: bad WAL magic" % self._path)
+            if head == MAGIC:
+                record_size, checked = RECORD_SIZE, True
+            elif head == MAGIC_V1:
+                record_size, checked = _V1_RECORD.size, False
+            elif MAGIC.startswith(head) or MAGIC_V1.startswith(head):
+                # Crash while the header itself was being written: an
+                # empty log, by construction holding zero records.
+                self._torn(len(head), 0, repair, report,
+                           "torn WAL header")
+                return
+            else:
+                raise CorruptFileError("%s: bad WAL magic" % self._path,
+                                       path=self._path)
+            offset = len(head)
             while True:
-                raw = f.read(_RECORD.size)
+                raw = f.read(record_size)
                 if not raw:
                     return
-                if len(raw) < _RECORD.size:
-                    return  # torn tail from a crash: drop it
-                series_id, t, v = _RECORD.unpack(raw)
+                if len(raw) < record_size:
+                    self._torn(offset, size - offset, repair, report,
+                               "torn WAL record")
+                    return
+                if checked:
+                    payload, (crc,) = raw[:_PAYLOAD.size], _CRC.unpack(
+                        raw[_PAYLOAD.size:])
+                    if zlib.crc32(payload) != crc:
+                        raise CorruptFileError(
+                            "%s: WAL record CRC mismatch at offset %d"
+                            % (self._path, offset), path=self._path)
+                else:
+                    payload = raw
+                series_id, t, v = _PAYLOAD.unpack(payload)
+                offset += record_size
                 yield series_id, t, v
+
+    def _torn(self, keep_bytes, torn_bytes, repair, report, what):
+        log.warning("%s: %s (%d bytes) — recovering prior records",
+                    self._path, what, torn_bytes)
+        self._c_torn.inc()
+        if report is not None:
+            report({"file": self._path, "severity": "warning",
+                    "issue": what, "torn_bytes": torn_bytes})
+        if repair:
+            if keep_bytes < len(MAGIC):
+                self._start_fresh()
+            else:
+                os.truncate(self._path, keep_bytes)
 
 
 class WalManager:
@@ -129,6 +216,8 @@ class WalManager:
     already live in chunks — which would resurrect deleted data by
     giving old points fresh versions.
     """
+
+    SEGMENT_RE = re.compile(r"^wal-(\d{6})\.log$")
 
     def __init__(self, data_dir, registry=None):
         self._data_dir = os.fspath(data_dir)
@@ -150,15 +239,21 @@ class WalManager:
                                                           self._registry)
             return self._segments[series_id]
 
-    def replay_all(self):
-        """Yield ``(series_id, t, v)`` across every on-disk segment."""
-        pattern = re.compile(r"^wal-(\d{6})\.log$")
+    def segment_paths(self):
+        """``(series_id, path)`` for every on-disk segment, in id order."""
+        out = []
         for entry in sorted(os.listdir(self._data_dir)):
-            match = pattern.match(entry)
-            if not match:
-                continue
-            series_id = int(match.group(1))
-            yield from self.segment(series_id).replay()
+            match = self.SEGMENT_RE.match(entry)
+            if match:
+                out.append((int(match.group(1)),
+                            os.path.join(self._data_dir, entry)))
+        return out
+
+    def replay_all(self, repair=True, report=None):
+        """Yield ``(series_id, t, v)`` across every on-disk segment."""
+        for series_id, _path in self.segment_paths():
+            yield from self.segment(series_id).replay(repair=repair,
+                                                      report=report)
 
     def close(self):
         """Release every segment's file handle."""

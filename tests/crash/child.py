@@ -1,0 +1,45 @@
+"""Crash-torture child: run the workload, dying at a scripted I/O op.
+
+Usage: ``python child.py DB_DIR CRASH_AT ACK_PATH``
+
+``CRASH_AT`` is the 1-based faultfs operation count at which to die via
+``os._exit(173)`` (0 = run to completion and print the total op count,
+which the parent uses to place its kill points).  Durable-op acks are
+fsynced to ``ACK_PATH`` through plain ``os`` calls so they neither
+count as injector ops nor vanish with the process.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import workload  # noqa: E402
+
+
+def main(argv):
+    db, crash_at, ack_path = argv[0], int(argv[1]), argv[2]
+
+    from repro.storage import StorageEngine, faultfs
+
+    rules = []
+    if crash_at > 0:
+        rules.append(faultfs.FaultRule("any", "crash", at=crash_at))
+    injector = faultfs.install(faultfs.FaultInjector(rules, seed=0))
+
+    fd = os.open(ack_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+
+    def ack(name):
+        os.write(fd, (name + "\n").encode("ascii"))
+        os.fsync(fd)
+
+    engine = StorageEngine(db, workload.config())
+    workload.run(engine, ack)
+    engine.close()
+    os.close(fd)
+    print(injector.total_ops)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

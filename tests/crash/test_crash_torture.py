@@ -1,0 +1,144 @@
+"""Crash torture: kill a child engine at seeded file-I/O points spread
+across the whole workload, reopen each store, and prove the recovered
+state is a committed prefix — both as raw merged arrays and as rendered
+pixel matrices against a clean store loaded with exactly that data.
+
+``REPRO_TORTURE_KILLS`` (default 55) sets how many kill points are
+spread over the child's total operation count.
+"""
+
+import os
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+import repro
+from repro.core import M4UDFOperator
+from repro.server.service import render_chart
+from repro.storage import StorageEngine
+from repro.storage.faultfs import CRASH_EXIT_CODE
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, HERE)
+
+import workload  # noqa: E402
+
+CHILD = os.path.join(HERE, "child.py")
+SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+WIDTH, HEIGHT = 64, 24
+
+
+def _run_child(db, ack, crash_at):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, CHILD, str(db), str(crash_at), str(ack)],
+        capture_output=True, text=True, env=env, timeout=120)
+
+
+def _read_acks(ack_path):
+    if not os.path.exists(ack_path):
+        return []
+    with open(ack_path) as f:
+        return f.read().split()
+
+
+def _recovered_state(engine):
+    """``(created, timestamps, values)`` of a reopened store."""
+    if workload.SERIES not in engine.series_names():
+        return False, [], []
+    engine.flush_all()
+    series = M4UDFOperator(engine, degraded=False).merged_series(
+        workload.SERIES, workload.T_LO, workload.T_HI)
+    return (True, [int(t) for t in series.timestamps],
+            [float(v) for v in series.values])
+
+
+def _render(engine):
+    return render_chart(engine, workload.SERIES, WIDTH, HEIGHT,
+                        t_qs=workload.T_LO, t_qe=workload.T_HI)
+
+
+def _verify_recovered(db, acked, ref_dir):
+    """Reopen ``db`` and assert its state is a committed prefix.
+
+    Returns the index of the matched prefix (in atomic events).
+    """
+    evs = workload.events()
+    lower = max([workload.checkpoint(op) for op in acked], default=0)
+    engine = StorageEngine(db, workload.config())
+    try:
+        state = _recovered_state(engine)
+        matches = [k for k in range(len(evs) + 1)
+                   if workload.simulate(evs[:k]) == state]
+        assert matches, \
+            "recovered state is no prefix of the workload: %r" % (state,)
+        assert max(matches) >= lower, \
+            ("durability violation: acked %r guarantees %d events, but "
+             "the recovered state only matches prefixes %r"
+             % (acked, lower, matches))
+        # Pixel identity: a clean store loaded with exactly the matched
+        # prefix must render the same chart as the recovered store.
+        created, timestamps, values = state
+        if timestamps:
+            reference = StorageEngine(ref_dir, workload.config())
+            try:
+                reference.create_series(workload.SERIES)
+                reference.write_batch(
+                    workload.SERIES,
+                    np.array(timestamps, dtype=np.int64),
+                    np.array(values, dtype=np.float64))
+                reference.flush_all()
+                matrix, result = _render(engine)
+                ref_matrix, ref_result = _render(reference)
+                assert not result.degraded
+                assert np.array_equal(matrix, ref_matrix)
+                assert result.semantically_equal(ref_result)
+            finally:
+                reference.close()
+        return max(matches)
+    finally:
+        engine.close()
+
+
+def test_clean_run_matches_full_simulation(tmp_path):
+    """No crash: the store holds exactly the fully-simulated state."""
+    proc = _run_child(tmp_path / "db", tmp_path / "ack", 0)
+    assert proc.returncode == 0, proc.stderr
+    acked = _read_acks(tmp_path / "ack")
+    assert acked[-1] == workload.OPS[-1][0]
+    matched = _verify_recovered(tmp_path / "db", acked, tmp_path / "ref")
+    assert matched == len(workload.events())
+
+
+def test_committed_prefix_survives_every_kill_point(tmp_path):
+    """>= 50 seeded kills across the op stream, each store recovers to
+    a committed prefix with byte- and pixel-identical reads."""
+    baseline = _run_child(tmp_path / "base", tmp_path / "base.ack", 0)
+    assert baseline.returncode == 0, baseline.stderr
+    total_ops = int(baseline.stdout.split()[-1])
+    kills = int(os.environ.get("REPRO_TORTURE_KILLS", "55"))
+    assert total_ops > 50, \
+        "workload too small for a meaningful torture run"
+    points = sorted({max(1, round(i * total_ops / kills))
+                     for i in range(1, kills + 1)})
+
+    def run_one(n):
+        return n, _run_child(tmp_path / ("db-%04d" % n),
+                             tmp_path / ("ack-%04d" % n), n)
+
+    workers = min(8, os.cpu_count() or 2)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        results = dict(pool.map(run_one, points))
+
+    for n in points:
+        proc = results[n]
+        assert proc.returncode == CRASH_EXIT_CODE, \
+            "kill point %d: exit %d, stderr:\n%s" % (n, proc.returncode,
+                                                     proc.stderr)
+        _verify_recovered(tmp_path / ("db-%04d" % n),
+                          _read_acks(tmp_path / ("ack-%04d" % n)),
+                          tmp_path / ("ref-%04d" % n))
+    assert len(points) >= min(kills, total_ops)

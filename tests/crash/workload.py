@@ -1,0 +1,139 @@
+"""The deterministic single-series workload shared by the crash-torture
+child process and the parent verifier.
+
+The workload is expressed twice from one table (:data:`OPS`):
+
+* :func:`run` drives a real :class:`~repro.storage.engine.StorageEngine`
+  through it (the child process does this, dying at a scripted I/O op);
+* :func:`simulate` replays a prefix of the flattened *atomic events*
+  (series creation, individual points, deletes) in pure Python, giving
+  the oracle states a crashed-and-recovered store is allowed to be in.
+
+Why point-granularity prefixes are the right oracle: WAL records are
+appended in op order through one buffered file handle, so the bytes the
+OS saw at the moment of death are always a prefix of the logical record
+stream — possibly torn mid-record, which recovery truncates back to the
+last whole record.  Chunk seals flush before the WAL checkpoints, and
+deletes flush the memtable before the (flushed) mods append, so no
+reachable crash state has a later event without all earlier ones.
+
+Durability labels: ``durable`` ops guarantee their events survive once
+the op returns (``write_batch`` syncs its WAL segment; ``delete`` and
+``create`` flush before returning; flush/compact rewrite flushed files).
+``buffered`` ops (single :meth:`write` calls) only become durable at the
+next sync/checkpoint, so the child does not ack them.
+"""
+
+import math
+
+SERIES = "s"
+THRESHOLD = 60
+PAGE = 25
+
+#: Query range covering every timestamp the workload ever writes.
+T_LO, T_HI = 0, 400
+
+
+def config():
+    from repro.storage import StorageConfig
+    return StorageConfig(avg_series_point_number_threshold=THRESHOLD,
+                         points_per_page=PAGE)
+
+
+def value(t):
+    """The (deterministic) value written at timestamp ``t``."""
+    return math.sin(t / 7.0) * 3.0
+
+
+def _points(lo, hi):
+    return [("point", t) for t in range(lo, hi)]
+
+
+#: ``(op name, durability, atomic events)``.  Batch sizes are chosen to
+#: straddle the flush threshold so kills land inside chunk seals, WAL
+#: rewrites and rotations, not just plain appends.
+OPS = [
+    ("create", "durable", [("create",)]),
+    ("batch-0", "durable", _points(0, 80)),       # flush 60, rewrite 20
+    ("batch-1", "durable", _points(80, 140)),     # flush 60, rewrite 20
+    ("delete-0", "durable", [("delete", 30, 45)]),
+    ("singles", "buffered", _points(200, 210)),   # unsynced appends
+    ("batch-2", "durable", _points(210, 270)),    # syncs the singles too
+    ("delete-1", "durable", [("delete", 100, 120)]),
+    ("flush-0", "durable", []),
+    ("compact", "durable", []),
+    ("batch-3", "durable", _points(300, 350)),
+    ("flush-1", "durable", []),
+]
+
+
+def events():
+    """The flattened atomic event sequence of the whole workload."""
+    out = []
+    for _name, _durability, evs in OPS:
+        out.extend(evs)
+    return out
+
+
+def checkpoint(op_name):
+    """Events guaranteed durable once ``op_name`` has been acked."""
+    count = 0
+    for name, durability, evs in OPS:
+        count += len(evs)
+        if name == op_name:
+            return count
+    raise KeyError(op_name)
+
+
+def simulate(event_prefix):
+    """The logical series after a prefix of the atomic events.
+
+    Returns ``(created, timestamps, values)`` with exact float values —
+    the storage format is lossless, so recovered data must match these
+    doubles bit-for-bit.
+    """
+    created = False
+    data = {}
+    for ev in event_prefix:
+        if ev[0] == "create":
+            created = True
+        elif ev[0] == "point":
+            data[ev[1]] = value(ev[1])
+        else:  # ("delete", lo, hi): closed range, removes earlier points
+            _kind, lo, hi = ev
+            for t in [t for t in data if lo <= t <= hi]:
+                del data[t]
+    timestamps = sorted(data)
+    return created, timestamps, [data[t] for t in timestamps]
+
+
+def run(engine, ack=None):
+    """Drive ``engine`` through the workload.
+
+    ``ack(op_name)`` is called after each *durable* op returns; the
+    child fsyncs these to a side file the injector never touches, so
+    the parent knows a hard lower bound on what must have survived.
+    """
+    import numpy as np
+
+    from repro.storage.compaction import compact_series
+
+    for name, durability, evs in OPS:
+        if name == "create":
+            engine.create_series(SERIES)
+        elif name == "singles":
+            for _kind, t in evs:
+                engine.write(SERIES, t, value(t))
+        elif name.startswith("batch"):
+            t = np.array([ev[1] for ev in evs], dtype=np.int64)
+            v = np.array([value(int(x)) for x in t], dtype=np.float64)
+            engine.write_batch(SERIES, t, v)
+        elif name.startswith("delete"):
+            _kind, lo, hi = evs[0]
+            engine.delete(SERIES, lo, hi)
+        elif name == "compact":
+            compact_series(engine, SERIES)
+        else:
+            engine.flush_all()
+        if ack is not None and durability == "durable":
+            ack(name)

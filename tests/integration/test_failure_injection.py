@@ -137,16 +137,33 @@ class TestRecoveryCorruption:
 
 
 class TestQueryRobustness:
-    def test_missing_chunk_file_raises_cleanly(self, tmp_path):
-        from repro.core import M4UDFOperator
-        from repro.errors import StorageError
-        engine, _config = build_store(tmp_path / "db")
+    def _lose_first_file(self, engine):
+        """Delete the file behind the store's chunks, under the engine."""
         path = engine.chunks_for("s")[0].file_path
         # Close pooled readers, then delete the file under the engine.
         for reader in list(engine._readers.values()):
             reader.close()
         engine._readers.clear()
         os.remove(path)
+
+    def test_missing_chunk_file_raises_cleanly(self, tmp_path):
+        """Strict mode: a vanished file fails the query loudly."""
+        from repro.core import M4UDFOperator
+        from repro.errors import StorageError
+        engine, _config = build_store(tmp_path / "db")
+        self._lose_first_file(engine)
         with pytest.raises(StorageError):
-            M4UDFOperator(engine).query("s", 0, 1000, 4)
+            M4UDFOperator(engine, degraded=False).query("s", 0, 1000, 4)
+        engine.close()
+
+    def test_missing_chunk_file_degrades(self, tmp_path):
+        """Degraded mode (the default): the query answers from what is
+        left, flags itself, and reports the skipped time ranges."""
+        from repro.core import M4UDFOperator
+        engine, _config = build_store(tmp_path / "db")
+        self._lose_first_file(engine)
+        result = M4UDFOperator(engine).query("s", 0, 1000, 4)
+        assert result.degraded
+        assert result.skipped  # every chunk lived in the deleted file
+        assert len(engine.quarantine) > 0
         engine.close()

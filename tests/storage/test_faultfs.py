@@ -1,0 +1,194 @@
+"""Unit tests for the fault-injection layer itself."""
+
+import errno
+
+import pytest
+
+from repro.storage import faultfs
+from repro.storage.faultfs import FaultInjector, FaultRule, retry_io
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    yield
+    faultfs.uninstall()
+
+
+def test_passthrough_without_injector(tmp_path):
+    path = tmp_path / "x.bin"
+    with faultfs.fopen(path, "wb") as f:
+        f.write(b"hello")
+        faultfs.fsync(f)
+    with faultfs.fopen(path, "rb") as f:
+        assert f.read() == b"hello"
+
+
+def test_text_mode_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        faultfs.fopen(tmp_path / "x", "w")
+
+
+class TestRules:
+    def test_eio_on_scripted_write(self, tmp_path):
+        faultfs.install(FaultInjector([
+            FaultRule("write", "eio", at=2)]))
+        path = tmp_path / "x.bin"
+        f = faultfs.fopen(path, "wb")
+        f.write(b"one")  # write #1: fine
+        with pytest.raises(OSError) as info:
+            f.write(b"two")  # write #2: injected
+        assert info.value.errno == errno.EIO
+        f.write(b"three")  # rule exhausted (times=1)
+        f.close()
+        assert path.read_bytes() == b"onethree"
+
+    def test_torn_write_keeps_prefix(self, tmp_path):
+        faultfs.install(FaultInjector([
+            FaultRule("write", "torn", at=1, keep=4)]))
+        path = tmp_path / "x.bin"
+        f = faultfs.fopen(path, "wb")
+        with pytest.raises(OSError):
+            f.write(b"abcdefgh")
+        f.close()
+        assert path.read_bytes() == b"abcd"
+
+    def test_bitflip_read_changes_one_bit(self, tmp_path):
+        path = tmp_path / "x.bin"
+        path.write_bytes(b"\x00" * 8)
+        faultfs.install(FaultInjector([
+            FaultRule("read", "bitflip", at=1, bit=9)]))
+        with faultfs.fopen(path, "rb") as f:
+            data = f.read()
+        assert data == b"\x00\x02" + b"\x00" * 6
+
+    def test_short_read(self, tmp_path):
+        path = tmp_path / "x.bin"
+        path.write_bytes(b"0123456789")
+        faultfs.install(FaultInjector([
+            FaultRule("read", "short_read", at=1, keep=3)]))
+        with faultfs.fopen(path, "rb") as f:
+            assert f.read() == b"012"
+            assert f.read(4) == b"3456"  # next read unaffected
+
+    def test_path_substr_filters(self, tmp_path):
+        faultfs.install(FaultInjector([
+            FaultRule("write", "eio", path_substr="wal-", times=None)]))
+        ok = faultfs.fopen(tmp_path / "data.bin", "wb")
+        ok.write(b"x")  # not matched
+        ok.close()
+        bad = faultfs.fopen(tmp_path / "wal-000001.log", "ab")
+        with pytest.raises(OSError):
+            bad.write(b"x")
+        bad.close()
+
+    def test_fsync_noop_skips_sync(self, tmp_path):
+        faultfs.install(FaultInjector([
+            FaultRule("fsync", "fsync_noop", times=None)]))
+        with faultfs.fopen(tmp_path / "x.bin", "wb") as f:
+            f.write(b"x")
+            faultfs.fsync(f)  # must not raise, must not crash
+
+    def test_probability_is_seeded(self, tmp_path):
+        def failures(seed):
+            faultfs.install(FaultInjector(
+                [FaultRule("write", "eio", probability=0.5, times=None)],
+                seed=seed))
+            f = faultfs.fopen(tmp_path / ("p%d.bin" % seed), "wb")
+            out = []
+            for i in range(20):
+                try:
+                    f.write(b"x")
+                    out.append(False)
+                except OSError:
+                    out.append(True)
+            f.close()
+            return out
+
+        assert failures(7) == failures(7)
+        assert any(failures(7))
+        assert not all(failures(7))
+
+    def test_inject_checkpoint_counts_and_faults(self):
+        injector = faultfs.install(FaultInjector([
+            FaultRule("replace", "eio", at=1)]))
+        with pytest.raises(OSError):
+            faultfs.inject("replace", "/x/obs.json")
+        faultfs.inject("replace", "/x/obs.json")  # exhausted
+        assert injector.total_ops == 2
+        assert injector.op_counts["replace"] == 2
+
+    def test_fire_log_records_op_index(self, tmp_path):
+        injector = faultfs.install(FaultInjector([
+            FaultRule("write", "eio", at=2)]))
+        f = faultfs.fopen(tmp_path / "x.bin", "wb")  # op 1: open
+        f.write(b"a")                                # op 2: write #1
+        with pytest.raises(OSError):
+            f.write(b"b")                            # op 3: write #2
+        f.close()
+        assert [entry[0] for entry in injector.fire_log] == [3]
+
+
+class TestRetryIo:
+    def test_eventual_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError(errno.EIO, "transient")
+            return "ok"
+
+        assert retry_io(flaky, attempts=4, sleep=lambda s: None) == "ok"
+        assert len(calls) == 3
+
+    def test_exhausted_reraises(self):
+        def always():
+            raise OSError(errno.EIO, "transient")
+
+        with pytest.raises(OSError):
+            retry_io(always, attempts=3, sleep=lambda s: None)
+
+    def test_non_transient_not_retried(self):
+        calls = []
+
+        def fatal():
+            calls.append(1)
+            raise OSError(errno.ENOENT, "gone")
+
+        with pytest.raises(OSError):
+            retry_io(fatal, attempts=5, sleep=lambda s: None)
+        assert len(calls) == 1
+
+    def test_non_oserror_not_retried(self):
+        from repro.errors import CorruptFileError
+        calls = []
+
+        def corrupt():
+            calls.append(1)
+            raise CorruptFileError("bad crc")
+
+        with pytest.raises(CorruptFileError):
+            retry_io(corrupt, attempts=5, sleep=lambda s: None)
+        assert len(calls) == 1
+
+    def test_backoff_is_capped_exponential(self):
+        sleeps = []
+
+        def always():
+            raise OSError(errno.EIO, "x")
+
+        with pytest.raises(OSError):
+            retry_io(always, attempts=5, base_delay=0.01, max_delay=0.03,
+                     sleep=sleeps.append)
+        assert sleeps == [0.01, 0.02, 0.03, 0.03]
+
+    def test_on_retry_hook(self):
+        seen = []
+
+        def always():
+            raise OSError(errno.EIO, "x")
+
+        with pytest.raises(OSError):
+            retry_io(always, attempts=3, sleep=lambda s: None,
+                     on_retry=lambda attempt, exc: seen.append(attempt))
+        assert seen == [1, 2]

@@ -32,10 +32,22 @@ class TestModsFile:
         with pytest.raises(CorruptFileError):
             list(ModsFile(path).read_all())
 
-    def test_truncated_record_raises(self, tmp_path):
+    def test_torn_tail_keeps_prior_records(self, tmp_path):
         path = tmp_path / "d.mods"
         mods = ModsFile(path)
         mods.append(1, Delete(1, 2, 1))
+        mods.append(2, Delete(3, 4, 2))
         path.write_bytes(path.read_bytes()[:-3])
+        assert list(ModsFile(path).read_all()) == [(1, Delete(1, 2, 1))]
+        # repair truncated the torn bytes: a re-read is clean
+        assert list(ModsFile(path).read_all()) == [(1, Delete(1, 2, 1))]
+
+    def test_bad_crc_raises(self, tmp_path):
+        path = tmp_path / "d.mods"
+        mods = ModsFile(path)
+        mods.append(1, Delete(1, 2, 1))
+        data = bytearray(path.read_bytes())
+        data[len(data) - 10] ^= 0x01  # inside the record payload
+        path.write_bytes(bytes(data))
         with pytest.raises(CorruptFileError):
             list(ModsFile(path).read_all())

@@ -36,13 +36,16 @@ class TestWriter:
         assert writer.close() == writer.close()
 
     def test_located_metadata_returned(self, tmp_path):
+        from repro.storage.tsfile import _CHUNK_HEADER
         path = tmp_path / "x.tsfile"
         t = np.arange(10, dtype=np.int64)
         block, meta = write_chunk(1, 1, t, t.astype(float))
         with TsFileWriter(path) as writer:
             located = writer.append_chunk(block, meta)
         assert located.file_path == str(path)
-        assert located.data_offset == len(MAGIC)
+        # v2: the data block sits after the inline CHNK header + metadata
+        assert located.data_offset == (len(MAGIC) + _CHUNK_HEADER.size
+                                       + len(located.to_bytes()))
         assert located.data_length == len(block)
 
 

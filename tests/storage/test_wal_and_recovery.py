@@ -97,11 +97,21 @@ class TestCatalog:
         assert list(catalog.read_all()) == [(1, "root.sg.a"),
                                             (2, "root.sg.b-日本語")]
 
-    def test_truncated_raises(self, tmp_path):
+    def test_torn_tail_keeps_prior_records(self, tmp_path):
+        path = tmp_path / "c.meta"
+        catalog = CatalogFile(path)
+        catalog.append(1, "root.sg.a")
+        catalog.append(2, "root.sg.b")
+        path.write_bytes(path.read_bytes()[:-2])
+        assert list(CatalogFile(path).read_all()) == [(1, "root.sg.a")]
+
+    def test_bad_crc_raises(self, tmp_path):
         path = tmp_path / "c.meta"
         catalog = CatalogFile(path)
         catalog.append(1, "series")
-        path.write_bytes(path.read_bytes()[:-2])
+        data = bytearray(path.read_bytes())
+        data[9] ^= 0x01  # series_id byte: framing intact, CRC must catch
+        path.write_bytes(bytes(data))
         with pytest.raises(CorruptFileError):
             list(CatalogFile(path).read_all())
 
