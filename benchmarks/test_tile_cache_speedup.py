@@ -1,0 +1,81 @@
+"""E15 — M4 tile cache: warmed pan/zoom sessions vs the uncached path.
+
+Replays one seeded dashboard session trace (overview, zooms, pans,
+zoom out) three times per dataset — uncached M4-LSM, tile cache cold,
+tile cache warm — and writes the per-pass p50s into
+``BENCH_tiles.json`` next to this file.
+
+Two hard assertions, both from the cache's contract:
+
+* **identity** — every viewport's cached answer is byte-identical to
+  the uncached operator's (the cache is a pure memoization of span
+  aggregates, never an approximation);
+* **speedup** — the fully warmed pass answers at >= 2x the uncached
+  p50: interior tiles are all hits, so only the two partial edge runs
+  per viewport still touch chunks.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import make_operator, prepare_engine, tile_cache_speedup
+from repro.core.tiles import snap_viewport
+from repro.server.workload import zoom_pan_session
+
+from conftest import print_tables
+
+RESULT_FILE = os.path.join(os.path.dirname(__file__), "BENCH_tiles.json")
+
+
+@pytest.mark.parametrize("dataset", ["BallSpeed", "MF03", "KOB", "RcvTime"])
+def test_tiled_results_identical(dataset):
+    """Byte-identical M4 output across a session trace (quick scale)."""
+    import random
+    with prepare_engine(dataset, n_points=20_000, overlap_pct=20,
+                        delete_pct=10,
+                        tile_cache_bytes=16 * 1024 * 1024) as prepared:
+        plain = make_operator(prepared, "m4lsm")
+        tiled = make_operator(prepared, "m4lsm-tiles")
+        rng = random.Random(3)
+        for start, end in zoom_pan_session(prepared.t_qs, prepared.t_qe,
+                                           rng):
+            start, end = snap_viewport(start, end, 256)
+            expected = plain.query(prepared.series, start, end, 256)
+            # Twice: once computing tiles, once serving them.
+            assert tiled.query(prepared.series, start, end, 256) == expected
+            assert tiled.query(prepared.series, start, end, 256) == expected
+
+
+def test_tile_cache_speedup_sweep(benchmark):
+    tables = benchmark.pedantic(tile_cache_speedup, rounds=1, iterations=1)
+    print_tables(tables)
+    rows = []
+    for table in tables:
+        assert all(table.column("identical")), table.title
+        for (label, viewports, p50_s, total_s, speedup, hits, misses,
+             identical) in zip(
+                table.column("pass"), table.column("viewports"),
+                table.column("p50 (s)"), table.column("total (s)"),
+                table.column("p50 speedup"), table.column("tile hits"),
+                table.column("tile misses"), table.column("identical")):
+            rows.append({
+                "experiment": table.title,
+                "pass": label,
+                "viewports": int(viewports),
+                "p50_seconds": float(p50_s),
+                "total_seconds": float(total_s),
+                "p50_speedup": float(speedup),
+                "tile_hits": int(hits),
+                "tile_misses": int(misses),
+                "identical": bool(identical),
+            })
+        # The acceptance number: a fully warmed cache answers the
+        # session at >= 2x the uncached p50.
+        warm = [r for r in rows if r["experiment"] == table.title
+                and r["pass"] == "tiled warm"]
+        assert warm and warm[0]["p50_speedup"] >= 2.0, table.title
+    with open(RESULT_FILE, "w", encoding="utf-8") as f:
+        json.dump({"rows": rows}, f, indent=2, sort_keys=True)
+    print("wrote %d rows to %s" % (len(rows), RESULT_FILE))

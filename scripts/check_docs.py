@@ -1,0 +1,109 @@
+"""Documentation health checks, run in CI and by tests/test_docs.py.
+
+Two checks, both cheap and dependency-free:
+
+1. **Markdown link check** — every relative link in the repo's
+   markdown files must point at a file (or directory) that exists.
+   External links (http/https/mailto) are *not* fetched; docs must
+   stay checkable offline.
+2. **pydoc smoke** — the public modules must import and render a help
+   page, so a broken docstring (or a module broken at import time)
+   fails the docs job, not a user's first `help(...)` call.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_docs.py
+
+Exit code 0 when everything passes, 1 with one line per problem
+otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+MARKDOWN_FILES = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/ARCHITECTURE.md",
+)
+
+# Modules whose help() page must render: the public API surface.
+PYDOC_MODULES = (
+    "repro",
+    "repro.cli",
+    "repro.core.result",
+    "repro.core.tiles",
+    "repro.core.tiles_io",
+    "repro.core.m4lsm.operator",
+    "repro.storage.engine",
+    "repro.storage.config",
+    "repro.query.session",
+    "repro.server.client",
+    "repro.server.service",
+)
+
+# [text](target) — excluding images' leading ! doesn't matter for
+# existence checking, so the pattern keeps it simple.
+_LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+
+
+def check_links(root=ROOT, files=MARKDOWN_FILES):
+    """Return a list of "file: broken link" problem strings."""
+    problems = []
+    for rel in files:
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            problems.append("%s: file listed in MARKDOWN_FILES is missing"
+                            % rel)
+            continue
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]   # strip the anchor
+            if not target:                     # pure in-page anchor
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                problems.append("%s: broken link -> %s" % (rel, target))
+    return problems
+
+
+def check_pydoc(modules=PYDOC_MODULES):
+    """Return a list of "module: error" strings for unrenderable docs."""
+    import pydoc
+
+    problems = []
+    for name in modules:
+        try:
+            text = pydoc.render_doc(name, renderer=pydoc.plaintext)
+        except Exception as exc:                  # import or doc failure
+            problems.append("%s: pydoc failed: %s" % (name, exc))
+            continue
+        if not text.strip():
+            problems.append("%s: pydoc rendered an empty page" % name)
+    return problems
+
+
+def main():
+    problems = check_links() + check_pydoc()
+    for problem in problems:
+        print("docs check: %s" % problem, file=sys.stderr)
+    if not problems:
+        print("docs check: %d markdown files, %d modules OK"
+              % (len(MARKDOWN_FILES), len(PYDOC_MODULES)))
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

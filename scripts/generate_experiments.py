@@ -10,6 +10,8 @@ Scale via REPRO_BENCH_POINTS (default 400,000 points per dataset).
 
 from __future__ import annotations
 
+import json
+import os
 import platform
 import sys
 import time
@@ -86,6 +88,95 @@ _SECTIONS = (
 )
 
 
+# E12-E15 measure whole subsystems (thread pools, a live HTTP server,
+# reader pools, a warmed cache) and are too slow / too stateful to
+# re-run inline here; their benches write JSON artifacts into
+# benchmarks/, and this script renders the checked-in artifacts.
+# (name, reading, artifact file, regeneration command, column order)
+_ARTIFACTS = (
+    ("E12 — parallel chunk pipeline (beyond paper)",
+     "Output is byte-identical to serial at every worker count (the "
+     "`identical` column is the contract); wall-clock speedups are "
+     "modest at bench scale because only the GIL-free load+decode "
+     "phase parallelizes — the win grows with chunk count.",
+     "BENCH_parallelism.json",
+     "PYTHONPATH=src python -m pytest -q -s benchmarks/test_parallel_pipeline.py",
+     ("operator", "parallelism", "serial_seconds", "parallel_seconds",
+      "speedup", "identical")),
+    ("E13 — server throughput under load (beyond paper)",
+     "Closed-loop throughput roughly doubles from 1 to 64 users while "
+     "the admission queue sheds the excess (shed rate up to ~0.64) and "
+     "accepted requests stay deadline-bounded; the open-loop overload "
+     "cell sheds ~70% instead of queueing unboundedly.",
+     "BENCH_server.json",
+     "PYTHONPATH=src python -m pytest -q -s benchmarks/test_server_throughput.py",
+     ("mode", "users", "rate", "total", "ok", "shed", "shed_rate",
+      "timeouts", "throughput", "p50_seconds", "p95_seconds",
+      "p99_seconds")),
+    ("E14 — durability tax: read-side CRC verification (beyond paper)",
+     "Cold full-read pays the hashing once (~12% worst case); pooled "
+     "readers verify each payload once per lifetime, so the M4-LSM "
+     "path — the one the paper's workload exercises — is ~2% cold and "
+     "indistinguishable from noise warm.",
+     "BENCH_durability.json",
+     "PYTHONPATH=src python -m pytest -q -s benchmarks/test_durability_overhead.py",
+     ("path", "regime", "verify_off_seconds", "verify_on_seconds",
+      "overhead", "target")),
+    ("E15 — M4 tile cache on pan/zoom sessions (beyond paper)",
+     "A warmed 10-viewport session answers with p50 ~8.9x (BallSpeed) "
+     "/ ~7.6x (KOB) faster than uncached M4-LSM, byte-identical on "
+     "every viewport; even the cold filling pass wins ~2x because "
+     "later viewports reuse tiles computed for earlier ones.",
+     "BENCH_tiles.json",
+     "PYTHONPATH=src python -m pytest -q -s benchmarks/test_tile_cache_speedup.py",
+     ("pass", "viewports", "p50_seconds", "total_seconds",
+      "p50_speedup", "tile_hits", "tile_misses", "identical")),
+)
+
+
+def _cell(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "%.4g" % value
+    return str(value)
+
+
+def _artifact_sections(bench_dir="benchmarks"):
+    """Markdown sections for E12-E15, rendered from BENCH_*.json."""
+    lines = []
+    for title, reading, artifact, command, columns in _ARTIFACTS:
+        path = os.path.join(bench_dir, artifact)
+        lines.append("## %s" % title)
+        lines.append("")
+        lines.append("Regenerated by `%s` → `benchmarks/%s` (rendered "
+                     "from the checked-in artifact, not re-run here)."
+                     % (command, artifact))
+        lines.append("")
+        if not os.path.exists(path):
+            lines.append("_Artifact `%s` not found — run the bench "
+                         "above to produce it._" % artifact)
+            lines.append("")
+            continue
+        lines.append("**Reading:** %s" % reading)
+        lines.append("")
+        with open(path, "r", encoding="utf-8") as f:
+            rows = json.load(f)["rows"]
+        groups = {}
+        for row in rows:
+            groups.setdefault(row.get("experiment", title), []).append(row)
+        for experiment, group in groups.items():
+            lines.append("### %s" % experiment)
+            lines.append("")
+            lines.append("| " + " | ".join(columns) + " |")
+            lines.append("|" + "---|" * len(columns))
+            for row in group:
+                lines.append("| " + " | ".join(_cell(row.get(c))
+                                               for c in columns) + " |")
+            lines.append("")
+    return lines
+
+
 def main(out_path="EXPERIMENTS.md"):
     lines = [
         "# EXPERIMENTS — paper vs measured",
@@ -120,6 +211,7 @@ def main(out_path="EXPERIMENTS.md"):
             lines.append("")
         lines.append("_(measured in %.1f s)_" % elapsed)
         lines.append("")
+    lines.extend(_artifact_sections())
     with open(out_path, "w", encoding="utf-8") as f:
         f.write("\n".join(lines))
     print("wrote %s" % out_path)

@@ -268,6 +268,88 @@ def parallel_speedup(n_points=None, w=DEFAULT_W,
     return tables
 
 
+def tile_cache_speedup(n_points=None, w=512, overlap_pct=DEFAULT_OVERLAP,
+                       delete_pct=DEFAULT_DELETE_PCT,
+                       cache_bytes=64 * 1024 * 1024, seed=7,
+                       datasets=("BallSpeed", "KOB")):
+    """E15 — M4 tile cache on a warmed pan/zoom session trace.
+
+    Replays one seeded dashboard session (overview, zooms, pans, zoom
+    out — :func:`repro.server.workload.zoom_pan_session`), with every
+    viewport snapped to the power-of-two span grid the cache indexes
+    by, three times over the same engine:
+
+    * ``uncached`` — the plain M4-LSM operator (the baseline every
+      other experiment measures);
+    * ``tiled cold`` — the tile-cache operator against an empty cache
+      (pays tile computation, but later viewports already reuse tiles
+      the earlier ones planted);
+    * ``tiled warm`` — the same trace again, fully warmed: interior
+      tiles are all hits and only the two partial edge runs per
+      viewport are computed.
+
+    Every viewport's three results must be byte-identical (the cache's
+    correctness contract); the warmed pass's p50 is the acceptance
+    number (>= 2x over uncached).
+    """
+    import random
+
+    from ..server.workload import zoom_pan_session
+    from ..core.tiles import snap_viewport
+
+    def p50(latencies):
+        return sorted(latencies)[len(latencies) // 2]
+
+    tables = []
+    for dataset in datasets:
+        table = BenchTable(
+            "Tile cache (%s): pan/zoom session, w=%d, %d MiB budget"
+            % (dataset, w, cache_bytes // (1024 * 1024)),
+            ["pass", "viewports", "p50 (s)", "total (s)", "p50 speedup",
+             "tile hits", "tile misses", "identical"])
+        with prepare_engine(dataset, n_points=n_points,
+                            overlap_pct=overlap_pct,
+                            delete_pct=delete_pct,
+                            tile_cache_bytes=cache_bytes) as prepared:
+            plain = make_operator(prepared, "m4lsm")
+            tiled = make_operator(prepared, "m4lsm-tiles")
+            rng = random.Random(seed)
+            viewports = [
+                snap_viewport(start, end, w) for start, end in
+                zoom_pan_session(prepared.t_qs, prepared.t_qe, rng)]
+            metrics = prepared.engine.metrics
+
+            def replay(operator):
+                hits0 = metrics.counter("tile_cache_hits_total").value
+                miss0 = metrics.counter("tile_cache_misses_total").value
+                latencies, results = [], []
+                for start, end in viewports:
+                    started = time.perf_counter()
+                    results.append(
+                        operator.query(prepared.series, start, end, w))
+                    latencies.append(time.perf_counter() - started)
+                hits = metrics.counter("tile_cache_hits_total").value
+                misses = metrics.counter("tile_cache_misses_total").value
+                return latencies, results, hits - hits0, misses - miss0
+
+            base_lat, base_res, _, _ = replay(plain)
+            cold_lat, cold_res, cold_hits, cold_miss = replay(tiled)
+            warm_lat, warm_res, warm_hits, warm_miss = replay(tiled)
+            base_p50 = p50(base_lat)
+            for label, lat, res, hits, misses in (
+                    ("uncached", base_lat, base_res, 0, 0),
+                    ("tiled cold", cold_lat, cold_res, cold_hits,
+                     cold_miss),
+                    ("tiled warm", warm_lat, warm_res, warm_hits,
+                     warm_miss)):
+                table.add_row(
+                    label, len(viewports), p50(lat), sum(lat),
+                    base_p50 / max(p50(lat), 1e-9), hits, misses,
+                    all(a == b for a, b in zip(base_res, res)))
+        tables.append(table)
+    return tables
+
+
 def ablation_index(n_points=None, w=DEFAULT_W, overlap_pct=30, repeats=1,
                    datasets=("MF03", "KOB")):
     """E10 — step regression index vs binary-search fallback."""

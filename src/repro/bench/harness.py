@@ -66,7 +66,8 @@ class PreparedEngine:
 def prepare_engine(dataset="MF03", n_points=None, chunk_points=1000,
                    overlap_pct=0, delete_pct=0, n_deletes=None,
                    delete_range=None, data_dir=None, seed=0,
-                   points_per_page=None, parallelism=1):
+                   points_per_page=None, parallelism=1,
+                   tile_cache_bytes=0, tile_cache_spans=64):
     """Build an engine loaded with one dataset under one workload.
 
     Args:
@@ -78,6 +79,8 @@ def prepare_engine(dataset="MF03", n_points=None, chunk_points=1000,
             (Figs. 13/14).
         data_dir: reuse a directory; a temp dir is created otherwise.
         parallelism: chunk pipeline workers (1 = serial).
+        tile_cache_bytes / tile_cache_spans: M4 tile cache knobs (E15;
+            0 bytes = off, matching every other experiment).
     """
     t, v = PROFILES[dataset].generate(bench_points(n_points), seed=seed)
     owns = data_dir is None
@@ -86,7 +89,9 @@ def prepare_engine(dataset="MF03", n_points=None, chunk_points=1000,
     config = StorageConfig(
         avg_series_point_number_threshold=chunk_points,
         points_per_page=points_per_page or chunk_points,
-        parallelism=parallelism)
+        parallelism=parallelism,
+        tile_cache_bytes=tile_cache_bytes,
+        tile_cache_spans=tile_cache_spans)
     engine = StorageEngine(data_dir, config)
     series = dataset.lower()
     load_with_overlap(engine, series, t, v, overlap_pct, seed=seed)
@@ -100,11 +105,15 @@ def prepare_engine(dataset="MF03", n_points=None, chunk_points=1000,
 
 
 def make_operator(prepared, kind, **kwargs):
-    """An operator instance by kind: ``"m4lsm"`` or ``"m4udf"``."""
+    """An operator instance by kind: ``"m4lsm"``, ``"m4udf"`` or
+    ``"m4lsm-tiles"`` (tile-cache-backed M4-LSM)."""
     if kind == "m4udf":
         return M4UDFOperator(prepared.engine, **kwargs)
     if kind == "m4lsm":
         return M4LSMOperator(prepared.engine, **kwargs)
+    if kind == "m4lsm-tiles":
+        from ..core.tiles import TiledM4Operator
+        return TiledM4Operator(prepared.engine, **kwargs)
     raise ValueError("unknown operator kind %r" % kind)
 
 

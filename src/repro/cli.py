@@ -45,6 +45,15 @@ def _add_parallelism(subparser):
              "results are identical at any setting)")
 
 
+def _add_tile_cache(subparser):
+    subparser.add_argument(
+        "--tile-cache", type=int, nargs="?", const=16 * 1024 * 1024,
+        default=0, metavar="BYTES",
+        help="enable the M4 viewport tile cache with this LRU byte "
+             "budget (bare flag = 16 MiB; pan/zoom queries reuse "
+             "cached tiles, results are byte-identical either way)")
+
+
 def build_parser():
     """The argparse tree for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -81,6 +90,7 @@ def build_parser():
                        help="after the result table, print the span tree "
                             "and (for M4-LSM) the per-span query trace")
     _add_parallelism(query)
+    _add_tile_cache(query)
 
     render = commands.add_parser(
         "render", help="M4-reduce a series and draw a line chart")
@@ -90,6 +100,7 @@ def build_parser():
     render.add_argument("--height", type=int, default=24)
     render.add_argument("--out", help="write a PBM image instead of ASCII")
     _add_parallelism(render)
+    _add_tile_cache(render)
 
     compact = commands.add_parser(
         "compact", help="fold overlaps and deletes into fresh chunks")
@@ -142,6 +153,7 @@ def build_parser():
                             "fails the request with 500 instead of a "
                             "flagged partial answer")
     _add_parallelism(serve)
+    _add_tile_cache(serve)
 
     loadgen = commands.add_parser(
         "loadgen", help="drive a server with pan/zoom dashboard sessions")
@@ -162,15 +174,21 @@ def build_parser():
     loadgen.add_argument("--seed", type=int, default=0)
     loadgen.add_argument("--timeout-ms", type=int,
                          help="per-request deadline sent to the server")
+    loadgen.add_argument("--align", action="store_true",
+                         help="snap session viewports to the power-of-two "
+                              "span grid so a --tile-cache server can "
+                              "reuse tiles across pans and zooms")
     loadgen.add_argument("--json", action="store_true",
                          help="print the report as JSON instead of text")
     return parser
 
 
 def _engine_config(args, **overrides):
-    """A :class:`StorageConfig` from the common CLI knobs."""
+    """A :class:`StorageConfig` from the common CLI knobs
+    (``--parallelism``, ``--tile-cache``)."""
     from .storage.config import StorageConfig
     return StorageConfig(parallelism=getattr(args, "parallelism", 1),
+                         tile_cache_bytes=getattr(args, "tile_cache", 0),
                          **overrides)
 
 
@@ -208,6 +226,12 @@ def main(argv=None):
 
 
 def _cmd_generate(args):
+    """``repro generate``: write a synthetic dataset profile to CSV.
+
+    Args (from argparse): ``dataset`` (Table 2 profile name),
+    ``points``, ``seed``, ``out`` (CSV path).  Returns 0; an
+    unwritable path surfaces as ``OSError`` (caught in :func:`main`).
+    """
     t, v = PROFILES[args.dataset].generate(args.points, seed=args.seed)
     save_csv(args.out, t, v)
     print("wrote %d points of %s to %s" % (t.size, args.dataset, args.out))
@@ -215,6 +239,13 @@ def _cmd_generate(args):
 
 
 def _cmd_load(args):
+    """``repro load``: ingest a CSV into a store, flushed to TsFiles.
+
+    Args (from argparse): ``db``, ``series``, ``csv``,
+    ``chunk-points`` plus the shared engine flags.  Creates the store
+    directory if needed; returns 0.  A malformed CSV raises
+    :class:`~repro.errors.ReproError` (caught in :func:`main`).
+    """
     t, v = load_csv(args.csv)
     config = _engine_config(
         args, avg_series_point_number_threshold=args.chunk_points)
@@ -229,6 +260,10 @@ def _cmd_load(args):
 
 
 def _cmd_info(args):
+    """``repro info``: one summary row per series (points, chunks,
+    deletes, time range).  Returns 0; a missing store exits 1 via
+    :func:`_require_store`.
+    """
     with StorageEngine(_require_store(args.db)) as engine:
         if engine.recovery_summary:
             print("recovered: %s" % engine.recovery_summary)
@@ -252,6 +287,12 @@ def _cmd_info(args):
 
 
 def _cmd_query(args):
+    """``repro query``: run one SQL statement, print a pretty table.
+
+    With ``--explain`` also prints the span tree and the operator
+    trace.  Returns 0; bad SQL, unknown series and malformed ranges
+    raise :class:`~repro.errors.ReproError` (caught in :func:`main`).
+    """
     with StorageEngine(_require_store(args.db),
                        _engine_config(args)) as engine:
         engine.flush_all()
@@ -276,6 +317,13 @@ def _cmd_query(args):
 
 
 def _cmd_render(args):
+    """``repro render``: reduce + rasterize a series (ASCII or PBM).
+
+    Shares :func:`~repro.server.service.render_chart` with
+    ``GET /render``, so CLI and server pixels are byte-identical —
+    with ``--tile-cache`` the chart is stitched from cached M4 tiles.
+    Returns 0; an empty series raises :class:`~repro.errors.ReproError`.
+    """
     from .server.service import render_chart
     from .viz.chart import save_pbm, to_ascii
     with StorageEngine(_require_store(args.db),
@@ -294,6 +342,11 @@ def _cmd_render(args):
 
 
 def _cmd_stats(args):
+    """``repro stats``: print the observability snapshot (text, JSON
+    or Prometheus exposition).  ``--probe SERIES`` first runs one
+    M4-LSM query so a cold store still shows non-zero counters.
+    Returns 0, or 1 when the probe series is empty.
+    """
     from .core.m4lsm import M4LSMOperator
     from .obs import render_text, to_json, to_prometheus
     with StorageEngine(_require_store(args.db),
@@ -320,6 +373,12 @@ def _cmd_stats(args):
 
 
 def _cmd_fsck(args):
+    """``repro fsck``: offline integrity check of a whole store.
+
+    Returns 0 for a clean store (warnings allowed), 1 when any
+    data-affecting error was found — the exit code is the contract
+    scripts rely on.  ``--json`` emits the machine-readable report.
+    """
     import json as json_module
 
     from .storage.fsck import fsck_store
@@ -335,6 +394,10 @@ def _cmd_fsck(args):
 
 
 def _cmd_compact(args):
+    """``repro compact``: merge-sort every series into one chunk
+    sequence, dropping deleted/overwritten points (and invalidating
+    any cached tiles).  Prints surviving point counts; returns 0.
+    """
     with StorageEngine(_require_store(args.db),
                        _engine_config(args)) as engine:
         engine.flush_all()
@@ -345,6 +408,12 @@ def _cmd_compact(args):
 
 
 def _cmd_serve(args):
+    """``repro serve``: boot the HTTP query service over a store.
+
+    Blocks until SIGTERM/Ctrl-C, then drains in-flight requests and
+    closes the engine (persisting obs — and tiles, when configured).
+    Returns 0.
+    """
     import signal
     import threading
 
@@ -384,6 +453,13 @@ def _cmd_serve(args):
 
 
 def _cmd_loadgen(args):
+    """``repro loadgen``: drive a server with pan/zoom session load.
+
+    Closed-loop (``--users``) or open-loop (``--mode open --rate``);
+    ``--align`` snaps viewports to the tile grid so a ``--tile-cache``
+    server gets reusable tiles.  Returns 0 when any request succeeded,
+    1 otherwise (or on transport errors / missing ``--rate``).
+    """
     import json as json_module
 
     from .server.workload import SessionWorkload
@@ -393,7 +469,8 @@ def _cmd_loadgen(args):
         return 1
     workload = SessionWorkload(args.url, series=args.series,
                                width=args.width, seed=args.seed,
-                               timeout_ms=args.timeout_ms)
+                               timeout_ms=args.timeout_ms,
+                               align=args.align)
     try:
         report = workload.run(mode=args.mode, users=args.users,
                               rate=args.rate, duration=args.duration)

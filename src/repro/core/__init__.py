@@ -11,6 +11,13 @@ from .m4lsm import M4LSMOperator
 from .result import M4Result, SpanAggregate
 from .series import Point, TimeSeries, concat_series
 from .spans import all_span_bounds, iter_spans, span_bounds, span_index
+from .tiles import (
+    TileCache,
+    TiledM4Operator,
+    TileEntry,
+    snap_viewport,
+    tile_eligible,
+)
 
 __all__ = [
     "AGGREGATE_NAMES",
@@ -20,6 +27,9 @@ __all__ = [
     "M4UDFOperator",
     "Point",
     "SpanAggregate",
+    "TileCache",
+    "TileEntry",
+    "TiledM4Operator",
     "TimeSeries",
     "aggregate_lsm",
     "aggregate_udf",
@@ -28,6 +38,8 @@ __all__ = [
     "iter_spans",
     "m4_aggregate_arrays",
     "m4_aggregate_series",
+    "snap_viewport",
     "span_bounds",
     "span_index",
+    "tile_eligible",
 ]

@@ -83,10 +83,19 @@ def merge_time_ranges(ranges, t_qs=None, t_qe=None):
 class M4Result:
     """Aggregates for all ``w`` spans of one M4 query.
 
-    ``skipped`` carries the time ranges of quarantined (damaged) chunks
-    a degraded read left out — empty for a healthy query.  It is
-    excluded from equality so a degraded M4-UDF and M4-LSM answer over
-    the same surviving data still compare equal span-by-span.
+    Attributes:
+        t_qs: query start time (inclusive).
+        t_qe: query end time (exclusive).
+        w: number of time spans the range was divided into.
+        spans: exactly ``w`` :class:`SpanAggregate` objects, span order.
+        skipped: canonical half-open time ranges of quarantined
+            (damaged) chunks a degraded read left out — empty for a
+            healthy query (see :func:`merge_time_ranges`).  Excluded
+            from equality so a degraded M4-UDF and M4-LSM answer over
+            the same surviving data still compare equal span-by-span.
+
+    Raises:
+        ValueError: when constructed with ``len(spans) != w``.
     """
 
     t_qs: int

@@ -144,6 +144,12 @@ class Executor:
     def _operator(self, name):
         if name == "m4udf":
             return M4UDFOperator(self._engine, degraded=self._degraded)
+        if getattr(self._engine, "tile_cache", None) is not None:
+            # Byte-identical to the plain operator; eligible viewports
+            # stitch from cached tiles (strict/degraded overrides that
+            # differ from the engine default bypass internally).
+            from ..core.tiles import TiledM4Operator
+            return TiledM4Operator(self._engine, degraded=self._degraded)
         return M4LSMOperator(self._engine, degraded=self._degraded)
 
     def _resolve_range(self, parsed):

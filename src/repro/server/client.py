@@ -46,6 +46,17 @@ class ClientResponse:
 class ReproClient:
     """Typed access to a running :class:`~repro.server.http.ReproServer`.
 
+    Args:
+        base_url: the server root, e.g. ``"http://127.0.0.1:8731"``
+            (a trailing slash is stripped).
+        timeout: socket timeout in seconds for every request.
+
+    The typed helpers (:meth:`query`, :meth:`render`, :meth:`series`,
+    :meth:`stats`, :meth:`healthz`) raise
+    :class:`~repro.errors.ServerOverloadedError` on 503 and
+    :class:`~repro.errors.ServerError` on any other non-2xx status;
+    transport failures raise ``urllib.error.URLError`` / ``OSError``.
+
     >>> # client = ReproClient("http://127.0.0.1:8731")
     >>> # client.query("SELECT M4(s) FROM x GROUP BY SPANS(100)")
     """
@@ -111,14 +122,44 @@ class ReproClient:
     # -- typed layer -------------------------------------------------------------------
 
     def query(self, sql, timeout_ms=None):
-        """Run SQL; returns ``{"columns": [...], "rows": [...]}``."""
+        """Run one SQL query.
+
+        Args:
+            sql: the M4/aggregate dialect of Appendix A.1, e.g.
+                ``SELECT M4(v) FROM s GROUP BY SPANS(100)``.
+            timeout_ms: optional server-side deadline; exceeding it
+                answers 504 (raised as :class:`ServerError`).
+
+        Returns:
+            The decoded response body: ``{"request_id", "columns",
+            "rows", "degraded", ...}``.
+
+        Raises:
+            ServerOverloadedError: the admission queue was full (503).
+            ServerError: any other non-2xx answer (bad SQL, unknown
+                series, deadline exceeded, strict-mode corruption).
+        """
         return self._checked(self.query_response(sql,
                                                  timeout_ms=timeout_ms)) \
             .json()
 
     def render(self, series, width=256, height=64, fmt="json",
                timeout_ms=None):
-        """Render a series; a dict for ``json``, bytes for ``pbm``."""
+        """Render a series to pixel columns server-side.
+
+        Args:
+            series: series name; its whole time range is rendered.
+            width / height: chart dimensions in pixels.
+            fmt: ``"json"`` (per-column point dict) or ``"pbm"``
+                (portable bitmap bytes).
+            timeout_ms: optional server-side deadline.
+
+        Returns:
+            A dict for ``json``, raw bytes for ``pbm``.
+
+        Raises:
+            ServerOverloadedError / ServerError: as for :meth:`query`.
+        """
         response = self._checked(self.render_response(
             series, width=width, height=height, fmt=fmt,
             timeout_ms=timeout_ms))

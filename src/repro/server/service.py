@@ -95,7 +95,11 @@ def render_chart(engine, series, width, height, t_qs=None, t_qe=None,
         t_qs = min(c.start_time for c in chunks)
     if t_qe is None:
         t_qe = max(c.end_time for c in chunks) + 1
-    operator = M4LSMOperator(engine, degraded=degraded)
+    if getattr(engine, "tile_cache", None) is not None:
+        from ..core.tiles import TiledM4Operator
+        operator = TiledM4Operator(engine, degraded=degraded)
+    else:
+        operator = M4LSMOperator(engine, degraded=degraded)
     result = operator.query(series, int(t_qs), int(t_qe), int(width))
     reduced = result.to_series()
     if len(reduced):

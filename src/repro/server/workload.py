@@ -144,10 +144,14 @@ class SessionWorkload:
         timeout_ms: per-request deadline passed to the server.
         render_every: every n-th viewport issues ``GET /render``
             instead of SQL, mixing both heavy endpoints (0 = never).
+        align: snap every viewport to the power-of-two span grid
+            (:func:`repro.core.tiles.snap_viewport`) so a tile-cached
+            server reuses tiles across the session's pans and zooms.
     """
 
     def __init__(self, base_url, series=None, width=256, seed=0,
-                 timeout_ms=None, client_timeout=30.0, render_every=8):
+                 timeout_ms=None, client_timeout=30.0, render_every=8,
+                 align=False):
         self._base_url = base_url
         self._series = list(series) if series else None
         self._width = int(width)
@@ -155,6 +159,7 @@ class SessionWorkload:
         self._timeout_ms = timeout_ms
         self._client_timeout = float(client_timeout)
         self._render_every = int(render_every)
+        self._align = bool(align)
         self._lock = threading.Lock()
 
     def _client(self):
@@ -182,6 +187,9 @@ class SessionWorkload:
         ops = []
         for i, (start, end) in enumerate(
                 zoom_pan_session(t_qs, t_qe, rng)):
+            if self._align:
+                from ..core.tiles import snap_viewport
+                start, end = snap_viewport(start, end, self._width)
             if self._render_every and i and i % self._render_every == 0:
                 ops.append(("render", name, start, end))
             else:

@@ -45,6 +45,10 @@ def compact_series(engine, name):
                                        v[start:start + threshold])
                 engine._seal_active_file()
             span.attrs["survivors"] = int(t.size)
+            # Rewritten chunks answer M4 with the same values but may
+            # pick different BP/TP tie-break points, so cached tiles of
+            # the pre-compaction layout must go.
+            engine._invalidate_series_tiles(name)
             engine.metrics.counter("engine_compactions_total").inc()
             engine.metrics.counter("engine_compacted_points_total") \
                 .inc(int(t.size))

@@ -41,6 +41,9 @@ class StorageConfig:
     io_retry_attempts: int = 4        # transient-EIO retries per read
     io_retry_base_delay: float = 0.005  # first backoff sleep (doubles, capped)
     io_retry_max_delay: float = 0.1
+    tile_cache_bytes: int = 0         # M4 tile LRU budget (0 = off)
+    tile_cache_spans: int = 64        # spans (grid cells) per tile
+    tile_cache_persist: bool = False  # snapshot tiles.cache on close
 
     def __post_init__(self):
         if self.avg_series_point_number_threshold <= 0:
@@ -60,6 +63,10 @@ class StorageConfig:
             raise ValueError("slow_query_log_size must be positive")
         if self.io_retry_attempts < 1:
             raise ValueError("io_retry_attempts must be >= 1")
+        if self.tile_cache_bytes < 0:
+            raise ValueError("tile_cache_bytes must be >= 0")
+        if self.tile_cache_spans < 1:
+            raise ValueError("tile_cache_spans must be >= 1")
 
 
 DEFAULT_CONFIG = StorageConfig()

@@ -120,10 +120,19 @@ class StorageEngine:
             if config.chunk_cache_points > 0 else None
         self._quarantine = QuarantineRegistry(self._data_dir,
                                               self._metrics)
+        self._tile_cache = None
+        if config.tile_cache_bytes > 0:
+            from ..core.tiles import TileCache
+            self._tile_cache = TileCache(config.tile_cache_bytes,
+                                         config.tile_cache_spans,
+                                         metrics=self._metrics)
+            self._quarantine.subscribe(self._on_quarantine_change)
         self.recovery_summary = None
         if self._has_persisted_state():
             from .recovery import recover_engine_state
             self.recovery_summary = recover_engine_state(self)
+        if self._tile_cache is not None and config.tile_cache_persist:
+            self._load_tiles()
 
     def _has_persisted_state(self):
         """Does the directory hold any prior session's data?
@@ -307,7 +316,16 @@ class StorageEngine:
     # -- writes ------------------------------------------------------------------------
 
     def write(self, name, t, v):
-        """Insert one point (auto-flushing at the threshold)."""
+        """Insert one point (auto-flushing at the threshold).
+
+        Args:
+            name: a series registered with :meth:`create_series`.
+            t: integer timestamp (any order; overlap resolves on read).
+            v: float value.
+
+        Raises:
+            SeriesNotFoundError: ``name`` was never registered.
+        """
         state = self._state(name)
         with state.lock.write():
             if self._wal is not None:
@@ -316,10 +334,24 @@ class StorageEngine:
             state.memtable.append(int(t), float(v))
             state.points_written += 1
             self._metrics.counter("engine_points_written_total").inc()
+            self._invalidate_tiles(name, int(t), int(t) + 1)
             self._maybe_flush(state)
 
     def write_batch(self, name, timestamps, values):
-        """Insert a batch of points in any time order."""
+        """Insert a batch of points in any time order.
+
+        Args:
+            name: a series registered with :meth:`create_series`.
+            timestamps: int64 array/sequence (need not be sorted).
+            values: float64 array/sequence, same length.
+
+        Raises:
+            SeriesNotFoundError: ``name`` was never registered.
+
+        Overlapping tiles of the M4 tile cache are invalidated here,
+        under the series write lock, so cached viewports and fresh
+        writes stay linearizable per series.
+        """
         state = self._state(name)
         with self._tracer.span("write.batch", series=name):
             with state.lock.write():
@@ -335,6 +367,9 @@ class StorageEngine:
                 self._metrics.counter("engine_points_written_total") \
                     .inc(appended)
                 self._metrics.counter("engine_write_batches_total").inc()
+                if appended and self._tile_cache is not None:
+                    self._invalidate_tiles(name, int(min(timestamps)),
+                                           int(max(timestamps)) + 1)
                 self._maybe_flush(state)
 
     def delete(self, name, t_start, t_end):
@@ -354,6 +389,7 @@ class StorageEngine:
                                     self._versions.next())
                     state.deletes.add(delete)
                     self._mods.append(state.series_id, delete)
+                self._invalidate_tiles(name, int(t_start), int(t_end) + 1)
             self._metrics.counter("engine_deletes_total").inc()
         return delete
 
@@ -537,6 +573,102 @@ class StorageEngine:
         """The engine's :class:`QuarantineRegistry` of damaged chunks."""
         return self._quarantine
 
+    # -- M4 tile cache -----------------------------------------------------------------
+
+    @property
+    def tile_cache(self):
+        """The M4 viewport tile cache (None when disabled).
+
+        Enabled via ``StorageConfig.tile_cache_bytes``; consumed by
+        :class:`repro.core.tiles.TiledM4Operator` through the Executor,
+        ``render_chart`` and the HTTP service.
+        """
+        return self._tile_cache
+
+    def _invalidate_tiles(self, name, lo, hi):
+        """Drop cached tiles overlapping ``[lo, hi)`` of one series.
+
+        Called from the write/delete paths while the series write lock
+        is held, which is what makes tile invalidation linearizable
+        with tile-stitching queries (they hold the read side).
+        """
+        if self._tile_cache is not None:
+            self._tile_cache.invalidate(name, lo, hi)
+
+    def _invalidate_series_tiles(self, name):
+        """Drop every cached tile of a series (compaction hook:
+        rewriting chunks may legally move BP/TP tie-break points)."""
+        if self._tile_cache is not None:
+            self._tile_cache.invalidate_series(name)
+
+    def _on_quarantine_change(self, entry):
+        """Quarantine subscription: newly-damaged chunks must not keep
+        serving their pre-damage aggregates out of cached tiles."""
+        if self._tile_cache is None:
+            return
+        if entry is None:
+            self._tile_cache.invalidate_all()
+            return
+        state = self._series_by_id.get(entry.get("series_id"))
+        start, end = entry.get("start_time"), entry.get("end_time")
+        if state is None or start is None or end is None:
+            # Cannot attribute the damage: drop everything (rare, and
+            # always safe — tiles are pure derived data).
+            self._tile_cache.invalidate_all()
+        else:
+            self._tile_cache.invalidate(state.name, int(start),
+                                        int(end) + 1)
+
+    def _tile_fingerprint(self):
+        """Per-series data-version + quarantine fingerprint.
+
+        Persisted with the tile snapshot and compared on load: a series
+        whose chunk/delete versions moved (or any quarantine change)
+        marks its tiles stale.  Conservative by construction — false
+        mismatches only cost recomputation.
+        """
+        series = {}
+        for name in self.series_names():
+            state = self._state(name)
+            with state.lock.read():
+                series[name] = [
+                    len(state.chunks),
+                    max((int(c.version) for c in state.chunks), default=0),
+                    len(state.deletes),
+                    max((int(d.version) for d in state.deletes), default=0),
+                ]
+        quarantine = [[e["file"], e["data_offset"]]
+                      for e in self._quarantine.entries()]
+        return {"series": series, "quarantine": quarantine}
+
+    def _tiles_path(self):
+        from ..core.tiles_io import FILENAME
+        return os.path.join(self._data_dir, FILENAME)
+
+    def _load_tiles(self):
+        """Revive the persisted tile snapshot (stale entries dropped)."""
+        from ..core.tiles_io import load_tiles
+        entries, warnings = load_tiles(self._tiles_path(),
+                                       self._tile_fingerprint(),
+                                       self._config.tile_cache_spans)
+        for warning in warnings:
+            log.warning("%s", warning)
+            self._metrics.counter("tile_cache_load_warnings_total").inc()
+        for series, level, tile, entry in entries:
+            self._tile_cache.insert(series, level, tile, entry,
+                                    self._tile_cache.epoch(series))
+
+    def _persist_tiles(self):
+        """Snapshot the tile cache next to the data files (best-effort,
+        atomic; see ``repro.core.tiles_io``)."""
+        if self._tile_cache is None \
+                or not self._config.tile_cache_persist:
+            return
+        from ..core.tiles_io import save_tiles
+        save_tiles(self._tiles_path(), self._tile_cache.snapshot(),
+                   self._tile_fingerprint(),
+                   self._config.tile_cache_spans)
+
     def data_reader(self):
         """A fresh :class:`DataReader`.
 
@@ -574,8 +706,10 @@ class StorageEngine:
         read: metadata, memtables and the decoded-page cache stay
         valid) or fail with a clean :class:`StorageError` /
         ``ValueError`` when they next touch a released file handle —
-        never a crash or a deadlock, because close never waits on a
-        series lock.
+        never a crash or a deadlock, because teardown never waits on a
+        series lock.  (With ``tile_cache_persist`` on, the post-teardown
+        tile snapshot briefly takes series *read* locks for its
+        fingerprint — still deadlock-free: no other lock is held.)
         """
         with self._lock:
             if self._closed:
@@ -589,6 +723,7 @@ class StorageEngine:
                 self._wal.close()
         if self._pipeline is not None:
             self._pipeline.shutdown()
+        self._persist_tiles()
         self._persist_obs()
 
     def __enter__(self):

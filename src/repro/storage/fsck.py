@@ -240,4 +240,16 @@ def fsck_store(data_dir, quarantine=False, verify_pages=True):
                 "observability snapshot")
     _check_json(report, os.path.join(data_dir, QUARANTINE_FILENAME),
                 "quarantine registry")
+
+    # 6. Tile cache snapshot (derived data: damage is never an error —
+    # the cache silently recomputes — but fsck surfaces it).
+    from ..core.tiles_io import FILENAME as TILES_FILENAME
+    from ..core.tiles_io import load_tiles
+    tiles_path = os.path.join(data_dir, TILES_FILENAME)
+    if os.path.exists(tiles_path):
+        report.files_checked += 1
+        _entries, tile_warnings = load_tiles(tiles_path, None, None)
+        for warning in tile_warnings:
+            report.add("warning", tiles_path,
+                       warning.replace("%s: " % tiles_path, "", 1))
     return report

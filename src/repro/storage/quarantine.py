@@ -48,12 +48,27 @@ class QuarantineRegistry:
         self._path = os.path.join(os.fspath(data_dir), FILENAME)
         self._lock = threading.Lock()
         self._entries = {}
+        self._subscribers = []
         self._load()
 
     @property
     def path(self):
         """Location of the persisted registry."""
         return self._path
+
+    def subscribe(self, fn):
+        """Register a change callback.
+
+        ``fn(entry_dict)`` fires after a chunk is newly quarantined and
+        ``fn(None)`` after :meth:`clear` — outside the registry lock, so
+        the callback may take its own (leaf) locks.  The tile cache
+        subscribes to invalidate tiles covering newly-damaged chunks.
+        """
+        self._subscribers.append(fn)
+
+    def _notify(self, entry):
+        for fn in list(self._subscribers):
+            fn(entry)
 
     def _load(self):
         if not os.path.exists(self._path):
@@ -107,11 +122,13 @@ class QuarantineRegistry:
                 "end_time": end_time,
                 "reason": str(reason),
             }
+            entry = dict(self._entries[key])
             self._c_added.inc()
             self._g_size.set(len(self._entries))
             self._persist_locked()
         log.warning("quarantined chunk %s@%d (series %s): %s",
                     key[0], key[1], series_id, reason)
+        self._notify(entry)
         return True
 
     def add_meta(self, meta, reason=""):
@@ -146,3 +163,4 @@ class QuarantineRegistry:
             self._entries = {}
             self._g_size.set(0)
             self._persist_locked()
+        self._notify(None)

@@ -1,0 +1,129 @@
+"""The tile cache's correctness contract: byte- and pixel-identical to
+the uncached M4-LSM path on every dataset, under overlap, deletes,
+degraded reads and strict mode."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.bench import make_operator, prepare_engine
+from repro.core import M4LSMOperator, TiledM4Operator
+from repro.core.tiles import snap_viewport
+from repro.errors import CorruptFileError
+from repro.server.service import render_chart
+from repro.server.workload import zoom_pan_session
+from repro.storage import StorageConfig, StorageEngine
+
+CACHE = {"tile_cache_bytes": 8 * 1024 * 1024, "tile_cache_spans": 16}
+
+
+@pytest.mark.parametrize("dataset", ["BallSpeed", "MF03", "KOB", "RcvTime"])
+def test_session_byte_identity(dataset):
+    """A full snapped pan/zoom session answers byte-identically, both
+    while the cache fills and once it is warm."""
+    with prepare_engine(dataset, n_points=6000, overlap_pct=20,
+                        delete_pct=10, **CACHE) as prepared:
+        plain = make_operator(prepared, "m4lsm")
+        tiled = make_operator(prepared, "m4lsm-tiles")
+        rng = random.Random(11)
+        for start, end in zoom_pan_session(prepared.t_qs, prepared.t_qe,
+                                           rng):
+            start, end = snap_viewport(start, end, 128)
+            expected = plain.query(prepared.series, start, end, 128)
+            assert tiled.query(prepared.series, start, end, 128) \
+                == expected                      # cold/filling
+            assert tiled.query(prepared.series, start, end, 128) \
+                == expected                      # warm
+        assert len(prepared.engine.tile_cache) > 0
+
+
+def test_ineligible_viewports_bypass_but_match(loaded_engine):
+    engine, t, _v = loaded_engine
+    tiled = TiledM4Operator(engine)  # engine has no cache -> bypass
+    plain = M4LSMOperator(engine)
+    t_qs, t_qe = int(t[0]) + 1, int(t[-1])
+    assert tiled.query("s", t_qs, t_qe, 7) == plain.query("s", t_qs,
+                                                          t_qe, 7)
+
+
+def test_pixel_identity_render(tmp_path):
+    """`render_chart` with and without the cache produces the same
+    pixel matrix (the ISSUE's pixel-identity criterion)."""
+    matrices = []
+    for i, cache_bytes in enumerate((0, 8 * 1024 * 1024)):
+        config = StorageConfig(avg_series_point_number_threshold=100,
+                               tile_cache_bytes=cache_bytes,
+                               tile_cache_spans=16)
+        with StorageEngine(tmp_path / ("db%d" % i), config) as engine:
+            t = np.arange(3000, dtype=np.int64)
+            engine.create_series("s")
+            engine.write_batch("s", t, np.sin(t / 17.0) * 4)
+            engine.flush_all()
+            engine.delete("s", 500, 700)
+            start, end = snap_viewport(0, 3000, 128)
+            # Render twice so the cached run actually serves tiles.
+            matrix, result = render_chart(engine, "s", 128, 48,
+                                          t_qs=start, t_qe=end)
+            matrix2, result2 = render_chart(engine, "s", 128, 48,
+                                            t_qs=start, t_qe=end)
+            assert np.array_equal(matrix, matrix2) and result == result2
+            if cache_bytes:
+                assert len(engine.tile_cache) > 0
+            matrices.append(matrix)
+    assert np.array_equal(matrices[0], matrices[1])
+
+
+class TestDamagedData:
+    @pytest.fixture
+    def damaged_cached(self, tmp_path):
+        """A store whose cache was warmed while healthy, then one chunk
+        corrupted and the store reopened (fresh cache, same config)."""
+        db = tmp_path / "db"
+        config = StorageConfig(avg_series_point_number_threshold=100,
+                               points_per_page=50,
+                               tile_cache_bytes=8 * 1024 * 1024,
+                               tile_cache_spans=16)
+        engine = StorageEngine(db, config)
+        engine.create_series("s")
+        t = np.arange(1024, dtype=np.int64)
+        engine.write_batch("s", t, np.sin(t / 7.0) * 5)
+        engine.flush_all()
+        start, end = snap_viewport(0, 1024, 128)
+        TiledM4Operator(engine).query("s", start, end, 128)  # warm
+        victim = engine.chunks_for("s")[3]
+        engine.close()
+        with open(victim.file_path, "r+b") as f:
+            f.seek(victim.data_offset + 3)
+            byte = f.read(1)
+            f.seek(victim.data_offset + 3)
+            f.write(bytes([byte[0] ^ 0x40]))
+        engine = StorageEngine(db, config)
+        yield engine, victim, (start, end)
+        engine.close()
+
+    def test_quarantined_chunk_in_cached_tile_not_stale(
+            self, damaged_cached):
+        """After a chunk inside a cached tile is quarantined, the cached
+        path must serve the *degraded* answer — skipping the damaged
+        range — not the stale clean tile."""
+        engine, victim, (start, end) = damaged_cached
+        tiled = TiledM4Operator(engine)
+        first = tiled.query("s", start, end, 128)
+        assert first.degraded
+        assert any(lo <= victim.start_time and victim.end_time < hi
+                   for lo, hi in first.skipped)
+        # The quarantine event invalidated the overlapping tiles: the
+        # warmed re-query still matches the uncached degraded answer.
+        again = tiled.query("s", start, end, 128)
+        plain = M4LSMOperator(engine).query("s", start, end, 128)
+        assert again == plain == first
+
+    def test_strict_mode_bypasses_cache_and_raises(self, damaged_cached):
+        """A strict request against a degraded-default engine must not
+        be answered from tiles computed under the lenient policy."""
+        engine, _victim, (start, end) = damaged_cached
+        TiledM4Operator(engine).query("s", start, end, 128)  # warm, degraded
+        with pytest.raises(CorruptFileError):
+            TiledM4Operator(engine, degraded=False).query(
+                "s", start, end, 128)

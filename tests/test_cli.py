@@ -88,6 +88,26 @@ class TestRender:
         assert "empty" in capsys.readouterr().err
 
 
+class TestTileCacheFlag:
+    def test_query_same_stdout_with_cache(self, store, capsys):
+        # A grid-aligned viewport so the cached path actually tiles.
+        sql = ("SELECT M4(s) FROM root.k WHERE time >= 0 AND "
+               "time < 4096 GROUP BY SPANS(4)")
+        assert main(["query", "--db", str(store), sql]) == 0
+        plain = capsys.readouterr().out
+        assert main(["query", "--db", str(store),
+                     "--tile-cache", "1048576", sql]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_render_same_stdout_with_cache(self, store, capsys):
+        args = ["render", "--db", str(store), "--series", "root.k",
+                "--width", "60", "--height", "10"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(args + ["--tile-cache", "1048576"]) == 0
+        assert capsys.readouterr().out == plain
+
+
 class TestCompact:
     def test_compact_reports_counts(self, store, capsys):
         assert main(["compact", "--db", str(store)]) == 0

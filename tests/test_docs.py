@@ -1,0 +1,22 @@
+"""The docs stay healthy: links resolve, public modules render help.
+
+Thin wrapper over scripts/check_docs.py so the same checks gate both
+CI's docs job and a plain local pytest run.
+"""
+
+import os
+import sys
+
+SCRIPTS = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "scripts")
+sys.path.insert(0, SCRIPTS)
+
+import check_docs  # noqa: E402
+
+
+def test_markdown_links_resolve():
+    assert check_docs.check_links() == []
+
+
+def test_public_modules_render_pydoc():
+    assert check_docs.check_pydoc() == []
