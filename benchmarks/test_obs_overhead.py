@@ -8,6 +8,7 @@ this bench measures it directly by running the same M4-LSM query with
 metrics enabled and disabled.
 """
 
+import threading
 import time
 
 from repro.bench import make_operator, prepare_engine
@@ -42,6 +43,101 @@ def test_metrics_overhead_is_small(tmp_path):
     # Target is < 5%; allow generous slack for machine noise so the
     # bench only trips on a real regression (e.g. per-point spans).
     assert overhead < 0.15
+
+
+def test_detailed_request_tracing_overhead(tmp_path):
+    """A detailed per-request trace (the /trace path) must stay cheap.
+
+    Runs the same M4-LSM query bare and under a detailed root span
+    (what the HTTP service opens per request).  Detail turns on the
+    ambient per-item spans, so this is the *expensive* tracing mode —
+    still expected well under the noise floor of a real query.
+    """
+    prepared = prepare_engine(
+        "MF03", n_points=None, chunk_points=1000, overlap_pct=20,
+        data_dir=str(tmp_path / "db-traced"))
+    engine = prepared.engine
+    lsm = make_operator(prepared, "m4lsm")
+    try:
+        def best(traced, repeats=5):
+            out = float("inf")
+            for _ in range(repeats):
+                started = time.perf_counter()
+                if traced:
+                    with engine.tracer.root_span("request",
+                                                 endpoint="bench"):
+                        lsm.query(prepared.series, prepared.t_qs,
+                                  prepared.t_qe, 1000)
+                else:
+                    lsm.query(prepared.series, prepared.t_qs,
+                              prepared.t_qe, 1000)
+                out = min(out, time.perf_counter() - started)
+            return out
+
+        plain = best(False)
+        traced = best(True)
+    finally:
+        prepared.close()
+    overhead = (traced - plain) / plain
+    print("\ndetailed-trace overhead: traced=%.4fs plain=%.4fs (%+.2f%%)"
+          % (traced, plain, 100.0 * overhead))
+    # Generous bound: trips on per-point span regressions, not noise.
+    assert overhead < 0.30
+
+
+def test_profiler_off_is_free(tmp_path):
+    """An idle SamplingProfiler must cost literally nothing.
+
+    Off means no sampler thread exists, so the only conceivable cost
+    would be in instrumented code — and there is none: the profiler is
+    pull-based (``sys._current_frames``), not event-based.  Assert the
+    structural facts rather than a noisy timing delta.
+    """
+    from repro.obs import SamplingProfiler
+
+    profiler = SamplingProfiler()
+    assert profiler.stats()["running"] is False
+    assert profiler.stats()["samples"] == 0
+    before = threading.active_count()
+    # Constructing (and never starting) spawns no thread.
+    SamplingProfiler(interval=0.001)
+    assert threading.active_count() == before
+
+
+def test_profiler_on_overhead_is_bounded(tmp_path):
+    """Sampling at the default 5ms interval must not distort queries."""
+    from repro.obs import SamplingProfiler
+
+    prepared = prepare_engine(
+        "MF03", n_points=None, chunk_points=1000, overlap_pct=20,
+        data_dir=str(tmp_path / "db-profiled"))
+    lsm = make_operator(prepared, "m4lsm")
+    try:
+        def best(repeats=5):
+            out = float("inf")
+            for _ in range(repeats):
+                started = time.perf_counter()
+                lsm.query(prepared.series, prepared.t_qs,
+                          prepared.t_qe, 1000)
+                out = min(out, time.perf_counter() - started)
+            return out
+
+        plain = best()
+        profiler = SamplingProfiler(interval=0.005)
+        profiler.start()
+        try:
+            profiled = best()
+        finally:
+            collapsed = profiler.stop()
+    finally:
+        prepared.close()
+    overhead = (profiled - plain) / plain
+    print("\nprofiler overhead: on=%.4fs off=%.4fs (%+.2f%%), "
+          "%d stacks" % (profiled, plain, 100.0 * overhead,
+                         len(collapsed.splitlines())))
+    # The sampler holds the GIL only while walking frames; 50% is a
+    # disaster threshold, normal readings are single-digit percent.
+    assert overhead < 0.50
 
 
 def test_span_creation_cost(benchmark):

@@ -18,6 +18,11 @@ Commands:
               queries, M4 renders, stats/health, admission control
 * ``loadgen``   — drive a running server with seeded pan/zoom
               dashboard sessions and report throughput/latency
+* ``trace``     — request traces: list/fetch from a running server
+              (``--url``), or probe a store locally and print the
+              span tree; ``--chrome`` exports Chrome trace_event JSON
+* ``profile``   — sampling wall-clock profiler: collapsed stacks from
+              a running server (``--url``) or a local probe loop
 
 Every command operates on a plain directory, so the same store can be
 inspected, queried and extended across invocations (recovery included).
@@ -180,6 +185,57 @@ def build_parser():
                               "reuse tiles across pans and zooms")
     loadgen.add_argument("--json", action="store_true",
                          help="print the report as JSON instead of text")
+    loadgen.add_argument("--trace-every", type=int, default=16,
+                         metavar="N",
+                         help="set the traceparent sampled flag on every "
+                              "Nth request so the server retains those "
+                              "traces (0 = never; default 16)")
+
+    trace = commands.add_parser(
+        "trace", help="inspect request traces (server or local probe)")
+    trace.add_argument("db", nargs="?",
+                       help="storage directory: run one traced probe "
+                            "query locally and print its span tree")
+    trace.add_argument("--url",
+                       help="running server base URL: list retained "
+                            "traces, or fetch one with --id")
+    trace.add_argument("--id", dest="trace_id", metavar="ID",
+                       help="request id (r000042) or trace id to fetch "
+                            "from the server")
+    trace.add_argument("--limit", type=int, default=20,
+                       help="listing length (server mode)")
+    trace.add_argument("--series", metavar="SERIES",
+                       help="series for the local probe (default: first "
+                            "with data)")
+    trace.add_argument("--w", type=int, default=100,
+                       help="span count for the local probe query")
+    trace.add_argument("--chrome", metavar="OUT",
+                       help="write the trace as Chrome trace_event JSON "
+                            "to OUT (open in about:tracing / Perfetto)")
+    _add_parallelism(trace)
+    _add_tile_cache(trace)
+
+    profile = commands.add_parser(
+        "profile", help="sampling wall-clock profiler (collapsed stacks)")
+    profile.add_argument("db", nargs="?",
+                         help="storage directory: profile a local probe "
+                              "query loop")
+    profile.add_argument("--url",
+                         help="running server base URL: start the "
+                              "server's profiler, wait, stop, print")
+    profile.add_argument("--seconds", type=float, default=2.0,
+                         help="sampling window length")
+    profile.add_argument("--interval-ms", type=float, default=5.0,
+                         help="sampling interval in milliseconds")
+    profile.add_argument("--series", metavar="SERIES",
+                         help="series for the local probe loop")
+    profile.add_argument("--w", type=int, default=100,
+                         help="span count for local probe queries")
+    profile.add_argument("--out", metavar="FILE",
+                         help="write collapsed stacks to FILE "
+                              "(flamegraph.pl format) instead of stdout")
+    _add_parallelism(profile)
+    _add_tile_cache(profile)
     return parser
 
 
@@ -470,7 +526,8 @@ def _cmd_loadgen(args):
     workload = SessionWorkload(args.url, series=args.series,
                                width=args.width, seed=args.seed,
                                timeout_ms=args.timeout_ms,
-                               align=args.align)
+                               align=args.align,
+                               trace_every=args.trace_every)
     try:
         report = workload.run(mode=args.mode, users=args.users,
                               rate=args.rate, duration=args.duration)
@@ -485,6 +542,176 @@ def _cmd_loadgen(args):
     return 0 if report.ok else 1
 
 
+def _probe_target(engine, series, what="probe"):
+    """``(name, t_qs, t_qe)`` for a local probe query."""
+    names = [series] if series else sorted(engine.series_names())
+    for name in names:
+        chunks = engine.chunks_for(name)
+        if chunks:
+            return (name, min(c.start_time for c in chunks),
+                    max(c.end_time for c in chunks) + 1)
+    raise ReproError("no series with data to %s (asked for %r)"
+                     % (what, series or "any"))
+
+
+def _probe_operator(engine):
+    """The operator a server would use: tiled when the cache is on."""
+    if getattr(engine, "tile_cache", None) is not None:
+        from .core.tiles import TiledM4Operator
+        return TiledM4Operator(engine)
+    from .core.m4lsm import M4LSMOperator
+    return M4LSMOperator(engine)
+
+
+def _render_trace_node(node, indent=0):
+    """Span.render for the dict form served by ``GET /trace/<id>``."""
+    seconds = node.get("seconds", 0.0)
+    parts = ["%s%s  %.3f ms" % ("  " * indent, node.get("name", "?"),
+                                seconds * 1e3)]
+    attrs = node.get("attrs") or {}
+    if attrs:
+        parts.append(" ".join("%s=%s" % (k, v)
+                              for k, v in sorted(attrs.items())))
+    counters = node.get("counters") or {}
+    if counters:
+        parts.append("[%s]" % " ".join(
+            "%s=%d" % (k, v) for k, v in sorted(counters.items())))
+    lines = ["  ".join(parts)]
+    for child in node.get("children") or []:
+        lines.append(_render_trace_node(child, indent + 1))
+    return "\n".join(lines)
+
+
+def _write_chrome_trace(doc, path):
+    import json as json_module
+    with open(path, "w", encoding="utf-8") as f:
+        json_module.dump(doc, f, sort_keys=True)
+    print("wrote Chrome trace (%d events) to %s "
+          "(open in about:tracing or https://ui.perfetto.dev)"
+          % (len(doc.get("traceEvents", [])), path))
+
+
+def _cmd_trace(args):
+    """``repro trace``: request traces, two modes.
+
+    Server mode (``--url``): list the server's retained traces, or
+    fetch one by ``--id`` and print its span tree (``--chrome OUT``
+    writes Chrome ``trace_event`` JSON instead).
+
+    Local mode (``db``): run one fully-traced probe query against the
+    store and print its span tree — the offline way to see lock waits,
+    pipeline items and tile lookups without booting a server.
+    Returns 0 on success, 1 on usage errors.
+    """
+    if args.url:
+        from .server.client import ReproClient
+        client = ReproClient(args.url)
+        if args.trace_id:
+            if args.chrome:
+                _write_chrome_trace(client.trace(args.trace_id,
+                                                 fmt="chrome"),
+                                    args.chrome)
+                return 0
+            entry = client.trace(args.trace_id)
+            print("%s %s endpoint=%s status=%d %.3f ms sampled=%s"
+                  % (entry["request_id"], entry["trace_id"],
+                     entry["endpoint"], entry["status"],
+                     entry["seconds"] * 1e3, entry["sampled"]))
+            print(_render_trace_node(entry["root"]))
+            return 0
+        listing = client.trace_list(limit=args.limit)
+        for row in listing["traces"]:
+            print("%-8s %s %-7s %3d %8.3f ms%s"
+                  % (row["request_id"], row["trace_id"], row["endpoint"],
+                     row["status"], row["seconds"] * 1e3,
+                     "  [sampled]" if row["sampled"] else ""))
+        store = listing["store"]
+        print("retained %d/%d seen (capacity %d)"
+              % (store["retained"], store["seen"], store["capacity"]))
+        return 0
+    if not args.db:
+        print("error: need a storage directory or --url",
+              file=sys.stderr)
+        return 1
+    from .obs import make_traceparent, parse_traceparent, to_chrome_trace
+    with StorageEngine(_require_store(args.db),
+                       _engine_config(args)) as engine:
+        if not engine.tracer.enabled:
+            print("error: store was opened with metrics disabled",
+                  file=sys.stderr)
+            return 1
+        engine.flush_all()
+        name, t_qs, t_qe = _probe_target(engine, args.series,
+                                         what="trace")
+        ctx = parse_traceparent(make_traceparent(sampled=True))
+        root = engine.tracer.root_span("request", endpoint="probe",
+                                       request_id="probe",
+                                       trace_id=ctx.trace_id)
+        with root:
+            _probe_operator(engine).query(name, t_qs, t_qe, args.w)
+        entry = engine.traces.record(root, ctx.trace_id, "probe",
+                                     "probe", 200, sampled=True)
+        print(root.render())
+        if args.chrome:
+            _write_chrome_trace(to_chrome_trace(entry), args.chrome)
+    return 0
+
+
+def _cmd_profile(args):
+    """``repro profile``: collapsed-stack wall-clock profile.
+
+    Server mode (``--url``): start the server's sampler, wait
+    ``--seconds`` (drive load separately, e.g. ``repro loadgen``),
+    stop, and print/write the collapsed stacks.
+
+    Local mode (``db``): sample a probe-query loop against the store.
+    Output is one ``frame;frame;frame count`` line per distinct stack
+    (pipe into flamegraph.pl).  Returns 0 on success, 1 on usage
+    errors.
+    """
+    import time as time_module
+
+    if args.interval_ms <= 0:
+        print("error: --interval-ms must be positive", file=sys.stderr)
+        return 1
+    if args.url:
+        from .server.client import ReproClient
+        client = ReproClient(args.url)
+        client.profile_start(interval_ms=args.interval_ms)
+        time_module.sleep(max(args.seconds, 0.0))
+        result = client.profile_stop()
+        collapsed = result.get("collapsed", "")
+        samples = result.get("profile", {}).get("samples", 0)
+    elif args.db:
+        from .obs import SamplingProfiler
+        with StorageEngine(_require_store(args.db),
+                           _engine_config(args)) as engine:
+            engine.flush_all()
+            name, t_qs, t_qe = _probe_target(engine, args.series,
+                                             what="profile")
+            operator = _probe_operator(engine)
+            profiler = SamplingProfiler(
+                interval=args.interval_ms / 1000.0)
+            profiler.start()
+            end = time_module.monotonic() + max(args.seconds, 0.0)
+            while time_module.monotonic() < end:
+                operator.query(name, t_qs, t_qe, args.w)
+            collapsed = profiler.stop()
+            samples = profiler.stats()["samples"]
+    else:
+        print("error: need a storage directory or --url",
+              file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(collapsed + ("\n" if collapsed else ""))
+        print("wrote %d collapsed stacks (%d samples) to %s"
+              % (len(collapsed.splitlines()), samples, args.out))
+    else:
+        print(collapsed)
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "load": _cmd_load,
@@ -496,4 +723,6 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
 }

@@ -61,6 +61,7 @@ import collections
 import dataclasses
 import threading
 
+from ..obs.tracer import ambient_span, tracer_of
 from ..storage.deadline import check_deadline
 from .m4lsm import M4LSMOperator
 from .result import M4Result, merge_time_ranges
@@ -420,7 +421,11 @@ class TiledM4Operator:
         per_tile = cache.spans_per_tile
         spans = []
         skipped = []
-        with self._engine.series_lock(series_name).read():
+        hits = misses = 0
+        with tracer_of(self._engine).span("tiles.stitch",
+                                          series=series_name,
+                                          level=level) as stitch, \
+                self._engine.series_lock(series_name).read():
             cell = int(t_qs) // s
             last_cell = int(t_qe) // s
             while cell < last_cell:
@@ -429,25 +434,36 @@ class TiledM4Operator:
                 tile_start = tile * per_tile
                 tile_end = tile_start + per_tile
                 if cell == tile_start and tile_end <= last_cell:
-                    entry = cache.lookup(series_name, level, tile)
-                    if entry is None:
-                        epoch = cache.epoch(series_name)
-                        result = self._inner.query(
-                            series_name, tile_start * s, tile_end * s,
-                            per_tile)
-                        entry = TileEntry.from_result(result)
-                        cache.insert(series_name, level, tile, entry,
-                                     epoch)
+                    with ambient_span("tiles.tile", level=level,
+                                      tile=tile) as tile_span:
+                        entry = cache.lookup(series_name, level, tile)
+                        hit = entry is not None
+                        if entry is None:
+                            epoch = cache.epoch(series_name)
+                            result = self._inner.query(
+                                series_name, tile_start * s, tile_end * s,
+                                per_tile)
+                            entry = TileEntry.from_result(result)
+                            cache.insert(series_name, level, tile, entry,
+                                         epoch)
+                        tile_span.attrs["hit"] = hit
+                    hits += hit
+                    misses += not hit
                     spans.extend(entry.spans)
                     skipped.extend(entry.skipped)
                     cell = tile_end
                 else:  # partial edge run (head or tail, never cached)
                     run_end = min(tile_end, last_cell)
-                    result = self._inner.query(series_name, cell * s,
-                                               run_end * s, run_end - cell)
+                    with ambient_span("tiles.edge", level=level,
+                                      start=cell, end=run_end):
+                        result = self._inner.query(
+                            series_name, cell * s,
+                            run_end * s, run_end - cell)
                     spans.extend(result.spans)
                     skipped.extend(result.skipped)
                     cell = run_end
+            stitch.attrs["hits"] = hits
+            stitch.attrs["misses"] = misses
         return M4Result(int(t_qs), int(t_qe), int(w), tuple(spans),
                         skipped=merge_time_ranges(skipped, t_qs, t_qe))
 

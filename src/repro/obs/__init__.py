@@ -10,7 +10,12 @@ Three pieces, designed to stay on by default:
   whole engine (writes, WAL, flush, compaction, recovery, both
   operators);
 * :mod:`repro.obs.export` / :mod:`repro.obs.slowlog` — JSON and
-  Prometheus text exporters plus a rolling slow-query log.
+  Prometheus text exporters plus a rolling slow-query log;
+* :mod:`repro.obs.trace_store` — W3C ``traceparent`` propagation and a
+  bounded ring of completed request traces with Chrome ``trace_event``
+  export;
+* :mod:`repro.obs.profiler` — a stdlib sampling wall-clock profiler
+  emitting collapsed stacks (flamegraph.pl format).
 
 See README.md § Observability for metric names and CLI usage.
 """
@@ -24,8 +29,25 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .profiler import SamplingProfiler
 from .slowlog import SlowQueryLog
-from .tracer import NULL_TRACER, Span, Tracer, tracer_of
+from .trace_store import (
+    TraceContext,
+    TraceStore,
+    make_traceparent,
+    parse_traceparent,
+    to_chrome_trace,
+)
+from .tracer import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    activate,
+    ambient_span,
+    attach_timed,
+    current_span,
+    tracer_of,
+)
 
 __all__ = [
     "Counter",
@@ -35,10 +57,20 @@ __all__ = [
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "SamplingProfiler",
     "SlowQueryLog",
     "Span",
+    "TraceContext",
+    "TraceStore",
     "Tracer",
+    "activate",
+    "ambient_span",
+    "attach_timed",
+    "current_span",
+    "make_traceparent",
+    "parse_traceparent",
     "render_text",
+    "to_chrome_trace",
     "to_json",
     "to_prometheus",
     "tracer_of",

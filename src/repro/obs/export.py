@@ -10,6 +10,7 @@ read back by ``repro stats``.
 from __future__ import annotations
 
 import json
+import math
 import re
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
@@ -52,7 +53,14 @@ def _fmt_value(value):
         return "1" if value else "0"
     if isinstance(value, int):
         return str(value)
-    return repr(float(value))
+    value = float(value)
+    # Exposition text must stay NaN-free: scrapers treat NaN samples as
+    # staleness markers and +/-Inf sums break rate() math downstream.
+    if math.isnan(value):
+        return "0.0"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
 
 
 def to_prometheus(metrics_snapshot):

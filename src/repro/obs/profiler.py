@@ -1,0 +1,137 @@
+"""Sampling wall-clock profiler over ``sys._current_frames()``.
+
+A daemon thread wakes every ``interval`` seconds, snapshots every other
+thread's current Python frame stack, and aggregates identical stacks
+into a counter.  Output is flamegraph.pl-compatible collapsed-stack
+text — one ``frame;frame;frame count`` line per distinct stack, with
+the thread name as the root frame so per-thread flamegraphs fall out
+for free.
+
+Design constraints:
+
+* **Zero cost when off.**  No thread exists until :meth:`start`; the
+  rest of the system never consults the profiler on any hot path, so
+  the off state adds literally nothing (asserted by
+  ``benchmarks/test_obs_overhead.py``).
+* **Bounded cost when on.**  Each tick is one
+  ``sys._current_frames()`` call (a C-level dict copy) plus a frame
+  walk per live thread; at the 5 ms default that is well under 5%
+  overhead for the workloads in this repo.
+* **Stdlib only.**  Wall-clock sampling, not CPU sampling: a thread
+  blocked on a lock or a queue *is* sampled, which is exactly what the
+  contention work in this PR wants to see.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+
+def _collapse_frame(frame):
+    code = frame.f_code
+    return "%s:%s" % (code.co_filename.rsplit("/", 1)[-1], code.co_name)
+
+
+class SamplingProfiler:
+    """Start/stop wall-clock sampler producing collapsed stacks.
+
+    Args:
+        interval: seconds between samples (default 5 ms).
+    """
+
+    def __init__(self, interval=0.005):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = float(interval)
+        self._lock = threading.Lock()
+        self._thread = None
+        self._stop = threading.Event()
+        self._stacks = {}
+        self._samples = 0
+        self._started_at = None
+        self._stopped_at = None
+
+    @property
+    def running(self):
+        with self._lock:
+            return self._thread is not None
+
+    def start(self, interval=None):
+        """Begin sampling (idempotent); returns True if newly started."""
+        with self._lock:
+            if self._thread is not None:
+                return False
+            if interval is not None:
+                if interval <= 0:
+                    raise ValueError("interval must be positive")
+                self.interval = float(interval)
+            self._stacks = {}
+            self._samples = 0
+            self._started_at = time.time()
+            self._stopped_at = None
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-profiler", daemon=True)
+            self._thread.start()
+        return True
+
+    def stop(self):
+        """Stop sampling and return the collapsed-stack text."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+            with self._lock:
+                self._stopped_at = time.time()
+        return self.collapsed()
+
+    def _loop(self):
+        own = threading.get_ident()
+        names = {}
+        while not self._stop.wait(self.interval):
+            frames = sys._current_frames()
+            # Refresh the ident->name map only for unseen idents; the
+            # enumerate() walk is the expensive part of naming.
+            unseen = [i for i in frames if i != own and i not in names]
+            if unseen:
+                for t in threading.enumerate():
+                    names[t.ident] = t.name
+            with self._lock:
+                if self._thread is None:
+                    break
+                self._samples += 1
+                for ident, frame in frames.items():
+                    if ident == own:
+                        continue
+                    stack = []
+                    while frame is not None:
+                        stack.append(_collapse_frame(frame))
+                        frame = frame.f_back
+                    stack.append(names.get(ident, "thread-%d" % ident))
+                    key = tuple(reversed(stack))
+                    self._stacks[key] = self._stacks.get(key, 0) + 1
+
+    def collapsed(self):
+        """Flamegraph.pl-compatible text: ``a;b;c count`` per line,
+        heaviest stacks first."""
+        with self._lock:
+            items = sorted(self._stacks.items(),
+                           key=lambda kv: (-kv[1], kv[0]))
+        return "\n".join("%s %d" % (";".join(stack), count)
+                         for stack, count in items)
+
+    def stats(self):
+        """Sampler state for ``GET /profile`` and the CLI."""
+        with self._lock:
+            return {
+                "running": self._thread is not None,
+                "interval_seconds": self.interval,
+                "samples": self._samples,
+                "distinct_stacks": len(self._stacks),
+                "started_unix": self._started_at,
+                "stopped_unix": self._stopped_at,
+            }

@@ -1,0 +1,248 @@
+"""Request-trace retention and export.
+
+Two halves:
+
+* **Propagation** — :func:`make_traceparent` / :func:`parse_traceparent`
+  implement the W3C Trace Context ``traceparent`` header
+  (``00-<32 hex trace id>-<16 hex span id>-<2 hex flags>``), which is
+  how :class:`~repro.server.client.ReproClient` and ``repro loadgen``
+  tell the server "this request belongs to trace T, sample it (or
+  don't)".
+* **Retention** — :class:`TraceStore`, a bounded ring of completed
+  request span trees with a keep policy mirroring the slow-query log:
+  explicitly sampled requests are always kept, anything at or above the
+  slow threshold is always kept, and 1-in-N of the rest is kept so the
+  buffer shows typical traffic too.  :func:`to_chrome_trace` turns a
+  stored entry into Chrome ``trace_event`` JSON loadable in
+  ``about:tracing`` or Perfetto.
+
+The store holds plain dicts (the span tree via ``Span.to_dict()``), not
+live :class:`~repro.obs.tracer.Span` objects, so retained traces cost
+only their JSON weight and serialize directly from ``GET /trace``.
+"""
+
+from __future__ import annotations
+
+import collections
+import secrets
+import threading
+import time
+
+_VERSION = "00"
+_FLAG_SAMPLED = 0x01
+
+
+def make_traceparent(trace_id=None, span_id=None, sampled=True):
+    """A W3C ``traceparent`` header value (ids generated when omitted)."""
+    if trace_id is None:
+        trace_id = secrets.token_hex(16)
+    if span_id is None:
+        span_id = secrets.token_hex(8)
+    flags = _FLAG_SAMPLED if sampled else 0
+    return "%s-%s-%s-%02x" % (_VERSION, trace_id, span_id, flags)
+
+
+class TraceContext:
+    """The parsed fields of a ``traceparent`` header."""
+
+    __slots__ = ("trace_id", "parent_span_id", "sampled")
+
+    def __init__(self, trace_id, parent_span_id, sampled):
+        self.trace_id = trace_id
+        self.parent_span_id = parent_span_id
+        self.sampled = sampled
+
+    def __repr__(self):
+        return "TraceContext(trace_id=%r, parent_span_id=%r, sampled=%r)" % (
+            self.trace_id, self.parent_span_id, self.sampled)
+
+
+def _is_hex(value):
+    try:
+        int(value, 16)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+def parse_traceparent(header):
+    """Parse a ``traceparent`` header, or None when malformed.
+
+    Tolerant of future versions (any 2-hex version other than ``ff``
+    is accepted) but strict on field widths and the all-zero invalid
+    ids, per the W3C spec.
+    """
+    if not header or not isinstance(header, str):
+        return None
+    parts = header.strip().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, span_id, flags = parts[0], parts[1], parts[2], parts[3]
+    if len(version) != 2 or not _is_hex(version) or version.lower() == "ff":
+        return None
+    if len(trace_id) != 32 or not _is_hex(trace_id) or set(trace_id) == {"0"}:
+        return None
+    if len(span_id) != 16 or not _is_hex(span_id) or set(span_id) == {"0"}:
+        return None
+    if len(flags) != 2 or not _is_hex(flags):
+        return None
+    sampled = bool(int(flags, 16) & _FLAG_SAMPLED)
+    return TraceContext(trace_id.lower(), span_id.lower(), sampled)
+
+
+class TraceStore:
+    """Bounded ring of completed request traces with a keep policy.
+
+    Keep policy, in order: the client asked (``sampled``), the request
+    was slow (root duration ≥ ``slow_seconds``), or the request is the
+    1-in-``sample_every``-th arrival.  Everything else is dropped at
+    ``record`` time (the span tree was already built; the store only
+    decides retention).
+
+    Args:
+        capacity: ring size; oldest entries are evicted first.
+        sample_every: keep every Nth unsampled fast request; 0 disables
+            ambient sampling entirely.
+        slow_seconds: always-keep latency threshold (non-positive keeps
+            everything, mirroring the slow-query log's trace-all mode).
+    """
+
+    def __init__(self, capacity=256, sample_every=16, slow_seconds=1.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if sample_every < 0:
+            raise ValueError("sample_every must be >= 0")
+        self.capacity = int(capacity)
+        self.sample_every = int(sample_every)
+        self.slow_seconds = float(slow_seconds)
+        self._lock = threading.Lock()
+        self._entries = collections.deque(maxlen=self.capacity)
+        self._seen = 0
+        self._kept = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def record(self, root, trace_id, request_id, endpoint, status,
+               sampled=False):
+        """Offer one completed request trace; returns the kept entry or
+        None when the policy dropped it.
+
+        Args:
+            root: the request's completed root :class:`Span`.
+            trace_id: 32-hex id from the client's traceparent (or
+                server-generated for untraced clients).
+            request_id: the server's per-request id (joins the slow
+                log and loadgen samples to this trace).
+            endpoint: request endpoint name for listings.
+            status: HTTP status the request resolved to.
+            sampled: the traceparent sampled flag — forces retention.
+        """
+        seconds = root.duration
+        with self._lock:
+            self._seen += 1
+            keep = bool(sampled)
+            if not keep and self.slow_seconds <= 0:
+                keep = True
+            if not keep and seconds >= self.slow_seconds > 0:
+                keep = True
+            if not keep and self.sample_every and \
+                    self._seen % self.sample_every == 0:
+                keep = True
+            if not keep:
+                return None
+            entry = {
+                "trace_id": trace_id,
+                "request_id": request_id,
+                "endpoint": endpoint,
+                "status": int(status),
+                "seconds": seconds,
+                "unix_time": time.time(),
+                "sampled": bool(sampled),
+                "root": root.to_dict(),
+            }
+            self._entries.append(entry)
+            self._kept += 1
+        return entry
+
+    def entries(self):
+        """Newest-first list of retained entries (shared dicts —
+        treat as read-only)."""
+        with self._lock:
+            return list(reversed(self._entries))
+
+    def get(self, key):
+        """Look up a trace by request id or trace id (newest wins)."""
+        with self._lock:
+            for entry in reversed(self._entries):
+                if entry["request_id"] == key or entry["trace_id"] == key:
+                    return entry
+        return None
+
+    def stats(self):
+        """Retention counters for ``/trace`` listings and tests."""
+        with self._lock:
+            return {"seen": self._seen, "kept": self._kept,
+                    "retained": len(self._entries),
+                    "capacity": self.capacity}
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+
+
+def _walk_dict(node):
+    yield node
+    for child in node.get("children", ()):
+        yield from _walk_dict(child)
+
+
+def to_chrome_trace(entry):
+    """Convert a stored trace entry to Chrome ``trace_event`` JSON.
+
+    Produces complete-duration (``ph="X"``) events with microsecond
+    timestamps relative to the request's root span, one ``tid`` per
+    engine thread, plus ``thread_name`` metadata events so
+    ``about:tracing``/Perfetto label the rows.  Spans recorded without
+    timestamps (noop placeholders) are skipped.
+    """
+    root = entry["root"]
+    base = root.get("started") or 0.0
+    tids = {}
+    events = []
+    for node in _walk_dict(root):
+        started, ended = node.get("started"), node.get("ended")
+        if started is None or ended is None:
+            continue
+        thread = node.get("thread") or "main"
+        tid = tids.setdefault(thread, len(tids) + 1)
+        args = {str(k): v for k, v in (node.get("attrs") or {}).items()}
+        for key, value in (node.get("counters") or {}).items():
+            args["io." + str(key)] = value
+        events.append({
+            "name": node["name"],
+            "cat": "repro",
+            "ph": "X",
+            "ts": (started - base) * 1e6,
+            "dur": max(ended - started, 0.0) * 1e6,
+            "pid": 1,
+            "tid": tid,
+            "args": args,
+        })
+    for thread, tid in tids.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": thread},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace_id": entry["trace_id"],
+            "request_id": entry["request_id"],
+            "endpoint": entry["endpoint"],
+        },
+    }

@@ -18,6 +18,29 @@ Span durations also feed the registry histogram
 ``repro_span_seconds{span=...}``, which is how ``repro stats`` shows
 p50/p95/p99 per operation without any extra bookkeeping at call sites.
 
+Cross-thread propagation
+------------------------
+
+The open-span stack is a *module-level* thread-local, so a span started
+on one thread can be re-rooted onto another: the admission worker pool
+wraps each job in :func:`activate` with the request's root span, and
+every engine span the job produces lands in that request's tree instead
+of dying at the thread boundary.  The same mechanism carries the trace
+into the chunk pipeline's worker threads (see
+``ChunkPipeline.map_ordered``).
+
+Three helpers keep the cost of that machinery off the fast path:
+
+* :func:`current_span` — the innermost open span on this thread;
+* :func:`activate` — context manager installing a span as the thread's
+  current one (how worker threads join a request's tree);
+* :func:`ambient_span` — a child of the current span *only when the
+  trace asked for detail* (request-scoped traces do; plain engine
+  spans do not), so per-chunk / per-tile instrumentation is free for
+  ordinary queries;
+* :func:`attach_timed` — attach an already-measured interval (lock
+  waits, queue waits) to the current trace without a context manager.
+
 The generalization story: the M4-LSM-only
 :class:`repro.core.m4lsm.tracing.QueryTrace` records *per-span-of-w*
 solver detail; this tracer records *per-operation* structure for every
@@ -30,14 +53,25 @@ from __future__ import annotations
 import threading
 import time
 
+# The open-span stack: one `current` span per thread, shared by every
+# tracer in the process so spans can hop threads (admission workers,
+# chunk pipeline) via activate().
+_local = threading.local()
+
+
+def current_span():
+    """The innermost span open on this thread (any tracer), or None."""
+    return getattr(_local, "current", None)
+
 
 class Span:
     """One node of a trace tree (also its own context manager)."""
 
     __slots__ = ("name", "attrs", "parent", "children", "started",
-                 "ended", "counters", "_tracer", "_io_before")
+                 "ended", "counters", "thread", "detailed", "_tracer",
+                 "_io_before", "_prev")
 
-    def __init__(self, tracer, name, attrs):
+    def __init__(self, tracer, name, attrs, detailed=False):
         self.name = name
         self.attrs = attrs
         self.parent = None
@@ -45,17 +79,27 @@ class Span:
         self.started = None
         self.ended = None
         self.counters = {}
+        self.thread = None
+        self.detailed = detailed
         self._tracer = tracer
         self._io_before = None
+        self._prev = None
 
     # -- context manager ----------------------------------------------------------
 
     def __enter__(self):
         tracer = self._tracer
-        self.parent = tracer.current()
-        if self.parent is not None:
+        current = getattr(_local, "current", None)
+        # Only nest under a span of the *same* tracer; a span from
+        # another engine's tracer is invisible (each engine keeps its
+        # own trees, even when interleaved on one thread).
+        if current is not None and current._tracer is tracer:
+            self.parent = current
             self.parent.children.append(self)
-        tracer._set_current(self)
+            self.detailed = self.detailed or current.detailed
+        self._prev = current
+        _local.current = self
+        self.thread = threading.current_thread().name
         if tracer._stats is not None:
             self._io_before = tracer._stats.snapshot()
         self.started = time.perf_counter()
@@ -68,7 +112,8 @@ class Span:
             diff = tracer._stats.diff(self._io_before)
             self.counters = {k: v for k, v in diff.as_dict().items() if v}
             self._io_before = None
-        tracer._set_current(self.parent)
+        _local.current = self._prev
+        self._prev = None
         if self.parent is None:
             tracer.last_root = self
         tracer._registry.histogram("repro_span_seconds",
@@ -102,10 +147,14 @@ class Span:
         return [span for span in self.walk() if span.name == name]
 
     def to_dict(self):
-        """JSON-able recursive dump."""
+        """JSON-able recursive dump (perf_counter timestamps included,
+        so exporters can reconstruct the timeline)."""
         return {
             "name": self.name,
             "seconds": self.duration,
+            "started": self.started,
+            "ended": self.ended,
+            "thread": self.thread,
             "attrs": dict(self.attrs),
             "counters": dict(self.counters),
             "children": [child.to_dict() for child in self.children],
@@ -136,6 +185,10 @@ class _NoopSpan:
     children = ()
     counters = {}
     duration = 0.0
+    started = None
+    ended = None
+    thread = None
+    detailed = False
 
     @property
     def attrs(self):
@@ -184,10 +237,6 @@ class Tracer:
         self.enabled = enabled
         self._stats = stats
         self._registry = registry if registry is not None else NULL_REGISTRY
-        # Per-thread span stacks: concurrent queries each build their own
-        # tree; ``last_root`` is the most recent completed root from any
-        # thread (last-writer-wins, which is what EXPLAIN wants).
-        self._local = threading.local()
         self.last_root = None
 
     def span(self, name, **attrs):
@@ -196,12 +245,109 @@ class Tracer:
             return _NOOP_SPAN
         return Span(self, name, attrs)
 
-    def current(self):
-        """The innermost span open *on this thread*, or None."""
-        return getattr(self._local, "current", None)
+    def root_span(self, name, **attrs):
+        """A *detailed* span for a request-scoped trace.
 
-    def _set_current(self, span):
-        self._local.current = span
+        Detail propagates to every descendant: :func:`ambient_span`
+        call sites (per-chunk pipeline items, per-tile lookups) emit
+        real spans only inside a detailed tree, so request traces get
+        full depth while ordinary engine spans stay phase-granular.
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        return Span(self, name, attrs, detailed=True)
+
+    def timed_span(self, name, started, ended, parent=None, **attrs):
+        """Attach an already-measured interval as a completed span.
+
+        For costs measured across threads (admission queue wait, worker
+        hand-off, lock waits) where enter/exit context management is
+        impossible.  ``parent`` defaults to the thread's current span;
+        with no parent the span is recorded in the duration histogram
+        but belongs to no tree.
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        span = Span(self, name, attrs)
+        span.started = float(started)
+        span.ended = float(ended)
+        span.thread = threading.current_thread().name
+        if parent is None:
+            parent = self.current()
+        if parent is not None and parent is not _NOOP_SPAN:
+            span.parent = parent
+            parent.children.append(span)
+            span.detailed = parent.detailed
+        self._registry.histogram("repro_span_seconds",
+                                 span=name).observe(span.duration)
+        return span
+
+    def current(self):
+        """The innermost span of *this tracer* open on this thread."""
+        span = getattr(_local, "current", None)
+        if span is not None and span._tracer is self:
+            return span
+        return None
+
+
+class activate:
+    """Context manager: make ``span`` the calling thread's current span.
+
+    The cross-thread half of request tracing: a worker thread that
+    executes on behalf of a request activates the request's root span,
+    so every span the work produces nests under it.  ``None`` (or a
+    no-op span) deactivates nothing and costs nothing.
+    """
+
+    __slots__ = ("_span", "_prev")
+
+    def __init__(self, span):
+        self._span = None if span is _NOOP_SPAN else span
+        self._prev = None
+
+    def __enter__(self):
+        self._prev = getattr(_local, "current", None)
+        if self._span is not None:
+            _local.current = self._span
+        return self._span
+
+    def __exit__(self, *exc_info):
+        _local.current = self._prev
+        return False
+
+
+def ambient_span(name, **attrs):
+    """A child span of the thread's current span — detailed trees only.
+
+    The hook for per-item instrumentation (chunk pipeline items, tile
+    lookups): inside a request-scoped (:meth:`Tracer.root_span`) tree
+    it creates a real span; under an ordinary engine span, or no span,
+    it returns the shared no-op — one thread-local read and a flag
+    check, nothing else.
+    """
+    current = getattr(_local, "current", None)
+    if current is None or not current.detailed:
+        return _NOOP_SPAN
+    tracer = current._tracer
+    if not tracer.enabled:
+        return _NOOP_SPAN
+    return Span(tracer, name, attrs)
+
+
+def attach_timed(name, started, ended, **attrs):
+    """Attach a measured interval to the thread's current trace, if any.
+
+    Used by instrumentation that measures unconditionally (lock waits)
+    but should only materialize spans when a trace is actually open.
+    Returns the span, or None when no trace was active.
+    """
+    current = getattr(_local, "current", None)
+    if current is None:
+        return None
+    tracer = current._tracer
+    if not tracer.enabled:
+        return None
+    return tracer.timed_span(name, started, ended, parent=current, **attrs)
 
 
 #: A tracer that records nothing; safe default for optional hooks.

@@ -25,9 +25,10 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 
 from ..errors import DeadlineExceededError, ServerOverloadedError
-from ..obs import NULL_REGISTRY
+from ..obs import NULL_REGISTRY, NULL_TRACER, activate
 from ..storage.deadline import deadline_scope
 
 _STOP = object()
@@ -39,17 +40,26 @@ class Job:
     Exactly one of ``result`` / ``error`` is set before :meth:`wait`
     returns True.  The submitting thread blocks in :meth:`wait`; the
     worker (or the shedding fast path) fulfils the job.
+
+    ``span`` is the request's root span (or None): the worker activates
+    it around :meth:`run`, which is how a trace crosses the pool
+    boundary.  ``submitted_at``/``finished_at`` are perf_counter stamps
+    bracketing the job's queue wait and worker hand-off, observed by
+    the controller and the service respectively.
     """
 
-    __slots__ = ("fn", "deadline", "request_id", "result", "error",
-                 "_done")
+    __slots__ = ("fn", "deadline", "request_id", "span", "result",
+                 "error", "submitted_at", "finished_at", "_done")
 
-    def __init__(self, fn, deadline=None, request_id=None):
+    def __init__(self, fn, deadline=None, request_id=None, span=None):
         self.fn = fn
         self.deadline = deadline
         self.request_id = request_id
+        self.span = span
         self.result = None
         self.error = None
+        self.submitted_at = None
+        self.finished_at = None
         self._done = threading.Event()
 
     def run(self):
@@ -58,15 +68,18 @@ class Job:
             with deadline_scope(self.deadline):
                 if self.deadline is not None:
                     self.deadline.check()
-                self.result = self.fn()
+                with activate(self.span):
+                    self.result = self.fn()
         except BaseException as exc:  # fulfil even on KeyboardInterrupt
             self.error = exc
         finally:
+            self.finished_at = time.perf_counter()
             self._done.set()
 
     def fail(self, error):
         """Fulfil the job with an error (used for queued timeouts)."""
         self.error = error
+        self.finished_at = time.perf_counter()
         self._done.set()
 
     def wait(self, timeout=None):
@@ -82,20 +95,24 @@ class AdmissionController:
         queue_depth: maximum *queued* (not yet executing) jobs; a
             submission beyond this is shed.
         metrics: a :class:`repro.obs.MetricsRegistry` for the
-            queue-depth gauge and the shed/timeout counters (the
-            engine's registry in production, so ``/stats`` reports
-            them).
+            queue-depth gauge, the ``server_queue_wait_seconds``
+            histogram and the shed/timeout counters (the engine's
+            registry in production, so ``/stats`` reports them).
+        tracer: a :class:`repro.obs.Tracer`; when a job carries a
+            request span, its queue wait is attached to that span as an
+            ``admission.queue_wait`` child.
         retry_after: seconds suggested to shed clients.
     """
 
     def __init__(self, workers=4, queue_depth=16, metrics=None,
-                 retry_after=1):
+                 tracer=None, retry_after=1):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
         self._queue = queue.Queue(maxsize=int(queue_depth))
         self._metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._retry_after = int(retry_after)
         self._closed = False
         self._lock = threading.Lock()
@@ -118,7 +135,7 @@ class AdmissionController:
         """Maximum queued jobs before shedding."""
         return self._queue.maxsize
 
-    def submit(self, fn, deadline=None, request_id=None):
+    def submit(self, fn, deadline=None, request_id=None, span=None):
         """Admit ``fn`` or shed it.
 
         Returns the queued :class:`Job`.  Raises
@@ -126,7 +143,8 @@ class AdmissionController:
         controller is shut down — the caller answers 503 without the
         engine ever seeing the request.
         """
-        job = Job(fn, deadline=deadline, request_id=request_id)
+        job = Job(fn, deadline=deadline, request_id=request_id, span=span)
+        job.submitted_at = time.perf_counter()
         with self._lock:
             if self._closed:
                 raise ServerOverloadedError(
@@ -149,6 +167,14 @@ class AdmissionController:
                 return
             self._metrics.gauge("server_queue_depth") \
                 .set(self._queue.qsize())
+            picked_up = time.perf_counter()
+            if job.submitted_at is not None:
+                self._metrics.histogram("server_queue_wait_seconds") \
+                    .observe(picked_up - job.submitted_at)
+                if job.span is not None:
+                    self._tracer.timed_span(
+                        "admission.queue_wait", job.submitted_at,
+                        picked_up, parent=job.span)
             if job.deadline is not None and job.deadline.expired():
                 # Expired while queued: fail without touching the engine.
                 self._metrics.counter("server_timeout_total").inc()

@@ -16,6 +16,7 @@ import urllib.parse
 import urllib.request
 
 from ..errors import ServerError, ServerOverloadedError
+from ..obs import make_traceparent
 
 
 class ClientResponse:
@@ -41,6 +42,12 @@ class ClientResponse:
     def request_id(self):
         """The server-assigned request id, when present."""
         return self.headers.get("X-Repro-Request-Id")
+
+    @property
+    def trace_id(self):
+        """The request's trace id, when present (join key for
+        ``GET /trace/<id>`` and the slow-query log)."""
+        return self.headers.get("X-Repro-Trace-Id")
 
 
 class ReproClient:
@@ -87,12 +94,17 @@ class ReproClient:
                                       exc.read())
 
     def query_response(self, sql, timeout_ms=None, sleep_ms=None,
-                       strict=None):
+                       strict=None, sampled=None):
         """``POST /query`` returning the raw :class:`ClientResponse`.
 
         ``strict``: override the server's degraded-read policy for this
         request (True: a corrupt chunk fails with 500 instead of a
         flagged partial answer).
+
+        Every request carries a fresh W3C ``traceparent`` header;
+        ``sampled=True`` sets its sampled flag, asking the server to
+        retain the request's trace unconditionally (fetch it back via
+        ``response.trace_id``).
         """
         payload = {"sql": sql}
         if timeout_ms is not None:
@@ -101,13 +113,19 @@ class ReproClient:
             payload["sleep_ms"] = sleep_ms
         if strict is not None:
             payload["strict"] = bool(strict)
+        headers = {"Content-Type": "application/json",
+                   "traceparent": make_traceparent(sampled=bool(sampled))}
         return self.request("POST", "/query",
                             body=json.dumps(payload).encode("utf-8"),
-                            headers={"Content-Type": "application/json"})
+                            headers=headers)
 
     def render_response(self, series, width=256, height=64, fmt="json",
-                        timeout_ms=None, sleep_ms=None, strict=None):
-        """``GET /render`` returning the raw :class:`ClientResponse`."""
+                        timeout_ms=None, sleep_ms=None, strict=None,
+                        sampled=None):
+        """``GET /render`` returning the raw :class:`ClientResponse`.
+
+        ``sampled`` as for :meth:`query_response`.
+        """
         params = {"series": series, "width": width, "height": height,
                   "format": fmt}
         if timeout_ms is not None:
@@ -116,12 +134,14 @@ class ReproClient:
             params["sleep_ms"] = sleep_ms
         if strict is not None:
             params["strict"] = "1" if strict else "0"
+        headers = {"traceparent": make_traceparent(sampled=bool(sampled))}
         return self.request("GET", "/render?"
-                            + urllib.parse.urlencode(params))
+                            + urllib.parse.urlencode(params),
+                            headers=headers)
 
     # -- typed layer -------------------------------------------------------------------
 
-    def query(self, sql, timeout_ms=None):
+    def query(self, sql, timeout_ms=None, sampled=None):
         """Run one SQL query.
 
         Args:
@@ -129,6 +149,8 @@ class ReproClient:
                 ``SELECT M4(v) FROM s GROUP BY SPANS(100)``.
             timeout_ms: optional server-side deadline; exceeding it
                 answers 504 (raised as :class:`ServerError`).
+            sampled: ask the server to retain this request's trace
+                (fetch it back with :meth:`trace`).
 
         Returns:
             The decoded response body: ``{"request_id", "columns",
@@ -139,12 +161,11 @@ class ReproClient:
             ServerError: any other non-2xx answer (bad SQL, unknown
                 series, deadline exceeded, strict-mode corruption).
         """
-        return self._checked(self.query_response(sql,
-                                                 timeout_ms=timeout_ms)) \
-            .json()
+        return self._checked(self.query_response(
+            sql, timeout_ms=timeout_ms, sampled=sampled)).json()
 
     def render(self, series, width=256, height=64, fmt="json",
-               timeout_ms=None):
+               timeout_ms=None, sampled=None):
         """Render a series to pixel columns server-side.
 
         Args:
@@ -153,6 +174,7 @@ class ReproClient:
             fmt: ``"json"`` (per-column point dict) or ``"pbm"``
                 (portable bitmap bytes).
             timeout_ms: optional server-side deadline.
+            sampled: ask the server to retain this request's trace.
 
         Returns:
             A dict for ``json``, raw bytes for ``pbm``.
@@ -162,7 +184,7 @@ class ReproClient:
         """
         response = self._checked(self.render_response(
             series, width=width, height=height, fmt=fmt,
-            timeout_ms=timeout_ms))
+            timeout_ms=timeout_ms, sampled=sampled))
         return response.body if fmt == "pbm" else response.json()
 
     def series(self):
@@ -170,13 +192,58 @@ class ReproClient:
         return self._checked(self.request("GET", "/series")) \
             .json()["series"]
 
-    def stats(self):
-        """The server's observability snapshot."""
+    def stats(self, fmt="json"):
+        """The server's observability snapshot.
+
+        ``fmt="prometheus"`` returns exposition text (str) instead of
+        the JSON document.
+        """
+        if fmt == "prometheus":
+            response = self._checked(
+                self.request("GET", "/stats?format=prometheus"))
+            return response.body.decode("utf-8")
         return self._checked(self.request("GET", "/stats")).json()
 
     def healthz(self):
         """The health/load document."""
         return self._checked(self.request("GET", "/healthz")).json()
+
+    def trace_list(self, limit=50):
+        """Summaries of retained request traces (newest first)."""
+        return self._checked(self.request(
+            "GET", "/trace?limit=%d" % int(limit))).json()
+
+    def trace(self, key, fmt="json"):
+        """One retained trace by request id or trace id.
+
+        ``fmt="chrome"`` returns the Chrome ``trace_event`` document
+        (a dict with ``traceEvents``) instead of the raw span tree.
+
+        Raises :class:`ServerError` (404) when the trace was not
+        retained — ask for it with ``sampled=True`` at query time.
+        """
+        path = "/trace/" + urllib.parse.quote(str(key))
+        if fmt == "chrome":
+            path += "?format=chrome"
+        return self._checked(self.request("GET", path)).json()
+
+    def profile_start(self, interval_ms=None):
+        """Start the server's sampling profiler."""
+        payload = {"action": "start"}
+        if interval_ms is not None:
+            payload["interval_ms"] = interval_ms
+        return self._checked(self.request(
+            "POST", "/profile",
+            body=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"})).json()
+
+    def profile_stop(self):
+        """Stop the profiler; the result's ``collapsed`` field holds
+        flamegraph.pl-compatible collapsed stacks."""
+        return self._checked(self.request(
+            "POST", "/profile",
+            body=json.dumps({"action": "stop"}).encode("utf-8"),
+            headers={"Content-Type": "application/json"})).json()
 
     def _checked(self, response):
         if response.ok:

@@ -13,8 +13,16 @@ Endpoints::
     POST /query    {"sql": ..., "timeout_ms": ...}  -> JSON rows
     GET  /render?series=..&width=..&height=..&format=json|pbm
     GET  /series   registered series + time ranges
-    GET  /stats    observability snapshot (+ server section)
+    GET  /stats    observability snapshot (?format=prometheus for text)
     GET  /healthz  liveness and load signals
+    GET  /trace    retained request traces (newest first)
+    GET  /trace/<id>  one trace (?format=chrome for trace_event JSON)
+    GET  /profile  sampling profiler status
+    POST /profile  {"action": "start"|"stop", "interval_ms": ...}
+
+``query`` and ``render`` accept a W3C ``traceparent`` request header;
+the response carries ``X-Repro-Trace-Id`` so clients can fetch their
+own trace back.
 
 Shutdown (:meth:`ServerHandle.stop`) is a strict sequence: stop
 accepting, drain the admission queue (in-flight requests complete and
@@ -47,13 +55,21 @@ class _Handler(BaseHTTPRequestHandler):
             params = dict(parse_qsl(split.query))
             service = self.server.service
             if split.path == "/render":
-                self._send(service.render(params))
+                self._send(service.render(params,
+                                          headers=self._trace_headers()))
             elif split.path == "/series":
                 self._send(service.series())
             elif split.path == "/stats":
-                self._send(service.stats())
+                self._send(service.stats(params))
             elif split.path == "/healthz":
                 self._send(service.healthz())
+            elif split.path == "/trace":
+                self._send(service.traces(params))
+            elif split.path.startswith("/trace/"):
+                key = split.path[len("/trace/"):]
+                self._send(service.trace(key, params))
+            elif split.path == "/profile":
+                self._send(service.profile_status())
             else:
                 self._send(Response(404,
                                     b'{"error": "no such endpoint"}'))
@@ -61,7 +77,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self):
         with self.server.track_request():
             split = urlsplit(self.path)
-            if split.path != "/query":
+            if split.path not in ("/query", "/profile"):
                 self._send(Response(404,
                                     b'{"error": "no such endpoint"}'))
                 return
@@ -72,7 +88,17 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(Response(400,
                                     b'{"error": "body is not JSON"}'))
                 return
-            self._send(self.server.service.query(payload))
+            service = self.server.service
+            if split.path == "/profile":
+                self._send(service.profile(payload))
+                return
+            self._send(service.query(payload,
+                                     headers=self._trace_headers()))
+
+    def _trace_headers(self):
+        """The request headers the service cares about (lower-cased)."""
+        traceparent = self.headers.get("traceparent")
+        return {"traceparent": traceparent} if traceparent else {}
 
     def _send(self, response):
         try:

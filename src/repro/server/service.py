@@ -11,6 +11,16 @@ Every request gets an id (``r000042``); it is returned in the response
 body, stamped on the ``X-Repro-Request-Id`` header, and attached to any
 slow-query log entry the request produces, so a slow dashboard frame
 can be traced from client to engine.
+
+Requests are also *traced* end to end: the service parses the client's
+W3C ``traceparent`` header (or mints a trace id itself), opens a
+request-scoped root span around admission, and the worker re-roots the
+engine's spans under it — so one tree shows admission queue wait,
+worker hand-off, lock waits, per-chunk pipeline items and tile-cache
+lookups.  Completed trees land in the engine's
+:class:`~repro.obs.TraceStore` and are served by ``GET /trace`` (with
+Chrome ``trace_event`` export) plus joined to the slow-query log via
+the trace id.
 """
 
 from __future__ import annotations
@@ -27,6 +37,13 @@ from ..errors import (
     ReproError,
     SeriesNotFoundError,
     ServerOverloadedError,
+)
+from ..obs import (
+    SamplingProfiler,
+    make_traceparent,
+    parse_traceparent,
+    to_chrome_trace,
+    to_prometheus,
 )
 from ..query.executor import Executor
 from ..query.sql import parse as parse_sql
@@ -151,12 +168,15 @@ class QueryService:
         self._executor = Executor(
             engine, degraded=False if self._config.strict else None)
         self._metrics = engine.metrics
+        self._tracer = engine.tracer
         self._ids = itertools.count(1)
         self._id_lock = threading.Lock()
+        self._profiler = SamplingProfiler()
         self._admission = AdmissionController(
             workers=self._config.workers,
             queue_depth=self._config.queue_depth,
             metrics=engine.metrics,
+            tracer=engine.tracer,
             retry_after=self._config.retry_after_seconds)
 
     @property
@@ -174,19 +194,26 @@ class QueryService:
         """The service's :class:`AdmissionController`."""
         return self._admission
 
+    @property
+    def profiler(self):
+        """The service-owned :class:`~repro.obs.SamplingProfiler`."""
+        return self._profiler
+
     def shutdown(self):
         """Drain the admission queue (blocks until in-flight work ends)."""
+        self._profiler.stop()
         self._admission.shutdown()
 
     # -- endpoints ---------------------------------------------------------------------
 
-    def query(self, payload):
+    def query(self, payload, headers=None):
         """``POST /query``: ``{"sql": ..., "timeout_ms": optional}``."""
         if not isinstance(payload, dict) or "sql" not in payload:
             return self._error(400, None, "body must be a JSON object "
                                           "with an 'sql' field")
         sql = payload["sql"]
         rid = self._next_id()
+        trace = self._trace_context(headers)
         sleep_s = self._debug_sleep(payload)
         executor = self._request_executor(payload)
 
@@ -196,7 +223,8 @@ class QueryService:
             parsed = parse_sql(sql)
             table = executor.execute(
                 parsed, statement=sql,
-                slow_info={"request_id": rid, "endpoint": "query"})
+                slow_info={"request_id": rid, "endpoint": "query",
+                           "trace_id": trace.trace_id})
             body = {
                 "request_id": rid,
                 "columns": list(table.columns),
@@ -211,9 +239,10 @@ class QueryService:
             return Response(200, _json_bytes(body), headers=headers)
 
         return self._admit("query", rid, run,
-                           timeout_ms=payload.get("timeout_ms"))
+                           timeout_ms=payload.get("timeout_ms"),
+                           trace=trace)
 
-    def render(self, params):
+    def render(self, params, headers=None):
         """``GET /render``: M4-reduce a series to pixel columns.
 
         Params: ``series`` (required), ``width``/``height``,
@@ -233,6 +262,7 @@ class QueryService:
         if fmt not in ("json", "pbm"):
             return self._error(400, None, "format must be json or pbm")
         rid = self._next_id()
+        trace = self._trace_context(headers)
         sleep_s = self._debug_sleep(params)
         strict = self._strict(params)
 
@@ -246,7 +276,8 @@ class QueryService:
             self._engine.slow_log.record(
                 "RENDER %s %dx%d" % (series, width, height),
                 time.perf_counter() - started,
-                endpoint="render", request_id=rid, series=series)
+                endpoint="render", request_id=rid, series=series,
+                trace_id=trace.trace_id)
             headers = {}
             if result.degraded:
                 # Binary formats carry the flag in headers only.
@@ -270,7 +301,8 @@ class QueryService:
             return Response(200, _json_bytes(body), headers=headers)
 
         return self._admit("render", rid, run,
-                           timeout_ms=params.get("timeout_ms"))
+                           timeout_ms=params.get("timeout_ms"),
+                           trace=trace)
 
     def series(self):
         """``GET /series``: name + time range per series (inline)."""
@@ -293,8 +325,24 @@ class QueryService:
         self._count("series", 200)
         return Response(200, _json_bytes({"series": out}))
 
-    def stats(self):
-        """``GET /stats``: obs snapshot + server section (inline)."""
+    def stats(self, params=None):
+        """``GET /stats``: obs snapshot + server section (inline).
+
+        ``?format=prometheus`` answers text exposition format 0.0.4
+        instead of JSON, so a scraper can target a live server directly
+        (previously only ``repro stats --format prometheus`` over a
+        closed store could).
+        """
+        fmt = (params or {}).get("format", "json")
+        if fmt not in ("json", "prometheus"):
+            return self._error(400, None,
+                               "format must be json or prometheus")
+        if fmt == "prometheus":
+            text = to_prometheus(self._metrics.snapshot())
+            self._count("stats", 200)
+            return Response(
+                200, text.encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8")
         snapshot = self._engine.observability_snapshot()
         snapshot["server"] = {
             "workers": self._admission.workers,
@@ -316,6 +364,7 @@ class QueryService:
         """``GET /healthz``: cheap liveness + load signals (inline)."""
         metrics = self._metrics
         quarantine = getattr(self._engine, "quarantine", None)
+        queue_wait = metrics.histogram("server_queue_wait_seconds")
         body = {
             "status": "ok",
             "series": len(self._engine.series_names()),
@@ -323,37 +372,171 @@ class QueryService:
             "inflight": metrics.gauge("server_inflight").value,
             "shed_total": metrics.counter("server_shed_total").value,
             "timeout_total": metrics.counter("server_timeout_total").value,
+            "queue_wait_p50_seconds": queue_wait.quantile(0.50),
+            "queue_wait_p99_seconds": queue_wait.quantile(0.99),
             "quarantined_chunks":
                 len(quarantine) if quarantine is not None else 0,
         }
         return Response(200, _json_bytes(body))
 
+    def traces(self, params=None):
+        """``GET /trace``: newest-first listing of retained traces.
+
+        Summaries only (id, endpoint, status, latency); fetch one by id
+        via ``GET /trace/<request_id-or-trace_id>``.
+        """
+        params = params or {}
+        try:
+            limit = int(params.get("limit", 50))
+        except ValueError:
+            return self._error(400, None, "limit must be an integer")
+        store = self._engine.traces
+        entries = store.entries()[:max(limit, 0)]
+        body = {
+            "traces": [{
+                "request_id": e["request_id"],
+                "trace_id": e["trace_id"],
+                "endpoint": e["endpoint"],
+                "status": e["status"],
+                "seconds": e["seconds"],
+                "sampled": e["sampled"],
+                "unix_time": e["unix_time"],
+            } for e in entries],
+            "store": store.stats(),
+        }
+        self._count("trace", 200)
+        return Response(200, _json_bytes(body))
+
+    def trace(self, key, params=None):
+        """``GET /trace/<id>``: one retained trace, by request or trace
+        id.  ``?format=chrome`` answers Chrome ``trace_event`` JSON
+        (loadable in about:tracing / Perfetto) instead of the raw span
+        tree."""
+        fmt = (params or {}).get("format", "json")
+        if fmt not in ("json", "chrome"):
+            return self._error(400, None, "format must be json or chrome")
+        entry = self._engine.traces.get(key)
+        if entry is None:
+            response = self._error(404, None, "no retained trace %r" % key)
+            self._count("trace", 404)
+            return response
+        self._count("trace", 200)
+        if fmt == "chrome":
+            return Response(200, _json_bytes(to_chrome_trace(entry)))
+        return Response(200, _json_bytes(entry))
+
+    def profile(self, payload):
+        """``POST /profile``: ``{"action": "start"|"stop",
+        "interval_ms": optional}`` driving the sampling profiler.
+
+        ``start`` is idempotent (409 when already running); ``stop``
+        returns the collapsed-stack text (flamegraph.pl format) in the
+        ``collapsed`` field.
+        """
+        if not isinstance(payload, dict):
+            return self._error(400, None, "body must be a JSON object")
+        action = payload.get("action")
+        if action == "start":
+            interval = None
+            if payload.get("interval_ms") is not None:
+                try:
+                    interval = float(payload["interval_ms"]) / 1000.0
+                except (TypeError, ValueError):
+                    return self._error(400, None,
+                                       "interval_ms must be a number")
+                if interval <= 0:
+                    return self._error(400, None,
+                                       "interval_ms must be positive")
+            if not self._profiler.start(interval=interval):
+                return self._error(409, None, "profiler already running")
+            self._count("profile", 200)
+            return Response(200, _json_bytes(
+                {"status": "started", "profile": self._profiler.stats()}))
+        if action == "stop":
+            if not self._profiler.running:
+                return self._error(409, None, "profiler is not running")
+            collapsed = self._profiler.stop()
+            self._count("profile", 200)
+            return Response(200, _json_bytes(
+                {"status": "stopped", "collapsed": collapsed,
+                 "profile": self._profiler.stats()}))
+        return self._error(400, None, "action must be start or stop")
+
+    def profile_status(self):
+        """``GET /profile``: sampler state (and collapsed stacks once
+        stopped)."""
+        body = {"profile": self._profiler.stats()}
+        if not self._profiler.running:
+            collapsed = self._profiler.collapsed()
+            if collapsed:
+                body["collapsed"] = collapsed
+        self._count("profile", 200)
+        return Response(200, _json_bytes(body))
+
     # -- admission plumbing ------------------------------------------------------------
 
-    def _admit(self, endpoint, rid, fn, timeout_ms=None):
+    def _trace_context(self, headers):
+        """The request's trace context: the client's ``traceparent``
+        when present and valid, else a server-minted unsampled one."""
+        ctx = parse_traceparent((headers or {}).get("traceparent"))
+        if ctx is None:
+            ctx = parse_traceparent(make_traceparent(sampled=False))
+        return ctx
+
+    def _admit(self, endpoint, rid, fn, timeout_ms=None, trace=None):
         deadline = Deadline(self._timeout_seconds(timeout_ms))
         started = time.perf_counter()
-        try:
-            job = self._admission.submit(fn, deadline=deadline,
-                                         request_id=rid)
-        except ServerOverloadedError as exc:
-            response = self._error(503, rid, str(exc))
-            response.headers["Retry-After"] = str(exc.retry_after)
-            return self._finish(endpoint, rid, started, response)
-        job.wait()  # fulfilment is guaranteed: run, queued-expiry or drain
+        root = self._tracer.root_span(
+            "request", endpoint=endpoint, request_id=rid,
+            trace_id=trace.trace_id if trace is not None else None)
+        job = shed = None
+        with root:
+            try:
+                job = self._admission.submit(
+                    fn, deadline=deadline, request_id=rid,
+                    span=root if self._tracer.enabled else None)
+            except ServerOverloadedError as exc:
+                shed = exc
+            if job is not None:
+                # Fulfilment is guaranteed: run, queued-expiry or drain.
+                job.wait()
+                if job.finished_at is not None:
+                    # Worker -> submitter hand-off: the gap between the
+                    # job being fulfilled and this thread resuming.
+                    now = time.perf_counter()
+                    self._metrics.histogram("server_handoff_seconds") \
+                        .observe(max(now - job.finished_at, 0.0))
+                    self._tracer.timed_span(
+                        "server.handoff", job.finished_at, now,
+                        parent=root)
+        if shed is not None:
+            response = self._error(503, rid, str(shed))
+            response.headers["Retry-After"] = str(shed.retry_after)
+            return self._finish(endpoint, rid, started, response,
+                                trace=trace, root=root)
         if job.error is not None:
             return self._finish(endpoint, rid, started,
-                                self._map_error(rid, job.error))
+                                self._map_error(rid, job.error),
+                                trace=trace, root=root)
         response = job.result
         response.headers.setdefault("X-Repro-Request-Id", rid)
-        return self._finish(endpoint, rid, started, response)
+        return self._finish(endpoint, rid, started, response,
+                            trace=trace, root=root)
 
-    def _finish(self, endpoint, rid, started, response):
+    def _finish(self, endpoint, rid, started, response, trace=None,
+                root=None):
         seconds = time.perf_counter() - started
         self._metrics.histogram("server_request_seconds",
                                 endpoint=endpoint).observe(seconds)
         self._count(endpoint, response.status)
         response.headers.setdefault("X-Repro-Request-Id", rid or "-")
+        if trace is not None:
+            response.headers.setdefault("X-Repro-Trace-Id",
+                                        trace.trace_id)
+            if root is not None and self._tracer.enabled:
+                self._engine.traces.record(
+                    root, trace.trace_id, rid, endpoint,
+                    response.status, sampled=trace.sampled)
         return response
 
     def _count(self, endpoint, status):

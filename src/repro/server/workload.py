@@ -28,6 +28,7 @@ request start in closed-loop mode.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import random
 import threading
 import time
@@ -78,6 +79,10 @@ class WorkloadReport:
     timeouts: int = 0      # 504: deadline exceeded
     errors: int = 0        # anything else (transport, 4xx/5xx)
     latencies: list = dataclasses.field(default_factory=list)
+    #: per accepted request: {"latency", "request_id", "trace_id",
+    #: "sampled"} — the join key back to the server's /trace store and
+    #: slow-query log.
+    samples: list = dataclasses.field(default_factory=list)
 
     @property
     def throughput(self):
@@ -99,6 +104,11 @@ class WorkloadReport:
         rank = max(int(q * len(ordered) + 0.5), 1)
         return ordered[min(rank, len(ordered)) - 1]
 
+    def slowest(self, n=5):
+        """The ``n`` slowest accepted samples, with their server-side
+        request/trace ids (the join key for ``GET /trace/<id>``)."""
+        return sorted(self.samples, key=lambda s: -s["latency"])[:n]
+
     def as_dict(self):
         """A JSON-able summary row."""
         return {
@@ -116,6 +126,7 @@ class WorkloadReport:
             "p50_seconds": self.percentile(0.50),
             "p95_seconds": self.percentile(0.95),
             "p99_seconds": self.percentile(0.99),
+            "slowest": self.slowest(),
         }
 
     def render(self):
@@ -147,11 +158,14 @@ class SessionWorkload:
         align: snap every viewport to the power-of-two span grid
             (:func:`repro.core.tiles.snap_viewport`) so a tile-cached
             server reuses tiles across the session's pans and zooms.
+        trace_every: set the traceparent sampled flag on every n-th
+            request (across all users), asking the server to retain
+            those traces; 0 never samples.
     """
 
     def __init__(self, base_url, series=None, width=256, seed=0,
                  timeout_ms=None, client_timeout=30.0, render_every=8,
-                 align=False):
+                 align=False, trace_every=16):
         self._base_url = base_url
         self._series = list(series) if series else None
         self._width = int(width)
@@ -160,6 +174,8 @@ class SessionWorkload:
         self._client_timeout = float(client_timeout)
         self._render_every = int(render_every)
         self._align = bool(align)
+        self._trace_every = int(trace_every)
+        self._issued = itertools.count(1)
         self._lock = threading.Lock()
 
     def _client(self):
@@ -198,20 +214,32 @@ class SessionWorkload:
 
     def _issue(self, client, op):
         kind, name, start, end = op
+        sampled = bool(self._trace_every) and \
+            next(self._issued) % self._trace_every == 0
         if kind == "render":
-            return client.render_response(name, width=self._width,
-                                          height=64, fmt="json",
-                                          timeout_ms=self._timeout_ms)
-        sql = ("SELECT M4(v) FROM %s WHERE time >= %d AND time < %d "
-               "GROUP BY SPANS(%d)" % (name, start, end, self._width))
-        return client.query_response(sql, timeout_ms=self._timeout_ms)
+            response = client.render_response(
+                name, width=self._width, height=64, fmt="json",
+                timeout_ms=self._timeout_ms, sampled=sampled)
+        else:
+            sql = ("SELECT M4(v) FROM %s WHERE time >= %d AND time < %d "
+                   "GROUP BY SPANS(%d)" % (name, start, end, self._width))
+            response = client.query_response(
+                sql, timeout_ms=self._timeout_ms, sampled=sampled)
+        return response, sampled
 
-    def _record(self, report, status, latency):
+    def _record(self, report, status, latency, request_id=None,
+                trace_id=None, sampled=False):
         with self._lock:
             report.total += 1
             if status == 200:
                 report.ok += 1
                 report.latencies.append(latency)
+                report.samples.append({
+                    "latency": latency,
+                    "request_id": request_id,
+                    "trace_id": trace_id,
+                    "sampled": sampled,
+                })
             elif status == 503:
                 report.shed += 1
             elif status == 504:
@@ -236,13 +264,19 @@ class SessionWorkload:
                     if time.monotonic() >= stop_at:
                         return
                     started = time.monotonic()
+                    request_id = trace_id = None
+                    sampled = False
                     try:
-                        response = self._issue(client, op)
+                        response, sampled = self._issue(client, op)
                         status = response.status
+                        request_id = response.request_id
+                        trace_id = response.trace_id
                     except OSError:
                         status = -1
                     self._record(report, status,
-                                 time.monotonic() - started)
+                                 time.monotonic() - started,
+                                 request_id=request_id,
+                                 trace_id=trace_id, sampled=sampled)
 
         threads = [threading.Thread(target=user_loop, args=(i,),
                                     daemon=True)
@@ -288,13 +322,19 @@ class SessionWorkload:
 
             def fire(op=op, scheduled=scheduled):
                 client = self._client()
+                request_id = trace_id = None
+                sampled = False
                 try:
-                    response = self._issue(client, op)
+                    response, sampled = self._issue(client, op)
                     status = response.status
+                    request_id = response.request_id
+                    trace_id = response.trace_id
                 except OSError:
                     status = -1
                 self._record(report, status,
-                             time.monotonic() - scheduled)
+                             time.monotonic() - scheduled,
+                             request_id=request_id,
+                             trace_id=trace_id, sampled=sampled)
 
             thread = threading.Thread(target=fire, daemon=True)
             thread.start()

@@ -44,6 +44,8 @@ class StorageConfig:
     tile_cache_bytes: int = 0         # M4 tile LRU budget (0 = off)
     tile_cache_spans: int = 64        # spans (grid cells) per tile
     tile_cache_persist: bool = False  # snapshot tiles.cache on close
+    trace_capacity: int = 256         # retained request traces (ring)
+    trace_sample_every: int = 16      # keep 1-in-N unsampled fast traces
 
     def __post_init__(self):
         if self.avg_series_point_number_threshold <= 0:
@@ -67,6 +69,10 @@ class StorageConfig:
             raise ValueError("tile_cache_bytes must be >= 0")
         if self.tile_cache_spans < 1:
             raise ValueError("tile_cache_spans must be >= 1")
+        if self.trace_capacity <= 0:
+            raise ValueError("trace_capacity must be positive")
+        if self.trace_sample_every < 0:
+            raise ValueError("trace_sample_every must be >= 0")
 
 
 DEFAULT_CONFIG = StorageConfig()

@@ -23,6 +23,7 @@ import threading
 import time
 
 from ..errors import DeadlineExceededError
+from ..obs.tracer import attach_timed
 
 _local = threading.local()
 
@@ -49,10 +50,19 @@ class Deadline:
         return time.monotonic() >= self.expires_at
 
     def check(self):
-        """Raise :class:`DeadlineExceededError` when expired."""
+        """Raise :class:`DeadlineExceededError` when expired.
+
+        When a request trace is active on this thread, the abort leaves
+        a zero-width ``deadline.exceeded`` marker span behind, so the
+        trace shows *where* in the tree the budget ran out.  The
+        non-expired path stays span-free.
+        """
         if self.expired():
+            past = -self.remaining()
+            now = time.perf_counter()
+            attach_timed("deadline.exceeded", now, now, past_s=round(past, 6))
             raise DeadlineExceededError(
-                "deadline exceeded (%.3fs past expiry)" % -self.remaining())
+                "deadline exceeded (%.3fs past expiry)" % past)
 
 
 def current_deadline():

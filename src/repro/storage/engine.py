@@ -33,7 +33,7 @@ import os
 import threading
 
 from ..errors import SeriesNotFoundError, StorageError
-from ..obs import MetricsRegistry, SlowQueryLog, Tracer
+from ..obs import MetricsRegistry, SlowQueryLog, TraceStore, Tracer
 from . import faultfs
 from .cache import ChunkCache
 from .catalog import CatalogFile
@@ -41,7 +41,7 @@ from .chunk import write_chunk
 from .config import DEFAULT_CONFIG
 from .deletes import Delete, DeleteList
 from .iostats import IoStats
-from .locks import RWLock
+from .locks import LockWaitObs, RWLock
 from .memtable import MemTable
 from .mods import ModsFile
 from .parallel import ChunkPipeline, serial_map
@@ -59,13 +59,16 @@ class SeriesState:
 
     ``lock`` is the series' reader/writer lock: writes, flushes and
     deletes hold the write side; queries snapshot chunk/delete state
-    under the read side.
+    under the read side.  When the engine passes its registry, every
+    acquisition wait lands in ``lock_wait_seconds{series,side}`` (and,
+    inside request traces, as ``lock.wait`` spans).
     """
 
-    def __init__(self, series_id, name):
+    def __init__(self, series_id, name, metrics=None):
         self.series_id = series_id
         self.name = name
-        self.lock = RWLock()
+        obs = LockWaitObs(metrics, name) if metrics is not None else None
+        self.lock = RWLock(obs=obs)
         self.memtable = MemTable()
         self.chunks = []          # sealed ChunkMetadata, version order
         self.deletes = DeleteList()
@@ -93,6 +96,9 @@ class StorageEngine:
                               enabled=config.metrics_enabled)
         self._slow_log = SlowQueryLog(config.slow_query_seconds,
                                       config.slow_query_log_size)
+        self._traces = TraceStore(config.trace_capacity,
+                                  config.trace_sample_every,
+                                  config.slow_query_seconds)
         self._io_base = IoStats()  # counters persisted by prior sessions
         self._load_obs_snapshot()
         # Engine-level lock: catalog, versions, active writer, reader
@@ -175,6 +181,16 @@ class StorageEngine:
     def slow_log(self):
         """The engine's rolling :class:`repro.obs.SlowQueryLog`."""
         return self._slow_log
+
+    @property
+    def traces(self):
+        """The engine's :class:`repro.obs.TraceStore` of request traces.
+
+        In-memory only (traces are a live-debugging surface, not
+        durable state); populated by the HTTP service layer, read by
+        ``GET /trace`` and ``repro trace``.
+        """
+        return self._traces
 
     # -- observability snapshot / persistence ------------------------------------------
 
@@ -278,7 +294,7 @@ class StorageEngine:
                 return self._series[name].series_id
             series_id = self._next_series_id
             self._next_series_id += 1
-            state = SeriesState(series_id, name)
+            state = SeriesState(series_id, name, metrics=self._metrics)
             self._series[name] = state
             self._series_by_id[series_id] = state
             self._catalog.append(series_id, name)
@@ -288,7 +304,7 @@ class StorageEngine:
     def _register_recovered_series(self, series_id, name):
         """Recovery hook: re-register a series read from the catalog."""
         with self._lock:
-            state = SeriesState(series_id, name)
+            state = SeriesState(series_id, name, metrics=self._metrics)
             self._series[name] = state
             self._series_by_id[series_id] = state
             self._next_series_id = max(self._next_series_id, series_id + 1)

@@ -16,13 +16,42 @@ under its own write lock without deadlocking itself.
 
 :class:`RWLock` is writer-preferring: once a writer is waiting, new
 readers queue behind it, so a stream of M4 queries cannot starve a
-flush.
+flush.  Writer-preference is exactly where tail latency hides, so the
+lock accepts an optional :class:`LockWaitObs` that times every
+acquisition into ``lock_wait_seconds{series,side}`` histograms and —
+when a request trace is active on the acquiring thread — attaches a
+``lock.wait`` span to it.
 """
 
 from __future__ import annotations
 
 import contextlib
 import threading
+import time
+
+from ..obs.tracer import attach_timed
+
+
+class LockWaitObs:
+    """Sink for :class:`RWLock` acquisition wait times.
+
+    Histograms are looked up through the registry on every record (not
+    cached) so flipping ``registry.enabled`` at runtime — the obs
+    overhead benchmark does — takes effect immediately.
+    """
+
+    __slots__ = ("_metrics", "_series")
+
+    def __init__(self, metrics, series):
+        self._metrics = metrics
+        self._series = series
+
+    def record(self, side, started, ended):
+        waited = ended - started
+        self._metrics.histogram("lock_wait_seconds", series=self._series,
+                                side=side).observe(waited)
+        attach_timed("lock.wait", started, ended,
+                     series=self._series, side=side)
 
 
 class RWLock:
@@ -34,18 +63,35 @@ class RWLock:
     performed — the thread simply stays exclusive).  A thread holding
     only the read lock must not request the write lock (upgrade
     deadlock); the engine's call graph never does.
+
+    Args:
+        obs: optional :class:`LockWaitObs`; when set, every top-level
+            acquisition's wait time is recorded (outside the internal
+            condition lock, so observability never extends the critical
+            section).  Reentrant re-acquisitions are not timed — they
+            cannot wait.
     """
 
-    def __init__(self):
+    def __init__(self, obs=None):
         self._cond = threading.Condition(threading.Lock())
         self._readers = {}          # thread id -> recursive read depth
         self._writer = None         # thread id of the exclusive holder
         self._writer_depth = 0
         self._writers_waiting = 0
+        self._obs = obs
 
     # -- read side ------------------------------------------------------------------
 
     def acquire_read(self):
+        if self._obs is not None:
+            started = time.perf_counter()
+            timed = self._acquire_read()
+            if timed:
+                self._obs.record("read", started, time.perf_counter())
+            return
+        self._acquire_read()
+
+    def _acquire_read(self):
         me = threading.get_ident()
         with self._cond:
             if self._writer == me or me in self._readers:
@@ -54,10 +100,11 @@ class RWLock:
                     self._writer_depth += 1
                 else:
                     self._readers[me] += 1
-                return
+                return False
             while self._writer is not None or self._writers_waiting:
                 self._cond.wait()
             self._readers[me] = 1
+            return True
 
     def release_read(self):
         me = threading.get_ident()
@@ -81,11 +128,20 @@ class RWLock:
     # -- write side -----------------------------------------------------------------
 
     def acquire_write(self):
+        if self._obs is not None:
+            started = time.perf_counter()
+            timed = self._acquire_write()
+            if timed:
+                self._obs.record("write", started, time.perf_counter())
+            return
+        self._acquire_write()
+
+    def _acquire_write(self):
         me = threading.get_ident()
         with self._cond:
             if self._writer == me:
                 self._writer_depth += 1
-                return
+                return False
             if me in self._readers:
                 raise RuntimeError(
                     "read-to-write lock upgrade would deadlock")
@@ -97,6 +153,7 @@ class RWLock:
                 self._writers_waiting -= 1
             self._writer = me
             self._writer_depth = 1
+            return True
 
     def release_write(self):
         me = threading.get_ident()

@@ -20,6 +20,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
+from ..obs.tracer import activate, ambient_span, current_span
 from .deadline import check_deadline, current_deadline, deadline_scope
 
 _WORKER_PREFIX = "repro-chunk"
@@ -72,19 +73,31 @@ class ChunkPipeline:
         (if any) propagates into the workers: each item checks it before
         running, so a timed-out query's queued chunk loads fail fast and
         the first :class:`~repro.errors.DeadlineExceededError` surfaces
-        on the submitting thread exactly like a serial abort.
+        on the submitting thread exactly like a serial abort.  The
+        submitting thread's open span propagates the same way: each
+        worker re-roots under it (see :func:`repro.obs.tracer.activate`),
+        so request traces show one ``pipeline.item`` span per chunk with
+        the worker thread it ran on.
         """
         items = list(items)
         deadline = current_deadline()
         if self._closed or len(items) <= 1 or in_worker_thread():
-            return [_checked(fn, item, deadline) for item in items]
-        if deadline is not None:
+            return [_checked(fn, item, deadline, i)
+                    for i, item in enumerate(items)]
+        span = current_span()
+        if deadline is not None or span is not None:
             inner = fn
 
-            def fn(item):
+            def fn(indexed):
+                i, item = indexed
                 with deadline_scope(deadline):
-                    deadline.check()
-                    return inner(item)
+                    if deadline is not None:
+                        deadline.check()
+                    with activate(span):
+                        with ambient_span("pipeline.item", index=i):
+                            return inner(item)
+
+            return list(self._executor.map(fn, enumerate(items)))
         return list(self._executor.map(fn, items))
 
     def shutdown(self):
@@ -100,13 +113,17 @@ class ChunkPipeline:
         self.shutdown()
 
 
-def _checked(fn, item, deadline):
+def _checked(fn, item, deadline, index):
     if deadline is not None:
         deadline.check()
-    return fn(item)
+    with ambient_span("pipeline.item", index=index):
+        return fn(item)
 
 
 def serial_map(fn, items):
     """The ``parallelism=1`` stand-in: a plain ordered loop (still a
-    deadline checkpoint per item)."""
-    return [_checked(fn, item, current_deadline()) for item in items]
+    deadline checkpoint and — inside a detailed trace — a
+    ``pipeline.item`` span per item)."""
+    deadline = current_deadline()
+    return [_checked(fn, item, deadline, i)
+            for i, item in enumerate(items)]

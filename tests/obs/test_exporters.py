@@ -166,6 +166,42 @@ class TestToPrometheus:
     def test_empty_snapshot_is_empty_text(self):
         assert to_prometheus(MetricsRegistry().snapshot()) == ""
 
+    def test_newline_in_label_value_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", stmt="SELECT 1\nFROM x").inc()
+        text = to_prometheus(registry.snapshot())
+        # a literal newline inside a label would split the sample line
+        # and break every scraper; it must arrive as backslash-n
+        assert '\\n' in text
+        families = parse_exposition(text)
+        ((_, labels, _),) = families["c"]["samples"]
+        assert labels == {"stmt": "SELECT 1\\nFROM x"}
+
+    def test_empty_histogram_exports_zero_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("lock_wait_seconds", series="s1", side="read")
+        families = parse_exposition(to_prometheus(registry.snapshot()))
+        samples = families["lock_wait_seconds"]["samples"]
+        buckets = [(labels, value) for name, labels, value in samples
+                   if name.endswith("_bucket")]
+        assert buckets and all(value == 0.0 for _, value in buckets)
+        scalars = {name: value for name, labels, value in samples
+                   if not name.endswith("_bucket")}
+        assert scalars["lock_wait_seconds_sum"] == 0.0
+        assert scalars["lock_wait_seconds_count"] == 0.0
+
+    def test_nan_and_inf_gauges_stay_scrapable(self):
+        registry = MetricsRegistry()
+        registry.gauge("g_nan").set(float("nan"))
+        registry.gauge("g_inf").set(float("inf"))
+        registry.gauge("g_ninf").set(float("-inf"))
+        text = to_prometheus(registry.snapshot())
+        assert "nan" not in text.lower().replace("g_nan", "")
+        families = parse_exposition(text)
+        assert families["g_nan"]["samples"][0][2] == 0.0
+        assert families["g_inf"]["samples"][0][2] == float("inf")
+        assert families["g_ninf"]["samples"][0][2] == float("-inf")
+
 
 class TestRenderText:
     def test_sections_present(self, populated_registry):

@@ -1,0 +1,120 @@
+"""Tests for the sampling wall-clock profiler.
+
+The profiler's contract is behavioural, not statistical: off means no
+thread exists, start/stop is idempotent and restart-safe, and the
+collapsed output is flamegraph.pl grammar (``frame;frame;frame count``)
+rooted at the thread name.  A deliberately busy worker thread gives the
+sampler something deterministic to catch.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import SamplingProfiler
+
+
+def _busy_for(stop):
+    """A worker with a recognisable frame to sample."""
+    while not stop.is_set():
+        sum(range(200))
+
+
+class TestLifecycle:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0)
+        profiler = SamplingProfiler()
+        with pytest.raises(ValueError):
+            profiler.start(interval=-1)
+        assert not profiler.running
+
+    def test_off_means_no_thread(self):
+        before = threading.active_count()
+        profiler = SamplingProfiler(interval=0.001)
+        assert threading.active_count() == before
+        assert profiler.running is False
+        assert profiler.stats()["samples"] == 0
+        assert profiler.collapsed() == ""
+
+    def test_start_is_idempotent_and_stop_returns_text(self):
+        profiler = SamplingProfiler(interval=0.001)
+        assert profiler.start() is True
+        try:
+            assert profiler.start() is False  # already running
+            assert profiler.running is True
+            time.sleep(0.05)
+        finally:
+            collapsed = profiler.stop()
+        assert profiler.running is False
+        assert isinstance(collapsed, str)
+        assert profiler.stop() == collapsed  # stop when idle is a no-op
+
+    def test_restart_resets_counters(self):
+        profiler = SamplingProfiler(interval=0.001)
+        profiler.start()
+        time.sleep(0.03)
+        profiler.stop()
+        assert profiler.stats()["samples"] > 0
+        profiler.start(interval=0.002)
+        profiler.stop()
+        stats = profiler.stats()
+        assert stats["interval_seconds"] == pytest.approx(0.002)
+        assert stats["distinct_stacks"] == len(
+            [line for line in profiler.collapsed().splitlines() if line])
+
+
+class TestSampling:
+    def test_catches_a_busy_thread(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy_for, args=(stop,),
+                                  name="busy-bee", daemon=True)
+        worker.start()
+        profiler = SamplingProfiler(interval=0.001)
+        profiler.start()
+        try:
+            time.sleep(0.1)
+        finally:
+            collapsed = profiler.stop()
+            stop.set()
+            worker.join()
+        assert profiler.stats()["samples"] > 5
+        # the worker shows up, rooted at its thread name, with the
+        # busy function somewhere in the stack
+        busy_lines = [line for line in collapsed.splitlines()
+                      if line.startswith("busy-bee;")]
+        assert busy_lines, collapsed
+        assert any("_busy_for" in line for line in busy_lines)
+
+    def test_collapsed_grammar(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy_for, args=(stop,),
+                                  daemon=True)
+        worker.start()
+        profiler = SamplingProfiler(interval=0.001)
+        profiler.start()
+        try:
+            time.sleep(0.05)
+        finally:
+            collapsed = profiler.stop()
+            stop.set()
+            worker.join()
+        lines = collapsed.splitlines()
+        assert lines
+        for line in lines:
+            # frame;frame;...;frame <count> — frame text may itself
+            # contain spaces (e.g. "<frozen importlib._bootstrap>")
+            stack, _, count = line.rpartition(" ")
+            assert stack and count.isdigit(), line
+            assert all(frame for frame in stack.split(";")), line
+        # heaviest stack first
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_sampler_does_not_sample_itself(self):
+        profiler = SamplingProfiler(interval=0.001)
+        profiler.start()
+        time.sleep(0.05)
+        collapsed = profiler.stop()
+        assert "repro-profiler" not in collapsed

@@ -1,0 +1,219 @@
+"""Tests for traceparent propagation, trace retention, and export.
+
+The traceparent parser is strict where the W3C spec is strict (field
+widths, all-zero ids, version ``ff``) and tolerant where it is tolerant
+(unknown future versions, extra fields).  The store's keep policy and
+eviction are the contract ``GET /trace`` relies on, and the Chrome
+export is validated structurally — the same checks the CI trace smoke
+runs against a live server.
+"""
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    TraceStore,
+    make_traceparent,
+    parse_traceparent,
+    to_chrome_trace,
+)
+
+
+def _root(tracer=None, seconds=0.001):
+    """A completed root span with a deterministic duration."""
+    tracer = tracer if tracer is not None else Tracer()
+    root = tracer.root_span("request", endpoint="query")
+    with root:
+        pass
+    root.started = 100.0
+    root.ended = 100.0 + seconds
+    return root
+
+
+class TestTraceparent:
+    def test_roundtrip(self):
+        header = make_traceparent(sampled=True)
+        ctx = parse_traceparent(header)
+        assert ctx is not None
+        assert ctx.sampled is True
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.parent_span_id) == 16
+        assert header.startswith("00-%s-%s-01"
+                                 % (ctx.trace_id, ctx.parent_span_id))
+
+    def test_unsampled_flag(self):
+        ctx = parse_traceparent(make_traceparent(sampled=False))
+        assert ctx.sampled is False
+
+    def test_explicit_ids_and_case_folding(self):
+        ctx = parse_traceparent("00-" + "AB" * 16 + "-" + "CD" * 8 + "-01")
+        assert ctx.trace_id == "ab" * 16
+        assert ctx.parent_span_id == "cd" * 8
+
+    def test_future_version_accepted(self):
+        ctx = parse_traceparent(
+            "cc-" + "1" * 32 + "-" + "2" * 16 + "-00-extrafield")
+        assert ctx is not None and ctx.sampled is False
+
+    @pytest.mark.parametrize("header", [
+        None,
+        "",
+        42,
+        "not-a-traceparent",
+        "00-" + "1" * 32 + "-" + "2" * 16,          # too few fields
+        "ff-" + "1" * 32 + "-" + "2" * 16 + "-01",  # forbidden version
+        "0-" + "1" * 32 + "-" + "2" * 16 + "-01",   # short version
+        "00-" + "1" * 31 + "-" + "2" * 16 + "-01",  # short trace id
+        "00-" + "1" * 32 + "-" + "2" * 15 + "-01",  # short span id
+        "00-" + "0" * 32 + "-" + "2" * 16 + "-01",  # all-zero trace id
+        "00-" + "1" * 32 + "-" + "0" * 16 + "-01",  # all-zero span id
+        "00-" + "g" * 32 + "-" + "2" * 16 + "-01",  # non-hex
+        "00-" + "1" * 32 + "-" + "2" * 16 + "-1",   # short flags
+    ])
+    def test_malformed_rejected(self, header):
+        assert parse_traceparent(header) is None
+
+
+class TestKeepPolicy:
+    def test_sampled_always_kept(self):
+        store = TraceStore(capacity=8, sample_every=0, slow_seconds=10.0)
+        entry = store.record(_root(), "t1", "r1", "query", 200,
+                             sampled=True)
+        assert entry is not None and entry["sampled"] is True
+        assert len(store) == 1
+
+    def test_fast_unsampled_dropped(self):
+        store = TraceStore(capacity=8, sample_every=0, slow_seconds=10.0)
+        assert store.record(_root(), "t1", "r1", "query", 200) is None
+        assert len(store) == 0
+        assert store.stats() == {"seen": 1, "kept": 0, "retained": 0,
+                                 "capacity": 8}
+
+    def test_slow_always_kept(self):
+        store = TraceStore(capacity=8, sample_every=0, slow_seconds=0.5)
+        assert store.record(_root(seconds=0.6), "t1", "r1",
+                            "query", 200) is not None
+
+    def test_nonpositive_threshold_keeps_everything(self):
+        store = TraceStore(capacity=8, sample_every=0, slow_seconds=0.0)
+        assert store.record(_root(), "t1", "r1", "query", 200) is not None
+
+    def test_one_in_n_sampling(self):
+        store = TraceStore(capacity=64, sample_every=4, slow_seconds=10.0)
+        kept = [store.record(_root(), "t%d" % i, "r%d" % i, "query", 200)
+                for i in range(12)]
+        # every 4th arrival survives: indices 3, 7, 11
+        assert [i for i, e in enumerate(kept) if e is not None] == [3, 7, 11]
+        assert store.stats()["seen"] == 12
+        assert store.stats()["kept"] == 3
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)
+        with pytest.raises(ValueError):
+            TraceStore(sample_every=-1)
+
+
+class TestRingAndLookup:
+    def _filled(self, n, capacity=4):
+        store = TraceStore(capacity=capacity, sample_every=0,
+                           slow_seconds=0.0)
+        for i in range(n):
+            store.record(_root(), "trace%d" % i, "req%d" % i,
+                         "query", 200)
+        return store
+
+    def test_eviction_keeps_newest(self):
+        store = self._filled(10, capacity=4)
+        assert len(store) == 4
+        ids = [e["request_id"] for e in store.entries()]
+        assert ids == ["req9", "req8", "req7", "req6"]  # newest first
+        assert store.get("req0") is None                # evicted
+        stats = store.stats()
+        assert stats["kept"] == 10 and stats["retained"] == 4
+
+    def test_lookup_by_either_id(self):
+        store = self._filled(3)
+        assert store.get("req1")["trace_id"] == "trace1"
+        assert store.get("trace2")["request_id"] == "req2"
+        assert store.get("nope") is None
+
+    def test_lookup_newest_wins(self):
+        store = TraceStore(capacity=4, sample_every=0, slow_seconds=0.0)
+        store.record(_root(), "shared", "req0", "query", 200)
+        store.record(_root(), "shared", "req1", "render", 200)
+        assert store.get("shared")["request_id"] == "req1"
+
+    def test_clear(self):
+        store = self._filled(3)
+        store.clear()
+        assert len(store) == 0 and store.entries() == []
+
+
+class TestChromeExport:
+    def _entry(self):
+        return {
+            "trace_id": "t" * 32, "request_id": "r000001",
+            "endpoint": "query", "status": 200, "seconds": 0.003,
+            "unix_time": 0.0, "sampled": True,
+            "root": {
+                "name": "request", "seconds": 0.003,
+                "started": 10.0, "ended": 10.003, "thread": "http-1",
+                "attrs": {"endpoint": "query"}, "counters": {},
+                "children": [
+                    {"name": "solve", "seconds": 0.002,
+                     "started": 10.001, "ended": 10.003,
+                     "thread": "worker-0", "attrs": {"w": 100},
+                     "counters": {"points_decoded": 42}, "children": []},
+                    {"name": "noop", "seconds": 0.0,
+                     "started": None, "ended": None, "thread": None,
+                     "attrs": {}, "counters": {}, "children": []},
+                ],
+            },
+        }
+
+    def test_structure(self):
+        doc = to_chrome_trace(self._entry())
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["request_id"] == "r000001"
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        # the timestamp-less span is skipped, the other two exported
+        assert [e["name"] for e in complete] == ["request", "solve"]
+        assert len(meta) == 2  # one thread_name per distinct thread
+
+    def test_timestamps_relative_microseconds(self):
+        doc = to_chrome_trace(self._entry())
+        request, solve = [e for e in doc["traceEvents"]
+                          if e["ph"] == "X"]
+        assert request["ts"] == pytest.approx(0.0)
+        assert request["dur"] == pytest.approx(3000.0)
+        assert solve["ts"] == pytest.approx(1000.0)
+        assert solve["dur"] == pytest.approx(2000.0)
+
+    def test_threads_and_counters(self):
+        doc = to_chrome_trace(self._entry())
+        request, solve = [e for e in doc["traceEvents"]
+                          if e["ph"] == "X"]
+        assert request["tid"] != solve["tid"]
+        assert solve["args"]["w"] == 100
+        assert solve["args"]["io.points_decoded"] == 42
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M"}
+        assert names == {"http-1", "worker-0"}
+
+    def test_live_span_tree_exports(self):
+        """End-to-end: a real recorded span tree produces valid events."""
+        tracer = Tracer()
+        store = TraceStore(capacity=4, sample_every=0, slow_seconds=0.0)
+        root = tracer.root_span("request", endpoint="query")
+        with root:
+            with tracer.span("solve", w=10):
+                pass
+        entry = store.record(root, "a" * 32, "r1", "query", 200,
+                             sampled=True)
+        doc = to_chrome_trace(entry)
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert [e["name"] for e in complete] == ["request", "solve"]
+        for event in complete:
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0

@@ -156,3 +156,105 @@ class TestTracerOf:
         with tracer.span("op"):
             pass
         assert tracer.last_root is None  # no-op fallback
+
+
+class TestRequestTracing:
+    """The cross-thread request-tracing primitives added for /trace."""
+
+    def test_root_span_is_detailed_and_detail_inherits(self):
+        tracer = Tracer()
+        root = tracer.root_span("request", endpoint="query")
+        with root:
+            with tracer.span("child") as child:
+                assert child.detailed is True
+        assert root.detailed is True
+        with tracer.span("plain") as plain:
+            pass
+        assert plain.detailed is False
+
+    def test_activate_reroots_another_thread(self):
+        import threading
+
+        tracer = Tracer()
+        from repro.obs import activate
+
+        root = tracer.root_span("request")
+
+        def worker():
+            with activate(root):
+                with tracer.span("worker.op"):
+                    pass
+
+        with root:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join(5)
+        names = [s.name for s in root.walk()]
+        assert "worker.op" in names
+        worker_span = root.find("worker.op")
+        assert worker_span.parent is root
+        assert worker_span.thread != root.thread
+
+    def test_activate_restores_previous_current(self):
+        from repro.obs import activate, current_span
+
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            other = tracer.root_span("request")
+            with activate(other):
+                assert current_span() is other
+            assert current_span() is outer
+
+    def test_timed_span_attaches_a_premeasured_interval(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            span = tracer.timed_span("queue.wait", 10.0, 10.25,
+                                     endpoint="query")
+        assert span.parent is root
+        assert root.children == [span]
+        assert span.duration == 0.25
+        assert span.attrs == {"endpoint": "query"}
+
+    def test_ambient_span_only_fires_in_detailed_trees(self):
+        from repro.obs import ambient_span
+
+        tracer = Tracer()
+        with tracer.span("plain") as plain:
+            with ambient_span("item", index=0):
+                pass
+        assert plain.children == []  # not a detailed tree
+        root = tracer.root_span("request")
+        with root:
+            with ambient_span("item", index=0):
+                pass
+        assert [c.name for c in root.children] == ["item"]
+
+    def test_attach_timed_needs_an_active_span(self):
+        from repro.obs import attach_timed
+
+        tracer = Tracer()
+        assert attach_timed("lock.wait", 0.0, 1.0) is None  # no trace
+        with tracer.span("root") as root:
+            span = attach_timed("lock.wait", 0.0, 0.5, side="read")
+        assert span is not None and span.parent is root
+
+    def test_disabled_tracer_noops_everywhere(self):
+        from repro.obs import activate, ambient_span, attach_timed
+
+        tracer = Tracer(enabled=False)
+        root = tracer.root_span("request")
+        with root:
+            with activate(root):
+                assert attach_timed("lock.wait", 0.0, 1.0) is None
+                with ambient_span("item") as item:
+                    item.attrs["k"] = "v"  # discarded, not an error
+        assert root.to_dict() == {}
+
+    def test_timed_span_lands_in_duration_histogram(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry)
+        with tracer.span("root"):
+            tracer.timed_span("queue.wait", 5.0, 5.5)
+        snapshot = registry.snapshot()["histograms"]
+        entry = snapshot['repro_span_seconds{span="queue.wait"}']
+        assert entry["count"] == 1

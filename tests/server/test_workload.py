@@ -104,7 +104,8 @@ class TestAgainstLiveServer:
                        "time < %d GROUP BY SPANS(%d)"
                        % (name, start, end, self._width))
                 return client.query_response(
-                    sql, timeout_ms=int(deadline_s * 1000), sleep_ms=100)
+                    sql, timeout_ms=int(deadline_s * 1000),
+                    sleep_ms=100), False
 
         workload = SlowWorkload(served.handle.url, width=64, seed=2)
         report = workload.run(mode="open", rate=80, duration=1.0)

@@ -136,3 +136,89 @@ def test_release_errors():
         lock.release_read()
     with pytest.raises(RuntimeError):
         lock.release_write()
+
+
+class TestLockWaitObs:
+    """Contention observability: wait times land in histograms and,
+    inside a detailed request trace, as ``lock.wait`` spans."""
+
+    def _observed(self, registry, side):
+        snapshot = registry.snapshot()["histograms"]
+        key = 'lock_wait_seconds{series="s1",side="%s"}' % side
+        return snapshot[key]["count"] if key in snapshot else 0
+
+    def test_uncontended_acquisitions_are_recorded(self):
+        from repro.obs import MetricsRegistry
+        from repro.storage.locks import LockWaitObs
+
+        registry = MetricsRegistry()
+        lock = RWLock(obs=LockWaitObs(registry, "s1"))
+        with lock.read():
+            pass
+        with lock.write():
+            pass
+        assert self._observed(registry, "read") == 1
+        assert self._observed(registry, "write") == 1
+
+    def test_reentrant_acquisitions_are_not_timed(self):
+        from repro.obs import MetricsRegistry
+        from repro.storage.locks import LockWaitObs
+
+        registry = MetricsRegistry()
+        lock = RWLock(obs=LockWaitObs(registry, "s1"))
+        with lock.write():
+            with lock.write():      # reentrant: cannot wait
+                pass
+            with lock.read():       # holder re-entering the read side
+                pass
+        assert self._observed(registry, "write") == 1
+        assert self._observed(registry, "read") == 0
+
+    def test_contended_wait_is_measured(self):
+        from repro.obs import MetricsRegistry
+        from repro.storage.locks import LockWaitObs
+
+        registry = MetricsRegistry()
+        lock = RWLock(obs=LockWaitObs(registry, "s1"))
+        lock.acquire_write()
+        waited = []
+
+        def reader():
+            started = time.perf_counter()
+            with lock.read():
+                waited.append(time.perf_counter() - started)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        time.sleep(0.05)
+        lock.release_write()
+        thread.join(5)
+        snapshot = registry.snapshot()["histograms"]
+        entry = snapshot['lock_wait_seconds{series="s1",side="read"}']
+        assert entry["count"] == 1
+        assert entry["sum"] >= 0.04  # saw most of the 50ms hold
+
+    def test_wait_attaches_to_an_active_detailed_trace(self):
+        from repro.obs import MetricsRegistry, Tracer
+        from repro.storage.locks import LockWaitObs
+
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry)
+        lock = RWLock(obs=LockWaitObs(registry, "s1"))
+        root = tracer.root_span("request", endpoint="test")
+        with root:
+            with lock.read():
+                pass
+        waits = root.find_all("lock.wait")
+        assert len(waits) == 1
+        assert waits[0].attrs == {"series": "s1", "side": "read"}
+
+    def test_no_trace_means_no_span_but_still_a_histogram(self):
+        from repro.obs import MetricsRegistry
+        from repro.storage.locks import LockWaitObs
+
+        registry = MetricsRegistry()
+        lock = RWLock(obs=LockWaitObs(registry, "s1"))
+        with lock.read():
+            pass
+        assert self._observed(registry, "read") == 1
