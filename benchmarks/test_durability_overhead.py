@@ -12,10 +12,14 @@ looser (wall-clock noise on shared runners), and results must be
 identical in both modes.
 """
 
-import json
 import os
 
-from repro.bench import durability_overhead
+from repro.bench import (
+    bench_points,
+    durability_overhead,
+    new_artifact,
+    write_artifact,
+)
 
 from conftest import print_tables
 
@@ -45,6 +49,6 @@ def test_checksum_overhead_is_small():
             # Generous slack over the 5% target so only a real
             # regression (e.g. per-point hashing) trips the bench.
             assert float(overhead) < 0.25, table.title
-    with open(RESULT_FILE, "w", encoding="utf-8") as f:
-        json.dump({"rows": rows}, f, indent=2, sort_keys=True)
+    write_artifact(RESULT_FILE,
+                   new_artifact("durability", rows, bench_points()))
     print("wrote %d rows to %s" % (len(rows), RESULT_FILE))

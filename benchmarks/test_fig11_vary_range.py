@@ -4,15 +4,27 @@ Paper shape: both operators get slower on longer ranges, but M4-UDF
 grows much faster (every additional chunk is loaded and merged), while
 M4-LSM's growth is damped because the fraction of span-split chunks
 falls as the range grows.
+
+The authoritative signal is the chunk-load counter (deterministic per
+config); wall-clock shapes are asserted only through the driver's
+noise-floor helpers over repeat-and-best timings, never from a single
+cold run.
 """
 
 import pytest
 
-from repro.bench import fig11_vary_range, make_operator
+from repro.bench import (
+    WALL_NOISE_FLOOR_SECONDS,
+    fig11_vary_range,
+    grew_by,
+    make_operator,
+    wall_ratio,
+)
 
 from conftest import get_engine, print_tables
 
 FRACTIONS = (0.0625, 0.125, 0.25, 0.5, 1.0)
+REPEATS = 3
 
 
 @pytest.mark.parametrize("operator", ["m4udf", "m4lsm"])
@@ -30,16 +42,24 @@ def test_query_latency(benchmark, engine_cache, operator, fraction):
 
 def test_fig11_sweep_shapes(benchmark):
     tables = benchmark.pedantic(fig11_vary_range,
-                                kwargs={"fractions": FRACTIONS},
+                                kwargs={"fractions": FRACTIONS,
+                                        "repeats": REPEATS},
                                 rounds=1, iterations=1)
     print_tables(tables)
     for table in tables:
         assert all(table.column("equal")), table.title
+        # Authoritative: M4-UDF loads every chunk in range, so a 16x
+        # longer range loads materially more chunks (deterministic).
+        loads = table.column("UDF chunk loads")
+        assert loads[-1] > loads[0] * 4, table.title
+        # Wall-clock, noise-floored over best-of-REPEATS: M4-UDF grows
+        # with the range ...
         udf = table.column("M4-UDF (s)")
-        # M4-UDF latency grows materially from the shortest to the
-        # longest range (16x more data).
-        assert udf[-1] > udf[0] * 2, table.title
-        lsm = table.column("M4-LSM (s)")
-        # M4-LSM grows strictly slower than M4-UDF, relatively.
-        assert (lsm[-1] / max(lsm[0], 1e-9)) \
-            < (udf[-1] / max(udf[0], 1e-9)) * 1.5, table.title
+        assert grew_by(udf[-1], udf[0], 2), table.title
+        # ... while M4-LSM's relative growth stays damped next to it.
+        # Only meaningful when the UDF endpoint clears the noise floor;
+        # a sub-floor run carries no growth signal to compare against.
+        if udf[-1] > WALL_NOISE_FLOOR_SECONDS:
+            lsm = table.column("M4-LSM (s)")
+            assert wall_ratio(lsm[-1], lsm[0]) \
+                < wall_ratio(udf[-1], udf[0]) * 1.5, table.title

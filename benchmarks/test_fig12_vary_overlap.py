@@ -4,15 +4,20 @@ Paper shape: M4-UDF gets slower as more chunks overlap (more merge CPU,
 same I/O); M4-LSM stays nearly constant thanks to the merge-free
 candidate framework — overlap only adds cheap index probes for the
 BP/TP overwrite checks.
+
+The authoritative signal is the index-lookup counter (deterministic);
+wall-clock is only bounded through the driver's noise-floor helper
+over repeat-and-best timings.
 """
 
 import pytest
 
-from repro.bench import fig12_vary_overlap, make_operator
+from repro.bench import fig12_vary_overlap, make_operator, within_factor
 
 from conftest import get_engine, print_tables
 
 OVERLAPS = (0, 10, 20, 30, 40)
+REPEATS = 3
 
 
 @pytest.mark.parametrize("operator", ["m4udf", "m4lsm"])
@@ -29,16 +34,18 @@ def test_query_latency(benchmark, engine_cache, operator, overlap):
 
 def test_fig12_sweep_shapes(benchmark):
     tables = benchmark.pedantic(fig12_vary_overlap,
-                                kwargs={"overlaps": OVERLAPS},
+                                kwargs={"overlaps": OVERLAPS,
+                                        "repeats": REPEATS},
                                 rounds=1, iterations=1)
     print_tables(tables)
     for table in tables:
         assert all(table.column("equal")), table.title
-        lsm = table.column("M4-LSM (s)")
-        # Merge-free claim: latency at 40% overlap stays within 3x of the
-        # 0% baseline (the paper shows a flat line; wall clock is noisy,
-        # and the index-lookup column shows where the small extra work
-        # goes).
-        assert lsm[-1] < max(lsm[0], 5e-3) * 3.0, table.title
+        # Authoritative: overlap adds index probes for the BP/TP
+        # overwrite checks (deterministic counter).
         lookups = table.column("LSM index lookups")
         assert lookups[-1] >= lookups[0], table.title
+        # Merge-free claim, noise-floored over best-of-REPEATS:
+        # latency at 40% overlap stays within 3x of the 0% baseline
+        # (the paper shows a flat line).
+        lsm = table.column("M4-LSM (s)")
+        assert within_factor(lsm[-1], lsm[0], 3.0), table.title

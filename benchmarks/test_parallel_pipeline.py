@@ -12,12 +12,18 @@ numpy/zlib, but small bench scales are noisy and single-core CI gains
 nothing).
 """
 
-import json
 import os
 
 import pytest
 
-from repro.bench import make_operator, parallel_speedup, prepare_engine
+from repro.bench import (
+    bench_points,
+    make_operator,
+    new_artifact,
+    parallel_speedup,
+    prepare_engine,
+    write_artifact,
+)
 
 from conftest import print_tables
 
@@ -66,6 +72,6 @@ def test_parallel_speedup_sweep(benchmark):
         # slower than serial (thread dispatch is cheap next to decode).
         for speedup in table.column("speedup"):
             assert float(speedup) > 0.2, table.title
-    with open(RESULT_FILE, "w", encoding="utf-8") as f:
-        json.dump({"rows": rows}, f, indent=2, sort_keys=True)
+    write_artifact(RESULT_FILE,
+                   new_artifact("parallelism", rows, bench_points()))
     print("wrote %d rows to %s" % (len(rows), RESULT_FILE))

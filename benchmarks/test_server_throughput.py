@@ -13,10 +13,9 @@ The hard assertions encode the serving design's acceptance criteria:
   the offered load is far above capacity.
 """
 
-import json
 import os
 
-from repro.bench import server_throughput
+from repro.bench import new_artifact, server_throughput, write_artifact
 
 from conftest import print_tables
 
@@ -72,6 +71,5 @@ def test_server_throughput_sweep(benchmark):
                                            + CLIENT_SLACK_S), \
             "%s: accepted-request p99 must stay deadline-bounded" \
             % table.title
-    with open(RESULT_FILE, "w", encoding="utf-8") as f:
-        json.dump({"rows": rows}, f, indent=2, sort_keys=True)
+    write_artifact(RESULT_FILE, new_artifact("server", rows, 20_000))
     print("wrote %d rows to %s" % (len(rows), RESULT_FILE))

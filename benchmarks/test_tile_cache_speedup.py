@@ -15,12 +15,18 @@ Two hard assertions, both from the cache's contract:
   per viewport still touch chunks.
 """
 
-import json
 import os
 
 import pytest
 
-from repro.bench import make_operator, prepare_engine, tile_cache_speedup
+from repro.bench import (
+    bench_points,
+    make_operator,
+    new_artifact,
+    prepare_engine,
+    tile_cache_speedup,
+    write_artifact,
+)
 from repro.core.tiles import snap_viewport
 from repro.server.workload import zoom_pan_session
 
@@ -76,6 +82,6 @@ def test_tile_cache_speedup_sweep(benchmark):
         warm = [r for r in rows if r["experiment"] == table.title
                 and r["pass"] == "tiled warm"]
         assert warm and warm[0]["p50_speedup"] >= 2.0, table.title
-    with open(RESULT_FILE, "w", encoding="utf-8") as f:
-        json.dump({"rows": rows}, f, indent=2, sort_keys=True)
+    write_artifact(RESULT_FILE,
+                   new_artifact("tiles", rows, bench_points()))
     print("wrote %d rows to %s" % (len(rows), RESULT_FILE))

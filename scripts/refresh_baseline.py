@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Regenerate the checked-in scenario-matrix baseline.
+
+Run after an *intentional* performance change so the gate compares
+future PRs against the new reality::
+
+    PYTHONPATH=src python scripts/refresh_baseline.py
+
+The baseline is the full default matrix at the CI scale (50k points,
+5 repeats) — the exact configuration ``repro bench --check`` replays.
+Before overwriting, the fresh run is gated against the existing
+baseline so the refresh prints what it is about to absorb; pass
+``--force`` to skip that preview (e.g. on a brand-new machine where
+the old baseline cannot be reproduced).
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+BASELINE = os.path.join(os.path.dirname(__file__), "..", "benchmarks",
+                        "BENCH_matrix.json")
+POINTS = 50_000
+REPEATS = 5
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--points", type=int, default=POINTS)
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument("--out", default=BASELINE)
+    parser.add_argument("--force", action="store_true",
+                        help="skip the diff against the old baseline")
+    args = parser.parse_args(argv)
+
+    from repro.bench import (
+        SchemaError,
+        compare_artifacts,
+        load_artifact,
+        run_matrix,
+        write_artifact,
+    )
+
+    fresh = run_matrix(points=args.points, repeats=args.repeats,
+                       progress=lambda msg: print(msg, flush=True))
+    if not args.force and os.path.exists(args.out):
+        try:
+            old = load_artifact(args.out, kind="matrix")
+            print("--- diff vs the baseline being replaced ---")
+            print(compare_artifacts(fresh, old).render())
+        except SchemaError as exc:
+            print("old baseline not comparable (%s); replacing" % exc)
+    write_artifact(args.out, fresh)
+    print("wrote %d cells to %s" % (len(fresh["rows"]), args.out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

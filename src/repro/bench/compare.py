@@ -1,0 +1,160 @@
+"""The regression gate: diff a matrix artifact against a baseline.
+
+``repro bench --check`` loads two schema-validated matrix artifacts and
+fails (exit 1) when any gated cell regressed:
+
+* **wall-clock p50** — more than ``threshold`` (default 20%) over the
+  baseline, with two guards: the allowance widens to the noise floor
+  measured from each cell's repeated samples
+  (:func:`~repro.bench.driver.noise_allowance`), and an absolute slack
+  keeps sub-millisecond cells from gating on scheduler jitter.
+  Wall-clock is only *strictly* gated when both artifacts carry the
+  same machine fingerprint — a laptop run cannot fail CI's baseline
+  and vice versa; across machines the wall gate degrades to a warning
+  and the I/O counters carry the verdict;
+* **I/O counters** — chunk loads, pages/points decoded, bytes read,
+  index lookups.  These are deterministic per (code, config, scale),
+  machine-independent, and therefore gated everywhere;
+* **identity** — a cell whose checked identity flag is false fails
+  unconditionally (a fast wrong answer is not a win);
+* **coverage** — a gated baseline cell missing from the current
+  artifact fails (a gate you stopped running is a gate you removed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .driver import noise_allowance
+from .schema import SchemaError
+
+#: Absolute wall-clock slack added on top of the relative allowance.
+ABS_WALL_SLACK_SECONDS = 2e-3
+
+#: The machine-independent counters the gate always enforces.
+GATED_IO_COUNTERS = ("chunk_loads", "pages_decoded", "points_decoded",
+                     "bytes_read", "index_lookups")
+
+#: Relative tolerance on counters (they are deterministic; this only
+#: absorbs harmless accounting drift, e.g. one extra metadata probe).
+IO_TOLERANCE = 0.02
+
+
+@dataclasses.dataclass
+class Finding:
+    """One gate observation: a failure, a warning or an info line."""
+
+    cell: str
+    level: str          # "fail" | "warn" | "info"
+    message: str
+
+    def render(self):
+        return "[%s] %s: %s" % (self.level.upper(), self.cell,
+                                self.message)
+
+
+@dataclasses.dataclass
+class GateReport:
+    """The comparator's verdict over every examined cell."""
+
+    findings: list
+    cells_checked: int
+    wall_gated: bool
+
+    @property
+    def ok(self):
+        return not any(f.level == "fail" for f in self.findings)
+
+    def render(self):
+        lines = [f.render() for f in self.findings]
+        fails = sum(1 for f in self.findings if f.level == "fail")
+        warns = sum(1 for f in self.findings if f.level == "warn")
+        lines.append(
+            "bench gate: %d cell(s) checked, %d failure(s), %d "
+            "warning(s)%s" % (self.cells_checked, fails, warns,
+                              "" if self.wall_gated else
+                              " [wall-clock advisory: different "
+                              "machines]"))
+        lines.append("bench gate: %s" % ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def _check_wall(cell_id, base, cur, threshold, strict, findings):
+    base_p50 = base["wall"]["p50_seconds"]
+    cur_p50 = cur["wall"]["p50_seconds"]
+    allowance = noise_allowance(base["wall"]["samples"],
+                                cur["wall"]["samples"], threshold)
+    limit = base_p50 * (1.0 + allowance) + ABS_WALL_SLACK_SECONDS
+    if cur_p50 <= limit:
+        return
+    level = "fail" if strict else "warn"
+    findings.append(Finding(cell_id, level,
+                            "p50 %.4fs vs baseline %.4fs (+%.0f%%, "
+                            "allowed +%.0f%%)"
+                            % (cur_p50, base_p50,
+                               100.0 * (cur_p50 / max(base_p50, 1e-12)
+                                        - 1.0),
+                               100.0 * allowance)))
+
+
+def _check_io(cell_id, base, cur, findings):
+    for counter in GATED_IO_COUNTERS:
+        base_n = int(base["io"].get(counter, 0))
+        cur_n = int(cur["io"].get(counter, 0))
+        if cur_n > base_n * (1.0 + IO_TOLERANCE) + 2:
+            findings.append(Finding(
+                cell_id, "fail",
+                "%s %d vs baseline %d (deterministic counter regressed)"
+                % (counter, cur_n, base_n)))
+
+
+def compare_artifacts(current, baseline, threshold=0.20, gated_only=True,
+                      wall_mode="auto"):
+    """Gate ``current`` against ``baseline`` (both matrix docs).
+
+    ``wall_mode``: ``"auto"`` gates wall-clock strictly only when both
+    artifacts share a machine fingerprint, ``"strict"`` always,
+    ``"off"`` never (counters and identity still gate).
+    Raises :class:`~repro.bench.schema.SchemaError` when the artifacts
+    are not comparable at all (different point scales).
+    """
+    base_meta, cur_meta = baseline["meta"], current["meta"]
+    if base_meta["points"] != cur_meta["points"]:
+        raise SchemaError(
+            "artifacts are not comparable: baseline ran %d points, "
+            "current ran %d (set REPRO_BENCH_POINTS / --points to the "
+            "baseline's scale)" % (base_meta["points"],
+                                   cur_meta["points"]))
+    if wall_mode == "auto":
+        strict_wall = (base_meta["machine_id"] == cur_meta["machine_id"]
+                       and base_meta["machine_id"] != "unknown")
+    else:
+        strict_wall = wall_mode == "strict"
+    cur_rows = {row["id"]: row for row in current["rows"]}
+    findings, checked = [], 0
+    for base_row in baseline["rows"]:
+        if gated_only and not base_row["gate"]:
+            continue
+        cell_id = base_row["id"]
+        cur_row = cur_rows.get(cell_id)
+        if cur_row is None:
+            findings.append(Finding(cell_id, "fail",
+                                    "gated cell missing from current "
+                                    "artifact"))
+            continue
+        checked += 1
+        if (cur_row["identity"]["checked"]
+                and not cur_row["identity"]["equal"]):
+            findings.append(Finding(cell_id, "fail",
+                                    "identity check failed (operator "
+                                    "answer differs from reference)"))
+        if wall_mode != "off":
+            _check_wall(cell_id, base_row, cur_row, threshold,
+                        strict_wall, findings)
+        _check_io(cell_id, base_row, cur_row, findings)
+    for cell_id in cur_rows:
+        if not any(row["id"] == cell_id for row in baseline["rows"]):
+            findings.append(Finding(cell_id, "info",
+                                    "new cell (not in baseline)"))
+    return GateReport(findings=findings, cells_checked=checked,
+                      wall_gated=strict_wall and wall_mode != "off")

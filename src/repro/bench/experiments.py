@@ -86,7 +86,7 @@ def fig11_vary_range(n_points=None, w=DEFAULT_W,
     for dataset in DATASETS:
         table = BenchTable("Fig 11 (%s): vary query range" % dataset,
                            ["range fraction", "M4-UDF (s)", "M4-LSM (s)",
-                            "equal"])
+                            "UDF chunk loads", "equal"])
         with prepare_engine(dataset, n_points=n_points,
                             overlap_pct=overlap_pct) as prepared:
             udf = make_operator(prepared, "m4udf")
@@ -100,6 +100,7 @@ def fig11_vary_range(n_points=None, w=DEFAULT_W,
                                       repeats=repeats)
                 table.add_row(
                     fraction, udf_run.seconds, lsm_run.seconds,
+                    udf_run.stats.chunk_loads,
                     udf_run.result.semantically_equal(lsm_run.result))
         tables.append(table)
     return tables
@@ -136,7 +137,8 @@ def fig13_vary_delete_pct(n_points=None, w=DEFAULT_W,
     tables = []
     for dataset in datasets:
         table = BenchTable("Fig 13 (%s): vary delete %%" % dataset,
-                           ["delete %", "M4-UDF (s)", "M4-LSM (s)", "equal"])
+                           ["delete %", "M4-UDF (s)", "M4-LSM (s)",
+                            "UDF chunk loads", "equal"])
         for delete_pct in delete_pcts:
             with prepare_engine(dataset, n_points=n_points,
                                 overlap_pct=DEFAULT_OVERLAP,
@@ -147,6 +149,7 @@ def fig13_vary_delete_pct(n_points=None, w=DEFAULT_W,
                 lsm_run = timed_query(lsm, prepared, w, repeats=repeats)
                 table.add_row(
                     delete_pct, udf_run.seconds, lsm_run.seconds,
+                    udf_run.stats.chunk_loads,
                     udf_run.result.semantically_equal(lsm_run.result))
         tables.append(table)
     return tables

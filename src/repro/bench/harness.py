@@ -131,6 +131,7 @@ class QueryTiming:
     stats: object  # IoStats diff
     result: object  # M4Result
     metrics: object = None  # MetricsRegistry snapshot dict
+    samples: tuple = ()  # every repeat's wall-clock, for noise floors
 
     def as_row(self):
         """A JSON-able row for BENCH_*.json result files.
@@ -158,15 +159,15 @@ def timed_query(operator, prepared, w, t_qs=None, t_qe=None, repeats=1):
     t_qs = prepared.t_qs if t_qs is None else t_qs
     t_qe = prepared.t_qe if t_qe is None else t_qe
     engine_stats = prepared.engine.stats
-    best = float("inf")
+    samples = []
     result = None
     diff = None
     for _ in range(max(repeats, 1)):
         before = engine_stats.snapshot()
         started = time.perf_counter()
         result = operator.query(prepared.series, t_qs, t_qe, w)
-        elapsed = time.perf_counter() - started
+        samples.append(time.perf_counter() - started)
         diff = engine_stats.diff(before)
-        best = min(best, elapsed)
-    return QueryTiming(seconds=best, stats=diff, result=result,
-                       metrics=prepared.engine.metrics.snapshot())
+    return QueryTiming(seconds=min(samples), stats=diff, result=result,
+                       metrics=prepared.engine.metrics.snapshot(),
+                       samples=tuple(samples))

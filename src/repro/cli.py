@@ -23,6 +23,11 @@ Commands:
               span tree; ``--chrome`` exports Chrome trace_event JSON
 * ``profile``   — sampling wall-clock profiler: collapsed stacks from
               a running server (``--url``) or a local probe loop
+* ``bench``     — scenario-matrix benchmark driver: run the standing
+              cardinality x overlap x delete x operator x parallelism
+              x tile-cache matrix into one schema'd artifact
+              (``--matrix``), and gate it against the checked-in
+              baseline (``--check``, exit 1 on regression)
 
 Every command operates on a plain directory, so the same store can be
 inspected, queried and extended across invocations (recovery included).
@@ -236,6 +241,51 @@ def build_parser():
                               "(flamegraph.pl format) instead of stdout")
     _add_parallelism(profile)
     _add_tile_cache(profile)
+
+    bench = commands.add_parser(
+        "bench", help="scenario-matrix benchmark driver + regression "
+                      "gate")
+    bench.add_argument("--matrix", action="store_true",
+                       help="run the scenario matrix and write the "
+                            "artifact to --out")
+    bench.add_argument("--list", action="store_true",
+                       help="list matrix cells (id + gated flag) and "
+                            "exit")
+    bench.add_argument("--cells", metavar="PATTERN",
+                       help="only run/list cells whose id contains any "
+                            "of the comma-separated substrings; the "
+                            "token 'gated' selects the CI-gated subset")
+    bench.add_argument("--points", type=int, metavar="N",
+                       help="points per series (default: "
+                            "REPRO_BENCH_POINTS or 400000)")
+    bench.add_argument("--repeats", type=int, default=5,
+                       help="timed runs per cell; p50/p99 and the "
+                            "noise floor come from these samples")
+    bench.add_argument("--out", default="benchmarks/BENCH_matrix.json",
+                       metavar="PATH",
+                       help="artifact path written by --matrix and "
+                            "checked by a bare --check")
+    bench.add_argument("--check", nargs="?", const=True,
+                       metavar="ARTIFACT",
+                       help="gate an artifact (default: the one just "
+                            "run, else --out) against --baseline; "
+                            "exits 1 on any gated regression")
+    bench.add_argument("--baseline",
+                       default="benchmarks/BENCH_matrix.json",
+                       metavar="PATH",
+                       help="baseline artifact for --check")
+    bench.add_argument("--threshold", type=float, default=0.20,
+                       help="relative p50 regression allowance "
+                            "(default 0.20; widened by the measured "
+                            "noise floor)")
+    bench.add_argument("--all-cells", action="store_true",
+                       help="gate every cell, not only the gated "
+                            "subset")
+    bench.add_argument("--wall", choices=("auto", "strict", "off"),
+                       default="auto",
+                       help="wall-clock gating: auto = strict only "
+                            "when both artifacts share a machine "
+                            "fingerprint (I/O counters always gate)")
     return parser
 
 
@@ -712,6 +762,62 @@ def _cmd_profile(args):
     return 0
 
 
+def _cmd_bench(args):
+    """``repro bench``: the scenario-matrix driver and regression gate.
+
+    ``--matrix`` runs the (optionally ``--cells``-filtered) matrix and
+    writes one schema-validated artifact; ``--check`` gates an
+    artifact against ``--baseline``.  Both can be combined — CI runs
+    ``repro bench --matrix --cells gated --check`` — and the exit code
+    is the contract: 0 clean, 1 on any regression, identity failure,
+    missing gated cell, or schema-invalid artifact.
+    """
+    from .bench import (
+        compare_artifacts,
+        default_matrix,
+        load_artifact,
+        run_matrix,
+        select_cells,
+        write_artifact,
+    )
+
+    if args.list:
+        for cell in select_cells(default_matrix(), pattern=args.cells):
+            print("%-55s %s" % (cell.config.cell_id,
+                                "[gated]" if cell.gate else ""))
+        return 0
+    if not args.matrix and not args.check:
+        print("error: nothing to do (pass --matrix, --check or --list)",
+              file=sys.stderr)
+        return 1
+    current = None
+    if args.matrix:
+        try:
+            current = run_matrix(pattern=args.cells,
+                                 points=args.points,
+                                 repeats=args.repeats,
+                                 progress=lambda msg: print(msg,
+                                                            flush=True))
+        except ValueError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 1
+        write_artifact(args.out, current)
+        print("wrote %d cells to %s" % (len(current["rows"]), args.out))
+    if args.check:
+        if current is None:
+            current = load_artifact(
+                args.check if args.check is not True else args.out,
+                kind="matrix")
+        baseline = load_artifact(args.baseline, kind="matrix")
+        report = compare_artifacts(current, baseline,
+                                   threshold=args.threshold,
+                                   gated_only=not args.all_cells,
+                                   wall_mode=args.wall)
+        print(report.render())
+        return 0 if report.ok else 1
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "load": _cmd_load,
@@ -725,4 +831,5 @@ _COMMANDS = {
     "loadgen": _cmd_loadgen,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
+    "bench": _cmd_bench,
 }

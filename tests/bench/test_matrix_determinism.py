@@ -1,0 +1,88 @@
+"""Determinism guarantees the regression gate stands on.
+
+The gate treats I/O counters as authoritative because they are a pure
+function of (code, cell config, scale).  That only holds if (a) the
+generated store bytes are a pure function of the cell config and (b)
+re-running a cell replays the exact same I/O.  Both are asserted here
+at tiny scale — Hypothesis drives the config corners for (a).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import Cell, CellConfig, run_matrix
+from repro.bench.driver import generate_cell_data
+from repro.datasets.generators import PROFILES
+
+TINY = 1_500
+
+configs = st.builds(
+    CellConfig,
+    dataset=st.sampled_from(sorted(PROFILES)),
+    cardinality=st.integers(min_value=1, max_value=3),
+    overlap_pct=st.sampled_from([0, 10, 30]),
+    delete_pct=st.sampled_from([0, 20]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+
+
+class TestDataDeterminism:
+    @given(config=configs)
+    @settings(max_examples=25, deadline=None)
+    def test_generated_data_is_byte_identical(self, config):
+        first = generate_cell_data(config, 300)
+        second = generate_cell_data(config, 300)
+        assert [name for name, _, _ in first] \
+            == [name for name, _, _ in second]
+        for (_, t1, v1), (_, t2, v2) in zip(first, second):
+            assert t1.tobytes() == t2.tobytes()
+            assert v1.tobytes() == v2.tobytes()
+
+    def test_seed_changes_the_data(self):
+        base = CellConfig(seed=0)
+        other = CellConfig(seed=1)
+        _, _, v0 = generate_cell_data(base, 300)[0]
+        _, _, v1 = generate_cell_data(other, 300)[0]
+        assert v0.tobytes() != v1.tobytes()
+
+    def test_points_change_the_data_length(self):
+        config = CellConfig()
+        _, t, _ = generate_cell_data(config, 400)[0]
+        assert len(t) == 400
+
+
+class TestRunDeterminism:
+    CELLS = [
+        Cell(CellConfig(operator="m4udf", overlap_pct=20, delete_pct=20,
+                        w=16), gate=True),
+        Cell(CellConfig(operator="m4lsm", overlap_pct=20, delete_pct=20,
+                        w=16), gate=True),
+    ]
+
+    @pytest.fixture(scope="class")
+    def twice(self):
+        first = run_matrix(cells=self.CELLS, points=TINY, repeats=2)
+        second = run_matrix(cells=self.CELLS, points=TINY, repeats=2)
+        return first, second
+
+    def test_io_counters_identical_across_runs(self, twice):
+        first, second = twice
+        a = {row["id"]: row["io"] for row in first["rows"]}
+        b = {row["id"]: row["io"] for row in second["rows"]}
+        assert a == b
+
+    def test_identity_and_gates_identical_across_runs(self, twice):
+        first, second = twice
+        for key in ("identity", "gate", "config"):
+            assert [row[key] for row in first["rows"]] \
+                == [row[key] for row in second["rows"]]
+
+    def test_wall_samples_are_fresh_measurements(self, twice):
+        first, second = twice
+        a = [row["wall"]["samples"] for row in first["rows"]]
+        b = [row["wall"]["samples"] for row in second["rows"]]
+        # Timings are measured, not derived: byte-equality would mean
+        # the driver cached a result instead of re-running the query.
+        assert a != b
