@@ -27,7 +27,10 @@ changes everything).  This driver owns that matrix:
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
+
+import numpy as np
 
 from ..datasets.generators import PROFILES
 from ..datasets.workloads import load_with_overlap
@@ -40,6 +43,22 @@ WALL_NOISE_FLOOR_SECONDS = 5e-3
 
 #: Tile-cache byte budget for ``tiles=True`` cells.
 TILE_CACHE_BYTES = 32 * 1024 * 1024
+
+#: Points per batch offered by the bench ingest pump.
+INGEST_BATCH_POINTS = 500
+
+#: Ingest queue budget during bench cells (~4 batches): small enough
+#: that the overload cell visibly sheds, large enough that sustained
+#: rates never do.
+INGEST_QUEUE_BYTES = 32 * 1024
+
+#: The pump runs at least this long even when the timed queries finish
+#: faster, so ingest cells always measure queries *during* ingest.
+INGEST_MIN_SECONDS = 0.25
+
+#: The series the bench pump appends to.  Dedicated — never the queried
+#: series — so the gated read-side I/O counters stay deterministic.
+INGEST_SERIES = "ingest-feed"
 
 #: Series-count ceiling applied to extra cardinality series data so a
 #: high-cardinality cell stresses the catalog, not the generator.
@@ -147,13 +166,21 @@ class CellConfig:
     tiles: bool = False           # engine-level tile cache on/off
     w: int = 128
     seed: int = 0
+    ingest_rate: int = 0          # points/s streamed while querying
+    skew: str = "none"            # arrival order: none | late
 
     @property
     def cell_id(self):
-        return ("card=%d;ov=%d;del=%d;op=%s;par=%d;tiles=%s"
+        # Idle cells keep the exact legacy id so baselines written
+        # before the ingest axis existed still line up; streaming
+        # cells append the new axes.
+        base = ("card=%d;ov=%d;del=%d;op=%s;par=%d;tiles=%s"
                 % (self.cardinality, self.overlap_pct, self.delete_pct,
                    self.operator, self.parallelism,
                    "on" if self.tiles else "off"))
+        if self.ingest_rate:
+            base += ";ingest=%d;skew=%s" % (self.ingest_rate, self.skew)
+        return base
 
     def as_dict(self):
         return dataclasses.asdict(self)
@@ -162,10 +189,13 @@ class CellConfig:
         """Everything that shapes the store (NOT the operator / w).
 
         Cells with equal fingerprints are served by one shared engine —
-        the driver's engine-reuse key.
+        the driver's engine-reuse key.  The ingest axes are part of the
+        fingerprint because streaming cells *mutate* their store; an
+        idle cell must never inherit a pumped-into engine.
         """
         return (self.dataset, points, self.cardinality, self.overlap_pct,
-                self.delete_pct, self.parallelism, self.tiles, self.seed)
+                self.delete_pct, self.parallelism, self.tiles, self.seed,
+                self.ingest_rate, self.skew)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -186,7 +216,14 @@ def default_matrix(dataset="MF03", w=128):
     * tile-cache arm: same store with the engine cache on, plain
       M4-LSM vs the tiled operator — gated at overlap 20;
     * cardinality arm: a 32-series store, ungated (prep-heavy; run on
-      full sweeps, not per-PR).
+      full sweeps, not per-PR);
+    * ingest arm: queries timed *while* a pump streams writes into a
+      dedicated series — sustained in-order rate for plain and tiled
+      M4-LSM (gated: dashboards-during-ingest is the live subsystem's
+      contract), a late-arrival skew variant exercising the
+      out-of-order invalidation fallback, and an ungated overload cell
+      whose offered rate exceeds the queue budget so backpressure
+      sheds are visible in the artifact.
     """
     cells = []
     for card in (1, 8):
@@ -211,6 +248,15 @@ def default_matrix(dataset="MF03", w=128):
         cells.append(Cell(CellConfig(
             dataset=dataset, cardinality=32, operator=op, w=w),
             gate=False))
+    for op in ("m4lsm", "m4lsm-tiles"):
+        for skew in ("none", "late"):
+            cells.append(Cell(CellConfig(
+                dataset=dataset, operator=op, tiles=True,
+                ingest_rate=20_000, skew=skew, w=w),
+                gate=(skew == "none")))
+    cells.append(Cell(CellConfig(
+        dataset=dataset, operator="m4lsm", tiles=True,
+        ingest_rate=400_000, skew="none", w=w), gate=False))
     return cells
 
 
@@ -273,6 +319,110 @@ def prepare_cell_engine(config, points):
         load_with_overlap(prepared.engine, name, t, v,
                           config.overlap_pct, seed=config.seed)
     return prepared
+
+
+# --------------------------------------------------------------------
+# the bench ingest pump
+
+
+class _IngestPump:
+    """Streams writes into :data:`INGEST_SERIES` while a cell is timed.
+
+    Open-loop: batches fire on their offered schedule whether or not
+    the last one was accepted, so an overloaded queue sheds (counted)
+    instead of silently slowing the offered rate — the same contract
+    as the loadgen pump, but in-process through
+    :class:`repro.ingest.IngestController`.  ``skew="late"`` holds
+    back every fourth batch and re-emits it two batches later, driving
+    the engine's out-of-order invalidation fallback instead of the
+    incremental tail path.
+
+    The pump targets a dedicated series so the *queried* series' tiles
+    and read-side I/O counters — the gated signal — stay untouched.
+    """
+
+    def __init__(self, engine, config):
+        from ..ingest import IngestController
+        self._controller = IngestController(
+            engine, queue_bytes=INGEST_QUEUE_BYTES, retry_after_seconds=0)
+        # Resume after the series' tail so skew="none" really is the
+        # in-order append path, even when a previous cell's pump
+        # already wrote into this shared engine.
+        self._t_next = 0
+        if INGEST_SERIES in engine.series_names():
+            chunks = engine.chunks_for(INGEST_SERIES)
+            if chunks:
+                self._t_next = max(c.end_time for c in chunks) + 1
+        self._rate = int(config.ingest_rate)
+        self._skew = config.skew
+        self._stop = threading.Event()
+        self._started = None
+        self.batches = 0
+        self.points = 0
+        self.sheds = 0
+        self.late_batches = 0
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="bench-ingest-pump")
+
+    def __enter__(self):
+        self._started = time.monotonic()
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        # Hold the window open to the minimum so sub-millisecond query
+        # cells still measure "during ingest", not "after one batch".
+        remaining = self._started + INGEST_MIN_SECONDS - time.monotonic()
+        if remaining > 0:
+            time.sleep(remaining)
+        self._stop.set()
+        self._thread.join(timeout=30)
+        self._controller.close()
+
+    def summary(self):
+        """The per-cell artifact row's ``ingest`` object."""
+        return {"offered_rate": self._rate, "skew": self._skew,
+                "batches": int(self.batches), "points": int(self.points),
+                "sheds": int(self.sheds),
+                "late_batches": int(self.late_batches)}
+
+    def _submit(self, t, v, late=False):
+        from ..errors import IngestBackpressureError
+        try:
+            self._controller.submit(INGEST_SERIES, t, v)
+        except IngestBackpressureError:
+            self.sheds += 1
+            return
+        self.batches += 1
+        self.points += t.size
+        if late:
+            self.late_batches += 1
+
+    def _run(self):
+        batch = INGEST_BATCH_POINTS
+        interval = batch / float(self._rate)
+        begin = time.monotonic()
+        held = None  # (t, v) stashed for late re-emission
+        held_at = 0
+        k = 0
+        t_next = self._t_next
+        while not self._stop.is_set():
+            delay = begin + k * interval - time.monotonic()
+            if delay > 0 and self._stop.wait(delay):
+                return
+            t = np.arange(t_next, t_next + batch, dtype=np.int64)
+            v = np.sin(t * 1e-3)
+            t_next += batch
+            if self._skew == "late" and held is None and k % 4 == 0:
+                held, held_at = (t, v), k
+            else:
+                self._submit(t, v)
+                if held is not None and k >= held_at + 2:
+                    self._submit(*held, late=True)
+                    held = None
+            k += 1
+        if held is not None:
+            self._submit(*held, late=True)
 
 
 # --------------------------------------------------------------------
@@ -377,8 +527,15 @@ def run_matrix(cells=None, points=None, repeats=5, pattern=None,
                 cfg = cell.config
                 qs, qe = _cell_viewport(cfg, prepared)
                 operator = make_operator(prepared, cfg.operator)
-                samples, result, diff = _timed_samples(
-                    operator, prepared, qs, qe, cfg.w, repeats)
+                ingest = None
+                if cfg.ingest_rate:
+                    with _IngestPump(prepared.engine, cfg) as pump:
+                        samples, result, diff = _timed_samples(
+                            operator, prepared, qs, qe, cfg.w, repeats)
+                    ingest = pump.summary()
+                else:
+                    samples, result, diff = _timed_samples(
+                        operator, prepared, qs, qe, cfg.w, repeats)
                 ref_kind = ("m4lsm" if cfg.operator == "m4lsm-tiles"
                             else "m4udf")
                 identity = _identity(
@@ -398,7 +555,12 @@ def run_matrix(cells=None, points=None, repeats=5, pattern=None,
                     "io": diff.as_dict(),
                     "identity": identity,
                 })
-                say("  %s  p50=%.4fs  chunk_loads=%d  identity=%s"
+                if ingest is not None:
+                    rows[-1]["ingest"] = ingest
+                say("  %s  p50=%.4fs  chunk_loads=%d  identity=%s%s"
                     % (cfg.cell_id, median(samples), diff.chunk_loads,
-                       "ok" if identity["equal"] else "MISMATCH"))
+                       "ok" if identity["equal"] else "MISMATCH",
+                       "  ingest=%dpts sheds=%d" % (ingest["points"],
+                                                    ingest["sheds"])
+                       if ingest else ""))
     return new_artifact("matrix", rows, points, repeats=int(repeats))

@@ -18,6 +18,10 @@ Commands:
               queries, M4 renders, stats/health, admission control
 * ``loadgen``   — drive a running server with seeded pan/zoom
               dashboard sessions and report throughput/latency
+              (``--ingest RATE`` adds a streaming-write pump)
+* ``ingest``    — stream a seeded torture workload (out-of-order,
+              late, duplicate batches) into a running server's
+              ``POST /ingest``, honouring Retry-After backpressure
 * ``trace``     — request traces: list/fetch from a running server
               (``--url``), or probe a store locally and print the
               span tree; ``--chrome`` exports Chrome trace_event JSON
@@ -162,6 +166,22 @@ def build_parser():
                        help="disable degraded reads: a corrupt chunk "
                             "fails the request with 500 instead of a "
                             "flagged partial answer")
+    serve.add_argument("--ingest-queue-bytes", type=int,
+                       default=8 * 1024 * 1024, metavar="BYTES",
+                       help="bounded ingest queue budget; past it "
+                            "POST /ingest sheds with 429 + Retry-After "
+                            "(default 8 MiB)")
+    serve.add_argument("--ingest-tenant-budget", type=int, default=0,
+                       metavar="BYTES",
+                       help="per-tenant share of the ingest queue "
+                            "(0 = no per-tenant cap)")
+    serve.add_argument("--live-subscribers", type=int, default=64,
+                       metavar="N",
+                       help="max concurrent GET /live waiters before "
+                            "shedding with 503")
+    serve.add_argument("--live-poll", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="default long-poll wait for GET /live")
     _add_parallelism(serve)
     _add_tile_cache(serve)
 
@@ -195,6 +215,46 @@ def build_parser():
                          help="set the traceparent sampled flag on every "
                               "Nth request so the server retains those "
                               "traces (0 = never; default 16)")
+    loadgen.add_argument("--ingest", type=float, default=0.0,
+                         metavar="RATE",
+                         help="also stream tail-append writes at RATE "
+                              "points/s while the dashboard sessions "
+                              "run; acks/sheds land in the report")
+    loadgen.add_argument("--ingest-batch", type=int, default=200,
+                         metavar="N",
+                         help="points per POST /ingest batch for the "
+                              "--ingest pump")
+    loadgen.add_argument("--ingest-series", default="ingest-feed",
+                         metavar="NAME",
+                         help="series the --ingest pump appends to "
+                              "(kept separate from dashboard series)")
+
+    ingest = commands.add_parser(
+        "ingest", help="stream a seeded torture workload into a server")
+    ingest.add_argument("--url", required=True,
+                        help="server base URL, e.g. http://127.0.0.1:8731")
+    ingest.add_argument("--series", default="torture",
+                        help="target series (auto-created)")
+    ingest.add_argument("--points", type=int, default=10_000)
+    ingest.add_argument("--batch-size", type=int, default=500)
+    ingest.add_argument("--ooo-fraction", type=float, default=0.1,
+                        help="fraction of points delayed into later "
+                             "batches (out-of-order arrival)")
+    ingest.add_argument("--dup-fraction", type=float, default=0.02,
+                        help="fraction of timestamps re-emitted later "
+                             "with a different value (last wins)")
+    ingest.add_argument("--max-lag", type=int, default=4,
+                        help="max batches a late point lags behind")
+    ingest.add_argument("--dataset", choices=sorted(PROFILES),
+                        help="value shape (default: unit random walk)")
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument("--rate", type=float, default=0.0,
+                        help="pace batches at RATE points/s "
+                             "(0 = as fast as acks allow)")
+    ingest.add_argument("--tenant",
+                        help="tenant label for per-tenant byte budgets")
+    ingest.add_argument("--json", action="store_true",
+                        help="print the summary as JSON")
 
     trace = commands.add_parser(
         "trace", help="inspect request traces (server or local probe)")
@@ -535,7 +595,12 @@ def _cmd_serve(args):
                           default_timeout_seconds=args.timeout,
                           max_timeout_seconds=max(args.max_timeout,
                                                   args.timeout),
-                          quiet=args.quiet, strict=args.strict)
+                          quiet=args.quiet, strict=args.strict,
+                          ingest_queue_bytes=args.ingest_queue_bytes,
+                          ingest_tenant_budget_bytes=(
+                              args.ingest_tenant_budget),
+                          live_max_subscribers=args.live_subscribers,
+                          live_poll_seconds=args.live_poll)
     handle = start_server(engine, config, own_engine=True)
     host, port = handle.address
     print("serving %s on http://%s:%d (workers=%d queue=%d "
@@ -577,7 +642,10 @@ def _cmd_loadgen(args):
                                width=args.width, seed=args.seed,
                                timeout_ms=args.timeout_ms,
                                align=args.align,
-                               trace_every=args.trace_every)
+                               trace_every=args.trace_every,
+                               ingest_rate=args.ingest,
+                               ingest_batch=args.ingest_batch,
+                               ingest_series=args.ingest_series)
     try:
         report = workload.run(mode=args.mode, users=args.users,
                               rate=args.rate, duration=args.duration)
@@ -590,6 +658,75 @@ def _cmd_loadgen(args):
     else:
         print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_ingest(args):
+    """``repro ingest``: stream a seeded torture workload into a server.
+
+    Generates batches with :func:`repro.datasets.generate_torture`
+    (out-of-order, late and duplicate arrivals) and POSTs them to the
+    server's ``/ingest`` endpoint.  A 429 shed honours ``Retry-After``
+    and retries the same batch, so the stream is lossless under
+    backpressure — the summary separates sheds from errors.  Returns 0
+    when every batch was eventually acked, 1 otherwise.
+    """
+    import json as json_module
+    import time as time_module
+
+    from .datasets import TortureConfig, generate_torture
+    from .errors import IngestBackpressureError
+    from .server.client import ReproClient
+
+    stream = generate_torture(TortureConfig(
+        n_points=args.points, batch_size=args.batch_size,
+        out_of_order_fraction=args.ooo_fraction,
+        duplicate_fraction=args.dup_fraction,
+        max_lag_batches=args.max_lag,
+        dataset=args.dataset, seed=args.seed))
+    client = ReproClient(args.url)
+    interval = (args.batch_size / args.rate) if args.rate > 0 else 0.0
+    begin = time_module.monotonic()
+    acked = points = sheds = errors = 0
+    for k, (ts, vs) in enumerate(stream.batches):
+        if interval:
+            delay = begin + k * interval - time_module.monotonic()
+            if delay > 0:
+                time_module.sleep(delay)
+        while True:
+            try:
+                ack = client.ingest(args.series, [int(t) for t in ts],
+                                    [float(v) for v in vs],
+                                    tenant=args.tenant)
+            except IngestBackpressureError as exc:
+                sheds += 1
+                time_module.sleep(max(exc.retry_after, 0.05))
+                continue
+            except (OSError, ReproError) as exc:
+                errors += 1
+                print("error: batch %d failed: %s" % (k, exc),
+                      file=sys.stderr)
+                break
+            acked += 1
+            points += ack["accepted"]
+            break
+    elapsed = time_module.monotonic() - begin
+    summary = dict(stream.stats())
+    summary.update(series=args.series, batches_acked=acked,
+                   points_acked=points, sheds=sheds, errors=errors,
+                   seconds=round(elapsed, 3),
+                   points_per_second=round(points / elapsed, 1)
+                   if elapsed > 0 else 0.0)
+    if args.json:
+        print(json_module.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print("streamed %d points in %d batches to %s in %.2fs "
+              "(%.0f pts/s) | out-of-order=%d duplicates=%d | "
+              "sheds=%d errors=%d"
+              % (points, acked, args.series, elapsed,
+                 summary["points_per_second"],
+                 summary["out_of_order"],
+                 summary["duplicates"], sheds, errors))
+    return 0 if errors == 0 else 1
 
 
 def _probe_target(engine, series, what="probe"):
@@ -829,6 +966,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "ingest": _cmd_ingest,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
     "bench": _cmd_bench,

@@ -6,7 +6,10 @@ progressively corrected as candidates fail verification — time bounds
 tighten, representation points are recomputed under deletes, overwritten
 timestamps are excluded.  Candidate generation picks, per representation
 function, the extreme point among the views' current metadata, breaking
-ties by the largest version (the ``argmax P.kappa`` of Section 3.2).
+value ties by earliest timestamp (matching the UDF's ``argmin``/
+``argmax`` first-occurrence semantics, so results never depend on chunk
+layout) and timestamp ties by the largest version (the ``argmax
+P.kappa`` of Section 3.2).
 """
 
 from __future__ import annotations
@@ -128,7 +131,8 @@ def pending_views(views, function):
 
 def candidate_pool(views, function):
     """The paper's ``P'_G`` ordered for iteration: the known points
-    attaining the representation extreme, by version descending.
+    attaining the representation extreme, by earliest timestamp then
+    version descending.
 
     Returns a list of ``(view, point)``; empty if nothing is known.
     """
@@ -147,7 +151,11 @@ def candidate_pool(views, function):
     else:  # TP
         extreme = max(p.v for _v, p in known)
         pool = [(v, p) for v, p in known if p.v == extreme]
-    pool.sort(key=lambda item: item[0].version, reverse=True)
+    # Value ties (BP/TP across chunks) resolve to the earliest surviving
+    # timestamp — the UDF's first-occurrence answer — and only timestamp
+    # ties fall back to the newest version; FP/LP pools share one
+    # timestamp, for which this is plain version order.
+    pool.sort(key=lambda item: (item[1].t, -item[0].version))
     return pool
 
 

@@ -147,16 +147,17 @@ class SpanSolver:
             pool = candidate_pool(views, function)
             if not pool:
                 return None  # every view is dead: the span is empty
-            for view, candidate in pool:
-                verdict = verify_bp_tp(candidate, view, views, self._deletes,
-                                       self._reader, self._use_regression)
-                if verdict.is_latest():
-                    return candidate
-                if verdict.status != DELETED:
-                    view.excluded.add(candidate.t)
-                view.invalidate(function)
-                if not self._lazy:
-                    break  # eager: reload immediately, no pool iteration
+            # Only the best (earliest-t) candidate may be verified: a
+            # failed view must recompute before a later-t value tie is
+            # trusted, or the tie could resolve to the wrong timestamp.
+            view, candidate = pool[0]
+            verdict = verify_bp_tp(candidate, view, views, self._deletes,
+                                   self._reader, self._use_regression)
+            if verdict.is_latest():
+                return candidate
+            if verdict.status != DELETED:
+                view.excluded.add(candidate.t)
+            view.invalidate(function)
         raise StorageError("BP/TP solve did not converge")
 
     def _prefetch(self, pending):
@@ -382,8 +383,12 @@ def _fused_span(metas, start, end, contested):
             first = stats.first
         if last is None or stats.last.t > last.t:
             last = stats.last
-        if bottom is None or stats.bottom.v < bottom.v:
+        # Value ties break on earliest timestamp so the fused answer
+        # matches the solver and the UDF regardless of meta order.
+        if bottom is None or stats.bottom.v < bottom.v or (
+                stats.bottom.v == bottom.v and stats.bottom.t < bottom.t):
             bottom = stats.bottom
-        if top is None or stats.top.v > top.v:
+        if top is None or stats.top.v > top.v or (
+                stats.top.v == top.v and stats.top.t < top.t):
             top = stats.top
     return SpanAggregate(first=first, last=last, bottom=bottom, top=top)

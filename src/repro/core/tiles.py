@@ -51,6 +51,17 @@ cache.  Quarantine changes arrive from reader threads (no write lock);
 the insert-epoch check below closes that race: a tile computed before an
 overlapping invalidation is discarded instead of inserted.
 
+*Tail appends* (every new timestamp strictly past the series' previous
+maximum — the streaming-ingest common case) take a cheaper path: instead
+of dropping overlapping tiles, :meth:`TileCache.mark_dirty` records the
+appended range on each one, and the tiled operator recomputes *only the
+dirty cells* on the next lookup (``TiledM4Operator._repair``), splicing
+them into the retained spans.  Because an append past the old maximum
+cannot change any data outside the appended range, the clean cells'
+aggregates are provably unchanged and the repaired tile is
+byte-identical to a full recompute (DESIGN.md §13).  Interior,
+out-of-order and delete writes keep the full overlap-drop.
+
 Lock ordering: the cache's internal lock is a *leaf* — no series or
 engine lock is ever acquired while holding it.
 """
@@ -131,6 +142,9 @@ class TileEntry:
     spans: tuple        # T SpanAggregates, cell order
     skipped: tuple      # canonical (lo, hi) ranges within the tile
     nbytes: int
+    #: merged half-open time ranges whose cells must be recomputed
+    #: before the tile can be served (tail-append dirt; () = clean).
+    dirty: tuple = ()
 
     @classmethod
     def from_result(cls, result):
@@ -141,6 +155,13 @@ class TileEntry:
             if not span.is_empty():
                 nbytes += 4 * _POINT_BYTES
         return cls(tuple(result.spans), tuple(result.skipped), nbytes)
+
+    def with_dirty(self, lo, hi):
+        """A copy with ``[lo, hi)`` merged into the dirty ranges."""
+        dirty = merge_time_ranges(list(self.dirty) + [(int(lo), int(hi))])
+        nbytes = self.nbytes \
+            + _RANGE_BYTES * (len(dirty) - len(self.dirty))
+        return dataclasses.replace(self, dirty=dirty, nbytes=nbytes)
 
 
 class TileCache:
@@ -178,6 +199,8 @@ class TileCache:
         self._c_hits = metrics.counter("tile_cache_hits_total")
         self._c_misses = metrics.counter("tile_cache_misses_total")
         self._c_inval = metrics.counter("tile_cache_invalidations_total")
+        self._c_dirty = metrics.counter("tile_cache_dirty_marks_total")
+        self._c_repair = metrics.counter("tile_cache_cell_repairs_total")
         self._c_evict = metrics.counter("tile_cache_evictions_total")
         self._c_reject = metrics.counter("tile_cache_rejected_inserts_total")
         self._c_bypass = metrics.counter("tile_cache_bypass_total")
@@ -307,6 +330,46 @@ class TileCache:
                 self._publish_locked()
         return dropped
 
+    def mark_dirty(self, series, lo, hi):
+        """Tail-append path: keep overlapping tiles, dirty their cells.
+
+        Instead of dropping every tile overlapping ``[lo, hi)`` (what
+        :meth:`invalidate` does), the range is merged into each
+        overlapping entry's ``dirty`` ranges; the tiled operator
+        recomputes only the dirty cells on the next lookup and reuses
+        the rest of the tile verbatim.  Sound *only* when every
+        timestamp in ``[lo, hi)`` is strictly after every point the
+        series held before (a pure tail append): then cells outside the
+        range still aggregate exactly the same data.  Interior or
+        out-of-order writes must keep using :meth:`invalidate`.
+
+        The event is still recorded in the invalidation log, so a
+        racing whole-tile computation that read pre-append data cannot
+        insert afterwards.  Returns the number of tiles dirtied.
+        """
+        lo, hi = int(lo), int(hi)
+        if hi <= lo:
+            return 0
+        dirtied = 0
+        with self._lock:
+            self._note_locked(series, lo, hi)
+            for key in list(self._by_series.get(series, ())):
+                t_lo, t_hi = self.tile_range(key[1], key[2])
+                if t_lo < hi and lo < t_hi:
+                    entry = self._entries[key]
+                    fresh = entry.with_dirty(max(lo, t_lo), min(hi, t_hi))
+                    self._entries[key] = fresh
+                    self._bytes += fresh.nbytes - entry.nbytes
+                    dirtied += 1
+            if dirtied:
+                self._c_dirty.inc(dirtied)
+                self._publish_locked()
+        return dirtied
+
+    def count_repairs(self, cells):
+        """Count ``cells`` incrementally recomputed cells (obs only)."""
+        self._c_repair.inc(cells)
+
     def invalidate_series(self, series):
         """Drop every tile of one series (compaction, re-ingest)."""
         dropped = 0
@@ -421,7 +484,7 @@ class TiledM4Operator:
         per_tile = cache.spans_per_tile
         spans = []
         skipped = []
-        hits = misses = 0
+        hits = misses = repairs = 0
         with tracer_of(self._engine).span("tiles.stitch",
                                           series=series_name,
                                           level=level) as stitch, \
@@ -436,19 +499,31 @@ class TiledM4Operator:
                 if cell == tile_start and tile_end <= last_cell:
                     with ambient_span("tiles.tile", level=level,
                                       tile=tile) as tile_span:
+                        # Epoch *before* lookup: any entry the lookup
+                        # returns already reflects every invalidation
+                        # before the epoch, and any event after it
+                        # rejects the (re)insert below.
+                        epoch = cache.epoch(series_name)
                         entry = cache.lookup(series_name, level, tile)
                         hit = entry is not None
+                        repaired = 0
                         if entry is None:
-                            epoch = cache.epoch(series_name)
                             result = self._inner.query(
                                 series_name, tile_start * s, tile_end * s,
                                 per_tile)
                             entry = TileEntry.from_result(result)
                             cache.insert(series_name, level, tile, entry,
                                          epoch)
+                        elif entry.dirty:
+                            entry, repaired = self._repair(
+                                series_name, level, tile, entry, epoch,
+                                s, tile_start, tile_end)
                         tile_span.attrs["hit"] = hit
+                        if repaired:
+                            tile_span.attrs["repaired_cells"] = repaired
                     hits += hit
                     misses += not hit
+                    repairs += repaired
                     spans.extend(entry.spans)
                     skipped.extend(entry.skipped)
                     cell = tile_end
@@ -464,8 +539,58 @@ class TiledM4Operator:
                     cell = run_end
             stitch.attrs["hits"] = hits
             stitch.attrs["misses"] = misses
+            if repairs:
+                stitch.attrs["repaired_cells"] = repairs
         return M4Result(int(t_qs), int(t_qe), int(w), tuple(spans),
                         skipped=merge_time_ranges(skipped, t_qs, t_qe))
+
+    def _repair(self, series_name, level, tile, entry, epoch, s,
+                tile_start, tile_end):
+        """Recompute only a dirty tile's dirty cells; reuse the rest.
+
+        The caller holds the series read lock, so the data under every
+        cell is frozen for the duration.  Tail-append dirt (see
+        :meth:`TileCache.mark_dirty`) only ever adds points inside the
+        dirty ranges, so the clean cells' aggregates are still exact;
+        recomputing just the dirty cells with the inner operator
+        therefore reproduces a full-tile computation byte-for-byte.
+
+        Returns ``(clean_entry, cells_recomputed)``.  The repaired
+        entry is reinserted under ``epoch`` (discarded if another
+        invalidation raced, e.g. a further append mid-repair — the
+        result served to *this* query is still correct because the data
+        it read is lock-frozen).
+        """
+        cache = self._cache
+        lo_t, hi_t = tile_start * s, tile_end * s
+        spans = list(entry.spans)
+        skipped = list(entry.skipped)
+        recomputed = 0
+        for d_lo, d_hi in entry.dirty:
+            c0 = max(d_lo // s, tile_start)
+            c1 = min(-(-d_hi // s), tile_end)
+            if c1 <= c0:
+                continue
+            result = self._inner.query(series_name, c0 * s, c1 * s,
+                                       c1 - c0)
+            spans[c0 - tile_start:c1 - tile_start] = result.spans
+            # Splice skipped ranges: keep the parts of the old ranges
+            # outside the recomputed window, take the fresh computation
+            # inside it.
+            kept = []
+            for a, b in skipped:
+                if a < c0 * s:
+                    kept.append((a, min(b, c0 * s)))
+                if b > c1 * s:
+                    kept.append((max(a, c1 * s), b))
+            skipped = kept + list(result.skipped)
+            recomputed += c1 - c0
+        fresh = TileEntry.from_result(M4Result(
+            lo_t, hi_t, tile_end - tile_start, tuple(spans),
+            skipped=merge_time_ranges(skipped, lo_t, hi_t)))
+        cache.insert(series_name, level, tile, fresh, epoch)
+        cache.count_repairs(recomputed)
+        return fresh, recomputed
 
     def query_traced(self, series_name, t_qs, t_qe, w):
         """EXPLAIN path: always uncached (the trace describes the

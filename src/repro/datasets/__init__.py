@@ -11,6 +11,7 @@ from .anomalies import (
 )
 from .generators import PROFILES, DatasetProfile, dataset_summary, generate
 from .loader import load_csv, load_csv_series, save_csv
+from .torture import TortureConfig, TortureStream, generate_torture
 from .workloads import (
     apply_delete_workload,
     build_engine,
@@ -23,10 +24,13 @@ __all__ = [
     "Anomaly",
     "DatasetProfile",
     "PROFILES",
+    "TortureConfig",
+    "TortureStream",
     "apply_delete_workload",
     "build_engine",
     "dataset_summary",
     "generate",
+    "generate_torture",
     "inject_dropout",
     "inject_drift",
     "inject_flatline",

@@ -1,0 +1,161 @@
+"""Seeded ingest torture generator: out-of-order, late, duplicate points.
+
+Real IoT ingest is never the sorted bulk load the paper benchmarks:
+gateways buffer and retry, devices reboot with skewed clocks, and
+at-least-once delivery re-sends points it already shipped.  This module
+turns any of the four dataset profiles (or a plain ramp) into a stream
+of *batches* exhibiting exactly those pathologies, deterministically
+for a given seed, together with the sorted last-write-wins union the
+store must converge to.
+
+Semantics contract
+------------------
+
+The expected union is computed by replaying the batches in emission
+order into a per-timestamp map — i.e. **the last emitted value for a
+timestamp wins**.  That is precisely the engine's resolution order:
+the memtable keeps the last-inserted value per timestamp when it
+drains, and sealed chunks merge with the highest version winning, and
+batch ``i`` always drains with a version below batch ``j > i``'s when
+flushed in order.  The property suite and ``scripts/ingest_smoke.py``
+assert the store's query/render output is byte-identical to a bulk
+load of :meth:`TortureStream.expected`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .generators import PROFILES, generate
+
+
+@dataclasses.dataclass(frozen=True)
+class TortureConfig:
+    """Knobs of the torture stream (all fractions in ``[0, 1]``).
+
+    ``dataset`` names one of the Table 2 profiles, or ``None`` for a
+    unit-step ramp (timestamps ``0..n_points-1``, random-walk values).
+    Out-of-order points are held back and re-emitted up to
+    ``max_lag_batches`` batches late; duplicates re-emit an
+    already-sent timestamp with a perturbed value (so last-write-wins
+    is observable, not vacuous).
+    """
+
+    n_points: int = 10_000
+    batch_size: int = 500
+    out_of_order_fraction: float = 0.1
+    max_lag_batches: int = 4
+    duplicate_fraction: float = 0.02
+    dataset: str = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_points <= 0:
+            raise ValueError("n_points must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        for field in ("out_of_order_fraction", "duplicate_fraction"):
+            frac = getattr(self, field)
+            if not 0.0 <= frac <= 1.0:
+                raise ValueError("%s must be in [0, 1]" % field)
+        if self.max_lag_batches < 1:
+            raise ValueError("max_lag_batches must be >= 1")
+        if self.dataset is not None and self.dataset not in PROFILES:
+            raise ValueError("unknown dataset %r (one of %s)"
+                             % (self.dataset, "/".join(sorted(PROFILES))))
+
+
+@dataclasses.dataclass(frozen=True)
+class TortureStream:
+    """The generated batches plus ground truth derived from them."""
+
+    config: TortureConfig
+    #: list of ``(timestamps, values)`` int64/float64 array pairs, in
+    #: emission order; every batch is non-empty.
+    batches: tuple
+
+    def expected(self):
+        """Sorted last-write-wins union as ``(timestamps, values)``.
+
+        Replays the batches in emission order, later emissions
+        overwriting earlier ones per timestamp — the engine's own
+        resolution order (module docstring).
+        """
+        merged = {}
+        for t, v in self.batches:
+            for i in range(t.size):
+                merged[int(t[i])] = float(v[i])
+        ts = np.array(sorted(merged), dtype=np.int64)
+        vs = np.array([merged[int(t)] for t in ts], dtype=np.float64)
+        return ts, vs
+
+    def stats(self):
+        """Realized pathology counts (what the stream actually holds)."""
+        emitted = sum(int(t.size) for t, _ in self.batches)
+        seen = set()
+        out_of_order = duplicates = 0
+        high = None  # watermark across *previous* batches: a point is
+        # out of order when an earlier batch already carried a later
+        # timestamp (matching the engine's batch-granular tail check).
+        for t, _ in self.batches:
+            for raw in t:
+                ts = int(raw)
+                if ts in seen:
+                    duplicates += 1
+                elif high is not None and ts <= high:
+                    out_of_order += 1
+                seen.add(ts)
+            batch_high = int(t.max())
+            high = batch_high if high is None else max(high, batch_high)
+        return {"batches": len(self.batches), "emitted": emitted,
+                "unique": len(seen), "out_of_order": out_of_order,
+                "duplicates": duplicates}
+
+
+def generate_torture(config=None, **kwargs):
+    """Build a :class:`TortureStream` (pass a config or its kwargs)."""
+    if config is None:
+        config = TortureConfig(**kwargs)
+    elif kwargs:
+        config = dataclasses.replace(config, **kwargs)
+    rng = np.random.default_rng(config.seed)
+    n = config.n_points
+    if config.dataset is None:
+        base_t = np.arange(n, dtype=np.int64)
+        base_v = np.cumsum(rng.normal(0, 1.0, n)) + 100.0
+    else:
+        base_t, base_v = generate(config.dataset, n, config.seed)
+        base_t = np.asarray(base_t, dtype=np.int64)
+        base_v = np.asarray(base_v, dtype=np.float64)
+
+    n_batches = -(-n // config.batch_size)
+    pending = [[] for _ in range(n_batches)]  # (t, v) pairs per batch
+    for i in range(n):
+        batch = i // config.batch_size
+        if batch + 1 < n_batches \
+                and rng.random() < config.out_of_order_fraction:
+            lag = int(rng.integers(1, config.max_lag_batches + 1))
+            batch = min(batch + lag, n_batches - 1)
+        pending[batch].append((int(base_t[i]), float(base_v[i])))
+
+    # Duplicates: re-emit an already-scheduled timestamp in a *later or
+    # equal* batch with a perturbed value, so the re-emission wins.
+    n_dups = int(round(n * config.duplicate_fraction))
+    if n_dups:
+        for i in rng.choice(n, size=n_dups, replace=False):
+            origin = i // config.batch_size
+            batch = int(rng.integers(origin, n_batches))
+            pending[batch].append(
+                (int(base_t[i]), float(base_v[i]) + float(rng.normal(0, 1))))
+
+    batches = []
+    for group in pending:
+        if not group:
+            continue
+        rng.shuffle(group)  # scramble order inside the batch too
+        ts = np.array([p[0] for p in group], dtype=np.int64)
+        vs = np.array([p[1] for p in group], dtype=np.float64)
+        batches.append((ts, vs))
+    return TortureStream(config, tuple(batches))

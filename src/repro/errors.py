@@ -82,6 +82,20 @@ class ServerOverloadedError(ServerError):
         self.retry_after = int(retry_after)
 
 
+class IngestBackpressureError(ServerError):
+    """Raised when the streaming ingest queue (or a tenant's byte
+    budget) is full and a batch is shed.
+
+    Maps to HTTP 429; ``retry_after`` is the suggested client back-off
+    in seconds (the ``Retry-After`` header value)."""
+
+    status = 429
+
+    def __init__(self, message, retry_after=1):
+        super().__init__(message)
+        self.retry_after = int(retry_after)
+
+
 class QueryError(ReproError):
     """Base class for query layer failures."""
 

@@ -1,0 +1,14 @@
+"""Streaming ingest: backpressured writes + the live delta feed.
+
+See DESIGN.md §13 for the streaming model (backpressure contract,
+incremental-M4 correctness argument, ``/live`` semantics).
+"""
+
+from .controller import IngestController, batch_nbytes
+from .live import LiveFeed
+
+__all__ = [
+    "IngestController",
+    "LiveFeed",
+    "batch_nbytes",
+]

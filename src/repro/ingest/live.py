@@ -1,0 +1,164 @@
+"""The live delta feed: per-series change sequence for ``GET /live``.
+
+The feed is transport-agnostic: the ingest writer publishes "series
+``s`` changed in ``[lo, hi)``" events, each stamped with a per-series
+monotonically increasing sequence number, and long-poll / SSE handlers
+block on :meth:`LiveFeed.wait` until the client's cursor is behind the
+head.  The handler then recomputes the M4 cells covering the merged
+changed range (grid-aligned, so the delta splices byte-identically
+into the client's chart — the same cell argument as the tile cache)
+and ships ``(new_cursor, ranges, spans)``.
+
+Events live in a bounded per-series ring.  A client whose cursor has
+fallen off the ring gets ``reset=True`` and must refetch its whole
+viewport — the same conservative contract as the tile cache's
+invalidation log.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+
+from ..core.result import merge_time_ranges
+from ..errors import ServerOverloadedError
+
+#: Per-series event ring length (cursor older than this resets).
+_EVENT_LOG = 1024
+
+
+class LiveFeed:
+    """Condition-guarded change log consumed by ``/live`` handlers.
+
+    Args:
+        metrics: optional :class:`repro.obs.MetricsRegistry`; receives
+            the ``live_subscribers`` gauge and
+            ``live_events_total`` / ``live_resets_total`` counters.
+        max_subscribers: concurrent waiter cap; beyond it
+            :meth:`subscriber` sheds with a 503
+            :class:`~repro.errors.ServerOverloadedError`.
+
+    Thread-safe; the internal lock is a leaf (publishers call from
+    the ingest writer thread without holding engine locks).
+    """
+
+    def __init__(self, metrics=None, max_subscribers=64):
+        from ..obs import NULL_REGISTRY
+        metrics = metrics if metrics is not None else NULL_REGISTRY
+        if max_subscribers < 1:
+            raise ValueError("max_subscribers must be >= 1")
+        self._cond = threading.Condition()
+        self._max_subscribers = int(max_subscribers)
+        self._subscribers = 0
+        self._seq = {}      # series -> head sequence number
+        self._events = {}   # series -> deque of (seq, lo, hi)
+        self._dropped = {}  # series -> highest seq fallen off the ring
+        self._closed = False
+        self._g_subs = metrics.gauge("live_subscribers")
+        self._c_events = metrics.counter("live_events_total")
+        self._c_resets = metrics.counter("live_resets_total")
+
+    @property
+    def subscribers(self):
+        """Waiters currently registered via :meth:`subscriber`."""
+        return self._subscribers
+
+    @property
+    def closed(self):
+        """True once :meth:`close` ran (server draining)."""
+        return self._closed
+
+    def close(self):
+        """Wake every waiter and make further waits return at once.
+
+        Called from the service's shutdown path so long-poll and SSE
+        handlers release promptly instead of holding the drain hostage
+        for their full timeout."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def cursor(self, series):
+        """The series' current head sequence (0 = never written)."""
+        with self._cond:
+            return self._seq.get(series, 0)
+
+    def publish(self, series, lo, hi):
+        """Record "``series`` changed in ``[lo, hi)``" and wake waiters.
+
+        Returns the event's sequence number.
+        """
+        lo, hi = int(lo), int(hi)
+        with self._cond:
+            seq = self._seq.get(series, 0) + 1
+            self._seq[series] = seq
+            ring = self._events.get(series)
+            if ring is None:
+                ring = self._events[series] = collections.deque(
+                    maxlen=_EVENT_LOG)
+            if len(ring) == ring.maxlen:
+                self._dropped[series] = ring[0][0]
+            ring.append((seq, lo, hi))
+            self._c_events.inc()
+            self._cond.notify_all()
+            return seq
+
+    def subscriber(self):
+        """Context manager registering one waiter (gauge + shed cap)."""
+        return _Subscription(self)
+
+    def wait(self, series, cursor, timeout):
+        """Block until the series moves past ``cursor`` (long-poll).
+
+        Returns ``(head, ranges, reset)``:
+
+        * ``head`` — the new cursor the client should resume from;
+        * ``ranges`` — merged half-open time ranges changed in
+          ``(cursor, head]``, empty on timeout;
+        * ``reset`` — True when ``cursor`` predates the retained ring
+          (the client must refetch its viewport, then resume from
+          ``head``).
+        """
+        cursor = int(cursor)
+        with self._cond:
+            ready = lambda: (self._closed  # noqa: E731
+                             or self._seq.get(series, 0) > cursor)
+            if timeout is None:
+                self._cond.wait_for(ready)
+            elif timeout > 0:
+                self._cond.wait_for(ready, timeout)
+            # timeout <= 0: non-blocking peek
+            head = self._seq.get(series, 0)
+            if head <= cursor:
+                return head, (), False
+            if cursor < self._dropped.get(series, 0):
+                self._c_resets.inc()
+                return head, (), True
+            ranges = [(lo, hi) for seq, lo, hi
+                      in self._events.get(series, ())
+                      if seq > cursor]
+            return head, merge_time_ranges(ranges), False
+
+
+class _Subscription:
+    """Registers a waiter for its ``with`` scope; sheds past the cap."""
+
+    def __init__(self, feed):
+        self._feed = feed
+
+    def __enter__(self):
+        feed = self._feed
+        with feed._cond:
+            if feed._subscribers >= feed._max_subscribers:
+                raise ServerOverloadedError(
+                    "live feed at max subscribers (%d)"
+                    % feed._max_subscribers)
+            feed._subscribers += 1
+            feed._g_subs.set(feed._subscribers)
+        return feed
+
+    def __exit__(self, *exc_info):
+        feed = self._feed
+        with feed._cond:
+            feed._subscribers -= 1
+            feed._g_subs.set(feed._subscribers)

@@ -15,7 +15,11 @@ import urllib.error
 import urllib.parse
 import urllib.request
 
-from ..errors import ServerError, ServerOverloadedError
+from ..errors import (
+    IngestBackpressureError,
+    ServerError,
+    ServerOverloadedError,
+)
 from ..obs import make_traceparent
 
 
@@ -227,6 +231,96 @@ class ReproClient:
             path += "?format=chrome"
         return self._checked(self.request("GET", path)).json()
 
+    # -- streaming ingest + live -------------------------------------------------------
+
+    def ingest_response(self, series, timestamps, values, tenant=None):
+        """``POST /ingest`` returning the raw :class:`ClientResponse`
+        (a 429 shed returns, it does not raise — loadgen counts it)."""
+        payload = {"series": series,
+                   "timestamps": [int(t) for t in timestamps],
+                   "values": [float(v) for v in values]}
+        if tenant is not None:
+            payload["tenant"] = str(tenant)
+        return self.request(
+            "POST", "/ingest",
+            body=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"})
+
+    def ingest(self, series, timestamps, values, tenant=None):
+        """Submit one batch of points to the streaming ingest queue.
+
+        Returns the ack dict (``accepted``, ``pending_bytes``, ...).
+
+        Raises:
+            IngestBackpressureError: the queue or tenant budget was
+                full (429); honor ``retry_after`` and resend.
+            ServerError: any other non-2xx answer.
+        """
+        return self._checked(self.ingest_response(
+            series, timestamps, values, tenant=tenant)).json()
+
+    def ingest_stream(self, batches):
+        """``POST /ingest/stream``: many batches in one NDJSON request.
+
+        ``batches`` is an iterable of ``(series, timestamps, values)``
+        triples (or dicts already shaped like an ``/ingest`` body).
+        Returns the per-line results document; raises
+        :class:`IngestBackpressureError` only when every line shed.
+        """
+        lines = []
+        for batch in batches:
+            if isinstance(batch, dict):
+                payload = batch
+            else:
+                series, timestamps, values = batch
+                payload = {"series": series,
+                           "timestamps": [int(t) for t in timestamps],
+                           "values": [float(v) for v in values]}
+            lines.append(json.dumps(payload))
+        body = ("\n".join(lines) + "\n").encode("utf-8")
+        return self._checked(self.request(
+            "POST", "/ingest/stream", body=body,
+            headers={"Content-Type": "application/x-ndjson"})).json()
+
+    def live_poll(self, series, cursor=0, timeout_ms=None, span=None):
+        """``GET /live``: long-poll for changes past ``cursor``.
+
+        Returns ``{"cursor", "ranges", "reset", ...}``; with ``span``
+        the document carries grid-aligned M4 ``deltas`` ready to
+        splice into a chart on that grid.  Resume the next poll from
+        the returned ``cursor``.
+        """
+        params = {"series": series, "cursor": int(cursor)}
+        if timeout_ms is not None:
+            params["timeout_ms"] = int(timeout_ms)
+        if span is not None:
+            params["span"] = int(span)
+        return self._checked(self.request(
+            "GET", "/live?" + urllib.parse.urlencode(params))).json()
+
+    def live_events(self, series, cursor=0, duration=30.0, span=None):
+        """``GET /live?mode=sse``: yield delta documents as they occur.
+
+        A generator over the server-sent event stream; terminates when
+        the server ends the stream (after ``duration`` seconds) or the
+        connection drops.  Keep-alive comments are filtered out.
+        """
+        params = {"series": series, "cursor": int(cursor),
+                  "duration": float(duration), "mode": "sse"}
+        if span is not None:
+            params["span"] = int(span)
+        req = urllib.request.Request(
+            self._base + "/live?" + urllib.parse.urlencode(params),
+            headers={"Accept": "text/event-stream"})
+        stream_timeout = max(self._timeout, float(duration) + 5.0)
+        with urllib.request.urlopen(req, timeout=stream_timeout) as r:
+            if r.status != 200:
+                raise ServerError("live stream failed", status=r.status)
+            for raw in r:
+                line = raw.decode("utf-8").strip()
+                if line.startswith("data: "):
+                    yield json.loads(line[len("data: "):])
+
     def profile_start(self, interval_ms=None):
         """Start the server's sampling profiler."""
         payload = {"action": "start"}
@@ -254,6 +348,10 @@ class ReproClient:
             message = response.body.decode("utf-8", "replace")
         if response.status == 503:
             raise ServerOverloadedError(
+                message,
+                retry_after=int(response.headers.get("Retry-After", 1)))
+        if response.status == 429:
+            raise IngestBackpressureError(
                 message,
                 retry_after=int(response.headers.get("Retry-After", 1)))
         raise ServerError("%s (HTTP %d)" % (message, response.status),

@@ -19,6 +19,12 @@ Endpoints::
     GET  /trace/<id>  one trace (?format=chrome for trace_event JSON)
     GET  /profile  sampling profiler status
     POST /profile  {"action": "start"|"stop", "interval_ms": ...}
+    POST /ingest   {"series": .., "timestamps": [..], "values": [..]}
+                   (backpressure answers 429 with Retry-After)
+    POST /ingest/stream   NDJSON: one /ingest body per line
+    GET  /live?series=..&cursor=..&timeout_ms=..&span=..
+                   long-poll span deltas; &mode=sse streams
+                   text/event-stream events instead
 
 ``query`` and ``render`` accept a W3C ``traceparent`` request header;
 the response carries ``X-Repro-Trace-Id`` so clients can fetch their
@@ -37,9 +43,11 @@ import contextlib
 import json
 import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl, urlsplit
 
+from ..errors import ServerOverloadedError
 from .service import QueryService, Response, ServerConfig
 
 
@@ -70,6 +78,13 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(service.trace(key, params))
             elif split.path == "/profile":
                 self._send(service.profile_status())
+            elif split.path == "/live":
+                accept = self.headers.get("Accept", "")
+                if params.get("mode") == "sse" \
+                        or "text/event-stream" in accept:
+                    self._serve_sse(service, params)
+                else:
+                    self._send(service.live(params))
             else:
                 self._send(Response(404,
                                     b'{"error": "no such endpoint"}'))
@@ -77,23 +92,107 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self):
         with self.server.track_request():
             split = urlsplit(self.path)
-            if split.path not in ("/query", "/profile"):
+            if split.path not in ("/query", "/profile", "/ingest",
+                                  "/ingest/stream"):
                 self._send(Response(404,
                                     b'{"error": "no such endpoint"}'))
                 return
             try:
                 length = int(self.headers.get("Content-Length", 0))
-                payload = json.loads(self.rfile.read(length) or b"{}")
+                raw = self.rfile.read(length)
             except (ValueError, TypeError):
+                self._send(Response(400,
+                                    b'{"error": "bad Content-Length"}'))
+                return
+            service = self.server.service
+            if split.path == "/ingest/stream":
+                # NDJSON: parsed line by line by the service, so one
+                # bad line answers per-line, not a whole-request 400.
+                self._send(service.ingest_stream(
+                    raw.decode("utf-8", "replace")))
+                return
+            try:
+                payload = json.loads(raw or b"{}")
+            except ValueError:
                 self._send(Response(400,
                                     b'{"error": "body is not JSON"}'))
                 return
-            service = self.server.service
             if split.path == "/profile":
                 self._send(service.profile(payload))
                 return
+            if split.path == "/ingest":
+                self._send(service.ingest(payload))
+                return
             self._send(service.query(payload,
                                      headers=self._trace_headers()))
+
+    def _serve_sse(self, service, params):
+        """``GET /live?mode=sse``: push deltas until duration elapses.
+
+        The connection is closed at the end (no Content-Length on a
+        stream); a quiet period emits a keep-alive comment so proxies
+        and clients can distinguish idle from dead.
+        """
+        series = params.get("series")
+        if not series:
+            self._send(Response(400,
+                                b'{"error": "missing series parameter"}'))
+            return
+        try:
+            cursor = int(params.get("cursor", 0))
+            duration = float(params.get("duration", 30.0))
+            span = int(params["span"]) if params.get("span") else None
+        except ValueError:
+            self._send(Response(
+                400, b'{"error": "cursor/duration/span malformed"}'))
+            return
+        duration = min(max(duration, 0.0), 300.0)
+        feed = service.live_feed
+        try:
+            subscription = feed.subscriber()
+            subscription.__enter__()
+        except ServerOverloadedError as exc:
+            response = Response(503, b'{"error": "live feed at max '
+                                     b'subscribers"}')
+            response.headers["Retry-After"] = str(exc.retry_after)
+            self._send(response)
+            return
+        try:
+            self.close_connection = True
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            end = time.monotonic() + duration
+            while not feed.closed:
+                step = min(end - time.monotonic(),
+                           service.config.live_poll_seconds)
+                if step <= 0:
+                    break
+                head, ranges, reset = feed.wait(series, cursor, step)
+                if head <= cursor and not reset:
+                    self.wfile.write(b": keep-alive\n\n")
+                    self.wfile.flush()
+                    continue
+                body = {"series": series, "cursor": head,
+                        "ranges": [[int(lo), int(hi)]
+                                   for lo, hi in ranges],
+                        "reset": bool(reset)}
+                if span is not None and ranges:
+                    body["span"] = span
+                    body["deltas"] = service.delta_spans(
+                        series, ranges, span)
+                cursor = head
+                self.wfile.write(b"data: "
+                                 + json.dumps(body,
+                                              sort_keys=True).encode()
+                                 + b"\n\n")
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream
+        finally:
+            subscription.__exit__(None, None, None)
 
     def _trace_headers(self):
         """The request headers the service cares about (lower-cased)."""

@@ -33,11 +33,13 @@ import time
 
 from ..errors import (
     DeadlineExceededError,
+    IngestBackpressureError,
     QueryError,
     ReproError,
     SeriesNotFoundError,
     ServerOverloadedError,
 )
+from ..ingest import IngestController, LiveFeed
 from ..obs import (
     SamplingProfiler,
     make_traceparent,
@@ -68,6 +70,10 @@ class ServerConfig:
     debug_hooks: bool = False            # honor test-only sleep_ms
     quiet: bool = False                  # suppress per-request log lines
     strict: bool = False                 # corrupt chunk -> 500, no skip
+    ingest_queue_bytes: int = 8 << 20    # streaming ingest queue bound
+    ingest_tenant_budget_bytes: int = 0  # per-tenant share (0 = off)
+    live_max_subscribers: int = 64       # concurrent /live waiters
+    live_poll_seconds: float = 10.0      # default /live long-poll wait
 
     def __post_init__(self):
         if self.workers < 1:
@@ -78,6 +84,14 @@ class ServerConfig:
             raise ValueError("default_timeout_seconds must be positive")
         if self.max_timeout_seconds < self.default_timeout_seconds:
             raise ValueError("max_timeout_seconds must be >= default")
+        if self.ingest_queue_bytes <= 0:
+            raise ValueError("ingest_queue_bytes must be positive")
+        if self.ingest_tenant_budget_bytes < 0:
+            raise ValueError("ingest_tenant_budget_bytes must be >= 0")
+        if self.live_max_subscribers < 1:
+            raise ValueError("live_max_subscribers must be >= 1")
+        if self.live_poll_seconds <= 0:
+            raise ValueError("live_poll_seconds must be positive")
 
 
 @dataclasses.dataclass
@@ -178,6 +192,15 @@ class QueryService:
             metrics=engine.metrics,
             tracer=engine.tracer,
             retry_after=self._config.retry_after_seconds)
+        self._live_feed = LiveFeed(
+            metrics=engine.metrics,
+            max_subscribers=self._config.live_max_subscribers)
+        self._ingest = IngestController(
+            engine,
+            queue_bytes=self._config.ingest_queue_bytes,
+            tenant_budget_bytes=self._config.ingest_tenant_budget_bytes,
+            retry_after_seconds=self._config.retry_after_seconds,
+            live_feed=self._live_feed)
 
     @property
     def config(self):
@@ -199,9 +222,26 @@ class QueryService:
         """The service-owned :class:`~repro.obs.SamplingProfiler`."""
         return self._profiler
 
+    @property
+    def ingest_controller(self):
+        """The service's :class:`~repro.ingest.IngestController`."""
+        return self._ingest
+
+    @property
+    def live_feed(self):
+        """The service's :class:`~repro.ingest.LiveFeed`."""
+        return self._live_feed
+
     def shutdown(self):
-        """Drain the admission queue (blocks until in-flight work ends)."""
+        """Drain admission + ingest (blocks until in-flight work ends).
+
+        Order matters: the ingest queue drains first (buffered batches
+        become durable), the live feed is released (long-poll/SSE
+        handlers return promptly), then the admission queue drains.
+        """
         self._profiler.stop()
+        self._ingest.close()
+        self._live_feed.close()
         self._admission.shutdown()
 
     # -- endpoints ---------------------------------------------------------------------
@@ -338,12 +378,23 @@ class QueryService:
             return self._error(400, None,
                                "format must be json or prometheus")
         if fmt == "prometheus":
-            text = to_prometheus(self._metrics.snapshot())
+            # Same canonical source as the JSON path: the engine's
+            # observability snapshot.  Rendering the raw registry here
+            # used to drop the engine-lifetime io_*_total counters and
+            # made the two formats disagree; snapshotting at request
+            # time also means instruments registered after server
+            # start (live_subscribers, ingest gauges) appear without a
+            # restart.
+            text = to_prometheus(
+                self._engine.observability_snapshot()["metrics"])
             self._count("stats", 200)
             return Response(
                 200, text.encode("utf-8"),
                 content_type="text/plain; version=0.0.4; charset=utf-8")
         snapshot = self._engine.observability_snapshot()
+        snapshot["ingest"] = self._ingest.stats()
+        snapshot["ingest"]["live_subscribers"] = \
+            self._live_feed.subscribers
         snapshot["server"] = {
             "workers": self._admission.workers,
             "queue_depth_limit": self._admission.queue_depth,
@@ -376,6 +427,13 @@ class QueryService:
             "queue_wait_p99_seconds": queue_wait.quantile(0.99),
             "quarantined_chunks":
                 len(quarantine) if quarantine is not None else 0,
+            "ingest_pending_bytes":
+                metrics.gauge("ingest_queue_bytes").value,
+            "ingest_points_total":
+                metrics.counter("ingest_points_total").value,
+            "ingest_sheds_total":
+                metrics.counter("ingest_sheds_total").value,
+            "live_subscribers": self._live_feed.subscribers,
         }
         return Response(200, _json_bytes(body))
 
@@ -472,6 +530,217 @@ class QueryService:
                 body["collapsed"] = collapsed
         self._count("profile", 200)
         return Response(200, _json_bytes(body))
+
+    # -- streaming ingest + live feed --------------------------------------------------
+
+    def ingest(self, payload):
+        """``POST /ingest``: one batch of points into one series.
+
+        Body: ``{"series": ..., "timestamps": [...], "values": [...]}``
+        (or ``"points": [[t, v], ...]``), optional ``"tenant"``.
+        Backpressure answers 429 with ``Retry-After`` — the client
+        must back off and resend; admission control is bypassed (the
+        ingest queue *is* the bounded buffer).
+        """
+        parsed = self._parse_batch(payload)
+        if isinstance(parsed, Response):
+            self._count("ingest", parsed.status)
+            return parsed
+        series, t, v, tenant = parsed
+        try:
+            ack = self._ingest.submit(series, t, v, tenant=tenant)
+        except IngestBackpressureError as exc:
+            self._count("ingest", 429)
+            response = self._error(429, None, str(exc))
+            response.headers["Retry-After"] = str(exc.retry_after)
+            return response
+        except (SeriesNotFoundError, ValueError) as exc:
+            self._count("ingest", 400)
+            return self._error(400, None, str(exc))
+        self._count("ingest", 200)
+        body = dict(ack)
+        body["series"] = series
+        return Response(200, _json_bytes(body))
+
+    def ingest_stream(self, raw):
+        """``POST /ingest/stream``: line-delimited batches (NDJSON).
+
+        Each line is one ``/ingest`` body; the response carries one
+        result per line (ack or error) plus totals.  The whole request
+        answers 429 only when *every* line was shed, so a partially
+        accepted stream still returns its per-line outcomes.
+        """
+        results = []
+        accepted = shed = errors = 0
+        retry_after = self._config.retry_after_seconds
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                errors += 1
+                results.append({"status": 400,
+                                "error": "line is not JSON"})
+                continue
+            parsed = self._parse_batch(payload)
+            if isinstance(parsed, Response):
+                errors += 1
+                results.append({"status": parsed.status,
+                                "error": json.loads(
+                                    parsed.body).get("error")})
+                continue
+            series, t, v, tenant = parsed
+            try:
+                ack = self._ingest.submit(series, t, v, tenant=tenant)
+            except IngestBackpressureError as exc:
+                shed += 1
+                retry_after = max(retry_after, exc.retry_after)
+                results.append({"status": 429, "error": str(exc)})
+                continue
+            except (SeriesNotFoundError, ValueError) as exc:
+                errors += 1
+                results.append({"status": 400, "error": str(exc)})
+                continue
+            accepted += ack["accepted"]
+            results.append({"status": 200, "accepted": ack["accepted"]})
+        body = {"results": results, "accepted_points": accepted,
+                "shed": shed, "errors": errors}
+        if results and shed == len(results):
+            self._count("ingest_stream", 429)
+            response = Response(429, _json_bytes(body))
+            response.headers["Retry-After"] = str(retry_after)
+            return response
+        self._count("ingest_stream", 200)
+        return Response(200, _json_bytes(body))
+
+    def _parse_batch(self, payload):
+        """``(series, timestamps, values, tenant)`` or a 400 Response."""
+        if not isinstance(payload, dict) or not payload.get("series"):
+            return self._error(400, None, "body must be a JSON object "
+                                          "with a 'series' field")
+        series = str(payload["series"])
+        tenant = str(payload.get("tenant", "default"))
+        if "points" in payload:
+            points = payload["points"]
+            if not isinstance(points, list) or not points:
+                return self._error(400, None,
+                                   "'points' must be a non-empty list")
+            try:
+                t = [int(p[0]) for p in points]
+                v = [float(p[1]) for p in points]
+            except (TypeError, ValueError, IndexError):
+                return self._error(400, None,
+                                   "'points' must be [t, v] pairs")
+        else:
+            try:
+                t = [int(x) for x in payload.get("timestamps", ())]
+                v = [float(x) for x in payload.get("values", ())]
+            except (TypeError, ValueError):
+                return self._error(400, None, "timestamps/values must "
+                                              "be numeric arrays")
+            if not t or len(t) != len(v):
+                return self._error(400, None, "timestamps/values must "
+                                              "be equal-length and "
+                                              "non-empty")
+        return series, t, v, tenant
+
+    def live(self, params):
+        """``GET /live``: long-poll for span deltas past a cursor.
+
+        Params: ``series`` (required), ``cursor`` (0 = from now),
+        ``timeout_ms`` (long-poll wait, default
+        ``live_poll_seconds``), ``span`` (optional cell width: the
+        response then carries freshly computed M4 spans over the
+        changed ranges, grid-aligned so they splice byte-identically
+        into any chart on the same grid).
+        """
+        series = params.get("series")
+        if not series:
+            return self._error(400, None, "missing 'series' parameter")
+        try:
+            cursor = int(params.get("cursor", 0))
+            span = int(params["span"]) if params.get("span") else None
+        except ValueError:
+            return self._error(400, None,
+                               "cursor/span must be integers")
+        if span is not None and span <= 0:
+            return self._error(400, None, "span must be positive")
+        timeout = self._live_timeout(params.get("timeout_ms"))
+        try:
+            body = self.live_delta(series, cursor, timeout, span=span)
+        except ServerOverloadedError as exc:
+            self._count("live", 503)
+            response = self._error(503, None, str(exc))
+            response.headers["Retry-After"] = str(exc.retry_after)
+            return response
+        self._count("live", 200)
+        return Response(200, _json_bytes(body))
+
+    def live_delta(self, series, cursor, timeout, span=None):
+        """One long-poll step (shared by ``/live`` JSON and SSE).
+
+        Blocks up to ``timeout`` seconds for the series to move past
+        ``cursor``; returns the JSON-able delta document.  Raises
+        :class:`ServerOverloadedError` past the subscriber cap.
+        """
+        with self._live_feed.subscriber():
+            head, ranges, reset = self._live_feed.wait(series, cursor,
+                                                       timeout)
+        body = {"series": series, "cursor": head,
+                "ranges": [[int(lo), int(hi)] for lo, hi in ranges],
+                "reset": bool(reset)}
+        if span is not None and ranges:
+            body["span"] = span
+            body["deltas"] = self.delta_spans(series, ranges, span)
+        return body
+
+    def delta_spans(self, series, ranges, span):
+        """Grid-aligned M4 spans over each changed range.
+
+        Cells are computed on the absolute ``span``-width grid — the
+        same cell argument as the tile cache — so a client chart on
+        that grid can splice them in and stay byte-identical to a full
+        refetch.  A range the engine cannot answer yet (e.g. memtable
+        racing a flush) reports an ``error`` for that delta instead of
+        failing the poll.
+        """
+        from ..core.m4lsm import M4LSMOperator
+        from ..core.tiles import TiledM4Operator
+        if getattr(self._engine, "tile_cache", None) is not None:
+            operator = TiledM4Operator(self._engine)
+        else:
+            operator = M4LSMOperator(self._engine)
+        deltas = []
+        for lo, hi in ranges:
+            lo_g = (int(lo) // span) * span
+            hi_g = -(-int(hi) // span) * span
+            delta = {"t_qs": lo_g, "t_qe": hi_g}
+            try:
+                result = operator.query(series, lo_g, hi_g,
+                                        (hi_g - lo_g) // span)
+                delta["spans"] = _spans_as_json(result)
+                if result.degraded:
+                    delta["skipped_ranges"] = [
+                        [int(s), int(e)] for s, e in result.skipped]
+            except ReproError as exc:
+                delta["error"] = str(exc)
+            deltas.append(delta)
+        return deltas
+
+    def _live_timeout(self, timeout_ms):
+        """The long-poll wait: default ``live_poll_seconds``, capped
+        by ``max_timeout_seconds`` (0 = non-blocking peek)."""
+        if timeout_ms is None:
+            return self._config.live_poll_seconds
+        try:
+            seconds = float(timeout_ms) / 1000.0
+        except (TypeError, ValueError):
+            return self._config.live_poll_seconds
+        if seconds < 0:
+            return self._config.live_poll_seconds
+        return min(seconds, self._config.max_timeout_seconds)
 
     # -- admission plumbing ------------------------------------------------------------
 

@@ -78,6 +78,12 @@ class WorkloadReport:
     shed: int = 0          # 503: admission queue full
     timeouts: int = 0      # 504: deadline exceeded
     errors: int = 0        # anything else (transport, 4xx/5xx)
+    ingest_rate: float = 0.0       # offered ingest points/s (0 = none)
+    ingest_batches: int = 0        # accepted POST /ingest batches
+    ingest_points: int = 0         # accepted points
+    ingest_shed: int = 0           # 429: ingest backpressure
+    ingest_errors: int = 0         # other ingest failures
+    ingest_latencies: list = dataclasses.field(default_factory=list)
     latencies: list = dataclasses.field(default_factory=list)
     #: per accepted request: {"latency", "request_id", "trace_id",
     #: "sampled"} — the join key back to the server's /trace store and
@@ -98,11 +104,18 @@ class WorkloadReport:
 
     def percentile(self, q):
         """Nearest-rank percentile of accepted-request latency."""
-        if not self.latencies:
+        return _percentile(self.latencies, q)
+
+    def ingest_percentile(self, q):
+        """Nearest-rank percentile of accepted ingest-ack latency."""
+        return _percentile(self.ingest_latencies, q)
+
+    @property
+    def ingest_throughput(self):
+        """Accepted ingest points per second."""
+        if self.duration_seconds <= 0:
             return 0.0
-        ordered = sorted(self.latencies)
-        rank = max(int(q * len(ordered) + 0.5), 1)
-        return ordered[min(rank, len(ordered)) - 1]
+        return self.ingest_points / self.duration_seconds
 
     def slowest(self, n=5):
         """The ``n`` slowest accepted samples, with their server-side
@@ -126,12 +139,20 @@ class WorkloadReport:
             "p50_seconds": self.percentile(0.50),
             "p95_seconds": self.percentile(0.95),
             "p99_seconds": self.percentile(0.99),
+            "ingest_rate": self.ingest_rate,
+            "ingest_batches": self.ingest_batches,
+            "ingest_points": self.ingest_points,
+            "ingest_shed": self.ingest_shed,
+            "ingest_errors": self.ingest_errors,
+            "ingest_throughput": self.ingest_throughput,
+            "ingest_ack_p50_seconds": self.ingest_percentile(0.50),
+            "ingest_ack_p99_seconds": self.ingest_percentile(0.99),
             "slowest": self.slowest(),
         }
 
     def render(self):
         """One human line, loadgen's stdout format."""
-        return ("%s users=%d rate=%s: %d req in %.2fs | %.1f req/s | "
+        line = ("%s users=%d rate=%s: %d req in %.2fs | %.1f req/s | "
                 "ok=%d shed=%d timeout=%d error=%d | "
                 "p50=%.3fs p95=%.3fs p99=%.3fs"
                 % (self.mode, self.users,
@@ -140,6 +161,21 @@ class WorkloadReport:
                    self.ok, self.shed, self.timeouts, self.errors,
                    self.percentile(0.5), self.percentile(0.95),
                    self.percentile(0.99)))
+        if self.ingest_rate:
+            line += (" | ingest %.0f pts/s offered: %d pts in %d "
+                     "batches, shed=%d error=%d, ack p99=%.3fs"
+                     % (self.ingest_rate, self.ingest_points,
+                        self.ingest_batches, self.ingest_shed,
+                        self.ingest_errors, self.ingest_percentile(0.99)))
+        return line
+
+
+def _percentile(values, q):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(int(q * len(ordered) + 0.5), 1)
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 class SessionWorkload:
@@ -161,11 +197,21 @@ class SessionWorkload:
         trace_every: set the traceparent sampled flag on every n-th
             request (across all users), asking the server to retain
             those traces; 0 never samples.
+        ingest_rate: offered streaming-write rate in points/s (0 =
+            read-only).  A background pump thread POSTs tail-append
+            batches to ``ingest_series`` for the whole run, so the
+            report measures dashboards-while-ingesting; 429 sheds and
+            ack latencies land in the ``ingest_*`` report fields.
+        ingest_batch: points per ``POST /ingest`` batch.
+        ingest_series: the series the pump appends to (kept separate
+            from the dashboard series by default so read-side metrics
+            stay attributable).
     """
 
     def __init__(self, base_url, series=None, width=256, seed=0,
                  timeout_ms=None, client_timeout=30.0, render_every=8,
-                 align=False, trace_every=16):
+                 align=False, trace_every=16, ingest_rate=0.0,
+                 ingest_batch=200, ingest_series="ingest-feed"):
         self._base_url = base_url
         self._series = list(series) if series else None
         self._width = int(width)
@@ -175,6 +221,9 @@ class SessionWorkload:
         self._render_every = int(render_every)
         self._align = bool(align)
         self._trace_every = int(trace_every)
+        self._ingest_rate = float(ingest_rate)
+        self._ingest_batch = max(int(ingest_batch), 1)
+        self._ingest_series = str(ingest_series)
         self._issued = itertools.count(1)
         self._lock = threading.Lock()
 
@@ -247,6 +296,75 @@ class SessionWorkload:
             else:
                 report.errors += 1
 
+    # -- ingest pump -------------------------------------------------------------------
+
+    def _start_ingest(self, report, duration):
+        """Launch the background write pump (None when rate is 0).
+
+        Open-loop in points: batches fire on their offered schedule
+        regardless of ack latency, so backpressure shows up as 429
+        counts instead of silently slowing the offered load.  The pump
+        resumes after the series' current tail so repeated runs against
+        one store keep appending rather than rewriting.
+        """
+        if self._ingest_rate <= 0:
+            return None
+        report.ingest_rate = self._ingest_rate
+        stop_at = time.monotonic() + float(duration)
+
+        def pump():
+            client = self._client()
+            rng = random.Random(self._seed ^ 0x16E57)
+            t_next = 0
+            try:
+                for entry in client.series():
+                    if entry["name"] == self._ingest_series \
+                            and entry["end_time"] is not None:
+                        t_next = int(entry["end_time"]) + 1
+            except Exception:
+                pass  # fresh series; start at 0
+            batch = self._ingest_batch
+            interval = batch / self._ingest_rate
+            begin = time.monotonic()
+            k = 0
+            value = 100.0
+            while True:
+                scheduled = begin + k * interval
+                if scheduled >= stop_at:
+                    return
+                delay = scheduled - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                ts = list(range(t_next, t_next + batch))
+                vs = []
+                for _ in range(batch):
+                    value += rng.gauss(0, 1)
+                    vs.append(value)
+                t_next += batch
+                started = time.monotonic()
+                try:
+                    response = client.ingest_response(
+                        self._ingest_series, ts, vs)
+                    status = response.status
+                except OSError:
+                    status = -1
+                latency = time.monotonic() - started
+                with self._lock:
+                    if status == 200:
+                        report.ingest_batches += 1
+                        report.ingest_points += batch
+                        report.ingest_latencies.append(latency)
+                    elif status == 429:
+                        report.ingest_shed += 1
+                    else:
+                        report.ingest_errors += 1
+                k += 1
+
+        thread = threading.Thread(target=pump, daemon=True,
+                                  name="loadgen-ingest-pump")
+        thread.start()
+        return thread
+
     # -- closed loop -------------------------------------------------------------------
 
     def run_closed(self, users=4, duration=5.0):
@@ -254,6 +372,7 @@ class SessionWorkload:
         targets = self._targets()
         report = WorkloadReport(mode="closed", users=int(users), rate=0.0,
                                 duration_seconds=float(duration))
+        pump = self._start_ingest(report, duration)
         stop_at = time.monotonic() + float(duration)
 
         def user_loop(index):
@@ -285,6 +404,8 @@ class SessionWorkload:
             thread.start()
         for thread in threads:
             thread.join()
+        if pump is not None:
+            pump.join(timeout=self._client_timeout + 5.0)
         return report
 
     # -- open loop ---------------------------------------------------------------------
@@ -302,6 +423,7 @@ class SessionWorkload:
         report = WorkloadReport(mode="open", users=int(users),
                                 rate=float(rate),
                                 duration_seconds=float(duration))
+        pump = self._start_ingest(report, duration)
         rng = random.Random(self._seed)
         interval = 1.0 / float(rate)
         begin = time.monotonic()
@@ -342,6 +464,8 @@ class SessionWorkload:
             k += 1
         for thread in threads:
             thread.join(timeout=self._client_timeout + 5.0)
+        if pump is not None:
+            pump.join(timeout=self._client_timeout + 5.0)
         return report
 
     def run(self, mode="closed", users=4, rate=None, duration=5.0):

@@ -44,6 +44,7 @@ class StorageConfig:
     tile_cache_bytes: int = 0         # M4 tile LRU budget (0 = off)
     tile_cache_spans: int = 64        # spans (grid cells) per tile
     tile_cache_persist: bool = False  # snapshot tiles.cache on close
+    tile_incremental: bool = True     # tail appends dirty cells, not tiles
     trace_capacity: int = 256         # retained request traces (ring)
     trace_sample_every: int = 16      # keep 1-in-N unsampled fast traces
 

@@ -73,6 +73,10 @@ class SeriesState:
         self.chunks = []          # sealed ChunkMetadata, version order
         self.deletes = DeleteList()
         self.points_written = 0
+        #: Upper bound on every timestamp the series holds; None until
+        #: first needed (lazy — recovery leaves it unset).  Used to
+        #: classify writes as tail appends for incremental tile repair.
+        self.max_time = None
 
 
 class StorageEngine:
@@ -347,10 +351,11 @@ class StorageEngine:
             if self._wal is not None:
                 self._wal.segment(state.series_id).append(state.series_id,
                                                           int(t), float(v))
+            before_max = self._series_max_time(state)
             state.memtable.append(int(t), float(v))
             state.points_written += 1
             self._metrics.counter("engine_points_written_total").inc()
-            self._invalidate_tiles(name, int(t), int(t) + 1)
+            self._note_tiles_write(state, int(t), int(t) + 1, before_max)
             self._maybe_flush(state)
 
     def write_batch(self, name, timestamps, values):
@@ -377,15 +382,17 @@ class StorageEngine:
                                          values)
                     segment.sync()
                 before = len(state.memtable)
+                before_max = self._series_max_time(state)
                 state.memtable.append_batch(timestamps, values)
                 appended = len(state.memtable) - before
                 state.points_written += appended
                 self._metrics.counter("engine_points_written_total") \
                     .inc(appended)
                 self._metrics.counter("engine_write_batches_total").inc()
-                if appended and self._tile_cache is not None:
-                    self._invalidate_tiles(name, int(min(timestamps)),
-                                           int(max(timestamps)) + 1)
+                if appended:
+                    self._note_tiles_write(state, int(min(timestamps)),
+                                           int(max(timestamps)) + 1,
+                                           before_max)
                 self._maybe_flush(state)
 
     def delete(self, name, t_start, t_end):
@@ -601,6 +608,46 @@ class StorageEngine:
         """
         return self._tile_cache
 
+    def _series_max_time(self, state):
+        """Upper bound on every timestamp ``state`` holds; caller must
+        hold the series write lock.
+
+        Lazily computed from sealed chunk statistics plus the memtable
+        and cached on ``state.max_time`` (recovery leaves it None).
+        Returns ``-2**63`` for an empty series so any timestamp
+        compares strictly after.  Deletes and compaction never raise
+        the true maximum, so the cached bound stays valid (it may
+        over-estimate after a tail delete, which only costs a
+        conservative full invalidation on the next write).
+        """
+        if state.max_time is not None:
+            return state.max_time
+        bound = -(1 << 63)
+        for chunk in state.chunks:
+            bound = max(bound, int(chunk.end_time))
+        if len(state.memtable):
+            t, _ = state.memtable.snapshot()
+            if len(t):
+                bound = max(bound, int(t.max()))
+        state.max_time = bound
+        return bound
+
+    def _note_tiles_write(self, state, lo, hi, before_max):
+        """Tile maintenance for a write of ``[lo, hi)``; caller holds
+        the series write lock.
+
+        A pure tail append (every new timestamp strictly after the
+        series' previous maximum) marks overlapping tiles dirty for
+        incremental cell repair instead of dropping them; interior or
+        out-of-order writes fall back to overlap invalidation.
+        """
+        if self._tile_cache is not None:
+            if self._config.tile_incremental and lo > before_max:
+                self._tile_cache.mark_dirty(state.name, lo, hi)
+            else:
+                self._tile_cache.invalidate(state.name, lo, hi)
+        state.max_time = max(before_max, hi - 1)
+
     def _invalidate_tiles(self, name, lo, hi):
         """Drop cached tiles overlapping ``[lo, hi)`` of one series.
 
@@ -681,7 +728,12 @@ class StorageEngine:
                 or not self._config.tile_cache_persist:
             return
         from ..core.tiles_io import save_tiles
-        save_tiles(self._tiles_path(), self._tile_cache.snapshot(),
+        # Dirty tiles need a repair pass before they can be served;
+        # persisting them would revive un-repairable entries (the
+        # snapshot format has no dirty column), so drop them here.
+        snapshot = [rec for rec in self._tile_cache.snapshot()
+                    if not rec[3].dirty]
+        save_tiles(self._tiles_path(), snapshot,
                    self._tile_fingerprint(),
                    self._config.tile_cache_spans)
 

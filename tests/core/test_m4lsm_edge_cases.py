@@ -117,6 +117,41 @@ class TestValueTies:
         result = equal_queries(engine, "s", 0, 20, 1)
         assert result[0].top.v == 5.0
 
+    def test_tied_extremes_are_layout_independent(self, engine):
+        # All values equal, split across chunks so the later-time point
+        # lives in the newer chunk: the BP/TP value tie must resolve to
+        # the earliest timestamp (the UDF's argmin/argmax answer), not
+        # to whichever chunk has the larger version — byte-identical
+        # `==`, not just semantically_equal.
+        engine.create_series("s")
+        engine.write_batch("s", np.array([0, 16], dtype=np.int64),
+                           np.array([0.0, 0.0]))
+        engine.flush("s")
+        engine.write_batch("s", np.array([1], dtype=np.int64),
+                           np.array([0.0]))
+        engine.flush_all()
+        lsm = M4LSMOperator(engine).query("s", 0, 17, 16)
+        udf = M4UDFOperator(engine).query("s", 0, 17, 16)
+        assert lsm == udf
+        assert lsm[0].bottom == Point(0, 0.0)
+        assert lsm[0].top == Point(0, 0.0)
+
+    def test_tied_extremes_in_fused_spans(self, engine):
+        # Disjoint whole chunks inside one span take the metadata-only
+        # fused path; its value ties must also break on earliest time.
+        engine.create_series("s")
+        engine.write_batch("s", np.array([10, 11, 12], dtype=np.int64),
+                           np.array([0.0, 9.0, 5.0]))
+        engine.flush("s")
+        engine.write_batch("s", np.array([0, 1, 2], dtype=np.int64),
+                           np.array([9.0, 0.0, 5.0]))
+        engine.flush_all()
+        lsm = M4LSMOperator(engine).query("s", 0, 20, 1)
+        udf = M4UDFOperator(engine).query("s", 0, 20, 1)
+        assert lsm == udf
+        assert lsm[0].bottom == Point(1, 0.0)
+        assert lsm[0].top == Point(0, 9.0)
+
     def test_negative_and_positive_zero(self, engine):
         engine.create_series("s")
         engine.write_batch("s", np.array([1, 2], dtype=np.int64),

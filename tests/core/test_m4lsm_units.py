@@ -108,10 +108,21 @@ class TestCandidateGeneration:
         pool = candidate_pool(self.make_views(), BP)
         assert pool[0][1] == Point(15, 0.0)
 
-    def test_tp_tie_broken_by_version(self):
+    def test_tp_value_tie_broken_by_earliest_time(self):
+        # 9.0 appears at t=20 (v1) and t=25 (v2): first occurrence wins,
+        # matching the UDF's argmax over the merged series.
         pool = candidate_pool(self.make_views(), TP)
+        assert [p.t for _view, p in pool] == [20, 25]
+        assert pool[0][1] == Point(20, 9.0)
+
+    def test_timestamp_tie_broken_by_version(self):
+        # Same value at the same timestamp in two chunk generations:
+        # the newer version is tried first (argmax P.kappa).
+        a = ChunkView(make_meta([10, 20], [1.0, 9.0], version=1), 0, 100)
+        b = ChunkView(make_meta([20, 25], [9.0, 2.0], version=2), 0, 100)
+        pool = candidate_pool([a, b], TP)
         assert [view.version for view, _p in pool] == [2, 1]
-        assert pool[0][1] == Point(25, 9.0)
+        assert pool[0][1] == Point(20, 9.0)
 
     def test_pending_views_excluded_from_pool(self):
         views = self.make_views()

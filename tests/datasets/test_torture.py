@@ -1,0 +1,119 @@
+"""Unit tests for the seeded ingest torture generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import M4UDFOperator
+from repro.datasets import TortureConfig, TortureStream, generate_torture
+from repro.storage import StorageConfig, StorageEngine
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        generate_torture(TortureConfig(n_points=100))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_points": 0},
+        {"batch_size": 0},
+        {"out_of_order_fraction": -0.1},
+        {"out_of_order_fraction": 1.5},
+        {"duplicate_fraction": -0.2},
+        {"max_lag_batches": 0},
+        {"dataset": "NoSuchProfile"},
+    ])
+    def test_bad_config_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            TortureConfig(**kwargs)
+
+
+class TestGenerator:
+    def test_deterministic_across_calls(self):
+        config = TortureConfig(n_points=2000, batch_size=100,
+                               out_of_order_fraction=0.3,
+                               duplicate_fraction=0.1, seed=42)
+        a, b = generate_torture(config), generate_torture(config)
+        assert len(a.batches) == len(b.batches)
+        for (ta, va), (tb, vb) in zip(a.batches, b.batches):
+            assert np.array_equal(ta, tb)
+            assert np.array_equal(va, vb)
+
+    def test_seed_changes_the_stream(self):
+        config = TortureConfig(n_points=2000, batch_size=100,
+                               out_of_order_fraction=0.3, seed=1)
+        a = generate_torture(config)
+        b = generate_torture(config, seed=2)
+        assert any(not np.array_equal(ta, tb)
+                   for (ta, _), (tb, _) in zip(a.batches, b.batches))
+
+    def test_batch_dtypes_and_shapes(self):
+        stream = generate_torture(n_points=500, batch_size=64)
+        assert isinstance(stream, TortureStream)
+        for t, v in stream.batches:
+            assert t.dtype == np.int64 and v.dtype == np.float64
+            assert t.ndim == v.ndim == 1 and t.size == v.size > 0
+
+    def test_in_order_stream_has_no_pathology(self):
+        stream = generate_torture(n_points=1000, batch_size=100,
+                                  out_of_order_fraction=0.0,
+                                  duplicate_fraction=0.0)
+        stats = stream.stats()
+        assert stats["out_of_order"] == 0
+        assert stats["duplicates"] == 0
+        assert stats["emitted"] == stats["unique"] == 1000
+
+    def test_pathology_is_realized_when_asked(self):
+        stream = generate_torture(n_points=3000, batch_size=150,
+                                  out_of_order_fraction=0.3,
+                                  duplicate_fraction=0.05, seed=3)
+        stats = stream.stats()
+        assert stats["out_of_order"] > 0
+        assert stats["duplicates"] > 0
+        assert stats["emitted"] == stats["unique"] + stats["duplicates"]
+
+    def test_dataset_profile_shapes_the_values(self):
+        plain = generate_torture(n_points=400, batch_size=50, seed=0)
+        kob = generate_torture(n_points=400, batch_size=50, seed=0,
+                               dataset="KOB")
+        assert not np.array_equal(plain.expected()[1], kob.expected()[1])
+
+
+class TestExpected:
+    def test_expected_is_sorted_unique(self):
+        stream = generate_torture(n_points=2000, batch_size=100,
+                                  out_of_order_fraction=0.4,
+                                  duplicate_fraction=0.1, seed=9)
+        t, v = stream.expected()
+        assert t.dtype == np.int64 and v.dtype == np.float64
+        assert np.all(np.diff(t) > 0)
+        assert t.size == v.size == stream.stats()["unique"]
+
+    def test_last_write_wins(self):
+        """A hand-built stream: the re-emission of t=5 must win."""
+        batches = ((np.array([5, 6], dtype=np.int64),
+                    np.array([1.0, 2.0])),
+                   (np.array([5], dtype=np.int64), np.array([9.0])))
+        stream = TortureStream(
+            config=TortureConfig(n_points=3, batch_size=2),
+            batches=batches)
+        t, v = stream.expected()
+        assert list(t) == [5, 6]
+        assert list(v) == [9.0, 2.0]
+
+    def test_engine_replay_matches_expected(self, tmp_path):
+        """Writing the batches in emission order gives a store whose
+        merged view equals ``expected()`` — the last-write-wins
+        contract the engine and the generator share."""
+        stream = generate_torture(n_points=2500, batch_size=125,
+                                  out_of_order_fraction=0.35,
+                                  duplicate_fraction=0.08, seed=17)
+        config = StorageConfig(avg_series_point_number_threshold=200)
+        with StorageEngine(tmp_path / "db", config) as engine:
+            engine.create_series("s")
+            for t, v in stream.batches:
+                engine.write_batch("s", t, v)
+            engine.flush_all()
+            t_exp, v_exp = stream.expected()
+            merged = M4UDFOperator(engine).merged_series(
+                "s", int(t_exp[0]), int(t_exp[-1]) + 1)
+            assert np.array_equal(merged.timestamps, t_exp)
+            assert np.array_equal(merged.values, v_exp)

@@ -1,0 +1,109 @@
+"""Unit tests for :class:`repro.ingest.LiveFeed`."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServerOverloadedError
+from repro.ingest import LiveFeed
+from repro.ingest.live import _EVENT_LOG
+
+
+@pytest.fixture
+def feed():
+    f = LiveFeed()
+    yield f
+    f.close()
+
+
+class TestPublishAndWait:
+    def test_cursor_starts_at_zero(self, feed):
+        assert feed.cursor("s") == 0
+
+    def test_publish_advances_the_cursor(self, feed):
+        assert feed.publish("s", 0, 10) == 1
+        assert feed.publish("s", 10, 20) == 2
+        assert feed.cursor("s") == 2
+        assert feed.cursor("other") == 0  # per-series sequences
+
+    def test_wait_returns_merged_ranges(self, feed):
+        feed.publish("s", 0, 10)
+        feed.publish("s", 10, 20)   # adjacent: merges
+        feed.publish("s", 50, 60)   # disjoint: stays separate
+        head, ranges, reset = feed.wait("s", 0, timeout=0)
+        assert head == 3 and not reset
+        assert ranges == ((0, 20), (50, 60))
+
+    def test_wait_from_mid_cursor_sees_only_newer(self, feed):
+        feed.publish("s", 0, 10)
+        feed.publish("s", 100, 110)
+        head, ranges, _ = feed.wait("s", 1, timeout=0)
+        assert head == 2
+        assert ranges == ((100, 110),)
+
+    def test_wait_timeout_returns_no_progress(self, feed):
+        started = time.monotonic()
+        head, ranges, reset = feed.wait("s", 0, timeout=0.05)
+        assert time.monotonic() - started >= 0.05
+        assert head == 0 and ranges == () and not reset
+
+    def test_wait_is_woken_by_publish(self, feed):
+        results = []
+
+        def waiter():
+            results.append(feed.wait("s", 0, timeout=10.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        feed.publish("s", 7, 9)
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert results[0] == (1, ((7, 9),), False)
+
+    def test_cursor_fallen_off_the_ring_resets(self, feed):
+        for i in range(_EVENT_LOG + 10):
+            feed.publish("s", i, i + 1)
+        head, ranges, reset = feed.wait("s", 1, timeout=0)
+        assert reset and head == _EVENT_LOG + 10
+        assert ranges == ()
+        # Resuming from the returned head is clean again.
+        feed.publish("s", 0, 1)
+        head2, ranges2, reset2 = feed.wait("s", head, timeout=0)
+        assert not reset2 and ranges2 == ((0, 1),)
+
+
+class TestSubscribersAndClose:
+    def test_subscriber_gauge_and_cap(self):
+        feed = LiveFeed(max_subscribers=2)
+        try:
+            with feed.subscriber():
+                with feed.subscriber():
+                    assert feed.subscribers == 2
+                    with pytest.raises(ServerOverloadedError) as info:
+                        feed.subscriber().__enter__()
+                    assert info.value.status == 503
+                assert feed.subscribers == 1
+            assert feed.subscribers == 0
+        finally:
+            feed.close()
+
+    def test_max_subscribers_validated(self):
+        with pytest.raises(ValueError):
+            LiveFeed(max_subscribers=0)
+
+    def test_close_wakes_waiters_immediately(self, feed):
+        woken = threading.Event()
+
+        def waiter():
+            feed.wait("s", 0, timeout=30.0)
+            woken.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        feed.close()
+        assert woken.wait(timeout=5)
+        thread.join(timeout=5)
+        assert feed.closed

@@ -1,0 +1,100 @@
+"""Property: ANY interleaving of in-order / out-of-order / duplicate
+ingest batches converges to the same store as one bulk load of the
+sorted last-write-wins union — byte-identical merged arrays, M4
+results and rendered pixels — even when the tail of the stream only
+ever reached the WAL before a crash.
+
+The streamed engine takes the full production path: early batches go
+through :class:`~repro.ingest.IngestController` (queue, writer thread,
+per-series flush), the final batch is written but *not* flushed, the
+engine is closed without ``flush_all`` (the recovery contract: buffered
+points survive in the WAL) and reopened.  The reference engine bulk
+loads the deduplicated sorted union in one call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import M4UDFOperator
+from repro.ingest import IngestController
+from repro.server.service import render_chart
+from repro.storage import StorageConfig, StorageEngine
+
+
+def _batch():
+    """One ingest batch: timestamps drawn from a small window so
+    duplicates and out-of-order arrivals are the norm, not the tail."""
+    return st.lists(
+        st.tuples(st.integers(0, 120),
+                  st.floats(-50, 50, allow_nan=False, width=32)),
+        min_size=1, max_size=25)
+
+
+def _expected(batches):
+    """Emission-order last-write-wins union, sorted (the semantics
+    both the memtable and the version-ordered merge implement)."""
+    merged = {}
+    for batch in batches:
+        for t, v in batch:
+            merged[t] = v
+    ts = np.array(sorted(merged), dtype=np.int64)
+    vs = np.array([merged[int(t)] for t in ts], dtype=np.float64)
+    return ts, vs
+
+
+def _config():
+    return StorageConfig(avg_series_point_number_threshold=40,
+                         points_per_page=16)
+
+
+@given(st.lists(_batch(), min_size=1, max_size=6))
+@settings(max_examples=15, deadline=None)
+def test_stream_converges_to_bulk_load(tmp_path_factory, batches):
+    base = tmp_path_factory.mktemp("prop-ingest")
+    t_exp, v_exp = _expected(batches)
+    lo, hi = int(t_exp[0]), int(t_exp[-1]) + 1
+    w = min(16, hi - lo)
+
+    # Streamed path: controller for all but the last batch, then a raw
+    # unflushed write + close (crash) + reopen (WAL recovery).
+    streamed = StorageEngine(base / "streamed", _config())
+    streamed.create_series("s")
+    controller = IngestController(streamed)
+    try:
+        for batch in batches[:-1]:
+            controller.submit(
+                "s", np.array([t for t, _ in batch], dtype=np.int64),
+                np.array([v for _, v in batch], dtype=np.float64))
+        assert controller.drain()
+    finally:
+        controller.close()
+    last = batches[-1]
+    streamed.write_batch(
+        "s", np.array([t for t, _ in last], dtype=np.int64),
+        np.array([v for _, v in last], dtype=np.float64))
+    streamed.close()  # NOT flushed: the tail lives only in the WAL
+    streamed = StorageEngine(base / "streamed", _config())
+    streamed.flush_all()
+
+    bulk = StorageEngine(base / "bulk", _config())
+    bulk.create_series("s")
+    bulk.write_batch("s", t_exp, v_exp)
+    bulk.flush_all()
+
+    try:
+        merged = M4UDFOperator(streamed).merged_series("s", lo, hi)
+        assert np.array_equal(merged.timestamps, t_exp)
+        assert np.array_equal(merged.values, v_exp)
+
+        s_matrix, s_result = render_chart(streamed, "s", w, 16,
+                                          t_qs=lo, t_qe=hi)
+        b_matrix, b_result = render_chart(bulk, "s", w, 16,
+                                          t_qs=lo, t_qe=hi)
+        assert s_result == b_result
+        assert np.array_equal(s_matrix, b_matrix)
+    finally:
+        streamed.close()
+        bulk.close()
