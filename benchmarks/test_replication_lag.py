@@ -1,0 +1,52 @@
+"""E18 — replication lag vs ingest rate, failover recovery time.
+
+Runs the paced lag sweep and the auto-promotion cell from
+:mod:`repro.bench.replication` against real primary/standby server
+pairs and writes ``BENCH_replication.json`` next to this file.
+
+Gated assertions, all from the replication contract rather than from
+wall clocks:
+
+* **identity** — every cell's replica content matches the primary's
+  (fingerprint-equal after catchup; every committed point present
+  after failover);
+* **bounded catchup** — the shipper drains to zero lag after each
+  stream (``final_lag_records == 0``);
+* **bounded recovery** — the lease-based auto-promotion turns the
+  standby writable well inside ten seconds (the lease is 0.5s; the
+  bound is generous for CI noise).
+"""
+
+import os
+
+from repro.bench import (
+    bench_points,
+    new_artifact,
+    replication_lag_and_failover,
+    write_artifact,
+)
+
+from conftest import print_tables
+
+RESULT_FILE = os.path.join(os.path.dirname(__file__),
+                           "BENCH_replication.json")
+
+
+def test_replication_lag_and_failover():
+    tables, cells = replication_lag_and_failover()
+    print_tables(tables)
+    [table] = tables
+    rows = []
+    for cell in cells:
+        row = dict(cell, experiment=table.title)
+        rows.append(row)
+        assert row["identical"], row["scenario"]
+        assert row["final_lag_records"] == 0, row
+    failover = [r for r in rows if r["scenario"] == "failover"]
+    assert failover and failover[0]["recovery_seconds"] < 10.0
+    replicated = [r for r in rows if r["scenario"] == "lag"
+                  and r["ack_mode"] == "replicated"]
+    assert replicated, "missing the replicated-ack lag cell"
+    write_artifact(RESULT_FILE,
+                   new_artifact("replication", rows, bench_points()))
+    print("wrote %d rows to %s" % (len(rows), RESULT_FILE))

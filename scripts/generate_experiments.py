@@ -302,6 +302,48 @@ def _ingest_section(bench_dir="benchmarks"):
     return lines
 
 
+def _replication_section(bench_dir="benchmarks"):
+    """The E18 replication section, from BENCH_replication.json."""
+    path = os.path.join(bench_dir, "BENCH_replication.json")
+    lines = ["## E18 — replication lag and failover recovery "
+             "(beyond paper)", ""]
+    lines.append(
+        "Regenerated by `PYTHONPATH=src python -m pytest -q -s "
+        "benchmarks/test_replication_lag.py` → "
+        "`benchmarks/BENCH_replication.json`.  Real primary/standby "
+        "server pairs: paced streams measure shipper lag per ingest "
+        "rate (`ack=queued` lets lag accumulate; `ack=replicated` "
+        "makes every ack wait for the ship), then a short-lease pair "
+        "loses its primary and the standby auto-promotes.")
+    lines.append("")
+    if not os.path.exists(path):
+        lines.append("_Artifact `BENCH_replication.json` not found — "
+                     "run the bench above to produce it._")
+        lines.append("")
+        return lines
+    rows = load_artifact(path, kind="replication")["rows"]
+    columns = ("scenario", "ack_mode", "rate_points_per_s", "points",
+               "achieved_points_per_s", "lag_records_p95",
+               "final_lag_records", "catchup_seconds",
+               "recovery_seconds", "identical")
+    lines.append("| " + " | ".join(columns) + " |")
+    lines.append("|" + "---|" * len(columns))
+    for row in rows:
+        lines.append("| " + " | ".join(_cell(row.get(c))
+                                       for c in columns) + " |")
+    lines.append("")
+    lines.append(
+        "**Reading:** record lag stays in the single digits up to the "
+        "highest paced rate and always drains to zero after the "
+        "stream (the `identical` column is the fingerprint check — "
+        "replication is exact, not approximate); the replicated-ack "
+        "cell holds lag at zero by construction; lease-based "
+        "auto-promotion turns the standby writable in well under the "
+        "ten-second gate (sub-second at bench scale).")
+    lines.append("")
+    return lines
+
+
 def main(out_path="EXPERIMENTS.md"):
     lines = [
         "# EXPERIMENTS — paper vs measured",
@@ -339,6 +381,7 @@ def main(out_path="EXPERIMENTS.md"):
     lines.extend(_artifact_sections())
     lines.extend(_matrix_section())
     lines.extend(_ingest_section())
+    lines.extend(_replication_section())
     with open(out_path, "w", encoding="utf-8") as f:
         f.write("\n".join(lines))
     print("wrote %s" % out_path)

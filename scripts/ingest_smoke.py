@@ -27,9 +27,9 @@ import time
 
 import numpy as np
 
+from repro.backoff import Backoff
 from repro.core import M4UDFOperator
 from repro.datasets import generate_torture
-from repro.errors import IngestBackpressureError
 from repro.server import ReproClient, ServerConfig, start_server
 from repro.server.service import render_chart
 from repro.storage import StorageConfig, StorageEngine
@@ -78,19 +78,16 @@ def main():
     follower = threading.Thread(target=follow, daemon=True)
     follower.start()
 
-    accepted = sheds = 0
+    # The client's shared retry loop (jittered backoff, Retry-After as
+    # a floor) replaces the old hand-rolled sleep-and-retry here.
+    backoff = Backoff(base=0.01, cap=0.1)
+    accepted = 0
     for t, v in stream.batches:
-        while True:
-            try:
-                ack = client.ingest(SERIES, t, v)
-            except IngestBackpressureError as exc:
-                sheds += 1
-                time.sleep(min(max(exc.retry_after, 0.01), 0.1))
-                continue
-            accepted += ack["accepted"]
-            break
+        ack = client.ingest_retry(SERIES, t, v, attempts=1000,
+                                  backoff=backoff)
+        accepted += ack["accepted"]
     print("accepted %d points (%d backpressure retries)"
-          % (accepted, sheds))
+          % (accepted, client.ingest_retries))
     if accepted != stats["emitted"]:
         print("FAIL: accepted %d != emitted %d"
               % (accepted, stats["emitted"]), file=sys.stderr)

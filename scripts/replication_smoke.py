@@ -1,0 +1,174 @@
+"""End-to-end replication smoke: kill -9 the primary, promote, verify.
+
+CI runs this after the unit suites as a "does failover actually work"
+check: a standby boots in-process, a primary boots as a subprocess
+shipping to it with ``ingest_ack="replicated"``, and a torture stream
+of sequential batches runs over the wire.  Mid-stream the primary is
+SIGKILLed — a genuine ``kill -9``, no drain, no flush — the standby is
+promoted, and the process exits non-zero unless:
+
+* an anti-entropy sweep taken while both sides were alive was clean,
+* the promoted replica holds exactly a committed batch prefix that
+  contains every batch acked ``durability="replicated"``, and
+* the promoted node accepts new writes.
+
+Usage: PYTHONPATH=src python scripts/replication_smoke.py
+"""
+
+import http.client
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+
+import numpy as np
+
+SERIES = "torture"
+N_BATCHES = 40
+BATCH = 50
+KILL_AFTER = 15   # batches acked before the SIGKILL
+
+
+def free_port():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def batch_points(k):
+    t = np.arange(k * BATCH, (k + 1) * BATCH, dtype=np.int64)
+    return t, np.sin(t / 13.0)
+
+
+def child(argv):
+    """Subprocess mode: serve a replicating primary until killed."""
+    db, port, standby_url = argv[0], int(argv[1]), argv[2]
+    from repro.server import ServerConfig, start_server
+    from repro.storage import StorageConfig, StorageEngine
+    engine = StorageEngine(db, StorageConfig(
+        avg_series_point_number_threshold=500))
+    start_server(engine, ServerConfig(
+        port=port, quiet=True, replicate_to=(standby_url,),
+        ingest_ack="replicated",
+        advertise_url="http://127.0.0.1:%d" % port,
+        node_id="smoke-primary"))
+    print("READY", flush=True)
+    threading.Event().wait()
+
+
+def main():
+    from repro.core import M4UDFOperator
+    from repro.errors import ReproError
+    from repro.server import ReproClient, ServerConfig, start_server
+    from repro.storage import StorageConfig, StorageEngine
+
+    data_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-repl-smoke-"))
+    standby_port, primary_port = free_port(), free_port()
+    standby_url = "http://127.0.0.1:%d" % standby_port
+    primary_url = "http://127.0.0.1:%d" % primary_port
+
+    standby_engine = StorageEngine(
+        data_dir / "standby",
+        StorageConfig(avg_series_point_number_threshold=500))
+    standby = start_server(standby_engine, ServerConfig(
+        port=standby_port, quiet=True, standby=True,
+        advertise_url=standby_url, node_id="smoke-standby"))
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p)
+    proc = subprocess.Popen(
+        [sys.executable, __file__, "--child", str(data_dir / "db"),
+         str(primary_port), standby_url],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env)
+    if proc.stdout.readline().strip() != "READY":
+        print("FAIL: primary never booted:\n%s" % proc.stderr.read(),
+              file=sys.stderr)
+        return 1
+    print("primary %s (pid %d) -> standby %s"
+          % (primary_url, proc.pid, standby_url))
+
+    client = ReproClient(primary_url, timeout=30.0)
+    acked = []
+    for k in range(N_BATCHES):
+        if k == KILL_AFTER:
+            report = client.replication_sweep()
+            if not report.get("clean"):
+                print("FAIL: live sweep not clean: %r" % report,
+                      file=sys.stderr)
+                return 1
+            print("sweep clean at batch %d; kill -9 %d" % (k, proc.pid))
+            os.kill(proc.pid, signal.SIGKILL)
+        t, v = batch_points(k)
+        try:
+            ack = client.ingest(SERIES, [int(x) for x in t],
+                                [float(x) for x in v])
+        except (ReproError, OSError, http.client.HTTPException):
+            break
+        if ack.get("durability") == "replicated":
+            acked.append(k)
+    proc.wait(timeout=30)
+    if proc.returncode != -signal.SIGKILL:
+        print("FAIL: primary exit %s, expected SIGKILL"
+              % proc.returncode, file=sys.stderr)
+        return 1
+    if len(acked) < KILL_AFTER:
+        print("FAIL: only %d batches acked before the kill"
+              % len(acked), file=sys.stderr)
+        return 1
+
+    status = ReproClient(standby_url).promote()
+    if status.get("role") != "primary":
+        print("FAIL: promotion answered %r" % status, file=sys.stderr)
+        return 1
+    print("promoted standby: epoch=%s head_seq=%s"
+          % (status.get("epoch"), status.get("head_seq")))
+
+    standby_engine.flush_all()
+    series = M4UDFOperator(standby_engine, degraded=False) \
+        .merged_series(SERIES, 0, N_BATCHES * BATCH)
+    state_t = np.asarray(series.timestamps, dtype=np.int64)
+    state_v = np.asarray(series.values, dtype=np.float64)
+    if state_t.size % BATCH != 0:
+        print("FAIL: replica holds a torn batch (%d points)"
+              % state_t.size, file=sys.stderr)
+        return 1
+    m = state_t.size // BATCH
+    want_t = np.arange(0, m * BATCH, dtype=np.int64)
+    if not (np.array_equal(state_t, want_t)
+            and np.array_equal(state_v, np.sin(want_t / 13.0))):
+        print("FAIL: replica content diverges from the committed prefix",
+              file=sys.stderr)
+        return 1
+    lower = (max(acked) + 1) if acked else 0
+    if m < lower:
+        print("FAIL: durability violation — %d batches acked but only "
+              "%d survived promotion" % (lower, m), file=sys.stderr)
+        return 1
+
+    ack = ReproClient(standby_url).ingest(SERIES, [N_BATCHES * BATCH + 1],
+                                          [1.0])
+    if ack.get("accepted") != 1:
+        print("FAIL: promoted node refused a write: %r" % ack,
+              file=sys.stderr)
+        return 1
+
+    standby.stop()
+    standby_engine.close()
+    print("OK: %d/%d batches acked replicated, promoted replica holds "
+          "exact prefix of %d batches" % (len(acked), N_BATCHES, m))
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1 and sys.argv[1] == "--child":
+        child(sys.argv[2:])
+    else:
+        sys.exit(main())

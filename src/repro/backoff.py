@@ -1,0 +1,72 @@
+"""Jittered exponential backoff, shared by every retry loop.
+
+One implementation of the "retry with backoff" idiom so the client,
+the load generator, the smoke scripts and the replication shipper all
+back off the same way: exponential growth from ``base`` to ``cap``
+with full jitter (each delay is drawn uniformly from the upper half of
+the current window, so synchronized clients de-correlate), honoring a
+server-supplied ``Retry-After`` hint as a floor when one is given.
+
+The class is deliberately a leaf: stdlib only, no imports from the
+rest of the package, so any layer (client, server, scripts) can use it
+without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+
+class Backoff:
+    """Exponential backoff with full jitter and a hard cap.
+
+    >>> b = Backoff(base=0.05, cap=5.0, rng=random.Random(0))
+    >>> 0.025 <= b.delay() <= 0.05
+    True
+
+    Args:
+        base: first delay window in seconds.
+        cap: upper bound on any computed delay (a larger server
+            ``Retry-After`` hint still wins — the server knows best).
+        factor: window growth per attempt.
+        rng: a ``random.Random`` (seedable for tests); defaults to the
+            module RNG.
+        sleep: the sleep function (injectable for tests).
+    """
+
+    def __init__(self, base=0.05, cap=5.0, factor=2.0, rng=None,
+                 sleep=time.sleep):
+        if base <= 0 or cap < base or factor < 1:
+            raise ValueError("invalid backoff parameters")
+        self.base = float(base)
+        self.cap = float(cap)
+        self.factor = float(factor)
+        self._rng = rng if rng is not None else random
+        self._sleep = sleep
+        self.attempts = 0
+
+    def delay(self, retry_after=None):
+        """The next delay in seconds (advances the attempt counter).
+
+        Jitter draws from ``[window/2, window]`` so the delay never
+        collapses to zero; ``retry_after`` (the HTTP hint) acts as a
+        floor — the computed delay never undercuts what the server
+        asked for.
+        """
+        window = min(self.cap, self.base * self.factor ** self.attempts)
+        self.attempts += 1
+        delay = window * (0.5 + 0.5 * self._rng.random())
+        if retry_after is not None and retry_after > 0:
+            delay = max(delay, float(retry_after))
+        return delay
+
+    def wait(self, retry_after=None):
+        """Sleep for :meth:`delay` seconds; returns the delay slept."""
+        delay = self.delay(retry_after)
+        self._sleep(delay)
+        return delay
+
+    def reset(self):
+        """Back to the first window (call after a success)."""
+        self.attempts = 0

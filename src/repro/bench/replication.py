@@ -1,0 +1,230 @@
+"""E18 — replication lag vs ingest rate, and failover recovery time.
+
+Boots real primary/standby server pairs (stdlib HTTP, in-process) and
+measures the two numbers the hot-standby design promises:
+
+* **lag** — at each target ingest rate a paced open-loop stream runs
+  for a fixed window with ``ack_mode="queued"`` (the shipper trails
+  the writer, so lag can actually accumulate), sampling the shipper's
+  record lag after every batch; one extra cell repeats the lowest rate
+  with ``ack_mode="replicated"``, where every ack waits for the ship.
+  After the stream, the time for the shipper to drain back to zero lag
+  (``catchup``) is measured, and the standby's content fingerprint
+  must equal the primary's — replication is a correctness mechanism
+  first, so every cell carries the identity check.
+* **failover** — a replicated-ack pair with a short lease loses its
+  primary (listener hard-closed, shipper stopped: silence, exactly
+  what a SIGKILL looks like from the standby); recovery time is the
+  span from the kill until the auto-promoted standby both reports
+  ``role="primary"`` and accepts a write.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+import shutil
+import socket
+import tempfile
+import time
+
+from .report import BenchTable
+
+#: Points per ingest batch in every cell.
+BATCH = 200
+
+
+def _free_port():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def _p95(values):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    return float(ordered[min(len(ordered) - 1,
+                             int(0.95 * len(ordered)))])
+
+
+class _Pair:
+    """A replicating primary/standby pair of live in-process servers."""
+
+    def __init__(self, root, ack_mode="queued", auto_promote=False,
+                 lease_seconds=5.0):
+        from ..server import ReproClient, ServerConfig, start_server
+        from ..storage import StorageConfig, StorageEngine
+
+        standby_port, primary_port = _free_port(), _free_port()
+        self.standby_url = "http://127.0.0.1:%d" % standby_port
+        self.primary_url = "http://127.0.0.1:%d" % primary_port
+
+        def config():
+            return StorageConfig(avg_series_point_number_threshold=4096)
+
+        self.standby_engine = StorageEngine(
+            pathlib.Path(root) / "standby", config())
+        self.standby = start_server(self.standby_engine, ServerConfig(
+            port=standby_port, quiet=True, standby=True,
+            advertise_url=self.standby_url, auto_promote=auto_promote,
+            lease_seconds=lease_seconds, node_id="bench-standby"))
+        self.primary_engine = StorageEngine(
+            pathlib.Path(root) / "primary", config())
+        self.primary = start_server(self.primary_engine, ServerConfig(
+            port=primary_port, quiet=True,
+            replicate_to=(self.standby_url,),
+            advertise_url=self.primary_url, ingest_ack=ack_mode,
+            lease_seconds=lease_seconds, node_id="bench-primary"))
+        self.client = ReproClient(self.primary_url)
+        self.standby_client = ReproClient(self.standby_url)
+
+    def lag_records(self):
+        status = self.primary.service.replication.status()
+        return int(status["replicas"][0]["lag_records"])
+
+    def close(self):
+        for handle in (self.primary, self.standby):
+            try:
+                handle.stop()
+            except Exception:
+                pass
+        for engine in (self.primary_engine, self.standby_engine):
+            try:
+                engine.close()
+            except Exception:
+                pass
+
+
+def _batch(k):
+    t0 = k * BATCH
+    timestamps = list(range(t0, t0 + BATCH))
+    return timestamps, [math.sin(t / 9.0) for t in timestamps]
+
+
+def _lag_cell(root, rate, ack_mode, duration):
+    from ..replication.antientropy import content_fingerprint
+
+    pair = _Pair(root, ack_mode=ack_mode)
+    try:
+        interval = BATCH / float(rate)
+        samples = []
+        sent = 0
+        k = 0
+        start = time.monotonic()
+        next_send = start
+        while time.monotonic() - start < duration:
+            timestamps, values = _batch(k)
+            pair.client.ingest("s", timestamps, values)
+            sent += BATCH
+            k += 1
+            samples.append(pair.lag_records())
+            next_send += interval
+            delay = next_send - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+        elapsed = time.monotonic() - start
+
+        drain_start = time.monotonic()
+        while pair.lag_records() > 0 \
+                and time.monotonic() - drain_start < 30.0:
+            time.sleep(0.005)
+        catchup = time.monotonic() - drain_start
+        final_lag = pair.lag_records()
+        identical = content_fingerprint(pair.standby_engine) \
+            == content_fingerprint(pair.primary_engine)
+        return {
+            "scenario": "lag",
+            "ack_mode": ack_mode,
+            "rate_points_per_s": float(rate),
+            "points": sent,
+            "achieved_points_per_s": sent / elapsed if elapsed else 0.0,
+            "lag_records_p95": _p95(samples),
+            "final_lag_records": float(final_lag),
+            "catchup_seconds": catchup,
+            "recovery_seconds": 0.0,
+            "identical": identical,
+        }
+    finally:
+        pair.close()
+
+
+def _failover_cell(root, lease_seconds, n_batches=5, timeout=30.0):
+    from ..core import M4UDFOperator
+
+    pair = _Pair(root, ack_mode="replicated", auto_promote=True,
+                 lease_seconds=lease_seconds)
+    try:
+        for k in range(n_batches):
+            timestamps, values = _batch(k)
+            ack = pair.client.ingest("s", timestamps, values)
+            assert ack["durability"] == "replicated"
+        sent = n_batches * BATCH
+
+        killed = time.monotonic()
+        # Silence the primary the way a SIGKILL would: hard-close the
+        # listener and stop the shipper (no drain, no goodbye).
+        pair.primary._server.shutdown()
+        pair.primary._server.server_close()
+        pair.primary.service.replication.stop()
+        while time.monotonic() - killed < timeout:
+            status = pair.standby_client.replication_status()
+            if status["role"] == "primary":
+                break
+            time.sleep(0.01)
+        # Recovered means writable, not just self-declared primary.
+        ack = pair.standby_client.ingest("s", [sent + 10], [1.0])
+        recovery = time.monotonic() - killed
+        assert ack["accepted"] == 1
+
+        pair.standby_engine.flush_all()
+        series = M4UDFOperator(pair.standby_engine, degraded=False) \
+            .merged_series("s", 0, sent + 11)
+        identical = len(series.timestamps) == sent + 1
+        return {
+            "scenario": "failover",
+            "ack_mode": "replicated",
+            "rate_points_per_s": 0.0,
+            "points": sent,
+            "achieved_points_per_s": 0.0,
+            "lag_records_p95": 0.0,
+            "final_lag_records": 0.0,
+            "catchup_seconds": 0.0,
+            "recovery_seconds": recovery,
+            "identical": identical,
+        }
+    finally:
+        pair.close()
+
+
+def replication_lag_and_failover(rates=(2_000, 8_000, 32_000),
+                                 duration=1.5, lease_seconds=0.5):
+    """E18: one lag cell per target rate (+ a replicated-ack cell at
+    the lowest rate), then the failover-recovery cell."""
+    table = BenchTable(
+        "Replication: lag vs ingest rate (batch %d) + failover "
+        "recovery (lease %.1fs)" % (BATCH, lease_seconds),
+        ["scenario", "ack", "rate (pts/s)", "points",
+         "achieved (pts/s)", "lag p95 (rec)", "final lag",
+         "catchup (s)", "recovery (s)", "identical"])
+    root = pathlib.Path(tempfile.mkdtemp(prefix="repro-bench-repl-"))
+    rows = []
+    try:
+        for k, rate in enumerate(rates):
+            rows.append(_lag_cell(root / ("lag-%d" % k), rate,
+                                  "queued", duration))
+        rows.append(_lag_cell(root / "lag-replicated", min(rates),
+                              "replicated", duration))
+        rows.append(_failover_cell(root / "failover", lease_seconds))
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    for row in rows:
+        table.add_row(row["scenario"], row["ack_mode"],
+                      row["rate_points_per_s"], row["points"],
+                      row["achieved_points_per_s"],
+                      row["lag_records_p95"], row["final_lag_records"],
+                      row["catchup_seconds"], row["recovery_seconds"],
+                      row["identical"])
+    return [table], rows

@@ -4,7 +4,8 @@ Every persisted benchmark result is one JSON document::
 
     {
       "schema": "repro-bench/1",
-      "kind": "matrix" | "parallelism" | "server" | "durability" | "tiles",
+      "kind": "matrix" | "parallelism" | "server" | "durability"
+              | "tiles" | "replication",
       "meta":  { git_sha, python, platform, machine, cpu_count,
                  machine_id, points, repeats, created_unix, ... },
       "rows":  [ {...}, ... ]          # kind-specific row fields
@@ -99,6 +100,19 @@ ROW_FIELDS = {
         "p50_speedup": _NUM,
         "tile_hits": int,
         "tile_misses": int,
+        "identical": bool,
+    },
+    "replication": {
+        "experiment": str,
+        "scenario": str,
+        "ack_mode": str,
+        "rate_points_per_s": _NUM,
+        "points": int,
+        "achieved_points_per_s": _NUM,
+        "lag_records_p95": _NUM,
+        "final_lag_records": _NUM,
+        "catchup_seconds": _NUM,
+        "recovery_seconds": _NUM,
         "identical": bool,
     },
 }

@@ -15,7 +15,11 @@ Commands:
 * ``stats``     — print the store's observability snapshot (counters,
               histogram quantiles, slow queries; text/JSON/Prometheus)
 * ``serve``     — expose a store over HTTP (``repro.server``): SQL
-              queries, M4 renders, stats/health, admission control
+              queries, M4 renders, stats/health, admission control;
+              ``--replicate-to`` ships writes to hot standbys,
+              ``--standby`` boots a replica
+* ``promote``   — turn a running standby into a writable primary
+              (manual failover; ``POST /replication/promote``)
 * ``loadgen``   — drive a running server with seeded pan/zoom
               dashboard sessions and report throughput/latency
               (``--ingest RATE`` adds a streaming-write pump)
@@ -182,8 +186,50 @@ def build_parser():
     serve.add_argument("--live-poll", type=float, default=10.0,
                        metavar="SECONDS",
                        help="default long-poll wait for GET /live")
+    serve.add_argument("--replicate-to", action="append", default=[],
+                       metavar="URL",
+                       help="ship every acknowledged write to this "
+                            "standby URL (repeatable); makes this node "
+                            "the replication primary")
+    serve.add_argument("--standby", action="store_true",
+                       help="boot as a hot standby: reads are served "
+                            "with bounded staleness, writes answer 409 "
+                            "naming the primary, state arrives via the "
+                            "primary's POST /replicate stream")
+    serve.add_argument("--node-id", default="",
+                       help="stable replication node id (default: a "
+                            "derived random id)")
+    serve.add_argument("--advertise", default="", metavar="URL",
+                       help="URL this node advertises to peers (write "
+                            "redirects point here); default "
+                            "http://HOST:PORT")
+    serve.add_argument("--lease", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="replication lease: idle-heartbeat cadence "
+                            "on the primary, silence budget before an "
+                            "--auto-promote standby takes over")
+    serve.add_argument("--auto-promote", action="store_true",
+                       help="standby only: self-promote once the "
+                            "primary has been silent longer than "
+                            "--lease")
+    serve.add_argument("--ingest-ack",
+                       choices=("queued", "applied", "replicated"),
+                       default="queued",
+                       help="POST /ingest ack durability: queued "
+                            "(enqueue), applied (WAL on this node) or "
+                            "replicated (every live replica acked the "
+                            "shipped frames)")
     _add_parallelism(serve)
     _add_tile_cache(serve)
+
+    promote = commands.add_parser(
+        "promote", help="turn a running standby into a writable primary")
+    promote.add_argument("--url", required=True,
+                         help="standby base URL, e.g. "
+                              "http://127.0.0.1:8732")
+    promote.add_argument("--json", action="store_true",
+                         help="print the resulting replication status "
+                              "as JSON")
 
     loadgen = commands.add_parser(
         "loadgen", help="drive a server with pan/zoom dashboard sessions")
@@ -589,6 +635,9 @@ def _cmd_serve(args):
     if engine.recovery_summary:
         print("recovered: %s" % engine.recovery_summary)
     engine.flush_all()  # buffered WAL points become query-visible
+    advertise = args.advertise
+    if not advertise and args.port:
+        advertise = "http://%s:%d" % (args.host, args.port)
     config = ServerConfig(host=args.host, port=args.port,
                           workers=args.workers,
                           queue_depth=args.queue_depth,
@@ -600,13 +649,27 @@ def _cmd_serve(args):
                           ingest_tenant_budget_bytes=(
                               args.ingest_tenant_budget),
                           live_max_subscribers=args.live_subscribers,
-                          live_poll_seconds=args.live_poll)
+                          live_poll_seconds=args.live_poll,
+                          standby=args.standby,
+                          replicate_to=tuple(args.replicate_to or ()),
+                          node_id=args.node_id,
+                          advertise_url=advertise,
+                          lease_seconds=args.lease,
+                          auto_promote=args.auto_promote,
+                          ingest_ack=args.ingest_ack)
     handle = start_server(engine, config, own_engine=True)
     host, port = handle.address
-    print("serving %s on http://%s:%d (workers=%d queue=%d "
+    role = ""
+    if args.standby:
+        role = " [standby%s]" % (" auto-promote" if args.auto_promote
+                                 else "")
+    elif args.replicate_to:
+        role = " [primary -> %s]" % ", ".join(args.replicate_to)
+    print("serving %s on http://%s:%d%s (workers=%d queue=%d "
           "timeout=%.1fs); Ctrl-C to drain and stop"
-          % (args.db, host, port, config.workers, config.queue_depth,
-             config.default_timeout_seconds), flush=True)
+          % (args.db, host, port, role, config.workers,
+             config.queue_depth, config.default_timeout_seconds),
+          flush=True)
     stop = threading.Event()
     try:
         signal.signal(signal.SIGTERM, lambda *_: stop.set())
@@ -660,21 +723,45 @@ def _cmd_loadgen(args):
     return 0 if report.ok else 1
 
 
+def _cmd_promote(args):
+    """``repro promote``: manual failover for a running standby.
+
+    Asks the node at ``--url`` to freeze its applier and become a
+    writable primary (``POST /replication/promote``); idempotent on a
+    node that is already primary.  Returns 0 on success, 1 when the
+    node has no replication role (caught in :func:`main`).
+    """
+    import json as json_module
+
+    from .server.client import ReproClient
+
+    status = ReproClient(args.url).promote()
+    if args.json:
+        print(json_module.dumps(status, indent=2, sort_keys=True))
+    else:
+        print("promoted %s: role=%s epoch=%s head_seq=%s promotions=%s"
+              % (args.url, status.get("role"), status.get("epoch"),
+                 status.get("head_seq"), status.get("promotions")))
+    return 0
+
+
 def _cmd_ingest(args):
     """``repro ingest``: stream a seeded torture workload into a server.
 
     Generates batches with :func:`repro.datasets.generate_torture`
     (out-of-order, late and duplicate arrivals) and POSTs them to the
-    server's ``/ingest`` endpoint.  A 429 shed honours ``Retry-After``
-    and retries the same batch, so the stream is lossless under
-    backpressure — the summary separates sheds from errors.  Returns 0
-    when every batch was eventually acked, 1 otherwise.
+    server's ``/ingest`` endpoint through the client's shared
+    :meth:`~repro.server.client.ReproClient.ingest_retry` loop — 429
+    sheds wait out a jittered backoff floored at ``Retry-After``, so
+    the stream is lossless under backpressure; the summary separates
+    sheds from errors.  Returns 0 when every batch was eventually
+    acked, 1 otherwise.
     """
     import json as json_module
     import time as time_module
 
+    from .backoff import Backoff
     from .datasets import TortureConfig, generate_torture
-    from .errors import IngestBackpressureError
     from .server.client import ReproClient
 
     stream = generate_torture(TortureConfig(
@@ -684,31 +771,29 @@ def _cmd_ingest(args):
         max_lag_batches=args.max_lag,
         dataset=args.dataset, seed=args.seed))
     client = ReproClient(args.url)
+    backoff = Backoff(base=0.05, cap=2.0)
     interval = (args.batch_size / args.rate) if args.rate > 0 else 0.0
     begin = time_module.monotonic()
-    acked = points = sheds = errors = 0
+    acked = points = errors = 0
     for k, (ts, vs) in enumerate(stream.batches):
         if interval:
             delay = begin + k * interval - time_module.monotonic()
             if delay > 0:
                 time_module.sleep(delay)
-        while True:
-            try:
-                ack = client.ingest(args.series, [int(t) for t in ts],
-                                    [float(v) for v in vs],
-                                    tenant=args.tenant)
-            except IngestBackpressureError as exc:
-                sheds += 1
-                time_module.sleep(max(exc.retry_after, 0.05))
-                continue
-            except (OSError, ReproError) as exc:
-                errors += 1
-                print("error: batch %d failed: %s" % (k, exc),
-                      file=sys.stderr)
-                break
-            acked += 1
-            points += ack["accepted"]
-            break
+        try:
+            ack = client.ingest_retry(args.series,
+                                      [int(t) for t in ts],
+                                      [float(v) for v in vs],
+                                      tenant=args.tenant,
+                                      attempts=1000, backoff=backoff)
+        except (OSError, ReproError) as exc:
+            errors += 1
+            print("error: batch %d failed: %s" % (k, exc),
+                  file=sys.stderr)
+            continue
+        acked += 1
+        points += ack["accepted"]
+    sheds = client.ingest_retries
     elapsed = time_module.monotonic() - begin
     summary = dict(stream.stats())
     summary.update(series=args.series, batches_acked=acked,
@@ -965,6 +1050,7 @@ _COMMANDS = {
     "compact": _cmd_compact,
     "stats": _cmd_stats,
     "serve": _cmd_serve,
+    "promote": _cmd_promote,
     "loadgen": _cmd_loadgen,
     "ingest": _cmd_ingest,
     "trace": _cmd_trace,

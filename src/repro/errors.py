@@ -96,6 +96,27 @@ class IngestBackpressureError(ServerError):
         self.retry_after = int(retry_after)
 
 
+class ReplicationError(ReproError):
+    """Base class for replication failures (framing, transport, state).
+
+    Raised when a replication stream cannot be decoded (bad magic,
+    CRC mismatch, truncated frame) or when a node receives a stream it
+    cannot apply (wrong role, unknown epoch with no resync)."""
+
+
+class NotPrimaryError(ServerError):
+    """Raised when a write is sent to a standby replica.
+
+    Maps to HTTP 409; ``primary`` is the advertised URL of the current
+    primary when the standby knows it, so clients can follow."""
+
+    status = 409
+
+    def __init__(self, message, primary=None):
+        super().__init__(message)
+        self.primary = primary
+
+
 class QueryError(ReproError):
     """Base class for query layer failures."""
 

@@ -67,21 +67,43 @@ class IngestController:
             unknown series raise :class:`SeriesNotFoundError`).
         live_feed: optional :class:`~repro.ingest.live.LiveFeed`
             receiving one change event per applied series per cycle.
+        ack_mode: when to acknowledge a submit — ``"queued"`` (default:
+            as soon as the batch is enqueued), ``"applied"`` (block
+            until the writer applied it; the ack then reflects WAL
+            durability on this node) or ``"replicated"`` (addition-
+            ally block until every live replica acked the shipped
+            frames — ack-after-ship durability).
+        ship_wait: callable ``(timeout) -> bool`` used by
+            ``ack_mode="replicated"`` (the replication manager's
+            :meth:`wait_shipped`).
+        ack_timeout_seconds: cap on the blocking ack modes; on timeout
+            the ack reports the weaker durability level actually
+            reached instead of failing the request.
     """
 
     def __init__(self, engine, queue_bytes=8 << 20,
                  tenant_budget_bytes=0, retry_after_seconds=1,
-                 auto_create=True, live_feed=None):
+                 auto_create=True, live_feed=None, ack_mode="queued",
+                 ship_wait=None, ack_timeout_seconds=10.0):
         if queue_bytes <= 0:
             raise ValueError("queue_bytes must be positive")
         if tenant_budget_bytes < 0:
             raise ValueError("tenant_budget_bytes must be >= 0")
+        if ack_mode not in ("queued", "applied", "replicated"):
+            raise ValueError("ack_mode must be queued, applied or "
+                             "replicated")
+        if ack_mode == "replicated" and ship_wait is None:
+            raise ValueError("ack_mode='replicated' needs a ship_wait "
+                             "hook (configure replicas)")
         self._engine = engine
         self._queue_bytes = int(queue_bytes)
         self._tenant_budget = int(tenant_budget_bytes)
         self._retry_after = int(retry_after_seconds)
         self._auto_create = bool(auto_create)
         self._feed = live_feed
+        self._ack_mode = ack_mode
+        self._ship_wait = ship_wait
+        self._ack_timeout = float(ack_timeout_seconds)
         metrics = engine.metrics
         self._c_points = metrics.counter("ingest_points_total")
         self._c_batches = metrics.counter("ingest_batches_total")
@@ -109,6 +131,26 @@ class IngestController:
     def live_feed(self):
         """The attached :class:`LiveFeed` (or None)."""
         return self._feed
+
+    @property
+    def writer_alive(self):
+        """Is the single writer thread still running?
+
+        ``/healthz`` reports this: a writer that died mid-cycle (a
+        non-``Exception`` escape) would otherwise stall the queue
+        silently while submits keep filling it."""
+        return self._thread.is_alive()
+
+    @property
+    def closed(self):
+        """True once :meth:`close` has completed its handoff."""
+        with self._cond:
+            return self._closed
+
+    @property
+    def ack_mode(self):
+        """The configured acknowledgement mode."""
+        return self._ack_mode
 
     # -- producer side -----------------------------------------------------------------
 
@@ -158,12 +200,30 @@ class IngestController:
             self._tenant_bytes[tenant] = \
                 self._tenant_bytes.get(tenant, 0) + nbytes
             self._accepted += 1
+            ticket = self._accepted
             self._g_bytes.set(self._pending_bytes)
             self._g_depth.set(len(self._queue))
             self._cond.notify_all()
-            return {"accepted": int(t.size),
-                    "pending_bytes": self._pending_bytes,
-                    "pending_batches": len(self._queue)}
+            ack = {"accepted": int(t.size),
+                   "pending_bytes": self._pending_bytes,
+                   "pending_batches": len(self._queue)}
+        if self._ack_mode == "queued":
+            return ack
+        # Blocking ack modes: wait for the writer to apply this batch
+        # (every earlier ticket applies first — apply order is accept
+        # order), then optionally for the replicas to ack the shipped
+        # frames.  On timeout the ack reports the level reached.
+        deadline = time.monotonic() + self._ack_timeout
+        with self._cond:
+            applied = self._cond.wait_for(
+                lambda: self._applied >= ticket,
+                timeout=self._ack_timeout)
+        ack["durability"] = "applied" if applied else "queued"
+        if self._ack_mode == "replicated" and applied:
+            remaining = max(0.05, deadline - time.monotonic())
+            if self._ship_wait(remaining):
+                ack["durability"] = "replicated"
+        return ack
 
     def drain(self, timeout=30.0):
         """Block until every accepted batch has been applied.

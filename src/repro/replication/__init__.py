@@ -1,0 +1,31 @@
+"""Hot-standby replication: WAL shipping, failover, anti-entropy.
+
+A primary node ships every acknowledged mutation — as CRC-framed
+records reusing the WAL v2 point format verbatim — over stdlib HTTP to
+one or more standby replicas, which replay them through the normal
+engine write path (and thus their own WAL and recovery machinery) and
+serve reads with bounded, observable staleness.  See DESIGN.md §14.
+
+Layering rule: nothing in this package imports :mod:`repro.server`;
+the server wires these classes in, never the other way around.
+"""
+
+from .antientropy import content_fingerprint, diff_fingerprints, \
+    series_content
+from .apply import ReplicaApplier
+from .log import ReplicationLog, new_epoch
+from .manager import ReplicationManager
+from .ship import Shipper
+from . import frames
+
+__all__ = [
+    "ReplicaApplier",
+    "ReplicationLog",
+    "ReplicationManager",
+    "Shipper",
+    "content_fingerprint",
+    "diff_fingerprints",
+    "frames",
+    "new_epoch",
+    "series_content",
+]

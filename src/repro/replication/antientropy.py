@@ -1,0 +1,72 @@
+"""Anti-entropy: content fingerprints and divergence detection.
+
+Replication ships deltas; anti-entropy answers "did they all arrive?".
+Each node can summarize every series as a SHA-256 over its *merged
+content* — the (timestamp, value) arrays after version resolution and
+delete application — which is the only representation that is
+comparable across nodes.  (The structural fingerprint the tile cache
+persists — chunk counts and version numbers — is deliberately **not**
+used here: version numbers come from each node's own allocator and
+legally differ between a primary and a replica that flushed at
+different moments, even when the content is identical.)
+
+The sweep itself lives in :class:`repro.replication.manager` — the
+primary fetches each replica's fingerprint over HTTP, diffs it against
+its own, and hands divergent series to the shipper for a snapshot
+re-ship.  This module is the pure, side-effect-free core of that loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..storage.merge import merge_arrays
+
+#: Version assigned to memtable points when merging a live snapshot:
+#: buffered points are newer than every sealed chunk and every delete
+#: (flush-before-delete guarantees a delete never targets them).
+MEMTABLE_VERSION = 1 << 62
+
+
+def series_content(engine, name):
+    """The series' merged ``(timestamps, values)`` — chunks *and* the
+    memtable — from one consistent read-locked snapshot (no flush
+    needed, so this is safe to call while ingest is streaming)."""
+    chunks, deletes, mem_t, mem_v = engine.series_snapshot(name)
+    reader = engine.data_reader()
+    loaded = [(*reader.load_chunk(meta), meta.version) for meta in chunks]
+    if len(mem_t):
+        loaded.append((np.asarray(mem_t, dtype=np.int64),
+                       np.asarray(mem_v, dtype=np.float64),
+                       MEMTABLE_VERSION))
+    return merge_arrays(loaded, deletes)
+
+
+def content_fingerprint(engine, names=None):
+    """``{name: {"points": n, "sha256": hex}}`` over merged content."""
+    names = engine.series_names() if names is None else names
+    out = {}
+    for name in sorted(names):
+        t, v = series_content(engine, name)
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(t).tobytes())
+        digest.update(np.ascontiguousarray(v).tobytes())
+        out[name] = {"points": int(t.size), "sha256": digest.hexdigest()}
+    return out
+
+
+def diff_fingerprints(local, remote):
+    """``(divergent, extra)``: series to re-ship / replica-only series.
+
+    ``divergent`` lists every local series whose remote fingerprint is
+    missing or different (a snapshot re-ship fixes both); ``extra``
+    lists series only the replica has — surfaced in the sweep report
+    but never deleted (anti-entropy repairs toward the primary, it
+    does not destroy data the operator may want to inspect).
+    """
+    divergent = [name for name, print_ in sorted(local.items())
+                 if remote.get(name) != print_]
+    extra = sorted(set(remote) - set(local))
+    return divergent, extra

@@ -1,0 +1,217 @@
+"""The standby side: replay shipped frames through the normal engine.
+
+A :class:`ReplicaApplier` owns the replica's replication state — the
+adopted primary epoch, the applied sequence number, and the primary→
+local series-name map — and applies decoded batches through the exact
+same engine entry points local writes use (``create_series``,
+``write_batch``, ``delete``, ``flush``), so every replicated point
+lands in the replica's own WAL and survives a replica crash via the
+normal recovery path.
+
+Idempotence: frames whose sequence number is ``<= applied_seq`` are
+skipped, so duplicate delivery after a reconnect (the shipper re-sends
+everything past its last acked sequence) is a no-op.  Gaps and unknown
+epochs are never papered over — the applier answers ``state:
+"resync"`` and the shipper falls back to a full snapshot.
+
+Applied state is volatile: a restarted replica reports ``applied_seq
+0`` with no epoch and is resynced from a snapshot (its *data* is
+durable via its own WAL; only the replication cursor is not).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..errors import ReplicationError
+from . import frames
+
+FULL_RANGE = (-(1 << 62), 1 << 62)
+
+
+class ReplicaApplier:
+    """Applies replication batches to a standby's engine."""
+
+    def __init__(self, engine, node_id="standby", registry=None):
+        from ..obs import NULL_REGISTRY
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._engine = engine
+        self.node_id = node_id
+        self._lock = threading.Lock()
+        self._epoch = None
+        self._applied = 0
+        self._names = {}          # primary series id -> series name
+        self._primary_url = None
+        self._last_contact = time.monotonic()
+        self._frozen = False      # set at promotion: reject the old primary
+        self._c_frames = registry.counter("replication_applied_frames_total")
+        self._c_points = registry.counter("replication_applied_points_total")
+        self._c_skipped = registry.counter(
+            "replication_skipped_frames_total")
+        self._c_resyncs = registry.counter(
+            "replication_resync_requests_total")
+        self._g_lag_records = registry.gauge("replication_lag_records")
+        self._g_lag_seconds = registry.gauge("replication_lag_seconds")
+
+    # -- status ----------------------------------------------------------------------------
+
+    @property
+    def applied_seq(self):
+        with self._lock:
+            return self._applied
+
+    @property
+    def epoch(self):
+        with self._lock:
+            return self._epoch
+
+    @property
+    def primary_url(self):
+        with self._lock:
+            return self._primary_url
+
+    def contact_age(self):
+        """Seconds since the primary last reached this replica."""
+        with self._lock:
+            return time.monotonic() - self._last_contact
+
+    def touch(self):
+        """Reset the contact clock (called when the lease starts)."""
+        with self._lock:
+            self._last_contact = time.monotonic()
+
+    def freeze(self):
+        """Stop applying (promotion): the old primary gets resync+frozen
+        answers and can never overwrite the new primary's writes."""
+        with self._lock:
+            self._frozen = True
+
+    def status(self):
+        with self._lock:
+            return {
+                "applied_seq": self._applied,
+                "epoch": self._epoch,
+                "primary": self._primary_url,
+                "contact_age_seconds": time.monotonic() - self._last_contact,
+                "series": len(self._names),
+                "frozen": self._frozen,
+            }
+
+    # -- batch application -----------------------------------------------------------------
+
+    def apply_batch(self, body):
+        """Decode and apply one ``POST /replicate`` body; returns the
+        JSON-able reply dict (``state`` ok / resync / frozen)."""
+        header, frame_list = frames.decode_batch(body)
+        epoch = int(header.get("epoch", 0))
+        base_seq = int(header.get("base_seq", 0))
+        resync = bool(header.get("resync"))
+        with self._lock:
+            self._last_contact = time.monotonic()
+            if header.get("advertise"):
+                self._primary_url = header["advertise"]
+            if self._frozen:
+                return self._reply("frozen")
+            if resync:
+                return self._apply_resync(epoch, base_seq, frame_list)
+            if self._epoch is None or self._epoch != epoch:
+                # Unknown or restarted primary: only a snapshot (or a
+                # stream from genesis) can establish shared state.
+                if self._epoch is None and base_seq == 0 \
+                        and self._applied == 0:
+                    self._epoch = epoch
+                else:
+                    self._c_resyncs.inc()
+                    return self._reply("resync")
+            if base_seq > self._applied:
+                self._c_resyncs.inc()
+                return self._reply("resync")
+            skipped = 0
+            for ftype, seq, payload in frame_list:
+                if ftype == frames.T_HEARTBEAT:
+                    continue              # liveness only, never sequenced
+                if seq <= self._applied:
+                    skipped += 1          # duplicate delivery: a no-op
+                    continue
+                if seq != self._applied + 1:
+                    self._c_resyncs.inc()
+                    return self._reply("resync")
+                self._apply_frame(ftype, payload)
+                self._applied = seq
+                self._c_frames.inc()
+            if skipped:
+                self._c_skipped.inc(skipped)
+            self._note_lag(header)
+            return self._reply("ok")
+
+    def _apply_resync(self, epoch, base_seq, frame_list):
+        """A snapshot batch: adopt the primary's epoch and cursor.
+
+        ``base_seq`` was captured on the primary *before* the snapshot
+        was read, so any record racing the snapshot is both inside it
+        and re-shipped after — re-application is value-identical (same
+        point, later version), so the merged content converges.
+        """
+        for ftype, _seq, payload in frame_list:
+            if ftype != frames.T_SYNC:
+                raise ReplicationError(
+                    "resync batch may only carry sync frames")
+            self._apply_sync(payload)
+            self._c_frames.inc()
+        self._epoch = epoch
+        self._applied = base_seq
+        return self._reply("ok")
+
+    def _reply(self, state):
+        return {"state": state, "node_id": self.node_id,
+                "applied_seq": self._applied, "epoch": self._epoch}
+
+    def _note_lag(self, header):
+        head_seq = header.get("head_seq")
+        if isinstance(head_seq, int):
+            self._g_lag_records.set(max(0, head_seq - self._applied))
+        stamp = header.get("stamp")
+        if isinstance(stamp, (int, float)):
+            self._g_lag_seconds.set(max(0.0, time.time() - stamp))
+
+    # -- frame application (lock held) ------------------------------------------------------
+
+    def _series_name(self, sid):
+        try:
+            return self._names[sid]
+        except KeyError:
+            raise ReplicationError("shipped frame references unknown "
+                                   "series id %d" % sid) from None
+
+    def _apply_frame(self, ftype, payload):
+        if ftype == frames.T_CREATE:
+            sid, name = frames.parse_create(payload)
+            self._engine.create_series(name)
+            self._names[sid] = name
+        elif ftype == frames.T_POINTS:
+            sid, t, v = frames.parse_points(payload)
+            self._engine.write_batch(self._series_name(sid), t, v)
+            self._c_points.inc(int(t.size))
+        elif ftype == frames.T_DELETE:
+            sid, t_start, t_end = frames.parse_delete(payload)
+            self._engine.delete(self._series_name(sid), t_start, t_end)
+        elif ftype == frames.T_FLUSH:
+            self._engine.flush(self._series_name(frames.parse_flush(payload)))
+        elif ftype == frames.T_HEARTBEAT:
+            pass                         # contact clock already reset
+        elif ftype == frames.T_SYNC:
+            self._apply_sync(payload)
+        else:  # pragma: no cover - decode already rejects unknown types
+            raise ReplicationError("unknown frame type %d" % ftype)
+
+    def _apply_sync(self, payload):
+        """Replace one series' content with the shipped snapshot."""
+        sid, name, t, v = frames.parse_sync(payload)
+        self._engine.create_series(name)
+        self._names[sid] = name
+        self._engine.delete(name, *FULL_RANGE)
+        if t.size:
+            self._engine.write_batch(name, t, v)
+        self._engine.flush(name)
+        self._c_points.inc(int(t.size))

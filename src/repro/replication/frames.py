@@ -1,0 +1,224 @@
+"""Wire format for WAL shipping: CRC-framed replication records.
+
+A replication *batch* (one ``POST /replicate`` body) is::
+
+    b"REPL1\\n"                      magic
+    JSON header line + b"\\n"        {"node_id", "epoch", "base_seq", ...}
+    frame*                          zero or more frames
+
+and each *frame* is::
+
+    u8 type, u64 seq, u32 payload_len   (little endian)
+    payload bytes
+    u32 crc32(header + payload)
+
+Frame payloads by type:
+
+``T_CREATE``
+    JSON ``{"sid": int, "name": str}`` — a series registration.
+``T_POINTS``
+    ``u32 series_id`` followed by N **verbatim WAL v2 records**
+    (``u32 sid, i64 t, f64 v, u32 crc32`` — exactly the bytes
+    :mod:`repro.storage.wal` appends to disk, checksums included, so a
+    replica re-verifies every point with the same code path the
+    recovery replay uses).
+``T_DELETE``
+    ``u32 sid, i64 t_start, i64 t_end``.
+``T_FLUSH``
+    ``u32 sid`` — the primary checkpointed this series' WAL; the
+    replica flushes too so its memtables stay bounded.
+``T_HEARTBEAT``
+    empty — liveness only (carried stamps live in the batch header).
+``T_SYNC``
+    JSON line ``{"sid", "name", "n"}`` + ``\\n`` + ``n`` int64
+    timestamps + ``n`` float64 values (raw arrays): a full-series
+    snapshot used by resync and anti-entropy repair.
+
+Every decode error raises :class:`repro.errors.ReplicationError` — a
+replica never applies a frame it could not fully verify.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import numpy as np
+
+from ..errors import ReplicationError
+from ..storage import wal
+
+MAGIC = b"REPL1\n"
+
+T_CREATE = 1
+T_POINTS = 2
+T_DELETE = 3
+T_FLUSH = 4
+T_HEARTBEAT = 5
+T_SYNC = 6
+
+TYPE_NAMES = {T_CREATE: "create", T_POINTS: "points", T_DELETE: "delete",
+              T_FLUSH: "flush", T_HEARTBEAT: "heartbeat", T_SYNC: "sync"}
+
+_FRAME = struct.Struct("<BQI")
+_CRC = struct.Struct("<I")
+_DELETE = struct.Struct("<Iqq")
+_SID = struct.Struct("<I")
+
+
+def encode_frame(ftype, seq, payload):
+    """One CRC-framed replication record as bytes."""
+    header = _FRAME.pack(ftype, seq, len(payload))
+    return header + payload + _CRC.pack(zlib.crc32(header + payload))
+
+
+def iter_frames(data, offset=0):
+    """Yield ``(ftype, seq, payload)`` from ``data[offset:]``.
+
+    Raises :class:`ReplicationError` on a truncated frame or a CRC
+    mismatch — replication transports whole batches, so unlike the
+    WAL's torn-tail policy there is no partial-delivery case to repair.
+    """
+    view = memoryview(data)
+    while offset < len(view):
+        if offset + _FRAME.size > len(view):
+            raise ReplicationError("truncated replication frame header")
+        ftype, seq, length = _FRAME.unpack_from(view, offset)
+        end = offset + _FRAME.size + length
+        if end + _CRC.size > len(view):
+            raise ReplicationError("truncated replication frame payload")
+        payload = bytes(view[offset + _FRAME.size:end])
+        (crc,) = _CRC.unpack_from(view, end)
+        header = bytes(view[offset:offset + _FRAME.size])
+        if zlib.crc32(header + payload) != crc:
+            raise ReplicationError(
+                "replication frame CRC mismatch at offset %d" % offset)
+        if ftype not in TYPE_NAMES:
+            raise ReplicationError("unknown replication frame type %d"
+                                   % ftype)
+        yield ftype, seq, payload
+        offset = end + _CRC.size
+
+
+def encode_batch(header, frame_bytes):
+    """A full ``POST /replicate`` body: magic + header line + frames."""
+    head = json.dumps(header, sort_keys=True).encode("utf-8")
+    return MAGIC + head + b"\n" + b"".join(frame_bytes)
+
+
+def decode_batch(body):
+    """``(header, [(ftype, seq, payload), ...])`` from a POST body."""
+    if not body.startswith(MAGIC):
+        raise ReplicationError("bad replication magic")
+    newline = body.find(b"\n", len(MAGIC))
+    if newline < 0:
+        raise ReplicationError("missing replication batch header")
+    try:
+        header = json.loads(body[len(MAGIC):newline].decode("utf-8"))
+    except ValueError as exc:
+        raise ReplicationError("bad replication batch header: %s"
+                               % exc) from None
+    if not isinstance(header, dict):
+        raise ReplicationError("replication batch header must be an object")
+    return header, list(iter_frames(body, newline + 1))
+
+
+# -- payload builders / parsers ----------------------------------------------------------
+
+def create_payload(series_id, name):
+    return json.dumps({"sid": int(series_id), "name": name},
+                      sort_keys=True).encode("utf-8")
+
+
+def parse_create(payload):
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+        return int(doc["sid"]), str(doc["name"])
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ReplicationError("bad create payload: %s" % exc) from None
+
+
+def points_payload(series_id, timestamps, values):
+    """``series_id`` + verbatim WAL v2 records for each point."""
+    records = b"".join(wal._pack_record(series_id, t, v)
+                       for t, v in zip(timestamps, values))
+    return _SID.pack(series_id) + records
+
+
+def parse_points(payload):
+    """``(series_id, int64 timestamps, float64 values)``, CRC-verified.
+
+    Each embedded WAL record's checksum and series id are re-verified,
+    so a replica applies exactly what the primary's WAL append packed.
+    """
+    if len(payload) < _SID.size:
+        raise ReplicationError("short points payload")
+    (series_id,) = _SID.unpack_from(payload, 0)
+    body = payload[_SID.size:]
+    if len(body) % wal.RECORD_SIZE:
+        raise ReplicationError("points payload is not whole records")
+    n = len(body) // wal.RECORD_SIZE
+    t = np.empty(n, dtype=np.int64)
+    v = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        raw = body[i * wal.RECORD_SIZE:(i + 1) * wal.RECORD_SIZE]
+        head, (crc,) = raw[:wal._PAYLOAD.size], wal._CRC.unpack(
+            raw[wal._PAYLOAD.size:])
+        if zlib.crc32(head) != crc:
+            raise ReplicationError("WAL record CRC mismatch in shipped "
+                                   "points (record %d)" % i)
+        sid, t[i], v[i] = wal._PAYLOAD.unpack(head)
+        if sid != series_id:
+            raise ReplicationError("shipped record series id %d != frame "
+                                   "series id %d" % (sid, series_id))
+    return series_id, t, v
+
+
+def delete_payload(series_id, t_start, t_end):
+    return _DELETE.pack(series_id, int(t_start), int(t_end))
+
+
+def parse_delete(payload):
+    try:
+        return _DELETE.unpack(payload)
+    except struct.error as exc:
+        raise ReplicationError("bad delete payload: %s" % exc) from None
+
+
+def flush_payload(series_id):
+    return _SID.pack(series_id)
+
+
+def parse_flush(payload):
+    try:
+        return _SID.unpack(payload)[0]
+    except struct.error as exc:
+        raise ReplicationError("bad flush payload: %s" % exc) from None
+
+
+def sync_payload(series_id, name, timestamps, values):
+    """A full-series snapshot: JSON line + raw int64/float64 arrays."""
+    t = np.asarray(timestamps, dtype=np.int64)
+    v = np.asarray(values, dtype=np.float64)
+    head = json.dumps({"sid": int(series_id), "name": name,
+                       "n": int(t.size)}, sort_keys=True).encode("utf-8")
+    return head + b"\n" + t.tobytes() + v.tobytes()
+
+
+def parse_sync(payload):
+    newline = payload.find(b"\n")
+    if newline < 0:
+        raise ReplicationError("missing sync header")
+    try:
+        doc = json.loads(payload[:newline].decode("utf-8"))
+        sid, name, n = int(doc["sid"]), str(doc["name"]), int(doc["n"])
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ReplicationError("bad sync header: %s" % exc) from None
+    body = payload[newline + 1:]
+    if len(body) != n * 16:
+        raise ReplicationError("sync payload length %d != %d points"
+                               % (len(body), n))
+    t = np.frombuffer(body[:n * 8], dtype=np.int64)
+    v = np.frombuffer(body[n * 8:], dtype=np.float64)
+    return sid, name, t, v

@@ -1,0 +1,142 @@
+"""The primary's in-memory replication log: a sequenced frame ring.
+
+Every mutation the engine acknowledges appends one frame here (the
+engine calls the ``record_*`` hooks under the owning series' write
+lock, so per-series frame order equals apply order).  Shipper threads
+block on :meth:`wait` and drain :meth:`since`; when a slow or severed
+replica falls further behind than the ring retains, :meth:`since`
+returns ``None`` and the shipper falls back to a full snapshot resync.
+
+The log is volatile by design: durability is the WAL's job (PR 4), the
+log only exists to move already-durable records across the wire.  Each
+primary *epoch* — a random 64-bit id drawn at construction and at every
+promotion — lets replicas detect a restarted or newly-promoted primary
+whose sequence numbers restarted, and request a resync instead of
+misapplying them.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import time
+
+from . import frames
+
+
+class LogEntry:
+    """One sequenced frame plus the wall-clock stamp of its append."""
+
+    __slots__ = ("seq", "ftype", "payload", "stamp")
+
+    def __init__(self, seq, ftype, payload, stamp):
+        self.seq = seq
+        self.ftype = ftype
+        self.payload = payload
+        self.stamp = stamp
+
+    def encode(self):
+        return frames.encode_frame(self.ftype, self.seq, self.payload)
+
+
+def new_epoch():
+    """A random 64-bit epoch id (never zero)."""
+    return struct.unpack("<Q", os.urandom(8))[0] | 1
+
+
+class ReplicationLog:
+    """Bounded, sequenced ring of replication frames.
+
+    ``capacity`` bounds retained entries; older entries are dropped and
+    a shipper that still needed them resyncs.  ``registry`` (optional
+    :class:`repro.obs.MetricsRegistry`) counts appended frames/bytes.
+    """
+
+    def __init__(self, capacity=8192, registry=None):
+        from ..obs import NULL_REGISTRY
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._c_frames = registry.counter("replication_log_frames_total")
+        self._c_bytes = registry.counter("replication_log_bytes_total")
+        self._g_head = registry.gauge("replication_log_head_seq")
+        self.capacity = int(capacity)
+        self.epoch = new_epoch()
+        self._entries = []
+        self._head_seq = 0
+        self._first_seq = 1  # smallest seq still retained
+        self._closed = False
+        self._cond = threading.Condition()
+
+    @property
+    def head_seq(self):
+        """Sequence number of the newest appended frame (0 when empty)."""
+        with self._cond:
+            return self._head_seq
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def append(self, ftype, payload):
+        """Sequence and retain one frame; wakes waiting shippers."""
+        with self._cond:
+            if self._closed:
+                return None
+            self._head_seq += 1
+            entry = LogEntry(self._head_seq, ftype, payload, time.time())
+            self._entries.append(entry)
+            if len(self._entries) > self.capacity:
+                dropped = len(self._entries) - self.capacity
+                del self._entries[:dropped]
+                self._first_seq += dropped
+            self._cond.notify_all()
+        self._c_frames.inc()
+        self._c_bytes.inc(len(payload))
+        self._g_head.set(self._head_seq)
+        return entry.seq
+
+    def since(self, seq):
+        """Entries with sequence strictly greater than ``seq``.
+
+        Returns ``None`` when ``seq`` predates the ring's retained tail
+        — the caller has fallen behind and must resync from a snapshot.
+        """
+        with self._cond:
+            if seq + 1 < self._first_seq:
+                return None
+            if seq >= self._head_seq:
+                return []
+            # Entries are contiguous: seq S lives at index S - first_seq.
+            return list(self._entries[seq + 1 - self._first_seq:])
+
+    def wait(self, seq, timeout=None):
+        """Block until an entry newer than ``seq`` exists (or closed).
+
+        Returns True when there is something to ship."""
+        with self._cond:
+            self._cond.wait_for(
+                lambda: self._closed or self._head_seq > seq,
+                timeout=timeout)
+            return self._head_seq > seq
+
+    def close(self):
+        """Stop accepting appends and wake every waiting shipper."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # -- engine-facing record hooks (called under series write locks) ----------------------
+
+    def record_create(self, series_id, name):
+        self.append(frames.T_CREATE, frames.create_payload(series_id, name))
+
+    def record_points(self, series_id, timestamps, values):
+        self.append(frames.T_POINTS,
+                    frames.points_payload(series_id, timestamps, values))
+
+    def record_delete(self, series_id, t_start, t_end):
+        self.append(frames.T_DELETE,
+                    frames.delete_payload(series_id, t_start, t_end))
+
+    def record_flush(self, series_id):
+        self.append(frames.T_FLUSH, frames.flush_payload(series_id))

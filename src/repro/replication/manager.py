@@ -1,0 +1,264 @@
+"""Node-level replication orchestration: roles, leases, promotion.
+
+One :class:`ReplicationManager` per server process ties the pieces
+together:
+
+* a **primary** owns the :class:`ReplicationLog` (attached to the
+  engine so every acknowledged mutation appends a frame) and one
+  :class:`Shipper` thread per configured replica, plus the
+  anti-entropy :meth:`sweep`;
+* a **standby** owns the :class:`ReplicaApplier` that ``POST
+  /replicate`` bodies are fed through, and — when ``auto_promote`` is
+  on — a lease monitor that promotes the node once the primary has
+  been silent longer than the lease.
+
+:meth:`promote` is the failover pivot, reachable manually (``repro
+promote`` / ``POST /replication/promote``) and from the lease monitor:
+it freezes the applier (the old primary's frames are answered
+``state: "frozen"`` forever after, so a zombie primary can never
+overwrite the new timeline), attaches a fresh log with a fresh epoch,
+and the node starts accepting writes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from ..errors import ReplicationError
+from . import antientropy
+from .apply import ReplicaApplier
+from .log import ReplicationLog, new_epoch
+from .ship import Shipper
+
+
+class ReplicationManager:
+    """Wires a storage engine into a replication role."""
+
+    def __init__(self, engine, *, role="primary", replicate_to=(),
+                 node_id=None, advertise=None, lease_seconds=5.0,
+                 auto_promote=False, registry=None):
+        if role not in ("primary", "standby"):
+            raise ValueError("role must be primary or standby")
+        self._engine = engine
+        self._registry = registry if registry is not None \
+            else engine.metrics
+        self.node_id = node_id or "node-%06x" % (new_epoch() & 0xFFFFFF)
+        self.advertise = advertise
+        self.lease_seconds = float(lease_seconds)
+        self.auto_promote = bool(auto_promote)
+        self._replicate_to = [u.rstrip("/") for u in replicate_to]
+        self._lock = threading.RLock()
+        self._stopped = threading.Event()
+        self._monitor = None
+        self.log = None
+        self.applier = None
+        self._shippers = []
+        self._c_promotions = self._registry.counter(
+            "replication_promotions_total")
+        self._c_sweeps = self._registry.counter("replication_sweeps_total")
+        self._c_repaired = self._registry.counter(
+            "replication_repaired_series_total")
+        self.role = role
+        if role == "primary":
+            self._become_primary()
+        else:
+            self.applier = ReplicaApplier(engine, node_id=self.node_id,
+                                          registry=self._registry)
+            if self.auto_promote:
+                self._monitor = threading.Thread(
+                    target=self._lease_loop, name="repro-lease-monitor",
+                    daemon=True)
+                self._monitor.start()
+
+    # -- role transitions ------------------------------------------------------------------
+
+    def _become_primary(self):
+        self.log = ReplicationLog(registry=self._registry)
+        self._engine.attach_replication(self.log)
+        self._registry.gauge("replication_role_primary").set(1)
+        for url in self._replicate_to:
+            self._shippers.append(Shipper(
+                self.log, url, self._snapshot, node_id=self.node_id,
+                advertise=self.advertise, lease_seconds=self.lease_seconds,
+                registry=self._registry).start())
+
+    def promote(self, reason="manual"):
+        """Turn a standby into a writable primary (idempotent).
+
+        The applier is frozen first, so the promotion point is a clean
+        cut: every record applied before it is kept, every frame the
+        old primary sends after it is refused.
+        """
+        with self._lock:
+            if self.role == "primary":
+                return self.status()
+            if self.applier is not None:
+                self.applier.freeze()
+            self.role = "primary"
+            self._become_primary()
+            self._c_promotions.inc()
+            self._registry.counter("replication_promotions_total",
+                                   reason=reason).inc()
+            return self.status()
+
+    def _lease_loop(self):
+        interval = max(0.05, self.lease_seconds / 4.0)
+        # The boot grace period equals one full lease: the applier's
+        # contact clock starts at construction time.
+        while not self._stopped.wait(interval):
+            with self._lock:
+                if self.role != "standby":
+                    return
+                expired = self.applier.contact_age() > self.lease_seconds
+            if expired:
+                self.promote(reason="lease_expired")
+                return
+
+    # -- primary surface -------------------------------------------------------------------
+
+    def _snapshot(self, names=None):
+        """``[(sid, name, t, v), ...]`` for the shipper's sync frames."""
+        names = sorted(self._engine.series_names()) if names is None \
+            else names
+        return [(self._engine.series_id(name), name,
+                 *antientropy.series_content(self._engine, name))
+                for name in names]
+
+    def wait_shipped(self, timeout=5.0):
+        """Block until every live replica acked the current log head.
+
+        The ack-after-ship durability hook: returns True when all
+        (non-frozen) replicas confirmed, False on timeout or when this
+        node is not a primary with replicas.
+        """
+        with self._lock:
+            log, shippers = self.log, list(self._shippers)
+        if log is None or not shippers:
+            return False
+        seq = log.head_seq
+        deadline = time.monotonic() + timeout
+        ok = True
+        for shipper in shippers:
+            if shipper.status()["frozen"]:
+                continue
+            remaining = max(0.0, deadline - time.monotonic())
+            ok = shipper.wait_shipped(seq, timeout=remaining) and ok
+        return ok
+
+    def sweep(self, timeout=30.0):
+        """One anti-entropy pass: fingerprint, diff, re-ship, re-check.
+
+        Returns a report dict; ``clean`` is True when every replica's
+        post-repair fingerprint matches the primary's.
+        """
+        with self._lock:
+            if self.role != "primary":
+                raise ReplicationError("anti-entropy sweep runs on the "
+                                       "primary")
+            shippers = list(self._shippers)
+        self._c_sweeps.inc()
+        self.wait_shipped(timeout=min(timeout, 10.0))
+        local = antientropy.content_fingerprint(self._engine)
+        replicas = []
+        clean = True
+        for shipper in shippers:
+            report = {"replica": shipper.url, "checked": len(local),
+                      "divergent": [], "extra": [], "repaired": 0,
+                      "clean": True}
+            try:
+                remote = self._fetch_fingerprint(shipper.url)
+                divergent, extra = antientropy.diff_fingerprints(local,
+                                                                 remote)
+                report["divergent"] = divergent
+                report["extra"] = extra
+                if divergent:
+                    repaired = shipper.request_repair(divergent,
+                                                      timeout=timeout)
+                    report["repaired"] = len(divergent) if repaired else 0
+                    self._c_repaired.inc(report["repaired"])
+                    after = self._fetch_fingerprint(shipper.url)
+                    still, _ = antientropy.diff_fingerprints(local, after)
+                    report["clean"] = not still
+                    report["divergent_after"] = still
+            except (OSError, urllib.error.URLError, ValueError,
+                    ReplicationError) as exc:
+                report["clean"] = False
+                report["error"] = str(exc)
+            clean = clean and report["clean"]
+            replicas.append(report)
+        return {"node_id": self.node_id, "series": len(local),
+                "replicas": replicas, "clean": clean}
+
+    def _fetch_fingerprint(self, url):
+        request = urllib.request.Request(url + "/replication/fingerprint")
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            doc = json.loads(response.read().decode("utf-8"))
+        fingerprint = doc.get("fingerprint")
+        if not isinstance(fingerprint, dict):
+            raise ReplicationError("%s returned no fingerprint" % url)
+        return fingerprint
+
+    # -- standby surface -------------------------------------------------------------------
+
+    def apply(self, body):
+        """Feed one ``POST /replicate`` body to the applier."""
+        with self._lock:
+            applier = self.applier
+            if self.role != "standby" or applier is None:
+                return {"state": "frozen", "node_id": self.node_id,
+                        "role": self.role}
+        return applier.apply_batch(body)
+
+    def fingerprint(self):
+        return antientropy.content_fingerprint(self._engine)
+
+    # -- observability ---------------------------------------------------------------------
+
+    def workers(self):
+        """Thread-liveness map for ``/healthz``: a shipper or monitor
+        that died while the node is still serving flips health."""
+        out = {}
+        with self._lock:
+            for shipper in self._shippers:
+                status = shipper.status()
+                out["shipper:%s" % shipper.url] = \
+                    bool(status["alive"] or status["frozen"])
+            if self._monitor is not None and self.role == "standby":
+                out["lease-monitor"] = self._monitor.is_alive()
+        return out
+
+    def status(self):
+        with self._lock:
+            doc = {
+                "role": self.role,
+                "node_id": self.node_id,
+                "advertise": self.advertise,
+                "lease_seconds": self.lease_seconds,
+                "auto_promote": self.auto_promote,
+                "promotions": int(self._c_promotions.value),
+            }
+            if self.log is not None:
+                doc["epoch"] = self.log.epoch
+                doc["head_seq"] = self.log.head_seq
+                doc["replicas"] = [s.status() for s in self._shippers]
+            if self.applier is not None:
+                doc["standby"] = self.applier.status()
+            return doc
+
+    def stop(self, timeout=5.0):
+        """Stop threads; pending shipped-but-unacked frames are not
+        waited for (call :meth:`wait_shipped` first for a clean drain)."""
+        self._stopped.set()
+        with self._lock:
+            if self.log is not None:
+                self.log.close()
+            shippers = list(self._shippers)
+            monitor = self._monitor
+        for shipper in shippers:
+            shipper.stop(timeout=timeout)
+        if monitor is not None and monitor.is_alive():
+            monitor.join(timeout=timeout)

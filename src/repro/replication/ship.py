@@ -1,0 +1,294 @@
+"""The primary side: one shipper thread per configured replica.
+
+A :class:`Shipper` tails the primary's :class:`ReplicationLog` and
+POSTs CRC-framed batches to its replica's ``/replicate`` endpoint over
+plain stdlib HTTP.  The protocol is pull-free and single-writer: this
+thread is the *only* sender for its replica, so batches arrive in
+sequence order and resync/repair snapshots cannot race normal frames.
+
+State machine per loop turn:
+
+1. a requested **repair** (anti-entropy re-ship of divergent series)
+   runs once the replica is caught up — snapshot just those series and
+   send them as a ``resync`` batch anchored at the acked sequence;
+2. a pending **resync** (replica answered ``state: "resync"``, or the
+   ring dropped entries this replica still needed) snapshots *every*
+   series at a base sequence captured before the snapshot is read;
+3. otherwise ship the next window of log entries, or block on the log
+   and send a **heartbeat** when idle longer than a third of the lease.
+
+Transport errors back off with the shared jittered
+:class:`repro.backoff.Backoff` and never drop records — the log cursor
+only advances on an acked reply.  Every send passes a
+``faultfs.inject("net", url)`` checkpoint, so the torture suites can
+drop, delay or sever the stream (or kill the primary) at exact
+shipped-frame counts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from ..backoff import Backoff
+from ..storage import faultfs
+from . import frames
+
+#: Cap on frames per POST: bounds body size and ack granularity.
+BATCH_FRAMES = 256
+
+
+class Shipper:
+    """Ships the replication log to one replica URL.
+
+    ``snapshot_fn(names=None)`` returns ``[(sid, name, t, v), ...]``
+    for the named series (all when None) — supplied by the manager so
+    the shipper never imports the engine directly.
+    """
+
+    def __init__(self, log, url, snapshot_fn, *, node_id="primary",
+                 advertise=None, lease_seconds=5.0, registry=None,
+                 timeout=10.0, backoff=None):
+        from ..obs import NULL_REGISTRY
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._log = log
+        self.url = url.rstrip("/")
+        self._snapshot_fn = snapshot_fn
+        self._node_id = node_id
+        self._advertise = advertise
+        self._lease = float(lease_seconds)
+        self._timeout = timeout
+        self._backoff = backoff if backoff is not None else Backoff(
+            base=0.05, cap=2.0)
+        self._cond = threading.Condition()
+        self._acked = 0
+        self._stop = False
+        self._resync_needed = True   # first contact establishes state
+        self._repair_names = None
+        self._repair_done = threading.Event()
+        self._frozen = False
+        self._last_send = time.monotonic()
+        self._last_error = None
+        labels = {"replica": self.url}
+        self._c_batches = registry.counter("replication_ship_batches_total",
+                                           **labels)
+        self._c_frames = registry.counter("replication_ship_frames_total",
+                                          **labels)
+        self._c_bytes = registry.counter("replication_ship_bytes_total",
+                                         **labels)
+        self._c_errors = registry.counter("replication_ship_errors_total",
+                                          **labels)
+        self._c_resyncs = registry.counter("replication_resyncs_total",
+                                           **labels)
+        self._c_heartbeats = registry.counter(
+            "replication_heartbeats_total", **labels)
+        self._g_lag_records = registry.gauge("replication_ship_lag_records",
+                                             **labels)
+        self._g_lag_seconds = registry.gauge("replication_ship_lag_seconds",
+                                             **labels)
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-ship-%s" % self.url,
+                                        daemon=True)
+
+    # -- lifecycle -------------------------------------------------------------------------
+
+    def start(self):
+        self._thread.start()
+        return self
+
+    def stop(self, timeout=5.0):
+        """Ask the thread to exit and join it (the log should already be
+        closed so a blocked :meth:`wait` wakes)."""
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        if self._thread.is_alive():
+            self._thread.join(timeout=timeout)
+
+    @property
+    def alive(self):
+        return self._thread.is_alive()
+
+    @property
+    def acked_seq(self):
+        with self._cond:
+            return self._acked
+
+    def wait_shipped(self, seq, timeout=None):
+        """Block until the replica acked through ``seq`` (ack-after-ship
+        durability).  Returns True on success, False on timeout/stop."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._acked < seq and not self._stop and not self._frozen:
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(timeout=remaining)
+            return self._acked >= seq
+
+    def request_repair(self, names, timeout=30.0):
+        """Anti-entropy hook: re-ship these series, wait for delivery."""
+        self._repair_done.clear()
+        with self._cond:
+            self._repair_names = list(names)
+            self._cond.notify_all()
+        return self._repair_done.wait(timeout=timeout)
+
+    def status(self):
+        with self._cond:
+            acked = self._acked
+        head = self._log.head_seq
+        return {
+            "replica": self.url,
+            "acked_seq": acked,
+            "lag_records": max(0, head - acked),
+            "alive": self.alive,
+            "frozen": self._frozen,
+            "resyncs": int(self._c_resyncs.value),
+            "errors": int(self._c_errors.value),
+            "heartbeats": int(self._c_heartbeats.value),
+            "last_error": self._last_error,
+        }
+
+    # -- the shipping loop -----------------------------------------------------------------
+
+    def _run(self):
+        while not self._stop and not self._frozen:
+            try:
+                repair = None
+                with self._cond:
+                    if self._repair_names is not None \
+                            and not self._resync_needed \
+                            and self._acked >= self._log.head_seq:
+                        repair, self._repair_names = self._repair_names, \
+                            None
+                if repair is not None:
+                    self._send_snapshot(names=repair, base_seq=self._acked)
+                    self._repair_done.set()
+                    continue
+                if self._resync_needed:
+                    base = self._log.head_seq
+                    self._send_snapshot(names=None, base_seq=base)
+                    with self._cond:
+                        self._resync_needed = False
+                        self._acked = max(self._acked, base)
+                        self._cond.notify_all()
+                    self._c_resyncs.inc()
+                    continue
+                entries = self._log.since(self.acked_seq)
+                if entries is None:
+                    # Fell off the ring: only a snapshot can catch up.
+                    self._resync_needed = True
+                    continue
+                if not entries:
+                    self._note_lag([])
+                    idle_for = time.monotonic() - self._last_send
+                    wait = max(0.05, self._lease / 3.0 - idle_for)
+                    if not self._log.wait(self.acked_seq, timeout=wait) \
+                            and time.monotonic() - self._last_send \
+                            >= self._lease / 3.0:
+                        self._send_heartbeat()
+                    continue
+                self._ship_entries(entries)
+            except _SendError:
+                self._c_errors.inc()
+                if self._stop:
+                    break
+                self._backoff.wait()
+            except Exception as exc:  # pragma: no cover - defensive
+                self._last_error = repr(exc)
+                self._c_errors.inc()
+                if self._stop:
+                    break
+                self._backoff.wait()
+
+    def _ship_entries(self, entries):
+        for start in range(0, len(entries), BATCH_FRAMES):
+            window = entries[start:start + BATCH_FRAMES]
+            body = frames.encode_batch(
+                self._header(base_seq=window[0].seq - 1),
+                [e.encode() for e in window])
+            reply = self._post(body)
+            state = reply.get("state")
+            if state == "ok":
+                with self._cond:
+                    self._acked = max(self._acked,
+                                      int(reply.get("applied_seq", 0)))
+                    self._cond.notify_all()
+                self._c_frames.inc(len(window))
+                self._backoff.reset()
+                self._note_lag(entries[start + len(window):])
+            elif state == "frozen":
+                self._freeze()
+                return
+            else:
+                self._resync_needed = True
+                return
+
+    def _send_snapshot(self, names, base_seq):
+        """Ship a resync batch: full-series snapshots anchored at
+        ``base_seq`` (captured *before* the snapshot is read, so any
+        racing write is both inside it and re-shipped after)."""
+        snapshot = self._snapshot_fn(names)
+        frame_bytes = [frames.encode_frame(
+            frames.T_SYNC, 0, frames.sync_payload(sid, name, t, v))
+            for sid, name, t, v in snapshot]
+        header = self._header(base_seq=base_seq)
+        header["resync"] = True
+        reply = self._post(frames.encode_batch(header, frame_bytes))
+        if reply.get("state") == "frozen":
+            self._freeze()
+        elif reply.get("state") != "ok":
+            raise _SendError("replica refused snapshot: %r" % reply)
+
+    def _send_heartbeat(self):
+        body = frames.encode_batch(
+            self._header(base_seq=self.acked_seq),
+            [frames.encode_frame(frames.T_HEARTBEAT, 0, b"")])
+        reply = self._post(body)
+        if reply.get("state") == "frozen":
+            self._freeze()
+        self._c_heartbeats.inc()
+
+    def _freeze(self):
+        """The replica was promoted: stop shipping to it for good."""
+        with self._cond:
+            self._frozen = True
+            self._cond.notify_all()
+
+    def _header(self, base_seq):
+        return {"node_id": self._node_id, "epoch": self._log.epoch,
+                "base_seq": int(base_seq),
+                "head_seq": self._log.head_seq,
+                "stamp": time.time(), "advertise": self._advertise}
+
+    def _note_lag(self, pending):
+        self._g_lag_records.set(len(pending))
+        self._g_lag_seconds.set(
+            max(0.0, time.time() - pending[0].stamp) if pending else 0.0)
+
+    def _post(self, body):
+        faultfs.inject("net", self.url)
+        request = urllib.request.Request(
+            self.url + "/replicate", data=body, method="POST",
+            headers={"Content-Type": "application/octet-stream"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self._timeout) as response:
+                reply = json.loads(response.read().decode("utf-8"))
+        except (OSError, urllib.error.URLError, ValueError) as exc:
+            self._last_send = time.monotonic()
+            self._last_error = repr(exc)
+            raise _SendError(str(exc)) from exc
+        self._last_send = time.monotonic()
+        self._c_batches.inc()
+        self._c_bytes.inc(len(body))
+        return reply
+
+
+class _SendError(Exception):
+    """Internal: one send failed; the loop backs off and retries."""

@@ -15,8 +15,10 @@ import urllib.error
 import urllib.parse
 import urllib.request
 
+from ..backoff import Backoff
 from ..errors import (
     IngestBackpressureError,
+    NotPrimaryError,
     ServerError,
     ServerOverloadedError,
 )
@@ -59,8 +61,19 @@ class ReproClient:
 
     Args:
         base_url: the server root, e.g. ``"http://127.0.0.1:8731"``
-            (a trailing slash is stripped).
+            (a trailing slash is stripped), or a list of roots — the
+            first is preferred, the rest are failover candidates.
         timeout: socket timeout in seconds for every request.
+
+    With several endpoints, **reads** (GET) fail over to the next
+    endpoint on transport errors and 503s — a standby serves queries
+    with bounded staleness, so pointing a dashboard at
+    ``[primary, standby]`` keeps charts up through a primary crash.
+    **Writes** are not retried on transport errors here (use
+    :meth:`ingest_retry`), but a standby's 409 answer names the
+    primary and the client follows it once, pinning the primary as
+    the active endpoint.  ``client.failovers`` / ``client.redirects``
+    count both behaviours for reports.
 
     The typed helpers (:meth:`query`, :meth:`render`, :meth:`series`,
     :meth:`stats`, :meth:`healthz`) raise
@@ -73,8 +86,29 @@ class ReproClient:
     """
 
     def __init__(self, base_url, timeout=30.0):
-        self._base = base_url.rstrip("/")
+        endpoints = [base_url] if isinstance(base_url, str) \
+            else list(base_url)
+        if not endpoints:
+            raise ValueError("at least one endpoint is required")
+        self._endpoints = [url.rstrip("/") for url in endpoints]
+        self._active = 0
         self._timeout = float(timeout)
+        self.failovers = 0       # endpoint switches (transport / 503)
+        self.redirects = 0       # 409 write redirects followed
+        self.ingest_retries = 0  # backoff retries in ingest_retry
+
+    @property
+    def endpoint(self):
+        """The endpoint requests currently go to."""
+        return self._endpoints[self._active]
+
+    @property
+    def endpoints(self):
+        """Every configured endpoint (preferred first)."""
+        return tuple(self._endpoints)
+
+    # internal alias kept for the request builders below
+    _base = endpoint
 
     # -- raw layer ---------------------------------------------------------------------
 
@@ -83,8 +117,38 @@ class ReproClient:
 
         Transport failures (connection refused, socket timeout) still
         raise ``urllib.error.URLError`` / ``OSError`` — there is no
-        response to return.
+        response to return.  With several endpoints, GETs rotate to
+        the next one on transport errors and 503s before giving up,
+        and any 409 that names a primary is followed once.
         """
+        # Reads may fail over to a standby; writes must not be blindly
+        # re-sent to a different node (POST /query is a read despite
+        # the verb — the body is just too long for a query string).
+        read = method == "GET" or path.split("?", 1)[0] == "/query"
+        failover = read and len(self._endpoints) > 1
+        attempts = len(self._endpoints) if failover else 1
+        response = None
+        for attempt in range(attempts):
+            try:
+                response = self._request_once(method, path, body, headers)
+            except (urllib.error.URLError, OSError):
+                if attempt + 1 >= attempts:
+                    raise
+                self._fail_over()
+                continue
+            if response.status == 503 and attempt + 1 < attempts:
+                self._fail_over()
+                continue
+            break
+        if response is not None and response.status == 409:
+            primary = _primary_of(response)
+            if primary is not None:
+                self.redirects += 1
+                self._switch_to(primary)
+                response = self._request_once(method, path, body, headers)
+        return response
+
+    def _request_once(self, method, path, body, headers):
         req = urllib.request.Request(self._base + path, data=body,
                                      headers=headers or {}, method=method)
         try:
@@ -96,6 +160,16 @@ class ReproClient:
                                       (exc.headers or {}).items()
                                       if exc.headers else [],
                                       exc.read())
+
+    def _fail_over(self):
+        self._active = (self._active + 1) % len(self._endpoints)
+        self.failovers += 1
+
+    def _switch_to(self, url):
+        url = url.rstrip("/")
+        if url not in self._endpoints:
+            self._endpoints.append(url)
+        self._active = self._endpoints.index(url)
 
     def query_response(self, sql, timeout_ms=None, sleep_ms=None,
                        strict=None, sampled=None):
@@ -259,6 +333,71 @@ class ReproClient:
         return self._checked(self.ingest_response(
             series, timestamps, values, tenant=tenant)).json()
 
+    def ingest_retry(self, series, timestamps, values, tenant=None,
+                     attempts=8, backoff=None):
+        """Submit one batch, retrying sheds with jittered backoff.
+
+        The one retry loop shared by the CLI, the load generator and
+        the smoke scripts: 429/503 answers wait out a jittered
+        exponential window with the server's ``Retry-After`` as a
+        floor; transport errors rotate to the next endpoint (when one
+        is configured) before retrying — re-sending a batch whose ack
+        was lost is safe because identical points merge idempotently
+        under last-write-wins.  Standby 409 redirects are followed by
+        :meth:`request` underneath.
+
+        Returns the ack dict.  The final attempt's error propagates;
+        ``client.ingest_retries`` counts the waits across calls.
+        """
+        if backoff is None:
+            backoff = Backoff()
+        backoff.reset()
+        for attempt in range(max(1, int(attempts))):
+            try:
+                return self.ingest(series, timestamps, values,
+                                   tenant=tenant)
+            except (IngestBackpressureError, ServerOverloadedError) as exc:
+                if attempt + 1 >= attempts:
+                    raise
+                self.ingest_retries += 1
+                backoff.wait(retry_after=exc.retry_after)
+            except (urllib.error.URLError, OSError):
+                if attempt + 1 >= attempts:
+                    raise
+                self.ingest_retries += 1
+                if len(self._endpoints) > 1:
+                    self._fail_over()
+                backoff.wait()
+
+    # -- replication -------------------------------------------------------------------
+
+    def replication_status(self):
+        """``GET /replication``: role, epoch, lag and replica status."""
+        return self._checked(self.request("GET", "/replication")).json()
+
+    def replication_fingerprint(self):
+        """``GET /replication/fingerprint``: per-series content hashes."""
+        return self._checked(self.request(
+            "GET", "/replication/fingerprint")).json()
+
+    def promote(self):
+        """``POST /replication/promote``: make this standby a primary.
+
+        Raises :class:`ServerError` (409) when the node has no
+        replication role configured.
+        """
+        return self._checked(self.request(
+            "POST", "/replication/promote", body=b"{}",
+            headers={"Content-Type": "application/json"})).json()
+
+    def replication_sweep(self):
+        """``POST /replication/sweep``: one anti-entropy pass (primary
+        only); the report's ``clean`` field is True when every replica
+        matches after repair."""
+        return self._checked(self.request(
+            "POST", "/replication/sweep", body=b"{}",
+            headers={"Content-Type": "application/json"})).json()
+
     def ingest_stream(self, batches):
         """``POST /ingest/stream``: many batches in one NDJSON request.
 
@@ -354,5 +493,17 @@ class ReproClient:
             raise IngestBackpressureError(
                 message,
                 retry_after=int(response.headers.get("Retry-After", 1)))
+        if response.status == 409:
+            raise NotPrimaryError(message, primary=_primary_of(response))
         raise ServerError("%s (HTTP %d)" % (message, response.status),
                           status=response.status)
+
+
+def _primary_of(response):
+    """The primary URL named by a standby's 409 answer, if any."""
+    try:
+        doc = response.json()
+    except ValueError:
+        return None
+    primary = doc.get("primary") if isinstance(doc, dict) else None
+    return primary if isinstance(primary, str) and primary else None

@@ -25,6 +25,11 @@ Endpoints::
     GET  /live?series=..&cursor=..&timeout_ms=..&span=..
                    long-poll span deltas; &mode=sse streams
                    text/event-stream events instead
+    POST /replicate   binary frame batch from a primary's shipper
+    GET  /replication             role / lag / replica status
+    GET  /replication/fingerprint per-series content fingerprints
+    POST /replication/promote     turn this standby into a primary
+    POST /replication/sweep       anti-entropy pass (primary only)
 
 ``query`` and ``render`` accept a W3C ``traceparent`` request header;
 the response carries ``X-Repro-Trace-Id`` so clients can fetch their
@@ -78,6 +83,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(service.trace(key, params))
             elif split.path == "/profile":
                 self._send(service.profile_status())
+            elif split.path == "/replication":
+                self._send(service.replication_status())
+            elif split.path == "/replication/fingerprint":
+                self._send(service.replication_fingerprint())
             elif split.path == "/live":
                 accept = self.headers.get("Accept", "")
                 if params.get("mode") == "sse" \
@@ -93,7 +102,9 @@ class _Handler(BaseHTTPRequestHandler):
         with self.server.track_request():
             split = urlsplit(self.path)
             if split.path not in ("/query", "/profile", "/ingest",
-                                  "/ingest/stream"):
+                                  "/ingest/stream", "/replicate",
+                                  "/replication/promote",
+                                  "/replication/sweep"):
                 self._send(Response(404,
                                     b'{"error": "no such endpoint"}'))
                 return
@@ -105,6 +116,16 @@ class _Handler(BaseHTTPRequestHandler):
                                     b'{"error": "bad Content-Length"}'))
                 return
             service = self.server.service
+            if split.path == "/replicate":
+                # Binary frame batch — never JSON-parsed.
+                self._send(service.replicate(raw))
+                return
+            if split.path == "/replication/promote":
+                self._send(service.promote())
+                return
+            if split.path == "/replication/sweep":
+                self._send(service.replication_sweep())
+                return
             if split.path == "/ingest/stream":
                 # NDJSON: parsed line by line by the service, so one
                 # bad line answers per-line, not a whole-request 400.

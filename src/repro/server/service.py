@@ -35,6 +35,7 @@ from ..errors import (
     DeadlineExceededError,
     IngestBackpressureError,
     QueryError,
+    ReplicationError,
     ReproError,
     SeriesNotFoundError,
     ServerOverloadedError,
@@ -74,6 +75,14 @@ class ServerConfig:
     ingest_tenant_budget_bytes: int = 0  # per-tenant share (0 = off)
     live_max_subscribers: int = 64       # concurrent /live waiters
     live_poll_seconds: float = 10.0      # default /live long-poll wait
+    # -- replication (DESIGN.md §14) ------------------------------------
+    standby: bool = False                # boot as a read-only replica
+    replicate_to: tuple = ()             # replica base URLs (primary)
+    node_id: str = ""                    # stable node name ("" = random)
+    advertise_url: str = ""              # URL replicas hand to clients
+    lease_seconds: float = 5.0           # primary-silence promotion lease
+    auto_promote: bool = False           # standby self-promotes on lease
+    ingest_ack: str = "queued"           # queued | applied | replicated
 
     def __post_init__(self):
         if self.workers < 1:
@@ -92,6 +101,18 @@ class ServerConfig:
             raise ValueError("live_max_subscribers must be >= 1")
         if self.live_poll_seconds <= 0:
             raise ValueError("live_poll_seconds must be positive")
+        self.replicate_to = tuple(self.replicate_to)
+        if self.standby and self.replicate_to:
+            raise ValueError("a node is a standby or ships to replicas, "
+                             "not both (promote first)")
+        if self.lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        if self.ingest_ack not in ("queued", "applied", "replicated"):
+            raise ValueError("ingest_ack must be queued, applied or "
+                             "replicated")
+        if self.ingest_ack == "replicated" and not self.replicate_to:
+            raise ValueError("ingest_ack='replicated' requires "
+                             "replicate_to")
 
 
 @dataclasses.dataclass
@@ -195,12 +216,29 @@ class QueryService:
         self._live_feed = LiveFeed(
             metrics=engine.metrics,
             max_subscribers=self._config.live_max_subscribers)
+        self._replication = None
+        if self._config.standby or self._config.replicate_to:
+            from ..replication import ReplicationManager
+            self._replication = ReplicationManager(
+                engine,
+                role="standby" if self._config.standby else "primary",
+                replicate_to=self._config.replicate_to,
+                node_id=self._config.node_id or None,
+                advertise=self._config.advertise_url or None,
+                lease_seconds=self._config.lease_seconds,
+                auto_promote=self._config.auto_promote,
+                registry=engine.metrics)
+        ship_wait = self._replication.wait_shipped \
+            if (self._replication is not None
+                and self._config.ingest_ack == "replicated") else None
         self._ingest = IngestController(
             engine,
             queue_bytes=self._config.ingest_queue_bytes,
             tenant_budget_bytes=self._config.ingest_tenant_budget_bytes,
             retry_after_seconds=self._config.retry_after_seconds,
-            live_feed=self._live_feed)
+            live_feed=self._live_feed,
+            ack_mode=self._config.ingest_ack,
+            ship_wait=ship_wait)
 
     @property
     def config(self):
@@ -232,16 +270,28 @@ class QueryService:
         """The service's :class:`~repro.ingest.LiveFeed`."""
         return self._live_feed
 
+    @property
+    def replication(self):
+        """The node's :class:`~repro.replication.ReplicationManager`
+        (None on an unreplicated server)."""
+        return self._replication
+
     def shutdown(self):
         """Drain admission + ingest (blocks until in-flight work ends).
 
-        Order matters: the ingest queue drains first (buffered batches
-        become durable), the live feed is released (long-poll/SSE
-        handlers return promptly), then the admission queue drains.
+        Order matters: the live feed is released *first* so blocked
+        long-poll/SSE followers wake immediately instead of riding out
+        their poll timeout while the drain proceeds; then the ingest
+        queue drains (buffered batches become durable), shipped frames
+        get a bounded chance to reach the replicas, and finally the
+        admission queue drains.
         """
         self._profiler.stop()
-        self._ingest.close()
         self._live_feed.close()
+        self._ingest.close()
+        if self._replication is not None:
+            self._replication.wait_shipped(timeout=5.0)
+            self._replication.stop()
         self._admission.shutdown()
 
     # -- endpoints ---------------------------------------------------------------------
@@ -408,16 +458,29 @@ class QueryService:
                 "chunks": len(quarantine),
                 "entries": quarantine.entries(),
             }
+        if self._replication is not None:
+            snapshot["replication"] = self._replication.status()
         self._count("stats", 200)
         return Response(200, _json_bytes(snapshot))
 
     def healthz(self):
-        """``GET /healthz``: cheap liveness + load signals (inline)."""
+        """``GET /healthz``: cheap liveness + load signals (inline).
+
+        ``workers`` maps every long-lived worker thread (the ingest
+        writer, replication shippers, the lease monitor) to its
+        liveness; any dead worker on a live server flips ``status`` to
+        ``"degraded"`` — a stalled queue must be visible, not silent.
+        """
         metrics = self._metrics
         quarantine = getattr(self._engine, "quarantine", None)
         queue_wait = metrics.histogram("server_queue_wait_seconds")
+        workers = {"ingest-writer": bool(self._ingest.writer_alive
+                                         or self._ingest.closed)}
+        if self._replication is not None:
+            workers.update(self._replication.workers())
         body = {
-            "status": "ok",
+            "status": "ok" if all(workers.values()) else "degraded",
+            "workers": workers,
             "series": len(self._engine.series_names()),
             "queue_depth": metrics.gauge("server_queue_depth").value,
             "inflight": metrics.gauge("server_inflight").value,
@@ -435,6 +498,8 @@ class QueryService:
                 metrics.counter("ingest_sheds_total").value,
             "live_subscribers": self._live_feed.subscribers,
         }
+        if self._replication is not None:
+            body["replication_role"] = self._replication.role
         return Response(200, _json_bytes(body))
 
     def traces(self, params=None):
@@ -542,6 +607,9 @@ class QueryService:
         must back off and resend; admission control is bypassed (the
         ingest queue *is* the bounded buffer).
         """
+        rejected = self._reject_standby_write("ingest")
+        if rejected is not None:
+            return rejected
         parsed = self._parse_batch(payload)
         if isinstance(parsed, Response):
             self._count("ingest", parsed.status)
@@ -570,6 +638,9 @@ class QueryService:
         answers 429 only when *every* line was shed, so a partially
         accepted stream still returns its per-line outcomes.
         """
+        rejected = self._reject_standby_write("ingest_stream")
+        if rejected is not None:
+            return rejected
         results = []
         accepted = shed = errors = 0
         retry_after = self._config.retry_after_seconds
@@ -741,6 +812,90 @@ class QueryService:
         if seconds < 0:
             return self._config.live_poll_seconds
         return min(seconds, self._config.max_timeout_seconds)
+
+    # -- replication -------------------------------------------------------------------
+
+    def _reject_standby_write(self, endpoint):
+        """A 409 redirect-on-write response when this node is a
+        standby; None when writes are allowed.  The body carries the
+        advertised primary URL (when known) and the ``Location``
+        header mirrors it — urllib will not auto-follow a redirected
+        POST, so :class:`ReproClient` follows the JSON field
+        explicitly."""
+        if self._replication is None \
+                or self._replication.role != "standby":
+            return None
+        primary = self._replication.applier.primary_url \
+            if self._replication.applier is not None else None
+        self._count(endpoint, 409)
+        self._metrics.counter("replication_write_redirects_total").inc()
+        response = Response(409, _json_bytes(
+            {"error": "this node is a standby replica; writes go to "
+                      "the primary",
+             "role": "standby", "primary": primary}))
+        if primary:
+            response.headers["Location"] = primary
+        return response
+
+    def replicate(self, raw):
+        """``POST /replicate``: one shipped frame batch (binary body).
+
+        Protocol replies (``ok`` / ``resync`` / ``frozen``) all answer
+        HTTP 200 — the shipper reads ``state`` from the JSON body;
+        non-200 is reserved for malformed bodies, which the shipper
+        treats as transport errors and retries."""
+        if self._replication is None:
+            self._count("replicate", 200)
+            return Response(200, _json_bytes(
+                {"state": "frozen",
+                 "error": "replication not configured on this node"}))
+        try:
+            reply = self._replication.apply(raw)
+        except ReplicationError as exc:
+            self._count("replicate", 400)
+            return self._error(400, None, str(exc))
+        self._count("replicate", 200)
+        return Response(200, _json_bytes(reply))
+
+    def replication_status(self):
+        """``GET /replication``: role, lag, replicas, lease (inline)."""
+        self._count("replication", 200)
+        if self._replication is None:
+            return Response(200, _json_bytes({"role": "none"}))
+        return Response(200, _json_bytes(self._replication.status()))
+
+    def replication_fingerprint(self):
+        """``GET /replication/fingerprint``: per-series content hashes
+        (comparable across nodes; used by the anti-entropy sweep)."""
+        from ..replication import content_fingerprint
+        self._count("replication_fingerprint", 200)
+        return Response(200, _json_bytes(
+            {"fingerprint": content_fingerprint(self._engine)}))
+
+    def promote(self):
+        """``POST /replication/promote``: standby → writable primary."""
+        if self._replication is None:
+            self._count("promote", 409)
+            return self._error(409, None,
+                               "replication not configured on this node")
+        status = self._replication.promote(reason="manual")
+        self._count("promote", 200)
+        return Response(200, _json_bytes(status))
+
+    def replication_sweep(self):
+        """``POST /replication/sweep``: one anti-entropy pass (primary
+        only); answers the repair report."""
+        if self._replication is None:
+            self._count("sweep", 409)
+            return self._error(409, None,
+                               "replication not configured on this node")
+        try:
+            report = self._replication.sweep()
+        except ReplicationError as exc:
+            self._count("sweep", 409)
+            return self._error(409, None, str(exc))
+        self._count("sweep", 200)
+        return Response(200, _json_bytes(report))
 
     # -- admission plumbing ------------------------------------------------------------
 

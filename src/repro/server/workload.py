@@ -33,6 +33,12 @@ import random
 import threading
 import time
 
+from ..backoff import Backoff
+from ..errors import (
+    IngestBackpressureError,
+    ReproError,
+    ServerOverloadedError,
+)
 from .client import ReproClient
 
 
@@ -81,8 +87,10 @@ class WorkloadReport:
     ingest_rate: float = 0.0       # offered ingest points/s (0 = none)
     ingest_batches: int = 0        # accepted POST /ingest batches
     ingest_points: int = 0         # accepted points
-    ingest_shed: int = 0           # 429: ingest backpressure
+    ingest_shed: int = 0           # 429: ingest backpressure answers
     ingest_errors: int = 0         # other ingest failures
+    failovers: int = 0             # client endpoint switches
+    redirects: int = 0             # 409 write redirects followed
     ingest_latencies: list = dataclasses.field(default_factory=list)
     latencies: list = dataclasses.field(default_factory=list)
     #: per accepted request: {"latency", "request_id", "trace_id",
@@ -144,6 +152,8 @@ class WorkloadReport:
             "ingest_points": self.ingest_points,
             "ingest_shed": self.ingest_shed,
             "ingest_errors": self.ingest_errors,
+            "failovers": self.failovers,
+            "redirects": self.redirects,
             "ingest_throughput": self.ingest_throughput,
             "ingest_ack_p50_seconds": self.ingest_percentile(0.50),
             "ingest_ack_p99_seconds": self.ingest_percentile(0.99),
@@ -167,6 +177,9 @@ class WorkloadReport:
                      % (self.ingest_rate, self.ingest_points,
                         self.ingest_batches, self.ingest_shed,
                         self.ingest_errors, self.ingest_percentile(0.99)))
+        if self.failovers or self.redirects:
+            line += (" | failovers=%d redirects=%d"
+                     % (self.failovers, self.redirects))
         return line
 
 
@@ -182,7 +195,9 @@ class SessionWorkload:
     """Drive a server with seeded pan/zoom sessions.
 
     Args:
-        base_url: the server to load.
+        base_url: the server to load — a URL, or a list of URLs for
+            client-side read failover (the report's ``failovers`` /
+            ``redirects`` count the switches).
         series: series names to use; discovered via ``GET /series``
             when omitted.
         width: spans per query (the dashboard's pixel width).
@@ -229,6 +244,12 @@ class SessionWorkload:
 
     def _client(self):
         return ReproClient(self._base_url, timeout=self._client_timeout)
+
+    def _note_client(self, report, client):
+        """Fold one client's failover/redirect counters into the report."""
+        with self._lock:
+            report.failovers += client.failovers
+            report.redirects += client.redirects
 
     def _targets(self):
         """``(name, t_qs, t_qe)`` per usable series."""
@@ -314,6 +335,8 @@ class SessionWorkload:
 
         def pump():
             client = self._client()
+            backoff = Backoff(base=0.05, cap=1.0,
+                              rng=random.Random(self._seed ^ 0xBACC0FF))
             rng = random.Random(self._seed ^ 0x16E57)
             t_next = 0
             try:
@@ -331,6 +354,7 @@ class SessionWorkload:
             while True:
                 scheduled = begin + k * interval
                 if scheduled >= stop_at:
+                    self._note_client(report, client)
                     return
                 delay = scheduled - time.monotonic()
                 if delay > 0:
@@ -342,20 +366,30 @@ class SessionWorkload:
                     vs.append(value)
                 t_next += batch
                 started = time.monotonic()
+                retries_before = client.ingest_retries
+                # The shared retry loop: a couple of backoff-paced
+                # attempts keep the pump open-loop-ish while riding
+                # out brief sheds; an exhausted batch is dropped (the
+                # offered schedule marches on regardless).
                 try:
-                    response = client.ingest_response(
-                        self._ingest_series, ts, vs)
-                    status = response.status
-                except OSError:
+                    client.ingest_retry(self._ingest_series, ts, vs,
+                                        attempts=3, backoff=backoff)
+                    status = 200
+                except (IngestBackpressureError,
+                        ServerOverloadedError):
+                    status = 429
+                except (OSError, ReproError):
                     status = -1
                 latency = time.monotonic() - started
                 with self._lock:
+                    report.ingest_shed += \
+                        client.ingest_retries - retries_before
                     if status == 200:
                         report.ingest_batches += 1
                         report.ingest_points += batch
                         report.ingest_latencies.append(latency)
                     elif status == 429:
-                        report.ingest_shed += 1
+                        report.ingest_shed += 1  # the dropping answer
                     else:
                         report.ingest_errors += 1
                 k += 1
@@ -378,24 +412,27 @@ class SessionWorkload:
         def user_loop(index):
             rng = random.Random(self._seed * 1000 + index)
             client = self._client()
-            while time.monotonic() < stop_at:
-                for op in self._session_ops(rng, targets):
-                    if time.monotonic() >= stop_at:
-                        return
-                    started = time.monotonic()
-                    request_id = trace_id = None
-                    sampled = False
-                    try:
-                        response, sampled = self._issue(client, op)
-                        status = response.status
-                        request_id = response.request_id
-                        trace_id = response.trace_id
-                    except OSError:
-                        status = -1
-                    self._record(report, status,
-                                 time.monotonic() - started,
-                                 request_id=request_id,
-                                 trace_id=trace_id, sampled=sampled)
+            try:
+                while time.monotonic() < stop_at:
+                    for op in self._session_ops(rng, targets):
+                        if time.monotonic() >= stop_at:
+                            return
+                        started = time.monotonic()
+                        request_id = trace_id = None
+                        sampled = False
+                        try:
+                            response, sampled = self._issue(client, op)
+                            status = response.status
+                            request_id = response.request_id
+                            trace_id = response.trace_id
+                        except OSError:
+                            status = -1
+                        self._record(report, status,
+                                     time.monotonic() - started,
+                                     request_id=request_id,
+                                     trace_id=trace_id, sampled=sampled)
+            finally:
+                self._note_client(report, client)
 
         threads = [threading.Thread(target=user_loop, args=(i,),
                                     daemon=True)
@@ -457,6 +494,7 @@ class SessionWorkload:
                              time.monotonic() - scheduled,
                              request_id=request_id,
                              trace_id=trace_id, sampled=sampled)
+                self._note_client(report, client)
 
             thread = threading.Thread(target=fire, daemon=True)
             thread.start()

@@ -130,6 +130,11 @@ class StorageEngine:
             if config.chunk_cache_points > 0 else None
         self._quarantine = QuarantineRegistry(self._data_dir,
                                               self._metrics)
+        #: Replication log (attach_replication): when set, every
+        #: acknowledged mutation also appends a replication frame,
+        #: under the same series write lock as the mutation itself so
+        #: per-series frame order equals apply order.
+        self._replication = None
         self._tile_cache = None
         if config.tile_cache_bytes > 0:
             from ..core.tiles import TileCache
@@ -302,6 +307,8 @@ class StorageEngine:
             self._series[name] = state
             self._series_by_id[series_id] = state
             self._catalog.append(series_id, name)
+            if self._replication is not None:
+                self._replication.record_create(series_id, name)
             self._metrics.gauge("engine_series").set(len(self._series))
             return series_id
 
@@ -319,6 +326,34 @@ class StorageEngine:
         with self._lock:
             self._versions = VersionAllocator(start=max_version + 1)
             self._file_seq = max_file_seq
+
+    def attach_replication(self, replication_log):
+        """Emit a replication frame for every subsequent mutation.
+
+        ``replication_log`` is a :class:`repro.replication.ReplicationLog`
+        (or anything with its ``record_*`` hooks).  Series that already
+        exist are *not* back-filled — first contact with a replica
+        always starts from a snapshot resync, which carries them.
+        """
+        with self._lock:
+            self._replication = replication_log
+
+    def series_id(self, name):
+        """The series' id (raises :class:`SeriesNotFoundError`)."""
+        return self._state(name).series_id
+
+    def series_snapshot(self, name):
+        """One consistent content snapshot, memtable included.
+
+        Returns ``(chunks, deletes, mem_t, mem_v)`` taken under a
+        single read lock, so replication snapshots and anti-entropy
+        fingerprints see a point-in-time view without forcing a flush.
+        """
+        state = self._state(name)
+        with state.lock.read():
+            mem_t, mem_v = state.memtable.snapshot()
+            return (list(state.chunks), DeleteList(state.deletes),
+                    mem_t, mem_v)
 
     def series_names(self):
         """All registered series names."""
@@ -354,6 +389,9 @@ class StorageEngine:
             before_max = self._series_max_time(state)
             state.memtable.append(int(t), float(v))
             state.points_written += 1
+            if self._replication is not None:
+                self._replication.record_points(state.series_id,
+                                                [int(t)], [float(v)])
             self._metrics.counter("engine_points_written_total").inc()
             self._note_tiles_write(state, int(t), int(t) + 1, before_max)
             self._maybe_flush(state)
@@ -386,6 +424,9 @@ class StorageEngine:
                 state.memtable.append_batch(timestamps, values)
                 appended = len(state.memtable) - before
                 state.points_written += appended
+                if self._replication is not None:
+                    self._replication.record_points(state.series_id,
+                                                    timestamps, values)
                 self._metrics.counter("engine_points_written_total") \
                     .inc(appended)
                 self._metrics.counter("engine_write_batches_total").inc()
@@ -412,6 +453,10 @@ class StorageEngine:
                                     self._versions.next())
                     state.deletes.add(delete)
                     self._mods.append(state.series_id, delete)
+                if self._replication is not None:
+                    self._replication.record_delete(state.series_id,
+                                                    int(t_start),
+                                                    int(t_end))
                 self._invalidate_tiles(name, int(t_start), int(t_end) + 1)
             self._metrics.counter("engine_deletes_total").inc()
         return delete
@@ -450,6 +495,8 @@ class StorageEngine:
         (threshold) flush the still-buffered remainder is re-logged.
         Caller holds the series write lock.
         """
+        if self._replication is not None:
+            self._replication.record_flush(state.series_id)
         if self._wal is None:
             return
         segment = self._wal.segment(state.series_id)

@@ -41,9 +41,14 @@ TRANSIENT_ERRNOS = frozenset({errno.EIO, errno.EAGAIN, errno.EINTR})
 CRASH_EXIT_CODE = 173
 
 #: operations the wrappers report.  ``"any"`` in a rule matches all.
-OPS = ("open", "read", "write", "flush", "fsync", "replace")
+#: ``"net"`` is reported by non-file code (the replication shipper
+#: checkpoints each frame send), so network faults script the same way
+#: file faults do: ``eio`` drops/severs the send, ``delay`` stalls it,
+#: ``crash`` kills the process at an exact shipped-record count.
+OPS = ("open", "read", "write", "flush", "fsync", "replace", "net")
 
-_ACTIONS = ("eio", "torn", "bitflip", "short_read", "fsync_noop", "crash")
+_ACTIONS = ("eio", "torn", "bitflip", "short_read", "fsync_noop", "crash",
+            "delay")
 
 
 class FaultRule:
@@ -199,7 +204,9 @@ def inject(op, path=""):
     """Checkpoint for non-file code paths (e.g. between rename steps).
 
     Counts one ``op`` against the installed injector and applies
-    ``eio``/``crash`` rules; data-shaping actions are ignored here.
+    ``eio``/``crash``/``delay`` rules; data-shaping actions are ignored
+    here.  ``delay`` sleeps ``params["seconds"]`` (default 50 ms) and
+    then proceeds — the network-latency model for replication rules.
     """
     injector = _installed
     if injector is None:
@@ -211,6 +218,8 @@ def inject(op, path=""):
         _crash(rule)
     if rule.action == "eio":
         raise _transient(op, path)
+    if rule.action == "delay":
+        time.sleep(rule.params.get("seconds", 0.05))
 
 
 class _FaultyFile:

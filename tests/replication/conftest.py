@@ -1,0 +1,88 @@
+"""Fixtures for the replication suite: primary/standby server pairs."""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+
+import pytest
+
+from repro.server import ReproClient, ServerConfig, start_server
+from repro.storage import StorageConfig, StorageEngine
+
+
+def free_port():
+    """An OS-assigned free TCP port (raceable in theory, fine in CI)."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+@dataclasses.dataclass
+class Pair:
+    """A replicating primary/standby pair of live servers."""
+
+    primary: object
+    standby: object
+    primary_engine: object
+    standby_engine: object
+    client: object          # points at the primary
+    standby_client: object
+
+
+@pytest.fixture
+def make_pair(tmp_path):
+    """Factory: boot a primary shipping to one hot standby.
+
+    Both serve on ephemeral-but-preassigned ports so each can
+    advertise a real URL before the other boots.  Everything is
+    stopped and closed at teardown.
+    """
+    alive = []
+
+    def build(ingest_ack="replicated", auto_promote=False,
+              lease_seconds=5.0, storage_kwargs=None, **primary_kwargs):
+        k = len(alive)
+        standby_port, primary_port = free_port(), free_port()
+        standby_url = "http://127.0.0.1:%d" % standby_port
+        primary_url = "http://127.0.0.1:%d" % primary_port
+
+        def config():
+            return StorageConfig(avg_series_point_number_threshold=200,
+                                 **(storage_kwargs or {}))
+
+        standby_engine = StorageEngine(tmp_path / ("standby%d" % k),
+                                       config())
+        standby = start_server(standby_engine, ServerConfig(
+            port=standby_port, quiet=True, standby=True,
+            advertise_url=standby_url, auto_promote=auto_promote,
+            lease_seconds=lease_seconds, node_id="standby%d" % k))
+        primary_engine = StorageEngine(tmp_path / ("primary%d" % k),
+                                      config())
+        primary = start_server(primary_engine, ServerConfig(
+            port=primary_port, quiet=True, replicate_to=(standby_url,),
+            advertise_url=primary_url, ingest_ack=ingest_ack,
+            lease_seconds=lease_seconds, node_id="primary%d" % k,
+            **primary_kwargs))
+        pair = Pair(primary=primary, standby=standby,
+                    primary_engine=primary_engine,
+                    standby_engine=standby_engine,
+                    client=ReproClient(primary_url),
+                    standby_client=ReproClient(standby_url))
+        alive.append(pair)
+        return pair
+
+    yield build
+    for pair in alive:
+        for handle in (pair.primary, pair.standby):
+            try:
+                handle.stop()
+            except Exception:
+                pass
+        for engine in (pair.primary_engine, pair.standby_engine):
+            try:
+                engine.close()
+            except Exception:
+                pass

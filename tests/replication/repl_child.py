@@ -1,0 +1,41 @@
+"""Replication-torture child: a primary that dies mid-ship.
+
+Usage: ``python repl_child.py DB_DIR PORT STANDBY_URL CRASH_AT``
+
+Boots a primary server over an empty store, shipping to ``STANDBY_URL``
+with ``ingest_ack="replicated"``.  ``CRASH_AT`` is the 1-based count of
+replication POSTs at which to die via ``os._exit(173)`` — the shipper
+passes a ``faultfs.inject("net", ...)`` checkpoint before every send,
+so the whole process vanishes exactly like a ``kill -9`` between two
+shipped batches.  With ``CRASH_AT=0`` no rule is installed and the
+child serves until the parent kills it.
+"""
+
+import sys
+import threading
+
+
+def main(argv):
+    db_dir, port, standby_url, crash_at = (
+        argv[0], int(argv[1]), argv[2], int(argv[3]))
+
+    from repro.server import ServerConfig, start_server
+    from repro.storage import StorageConfig, StorageEngine, faultfs
+
+    if crash_at > 0:
+        faultfs.install(faultfs.FaultInjector(
+            [faultfs.FaultRule("net", "crash", at=crash_at)], seed=0))
+
+    engine = StorageEngine(db_dir, StorageConfig(
+        avg_series_point_number_threshold=200))
+    start_server(engine, ServerConfig(
+        port=port, quiet=True, replicate_to=(standby_url,),
+        ingest_ack="replicated",
+        advertise_url="http://127.0.0.1:%d" % port,
+        node_id="torture-primary"))
+    print("READY", flush=True)
+    threading.Event().wait()   # serve until crashed or killed
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

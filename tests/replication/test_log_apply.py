@@ -1,0 +1,240 @@
+"""Log + applier unit tests: sequencing, idempotence, resync rules.
+
+These run two engines in-process — a "primary" with a replication log
+attached and a "standby" fed through :class:`ReplicaApplier` — without
+any HTTP, so the state machine is tested in isolation from transport.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.replication import ReplicaApplier, ReplicationLog, frames
+from repro.replication.antientropy import content_fingerprint
+from repro.server.service import render_chart
+from repro.storage import StorageConfig, StorageEngine
+
+
+@pytest.fixture
+def engines(tmp_path):
+    config = StorageConfig(avg_series_point_number_threshold=100)
+    primary = StorageEngine(tmp_path / "primary", config)
+    standby = StorageEngine(tmp_path / "standby", config)
+    yield primary, standby
+    primary.close()
+    standby.close()
+
+
+def batch_body(log, entries, resync=False, epoch=None, base_seq=None):
+    """A ``POST /replicate`` body the way the shipper frames one."""
+    header = {
+        "node_id": "test-primary",
+        "epoch": log.epoch if epoch is None else epoch,
+        "base_seq": (entries[0].seq - 1 if entries else log.head_seq)
+        if base_seq is None else base_seq,
+        "head_seq": log.head_seq,
+        "stamp": time.time(),
+        "advertise": "http://primary.example",
+    }
+    if resync:
+        header["resync"] = True
+    return frames.encode_batch(header,
+                               [entry.encode() for entry in entries])
+
+
+def write_some(engine, n=500, series="s"):
+    engine.create_series(series)
+    t = np.arange(n, dtype=np.int64)
+    v = np.sin(t / 17.0)
+    engine.write_batch(series, t, v)
+    engine.flush(series)
+    return t, v
+
+
+# -- log ---------------------------------------------------------------------------------
+
+
+def test_log_sequences_and_serves_since():
+    log = ReplicationLog()
+    for k in range(5):
+        log.append(frames.T_FLUSH, frames.flush_payload(k))
+    assert log.head_seq == 5
+    assert [e.seq for e in log.since(0)] == [1, 2, 3, 4, 5]
+    assert [e.seq for e in log.since(3)] == [4, 5]
+    assert log.since(5) == []
+
+
+def test_log_ring_overflow_forces_resync():
+    log = ReplicationLog(capacity=4)
+    for k in range(10):
+        log.append(frames.T_FLUSH, frames.flush_payload(k))
+    assert log.since(2) is None          # fell off the ring
+    assert [e.seq for e in log.since(6)] == [7, 8, 9, 10]
+
+
+def test_log_wait_wakes_on_append_and_close():
+    log = ReplicationLog()
+    assert log.wait(0, timeout=0.01) is False
+    log.append(frames.T_HEARTBEAT, b"")
+    assert log.wait(0, timeout=0.01) is True
+    log.close()
+    assert log.wait(99, timeout=0.01) is False
+
+
+def test_engine_hooks_emit_frames(engines):
+    primary, _standby = engines
+    log = ReplicationLog()
+    primary.attach_replication(log)
+    write_some(primary)
+    primary.delete("s", 10, 20)
+    kinds = [entry.ftype for entry in log.since(0)]
+    assert frames.T_CREATE in kinds
+    assert frames.T_POINTS in kinds
+    assert frames.T_DELETE in kinds
+    assert frames.T_FLUSH in kinds
+
+
+# -- applier -----------------------------------------------------------------------------
+
+
+def replicate_all(primary, standby, applier, log):
+    body = batch_body(log, log.since(applier.applied_seq))
+    reply = applier.apply_batch(body)
+    assert reply["state"] == "ok"
+    return body
+
+
+def test_stream_apply_reaches_identical_content(engines):
+    primary, standby = engines
+    log = ReplicationLog()
+    primary.attach_replication(log)
+    write_some(primary)
+    primary.delete("s", 100, 200)
+    applier = ReplicaApplier(standby)
+    replicate_all(primary, standby, applier, log)
+    assert applier.applied_seq == log.head_seq
+    assert content_fingerprint(primary) == content_fingerprint(standby)
+
+
+def test_reapplying_a_shipped_segment_is_a_byte_identical_noop(engines):
+    """Idempotence: duplicate delivery changes nothing observable."""
+    primary, standby = engines
+    log = ReplicationLog()
+    primary.attach_replication(log)
+    t, _v = write_some(primary, n=800)
+    applier = ReplicaApplier(standby)
+    body = replicate_all(primary, standby, applier, log)
+    seq_before = applier.applied_seq
+    fp_before = content_fingerprint(standby)
+    standby.flush_all()
+    matrix_before, result_before = render_chart(
+        standby, "s", 128, 48, t_qs=0, t_qe=int(t[-1]) + 1)
+
+    # Re-ship the exact same segment (a reconnecting shipper does
+    # this): every frame is <= applied_seq and must be skipped.
+    reply = applier.apply_batch(body)
+    assert reply["state"] == "ok"
+    assert applier.applied_seq == seq_before
+    assert content_fingerprint(standby) == fp_before
+    standby.flush_all()
+    matrix_after, result_after = render_chart(
+        standby, "s", 128, 48, t_qs=0, t_qe=int(t[-1]) + 1)
+    assert np.array_equal(matrix_before, matrix_after)
+    assert result_before.semantically_equal(result_after)
+
+
+def test_gap_answers_resync(engines):
+    primary, standby = engines
+    log = ReplicationLog()
+    primary.attach_replication(log)
+    write_some(primary)
+    applier = ReplicaApplier(standby)
+    entries = log.since(0)
+    # Skip the first two frames: the applier must refuse the gap.
+    reply = applier.apply_batch(batch_body(log, entries[2:], base_seq=0))
+    assert reply["state"] == "resync"
+    assert applier.applied_seq == 0
+
+
+def test_unknown_epoch_answers_resync(engines):
+    primary, standby = engines
+    log = ReplicationLog()
+    primary.attach_replication(log)
+    write_some(primary)
+    applier = ReplicaApplier(standby)
+    replicate_all(primary, standby, applier, log)
+    # A different-epoch primary (restart/promotion) must not stream
+    # past state the replica can't anchor.
+    reply = applier.apply_batch(
+        batch_body(log, log.since(3), epoch=log.epoch ^ 0xDEAD))
+    assert reply["state"] == "resync"
+
+
+def test_advanced_base_seq_answers_resync(engines):
+    primary, standby = engines
+    log = ReplicationLog()
+    primary.attach_replication(log)
+    write_some(primary)
+    applier = ReplicaApplier(standby)
+    reply = applier.apply_batch(batch_body(log, log.since(3)))
+    assert reply["state"] == "resync"
+
+
+def test_resync_snapshot_establishes_state(engines):
+    primary, standby = engines
+    log = ReplicationLog()
+    primary.attach_replication(log)
+    t, v = write_some(primary, n=600)
+    applier = ReplicaApplier(standby)
+    sync = frames.sync_payload(primary.series_id("s"), "s", t, v)
+    entry_bytes = frames.encode_frame(frames.T_SYNC, 0, sync)
+
+    class FakeEntry:
+        seq = 0
+
+        def encode(self):
+            return entry_bytes
+
+    reply = applier.apply_batch(batch_body(
+        log, [FakeEntry()], resync=True, base_seq=log.head_seq))
+    assert reply["state"] == "ok"
+    assert applier.applied_seq == log.head_seq
+    assert content_fingerprint(primary) == content_fingerprint(standby)
+    # The stream continues from the snapshot cursor without resync.
+    primary.write_batch("s", np.array([10_000], dtype=np.int64),
+                        np.array([1.0], dtype=np.float64))
+    primary.flush("s")
+    replicate_all(primary, standby, applier, log)
+    assert content_fingerprint(primary) == content_fingerprint(standby)
+
+
+def test_frozen_applier_refuses_everything(engines):
+    primary, standby = engines
+    log = ReplicationLog()
+    primary.attach_replication(log)
+    write_some(primary)
+    applier = ReplicaApplier(standby)
+    applier.freeze()
+    reply = applier.apply_batch(batch_body(log, log.since(0)))
+    assert reply["state"] == "frozen"
+    assert applier.applied_seq == 0
+    assert "s" not in standby.series_names()
+
+
+def test_heartbeat_resets_contact_clock(engines):
+    primary, standby = engines
+    log = ReplicationLog()
+    primary.attach_replication(log)
+    applier = ReplicaApplier(standby)
+    time.sleep(0.05)
+    age_before = applier.contact_age()
+    heartbeat = frames.encode_frame(frames.T_HEARTBEAT, 0, b"")
+
+    class Beat:
+        def encode(self):
+            return heartbeat
+
+    reply = applier.apply_batch(batch_body(log, [Beat()], base_seq=0))
+    assert reply["state"] == "ok"
+    assert applier.contact_age() < age_before

@@ -1,0 +1,223 @@
+"""Replication crash torture: kill -9 the primary between shipped
+batches, promote the hot standby, and prove the promoted replica holds
+exactly a committed batch prefix containing every replicated-acked
+write — as raw merged arrays and as rendered pixel matrices against a
+clean store loaded with that prefix.
+
+The primary runs as a subprocess (``repl_child.py``) with a scripted
+``net``-op crash rule, so kill point ``n`` means ``os._exit(173)``
+right before the child's ``n``-th replication POST — no flush, no
+drain, exactly a SIGKILL mid-stream.  ``REPRO_REPL_KILLS`` (default
+25) sets how many kill points are exercised.
+"""
+
+import http.client
+import os
+import socket
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+import repro
+from repro.core import M4UDFOperator
+from repro.errors import ReproError
+from repro.replication.antientropy import content_fingerprint
+from repro.server import ReproClient, ServerConfig, start_server
+from repro.server.service import render_chart
+from repro.storage import StorageConfig, StorageEngine
+from repro.storage.faultfs import CRASH_EXIT_CODE
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+CHILD = os.path.join(HERE, "repl_child.py")
+SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+SERIES = "s"
+N_BATCHES = 40
+BATCH = 25
+WIDTH, HEIGHT = 64, 24
+
+
+def _free_port():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def _config():
+    return StorageConfig(avg_series_point_number_threshold=200)
+
+
+def batch_points(k):
+    t = np.arange(k * BATCH, (k + 1) * BATCH, dtype=np.int64)
+    return t, np.sin(t / 7.0)
+
+
+def prefix_arrays(m):
+    """The exact content of the first ``m`` committed batches."""
+    t = np.arange(0, m * BATCH, dtype=np.int64)
+    return t, np.sin(t / 7.0)
+
+
+def spawn_primary(db, port, standby_url, crash_at):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, CHILD, str(db), str(port), standby_url,
+         str(crash_at)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env)
+
+
+def stream_until_death(client):
+    """Ship batches serially; return the indices acked replicated."""
+    acked = []
+    for k in range(N_BATCHES):
+        t, v = batch_points(k)
+        try:
+            ack = client.ingest(SERIES, [int(x) for x in t],
+                                [float(x) for x in v])
+        except (ReproError, OSError, http.client.HTTPException):
+            break   # the primary died mid-request: not acked
+        if ack.get("durability") == "replicated":
+            acked.append(k)
+    return acked
+
+
+def verify_promoted(standby_engine, acked, ref_dir):
+    """The replica's content must be batches ``[0, m)`` with ``m`` at
+    least covering every replicated-acked batch.  Returns ``m``."""
+    if SERIES in standby_engine.series_names():
+        standby_engine.flush_all()
+        series = M4UDFOperator(standby_engine, degraded=False) \
+            .merged_series(SERIES, 0, N_BATCHES * BATCH)
+        state_t = np.asarray(series.timestamps, dtype=np.int64)
+        state_v = np.asarray(series.values, dtype=np.float64)
+    else:
+        state_t = np.array([], dtype=np.int64)
+        state_v = np.array([], dtype=np.float64)
+
+    assert state_t.size % BATCH == 0, \
+        "replica holds a torn batch: %d points" % state_t.size
+    m = state_t.size // BATCH
+    want_t, want_v = prefix_arrays(m)
+    assert np.array_equal(state_t, want_t), "timestamps diverge"
+    assert np.array_equal(state_v, want_v), "values diverge"
+    lower = (max(acked) + 1) if acked else 0
+    assert m >= lower, \
+        ("durability violation: %d batches acked replicated but the "
+         "promoted replica only holds %d" % (lower, m))
+
+    # Pixel identity: a clean store loaded with exactly that prefix
+    # renders the same chart as the promoted replica.
+    if m:
+        reference = StorageEngine(ref_dir, _config())
+        try:
+            reference.create_series(SERIES)
+            reference.write_batch(SERIES, want_t, want_v)
+            reference.flush_all()
+            matrix, result = render_chart(
+                standby_engine, SERIES, WIDTH, HEIGHT,
+                t_qs=0, t_qe=N_BATCHES * BATCH)
+            ref_matrix, ref_result = render_chart(
+                reference, SERIES, WIDTH, HEIGHT,
+                t_qs=0, t_qe=N_BATCHES * BATCH)
+            assert not result.degraded
+            assert np.array_equal(matrix, ref_matrix)
+            assert result.semantically_equal(ref_result)
+        finally:
+            reference.close()
+    return m
+
+
+def run_kill_point(tmp_path, n):
+    """One torture round: boot standby + child primary, stream until
+    the scripted crash, promote, verify.  Returns ``(m, acked)``."""
+    standby_port, primary_port = _free_port(), _free_port()
+    standby_url = "http://127.0.0.1:%d" % standby_port
+    standby_engine = StorageEngine(tmp_path / ("standby-%04d" % n),
+                                   _config())
+    standby = start_server(standby_engine, ServerConfig(
+        port=standby_port, quiet=True, standby=True,
+        advertise_url=standby_url, node_id="torture-standby-%d" % n))
+    proc = spawn_primary(tmp_path / ("db-%04d" % n), primary_port,
+                         standby_url, n)
+    try:
+        # An early kill point can fire before READY is printed; the
+        # child is then already dead and the stream is empty.
+        ready = proc.stdout.readline().strip() == "READY"
+        acked = []
+        if ready:
+            acked = stream_until_death(
+                ReproClient("http://127.0.0.1:%d" % primary_port,
+                            timeout=30.0))
+        proc.wait(timeout=120)
+        assert proc.returncode == CRASH_EXIT_CODE, \
+            ("kill point %d: exit %s, stderr:\n%s"
+             % (n, proc.returncode, proc.stderr.read()))
+
+        client = ReproClient(standby_url)
+        status = client.promote()
+        assert status["role"] == "primary"
+        m = verify_promoted(standby_engine, acked,
+                            tmp_path / ("ref-%04d" % n))
+        # The promoted replica is live: it accepts new writes.
+        ack = client.ingest(SERIES, [N_BATCHES * BATCH + 10], [1.0])
+        assert ack["accepted"] == 1
+        return m, acked
+    finally:
+        proc.kill()
+        try:
+            standby.stop()
+        finally:
+            standby_engine.close()
+
+
+def test_clean_pair_replicates_every_batch(tmp_path):
+    """No crash: every ack is replicated and the standby's content
+    fingerprint equals the primary's over the wire."""
+    standby_port, primary_port = _free_port(), _free_port()
+    standby_url = "http://127.0.0.1:%d" % standby_port
+    standby_engine = StorageEngine(tmp_path / "standby", _config())
+    standby = start_server(standby_engine, ServerConfig(
+        port=standby_port, quiet=True, standby=True,
+        advertise_url=standby_url, node_id="clean-standby"))
+    proc = spawn_primary(tmp_path / "db", primary_port, standby_url, 0)
+    try:
+        assert proc.stdout.readline().strip() == "READY", \
+            proc.stderr.read()
+        client = ReproClient("http://127.0.0.1:%d" % primary_port,
+                             timeout=30.0)
+        acked = stream_until_death(client)
+        assert acked == list(range(N_BATCHES))
+        wire = client.replication_fingerprint()["fingerprint"]
+        assert wire == content_fingerprint(standby_engine)
+    finally:
+        proc.kill()
+        try:
+            standby.stop()
+        finally:
+            standby_engine.close()
+
+
+def test_promoted_replica_is_a_committed_prefix_at_every_kill_point(
+        tmp_path):
+    """>= 25 seeded kill -9 points across the shipped stream: the
+    promoted standby always equals a committed batch prefix covering
+    every replicated-acked write."""
+    kills = int(os.environ.get("REPRO_REPL_KILLS", "25"))
+    points = list(range(1, kills + 1))
+
+    workers = min(6, os.cpu_count() or 2)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        results = list(pool.map(
+            lambda n: run_kill_point(tmp_path, n), points))
+
+    assert len(results) == kills
+    prefixes = [m for m, _acked in results]
+    # Coverage sanity: early kills leave a near-empty replica, late
+    # kills a near-complete one — the sweep spans the stream.
+    assert min(prefixes) < max(prefixes)

@@ -1,0 +1,71 @@
+"""Graceful-drain regression tests: shutdown must wake live waiters.
+
+A ``/live`` long-poll (or SSE stream) parks a handler thread inside
+``LiveFeed.wait`` for up to its poll window.  Shutdown releases the
+feed *first* (before draining ingest and admission), so a drain with
+attached followers completes in wake-up time, not in long-poll-window
+time — the regression this file pins down.
+"""
+
+import threading
+import time
+
+
+def test_stop_wakes_a_blocked_live_long_poll(make_served):
+    served = make_served(live_poll_seconds=30.0)
+    results = {}
+
+    def follow():
+        started = time.monotonic()
+        try:
+            # No timeout_ms: the server-side default (30s) applies, so
+            # without the shutdown wake-up this poll would park for
+            # the full window.
+            results["poll"] = served.client.live_poll(
+                served.series, cursor=0)
+        except Exception as exc:  # noqa: BLE001 - recorded for assert
+            results["error"] = exc
+        results["seconds"] = time.monotonic() - started
+
+    follower = threading.Thread(target=follow, daemon=True)
+    follower.start()
+    time.sleep(0.3)  # let the poll reach the feed's wait
+
+    started = time.monotonic()
+    served.handle.stop()
+    drain_seconds = time.monotonic() - started
+    follower.join(timeout=5.0)
+
+    assert not follower.is_alive(), "live follower never woke up"
+    assert drain_seconds < 5.0, \
+        "drain took %.1fs with a live follower attached" % drain_seconds
+    # The woken poll answered normally (empty delta), not with an error.
+    assert "poll" in results, results.get("error")
+
+
+def test_stop_ends_an_sse_stream_promptly(make_served):
+    served = make_served(live_poll_seconds=30.0)
+    results = {}
+
+    def follow():
+        started = time.monotonic()
+        try:
+            events = list(served.client.live_events(
+                served.series, duration=30.0))
+            results["events"] = events
+        except Exception as exc:  # noqa: BLE001
+            results["error"] = exc
+        results["seconds"] = time.monotonic() - started
+
+    follower = threading.Thread(target=follow, daemon=True)
+    follower.start()
+    time.sleep(0.3)
+
+    started = time.monotonic()
+    served.handle.stop()
+    drain_seconds = time.monotonic() - started
+    follower.join(timeout=5.0)
+
+    assert not follower.is_alive(), "SSE follower never finished"
+    assert drain_seconds < 5.0, \
+        "drain took %.1fs with an SSE stream attached" % drain_seconds
