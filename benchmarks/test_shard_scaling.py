@@ -1,0 +1,49 @@
+"""E19 — shard-count scaling sweep (shards = 1/2/4/8).
+
+Runs :func:`repro.bench.shard_scaling` against real servers over
+process-backed shard routers and writes ``BENCH_shards.json`` next to
+this file.
+
+Gated assertions:
+
+* **identity** — every shard count's query rows and rendered PBM bytes
+  match a pre-shard :class:`~repro.storage.engine.StorageEngine`
+  reference byte-for-byte, on all four Table 2 datasets.  This gates
+  on every machine.
+* **scaling** — shards=4 aggregate closed-loop throughput is at least
+  2x shards=1.  Shard-per-core scaling cannot physically appear on a
+  box with fewer cores than shards, so this half only gates when
+  ``os.cpu_count() >= 4`` (CI runners have 4 vCPUs; the artifact's
+  ``meta.cpu_count`` records what the numbers were measured on).
+"""
+
+import os
+
+from repro.bench import new_artifact, shard_scaling, write_artifact
+
+from conftest import print_tables
+
+RESULT_FILE = os.path.join(os.path.dirname(__file__), "BENCH_shards.json")
+
+N_POINTS = int(os.environ.get("REPRO_SHARD_BENCH_POINTS", "20000"))
+DURATION = float(os.environ.get("REPRO_SHARD_BENCH_DURATION", "2.0"))
+
+
+def test_shard_scaling(tmp_path):
+    rows, table = shard_scaling(str(tmp_path), n_points=N_POINTS,
+                                duration=DURATION)
+    print_tables([table])
+    by_shards = {row["shards"]: row for row in rows}
+    assert set(by_shards) == {1, 2, 4, 8}
+
+    for row in rows:
+        assert row["identical"], "shards=%d broke byte identity" % row["shards"]
+        assert row["ok"] > 0, row
+
+    if (os.cpu_count() or 1) >= 4:
+        speedup = by_shards[4]["speedup_vs_1"]
+        assert speedup >= 2.0, (
+            "shards=4 reached only %.2fx of shards=1 (%d cpus)"
+            % (speedup, os.cpu_count()))
+
+    write_artifact(RESULT_FILE, new_artifact("shards", rows, N_POINTS))

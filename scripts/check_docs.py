@@ -33,6 +33,7 @@ MARKDOWN_FILES = (
     "ROADMAP.md",
     "CHANGES.md",
     "docs/ARCHITECTURE.md",
+    "docs/OPERATIONS.md",
 )
 
 # Modules whose help() page must render: the public API surface.
@@ -48,6 +49,12 @@ PYDOC_MODULES = (
     "repro.query.session",
     "repro.server.client",
     "repro.server.service",
+    "repro.shard",
+    "repro.shard.placement",
+    "repro.shard.protocol",
+    "repro.shard.router",
+    "repro.shard.worker",
+    "repro.bench.shards",
 )
 
 # [text](target) — excluding images' leading ! doesn't matter for

@@ -1,0 +1,125 @@
+"""End-to-end shard smoke: serve a 4-shard store, kill one, stay up.
+
+CI runs this after the unit suites as a "does the sharded stack serve
+traffic and survive a worker crash" check:
+
+1. a 4-shard store is built through :func:`repro.shard.open_store`
+   and loaded with eight series (the crc32 placement spreads them);
+2. a real server boots on an ephemeral port and takes one closed-loop
+   loadgen burst;
+3. one shard worker is SIGKILLed — queries for its series must answer
+   HTTP 200 with ``X-Repro-Degraded``/``X-Repro-Shard-Down`` headers
+   (not hang, not 500), ``/healthz`` must flip to ``degraded`` with
+   the dead worker named, and series on live shards must keep
+   answering real rows;
+4. the server drains cleanly.
+
+Exit status is non-zero on any violation.
+
+Usage: PYTHONPATH=src python scripts/shard_smoke.py
+"""
+
+import pathlib
+import os
+import signal
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.server import ReproClient, ServerConfig, start_server
+from repro.server.workload import SessionWorkload
+from repro.shard import open_store
+from repro.storage import StorageConfig
+
+N_SHARDS = 4
+SQL = "SELECT M4(v) FROM %s GROUP BY SPANS(64)"
+
+
+def fail(message):
+    print("FAIL: %s" % message, file=sys.stderr)
+    return 1
+
+
+def main():
+    data_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-shard-smoke-"))
+    engine = open_store(str(data_dir / "db"), StorageConfig(),
+                        shards=N_SHARDS)
+    names = ["root.smoke%02d" % i for i in range(8)]
+    for seed, name in enumerate(names):
+        t = np.arange(10_000, dtype=np.int64) * 7
+        engine.create_series(name)
+        engine.write_batch(name, t, np.sin(t / (101.0 + seed)))
+    engine.flush_all()
+    spread = {engine.series_shard(n) for n in names}
+    print("store: %d series over shards %s" % (len(names), sorted(spread)))
+
+    handle = start_server(engine, ServerConfig(port=0, quiet=True))
+    print("serving on %s" % handle.url)
+    try:
+        client = ReproClient(handle.url)
+        health = client.healthz()
+        if health["status"] != "ok":
+            return fail("initial healthz is %r" % health["status"])
+        if health["shards"] != {"total": N_SHARDS, "alive": N_SHARDS}:
+            return fail("unexpected shard census %r" % health["shards"])
+
+        report = SessionWorkload(handle.url, width=128, seed=0,
+                                 timeout_ms=5000) \
+            .run(mode="closed", users=4, duration=2.0)
+        print(report.render())
+        if report.ok == 0 or report.errors:
+            return fail("loadgen burst: ok=%d errors=%d"
+                        % (report.ok, report.errors))
+
+        victim = engine.series_shard(names[0])
+        print("killing shard %d (pid %d)"
+              % (victim, engine.shard_pids()[victim]))
+        os.kill(engine.shard_pids()[victim], signal.SIGKILL)
+        deadline = time.monotonic() + 10.0
+        while victim in engine.alive_shards():
+            if time.monotonic() > deadline:
+                return fail("router never noticed the dead shard")
+            time.sleep(0.05)
+
+        response = client.query_response(SQL % names[0])
+        if response.status != 200:
+            return fail("dead-shard query answered %d, wanted a "
+                        "degraded 200" % response.status)
+        if response.headers.get("X-Repro-Degraded") != "1" \
+                or response.headers.get("X-Repro-Shard-Down") \
+                != str(victim):
+            return fail("degraded headers missing: %r"
+                        % dict(response.headers))
+        if response.json()["rows"]:
+            return fail("dead-shard query returned rows")
+        print("dead-shard query: degraded 200, shard %s flagged"
+              % response.headers["X-Repro-Shard-Down"])
+
+        survivor = next(n for n in names
+                        if engine.series_shard(n) != victim)
+        rows = client.query(SQL % survivor)["rows"]
+        if not rows:
+            return fail("live shard stopped answering")
+        print("live-shard query: %d rows from %s" % (len(rows), survivor))
+
+        health = client.healthz()
+        if health["status"] != "degraded":
+            return fail("healthz still %r after crash" % health["status"])
+        if health["workers"].get("shard-%02d" % victim) is not False:
+            return fail("dead worker not named in healthz")
+        if health["shards"]["alive"] != N_SHARDS - 1:
+            return fail("alive census %r" % health["shards"])
+        print("healthz: degraded, %d/%d shards alive"
+              % (health["shards"]["alive"], N_SHARDS))
+    finally:
+        handle.stop()
+        engine.close()
+
+    print("OK: sharded server served, degraded cleanly, drained")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,7 @@ Every persisted benchmark result is one JSON document::
     {
       "schema": "repro-bench/1",
       "kind": "matrix" | "parallelism" | "server" | "durability"
-              | "tiles" | "replication",
+              | "tiles" | "replication" | "shards",
       "meta":  { git_sha, python, platform, machine, cpu_count,
                  machine_id, points, repeats, created_unix, ... },
       "rows":  [ {...}, ... ]          # kind-specific row fields
@@ -100,6 +100,19 @@ ROW_FIELDS = {
         "p50_speedup": _NUM,
         "tile_hits": int,
         "tile_misses": int,
+        "identical": bool,
+    },
+    "shards": {
+        "experiment": str,
+        "shards": int,
+        "mode": str,
+        "users": int,
+        "total": int,
+        "ok": int,
+        "throughput": _NUM,
+        "p50_seconds": _NUM,
+        "p95_seconds": _NUM,
+        "speedup_vs_1": _NUM,
         "identical": bool,
     },
     "replication": {

@@ -72,6 +72,31 @@ def _add_tile_cache(subparser):
              "cached tiles, results are byte-identical either way)")
 
 
+def _add_shards(subparser):
+    subparser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard the store across N engine worker processes "
+             "(hash-placed by series; 1 = in-process fast path, "
+             "byte-identical to an unsharded store; default: follow "
+             "the store's pinned shards.json topology)")
+
+
+def _open_store(args, config, must_exist=True):
+    """Open ``args.db`` honouring ``--shards`` and pinned topology.
+
+    Returns a plain :class:`StorageEngine` (one shard) or a
+    :class:`~repro.shard.router.ShardRouter` — both context managers
+    with the facade surface the commands use.
+    """
+    from .shard import open_store
+    path = _require_store(args.db) if must_exist else args.db
+    return open_store(path, config, shards=getattr(args, "shards", None))
+
+
+def _is_sharded(engine):
+    return bool(getattr(engine, "is_sharded", False))
+
+
 def build_parser():
     """The argparse tree for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -95,6 +120,7 @@ def build_parser():
     load.add_argument("--csv", required=True, help="input CSV path")
     load.add_argument("--chunk-points", type=int, default=1000)
     _add_parallelism(load)
+    _add_shards(load)
 
     info = commands.add_parser("info", help="inspect a storage directory")
     info.add_argument("--db", required=True)
@@ -109,6 +135,7 @@ def build_parser():
                             "and (for M4-LSM) the per-span query trace")
     _add_parallelism(query)
     _add_tile_cache(query)
+    _add_shards(query)
 
     render = commands.add_parser(
         "render", help="M4-reduce a series and draw a line chart")
@@ -119,6 +146,7 @@ def build_parser():
     render.add_argument("--out", help="write a PBM image instead of ASCII")
     _add_parallelism(render)
     _add_tile_cache(render)
+    _add_shards(render)
 
     compact = commands.add_parser(
         "compact", help="fold overlaps and deletes into fresh chunks")
@@ -221,6 +249,7 @@ def build_parser():
                             "shipped frames)")
     _add_parallelism(serve)
     _add_tile_cache(serve)
+    _add_shards(serve)
 
     promote = commands.add_parser(
         "promote", help="turn a running standby into a writable primary")
@@ -392,6 +421,19 @@ def build_parser():
                        help="wall-clock gating: auto = strict only "
                             "when both artifacts share a machine "
                             "fingerprint (I/O counters always gate)")
+    bench.add_argument("--shards-sweep", action="store_true",
+                       help="run the E19 shard-count scaling sweep "
+                            "(closed-loop server load at shards = "
+                            "1/2/4/8 + byte-identity checks) and write "
+                            "the artifact to --shards-out")
+    bench.add_argument("--shards-out",
+                       default="benchmarks/BENCH_shards.json",
+                       metavar="PATH",
+                       help="artifact path for --shards-sweep")
+    bench.add_argument("--shards-duration", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="closed-loop measurement window per shard "
+                            "count in the --shards-sweep")
     return parser
 
 
@@ -461,13 +503,18 @@ def _cmd_load(args):
     t, v = load_csv(args.csv)
     config = _engine_config(
         args, avg_series_point_number_threshold=args.chunk_points)
-    with StorageEngine(args.db, config) as engine:
+    with _open_store(args, config, must_exist=False) as engine:
         engine.create_series(args.series)
         engine.write_batch(args.series, t, v)
         engine.flush_all()
-        chunks = len(engine.chunks_for(args.series))
-    print("loaded %d points into %s (%d chunks)"
-          % (t.size, args.series, chunks))
+        if _is_sharded(engine):
+            chunks = engine.chunk_count(args.series)
+            where = " on shard %02d" % engine.series_shard(args.series)
+        else:
+            chunks = len(engine.chunks_for(args.series))
+            where = ""
+    print("loaded %d points into %s (%d chunks%s)"
+          % (t.size, args.series, chunks, where))
     return 0
 
 
@@ -476,25 +523,42 @@ def _cmd_info(args):
     deletes, time range).  Returns 0; a missing store exits 1 via
     :func:`_require_store`.
     """
-    with StorageEngine(_require_store(args.db)) as engine:
+    from .storage.config import StorageConfig
+    with _open_store(args, StorageConfig()) as engine:
         if engine.recovery_summary:
             print("recovered: %s" % engine.recovery_summary)
         engine.flush_all()
+        sharded = _is_sharded(engine)
+        if sharded:
+            print("sharded store: %d shards" % engine.n_shards)
         print("%-30s %8s %8s %8s %22s" % ("series", "points", "chunks",
                                           "deletes", "time range"))
-        for name in sorted(engine.series_names()):
-            chunks = engine.chunks_for(name)
-            deletes = engine.deletes_for(name)
-            if chunks:
-                lo = min(c.start_time for c in chunks)
-                hi = max(c.end_time for c in chunks)
-                time_range = "[%d, %d]" % (lo, hi)
-                points = sum(c.n_points for c in chunks)
-            else:
-                time_range = "(empty)"
-                points = 0
-            print("%-30s %8d %8d %8d %22s"
-                  % (name, points, len(chunks), len(deletes), time_range))
+        if sharded:
+            rows, down = engine.series_info()
+            for row in rows:
+                time_range = "(empty)" if row["chunks"] == 0 else \
+                    "[%d, %d]" % (row["start_time"], row["end_time"])
+                print("%-30s %8d %8d %8d %22s"
+                      % (row["name"], row["points"], row["chunks"],
+                         row["deletes"], time_range))
+            if down:
+                print("warning: shard(s) down, listing incomplete: %s"
+                      % ", ".join("%02d" % s for s in down))
+        else:
+            for name in sorted(engine.series_names()):
+                chunks = engine.chunks_for(name)
+                deletes = engine.deletes_for(name)
+                if chunks:
+                    lo = min(c.start_time for c in chunks)
+                    hi = max(c.end_time for c in chunks)
+                    time_range = "[%d, %d]" % (lo, hi)
+                    points = sum(c.n_points for c in chunks)
+                else:
+                    time_range = "(empty)"
+                    points = 0
+                print("%-30s %8d %8d %8d %22s"
+                      % (name, points, len(chunks), len(deletes),
+                         time_range))
     return 0
 
 
@@ -505,9 +569,17 @@ def _cmd_query(args):
     trace.  Returns 0; bad SQL, unknown series and malformed ranges
     raise :class:`~repro.errors.ReproError` (caught in :func:`main`).
     """
-    with StorageEngine(_require_store(args.db),
-                       _engine_config(args)) as engine:
+    with _open_store(args, _engine_config(args)) as engine:
         engine.flush_all()
+        if _is_sharded(engine):
+            if args.explain:
+                print("error: --explain needs a single engine (run it "
+                      "against one shard-NN directory)",
+                      file=sys.stderr)
+                return 1
+            table = engine.execute_sql(args.sql)
+            print(table.pretty(max_rows=args.max_rows))
+            return 0
         executor = Executor(engine)
         parsed = parse_sql(args.sql)
         if args.explain:
@@ -538,12 +610,16 @@ def _cmd_render(args):
     """
     from .server.service import render_chart
     from .viz.chart import save_pbm, to_ascii
-    with StorageEngine(_require_store(args.db),
-                       _engine_config(args)) as engine:
+    with _open_store(args, _engine_config(args)) as engine:
         engine.flush_all()
-        # Shared with GET /render, so server output is byte-identical.
-        matrix, _result = render_chart(engine, args.series, args.width,
-                                       args.height)
+        # Shared with GET /render, so server output is byte-identical
+        # (the sharded path runs the same render_chart on the owner).
+        if _is_sharded(engine):
+            matrix, _result = engine.render_series(
+                args.series, args.width, args.height)
+        else:
+            matrix, _result = render_chart(engine, args.series,
+                                           args.width, args.height)
         if args.out:
             save_pbm(matrix, args.out)
             print("wrote %dx%d PBM to %s" % (args.width, args.height,
@@ -631,7 +707,7 @@ def _cmd_serve(args):
 
     from .server import ServerConfig, start_server
 
-    engine = StorageEngine(_require_store(args.db), _engine_config(args))
+    engine = _open_store(args, _engine_config(args))
     if engine.recovery_summary:
         print("recovered: %s" % engine.recovery_summary)
     engine.flush_all()  # buffered WAL points become query-visible
@@ -657,7 +733,13 @@ def _cmd_serve(args):
                           lease_seconds=args.lease,
                           auto_promote=args.auto_promote,
                           ingest_ack=args.ingest_ack)
-    handle = start_server(engine, config, own_engine=True)
+    try:
+        handle = start_server(engine, config, own_engine=True)
+    except ValueError as exc:
+        # e.g. replication flags against a sharded store
+        engine.close()
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
     host, port = handle.address
     role = ""
     if args.standby:
@@ -665,6 +747,8 @@ def _cmd_serve(args):
                                  else "")
     elif args.replicate_to:
         role = " [primary -> %s]" % ", ".join(args.replicate_to)
+    if _is_sharded(engine):
+        role += " [%d shards]" % engine.n_shards
     print("serving %s on http://%s:%d%s (workers=%d queue=%d "
           "timeout=%.1fs); Ctrl-C to drain and stop"
           % (args.db, host, port, role, config.workers,
@@ -1008,9 +1092,25 @@ def _cmd_bench(args):
             print("%-55s %s" % (cell.config.cell_id,
                                 "[gated]" if cell.gate else ""))
         return 0
+    if args.shards_sweep:
+        import tempfile
+
+        from .bench import new_artifact
+        from .bench.shards import shard_scaling
+        points = args.points or int(os.environ.get(
+            "REPRO_BENCH_POINTS", "20000"))
+        with tempfile.TemporaryDirectory(prefix="repro-shards-") as tmp:
+            rows, table = shard_scaling(
+                tmp, n_points=points, duration=args.shards_duration,
+                progress=lambda msg: print(msg, flush=True))
+        write_artifact(args.shards_out,
+                       new_artifact("shards", rows, points))
+        print(table.render())
+        print("wrote %d rows to %s" % (len(rows), args.shards_out))
+        return 0
     if not args.matrix and not args.check:
-        print("error: nothing to do (pass --matrix, --check or --list)",
-              file=sys.stderr)
+        print("error: nothing to do (pass --matrix, --check, "
+              "--shards-sweep or --list)", file=sys.stderr)
         return 1
     current = None
     if args.matrix:

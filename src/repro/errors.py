@@ -117,6 +117,31 @@ class NotPrimaryError(ServerError):
         self.primary = primary
 
 
+class ShardError(ReproError):
+    """Base class for shard router failures (placement, topology,
+    pipe protocol, worker transport)."""
+
+
+class ShardProtocolError(ShardError):
+    """Raised when a shard pipe frame cannot be decoded (bad magic,
+    oversized length, checksum mismatch).  A protocol error on a shard
+    connection is unrecoverable: the router marks the shard dead."""
+
+
+class ShardDownError(ShardError):
+    """Raised when an operation targets a shard whose worker process
+    has died (EOF on the pipe, or a non-zero exit observed).
+
+    ``shard`` is the integer shard id when known.  The serving layer
+    treats a dead shard like a quarantined chunk: non-strict reads
+    degrade (empty, flagged results) instead of failing, writes and
+    strict reads surface the error."""
+
+    def __init__(self, message, shard=None):
+        super().__init__(message)
+        self.shard = shard
+
+
 class QueryError(ReproError):
     """Base class for query layer failures."""
 

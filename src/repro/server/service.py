@@ -39,6 +39,7 @@ from ..errors import (
     ReproError,
     SeriesNotFoundError,
     ServerOverloadedError,
+    ShardDownError,
 )
 from ..ingest import IngestController, LiveFeed
 from ..obs import (
@@ -198,9 +199,19 @@ class QueryService:
     def __init__(self, engine, config=None):
         self._engine = engine
         self._config = config if config is not None else ServerConfig()
+        # A ShardRouter engine turns this service into the stateless
+        # scatter-gather tier: SQL/render route to owning shards,
+        # series/stats/healthz aggregate across them.
+        self._sharded = bool(getattr(engine, "is_sharded", False))
+        if self._sharded and (self._config.standby
+                              or self._config.replicate_to):
+            raise ValueError(
+                "replication and a sharded store cannot be combined on "
+                "one node; run one replicated pair per shard instead "
+                "(docs/OPERATIONS.md)")
         # Strict servers disable degraded reads outright: a checksum
         # failure surfaces as a 500 instead of a flagged 200.
-        self._executor = Executor(
+        self._executor = None if self._sharded else Executor(
             engine, degraded=False if self._config.strict else None)
         self._metrics = engine.metrics
         self._tracer = engine.tracer
@@ -305,16 +316,25 @@ class QueryService:
         rid = self._next_id()
         trace = self._trace_context(headers)
         sleep_s = self._debug_sleep(payload)
-        executor = self._request_executor(payload)
+        strict = self._strict(payload)
+        executor = None if self._sharded else \
+            self._request_executor(payload)
 
         def run():
-            if sleep_s:
-                self._sleep_checked(sleep_s)
-            parsed = parse_sql(sql)
-            table = executor.execute(
-                parsed, statement=sql,
-                slow_info={"request_id": rid, "endpoint": "query",
-                           "trace_id": trace.trace_id})
+            slow_info = {"request_id": rid, "endpoint": "query",
+                         "trace_id": trace.trace_id}
+            if self._sharded:
+                # The debug sleep runs worker-side so tests can drive a
+                # deadline expiry across the shard pipe, not just here.
+                table = self._engine.execute_sql(
+                    sql, strict=strict, slow_info=slow_info,
+                    debug_sleep_s=sleep_s)
+            else:
+                if sleep_s:
+                    self._sleep_checked(sleep_s)
+                parsed = parse_sql(sql)
+                table = executor.execute(parsed, statement=sql,
+                                         slow_info=slow_info)
             body = {
                 "request_id": rid,
                 "columns": list(table.columns),
@@ -323,9 +343,12 @@ class QueryService:
             headers = {}
             if body["degraded"]:
                 body["skipped_ranges"] = table.meta["skipped_ranges"]
-                body["warning"] = _degraded_warning(
-                    table.meta["skipped_ranges"])
+                body["warning"] = table.meta.get("warning") \
+                    or _degraded_warning(table.meta["skipped_ranges"])
                 headers["X-Repro-Degraded"] = "1"
+                if table.meta.get("shard_down") is not None:
+                    headers["X-Repro-Shard-Down"] = str(
+                        table.meta["shard_down"])
             return Response(200, _json_bytes(body), headers=headers)
 
         return self._admit("query", rid, run,
@@ -360,9 +383,19 @@ class QueryService:
             if sleep_s:
                 self._sleep_checked(sleep_s)
             started = time.perf_counter()
-            matrix, result = render_chart(
-                self._engine, series, width, height,
-                degraded=False if strict else None)
+            if self._sharded:
+                try:
+                    matrix, result = self._engine.render_series(
+                        series, width, height, strict=strict)
+                except ShardDownError as exc:
+                    if strict:
+                        raise
+                    return self._shard_down_render(rid, series, width,
+                                                   height, fmt, exc)
+            else:
+                matrix, result = render_chart(
+                    self._engine, series, width, height,
+                    degraded=False if strict else None)
             self._engine.slow_log.record(
                 "RENDER %s %dx%d" % (series, width, height),
                 time.perf_counter() - started,
@@ -394,8 +427,50 @@ class QueryService:
                            timeout_ms=params.get("timeout_ms"),
                            trace=trace)
 
+    def _shard_down_render(self, rid, series, width, height, fmt, exc):
+        """The degraded ``/render`` answer for a dead owning shard.
+
+        Mirrors the corrupt-chunk contract: HTTP 200, an empty (blank)
+        chart, ``X-Repro-Degraded`` set — plus ``X-Repro-Shard-Down``
+        naming the shard so the operator knows which drill to run.
+        """
+        headers = {"X-Repro-Degraded": "1"}
+        if exc.shard is not None:
+            headers["X-Repro-Shard-Down"] = str(exc.shard)
+        if fmt == "pbm":
+            import numpy as np
+
+            from ..viz.chart import to_pbm
+            blank = np.zeros((int(height), int(width)), dtype=bool)
+            return Response(200, to_pbm(blank).encode("ascii"),
+                            content_type=_PBM, headers=headers)
+        body = {"request_id": rid, "series": series,
+                "width": width, "height": height,
+                "t_qs": 0, "t_qe": 0, "spans": [],
+                "degraded": True, "skipped_ranges": [],
+                "warning": "degraded result: %s" % exc}
+        return Response(200, _json_bytes(body), headers=headers)
+
     def series(self):
-        """``GET /series``: name + time range per series (inline)."""
+        """``GET /series``: name + time range per series (inline).
+
+        Against a sharded store the listing is a scatter-gather merge;
+        shards whose worker died are skipped and reported in
+        ``shards_down`` with ``degraded: true`` (same contract as a
+        degraded query: answer what is answerable, flag the rest).
+        """
+        if self._sharded:
+            rows, down = self._engine.series_info()
+            out = [{key: row[key] for key in ("name", "start_time",
+                                              "end_time", "chunks",
+                                              "points")}
+                   for row in rows]
+            body = {"series": out}
+            if down:
+                body["degraded"] = True
+                body["shards_down"] = down
+            self._count("series", 200)
+            return Response(200, _json_bytes(body))
         out = []
         for name in sorted(self._engine.series_names()):
             try:
@@ -478,6 +553,10 @@ class QueryService:
                                          or self._ingest.closed)}
         if self._replication is not None:
             workers.update(self._replication.workers())
+        if self._sharded:
+            # One entry per shard worker process; a dead shard flips
+            # status to "degraded" exactly like a dead ingest writer.
+            workers.update(self._engine.shard_workers())
         body = {
             "status": "ok" if all(workers.values()) else "degraded",
             "workers": workers,
@@ -500,6 +579,10 @@ class QueryService:
         }
         if self._replication is not None:
             body["replication_role"] = self._replication.role
+        if self._sharded:
+            body["shards"] = {
+                "total": self._engine.n_shards,
+                "alive": len(self._engine.alive_shards())}
         return Response(200, _json_bytes(body))
 
     def traces(self, params=None):
@@ -622,6 +705,12 @@ class QueryService:
             response = self._error(429, None, str(exc))
             response.headers["Retry-After"] = str(exc.retry_after)
             return response
+        except ShardDownError as exc:
+            self._count("ingest", 503)
+            response = self._error(503, None, str(exc))
+            response.headers["Retry-After"] = str(
+                self._config.retry_after_seconds)
+            return response
         except (SeriesNotFoundError, ValueError) as exc:
             self._count("ingest", 400)
             return self._error(400, None, str(exc))
@@ -669,6 +758,10 @@ class QueryService:
                 shed += 1
                 retry_after = max(retry_after, exc.retry_after)
                 results.append({"status": 429, "error": str(exc)})
+                continue
+            except ShardDownError as exc:
+                errors += 1
+                results.append({"status": 503, "error": str(exc)})
                 continue
             except (SeriesNotFoundError, ValueError) as exc:
                 errors += 1
@@ -768,37 +861,16 @@ class QueryService:
         return body
 
     def delta_spans(self, series, ranges, span):
-        """Grid-aligned M4 spans over each changed range.
-
-        Cells are computed on the absolute ``span``-width grid — the
-        same cell argument as the tile cache — so a client chart on
-        that grid can splice them in and stay byte-identical to a full
-        refetch.  A range the engine cannot answer yet (e.g. memtable
-        racing a flush) reports an ``error`` for that delta instead of
-        failing the poll.
-        """
-        from ..core.m4lsm import M4LSMOperator
-        from ..core.tiles import TiledM4Operator
-        if getattr(self._engine, "tile_cache", None) is not None:
-            operator = TiledM4Operator(self._engine)
-        else:
-            operator = M4LSMOperator(self._engine)
-        deltas = []
-        for lo, hi in ranges:
-            lo_g = (int(lo) // span) * span
-            hi_g = -(-int(hi) // span) * span
-            delta = {"t_qs": lo_g, "t_qe": hi_g}
+        """Grid-aligned M4 spans over each changed range (sharded:
+        computed on the owning shard; see :func:`compute_delta_spans`
+        for the grid contract)."""
+        if self._sharded:
             try:
-                result = operator.query(series, lo_g, hi_g,
-                                        (hi_g - lo_g) // span)
-                delta["spans"] = _spans_as_json(result)
-                if result.degraded:
-                    delta["skipped_ranges"] = [
-                        [int(s), int(e)] for s, e in result.skipped]
-            except ReproError as exc:
-                delta["error"] = str(exc)
-            deltas.append(delta)
-        return deltas
+                return self._engine.delta_spans(series, ranges, span)
+            except ShardDownError as exc:
+                return [{"t_qs": int(lo), "t_qe": int(hi),
+                         "error": str(exc)} for lo, hi in ranges]
+        return compute_delta_spans(self._engine, series, ranges, span)
 
     def _live_timeout(self, timeout_ms):
         """The long-poll wait: default ``live_poll_seconds``, capped
@@ -970,6 +1042,14 @@ class QueryService:
     def _map_error(self, rid, error):
         if isinstance(error, DeadlineExceededError):
             return self._error(504, rid, str(error))
+        if isinstance(error, ShardDownError):
+            # Strict mode (or a write) against a dead shard: the data
+            # is temporarily unavailable, not gone — 503 + Retry-After
+            # so clients back off until the operator restarts.
+            response = self._error(503, rid, str(error))
+            response.headers["Retry-After"] = str(
+                self._config.retry_after_seconds)
+            return response
         if isinstance(error, (QueryError, SeriesNotFoundError,
                               ValueError)):
             return self._error(400, rid, str(error))
@@ -1031,6 +1111,42 @@ class QueryService:
             if remaining <= 0:
                 return
             time.sleep(min(remaining, 0.01))
+
+
+def compute_delta_spans(engine, series, ranges, span):
+    """Grid-aligned M4 spans over each changed range of ``series``.
+
+    Cells are computed on the absolute ``span``-width grid — the same
+    cell argument as the tile cache — so a client chart on that grid
+    can splice them in and stay byte-identical to a full refetch.  A
+    range the engine cannot answer yet (e.g. memtable racing a flush)
+    reports an ``error`` for that delta instead of failing the poll.
+
+    Module-level (not a service method) because the shard worker runs
+    it against its local engine for routed ``/live`` deltas.
+    """
+    from ..core.m4lsm import M4LSMOperator
+    if getattr(engine, "tile_cache", None) is not None:
+        from ..core.tiles import TiledM4Operator
+        operator = TiledM4Operator(engine)
+    else:
+        operator = M4LSMOperator(engine)
+    deltas = []
+    for lo, hi in ranges:
+        lo_g = (int(lo) // span) * span
+        hi_g = -(-int(hi) // span) * span
+        delta = {"t_qs": lo_g, "t_qe": hi_g}
+        try:
+            result = operator.query(series, lo_g, hi_g,
+                                    (hi_g - lo_g) // span)
+            delta["spans"] = _spans_as_json(result)
+            if result.degraded:
+                delta["skipped_ranges"] = [
+                    [int(s), int(e)] for s, e in result.skipped]
+        except ReproError as exc:
+            delta["error"] = str(exc)
+        deltas.append(delta)
+    return deltas
 
 
 def _json_bytes(obj):

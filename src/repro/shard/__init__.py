@@ -1,0 +1,37 @@
+"""Shard-per-core engine: placement, pipe protocol, worker, router.
+
+The package splits one logical store into N process-backed engine
+shards so aggregate query throughput scales past the GIL (ROADMAP
+item 1; DESIGN.md §15).  Public surface:
+
+* :func:`open_store` — the one entry point: a plain in-process
+  :class:`~repro.storage.engine.StorageEngine` for ``shards == 1``
+  (byte- and pixel-identical to the pre-shard engine), a
+  :class:`ShardRouter` otherwise.
+* :func:`shard_of` — pure ``crc32 mod N`` series placement.
+* :class:`ShardRouter` — the engine-shaped facade the server and CLI
+  drive.
+"""
+
+from .placement import (
+    TOPOLOGY_FILE,
+    open_store,
+    read_topology,
+    resolve_shards,
+    shard_dir,
+    shard_of,
+    write_topology,
+)
+from .router import DEFAULT_CALL_TIMEOUT, ShardRouter
+
+__all__ = [
+    "DEFAULT_CALL_TIMEOUT",
+    "ShardRouter",
+    "TOPOLOGY_FILE",
+    "open_store",
+    "read_topology",
+    "resolve_shards",
+    "shard_dir",
+    "shard_of",
+    "write_topology",
+]

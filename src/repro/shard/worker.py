@@ -1,0 +1,277 @@
+"""Shard worker: one :class:`StorageEngine` served over a pipe.
+
+Spawned by the router as ``python -m repro.shard.worker`` with an
+inherited socketpair fd.  The worker owns a complete single-engine
+store (its own WAL, tile cache, quarantine and obs registry under
+``shard-NN/``) and executes framed requests
+(:mod:`repro.shard.protocol`) against it.
+
+Concurrency: a small thread pool runs operations so a slow query does
+not head-of-line-block a ping — the engine is already thread-safe (the
+server's admission pool exercises the same paths in the unsharded
+deployment).  Responses are written under a lock; ordering across
+requests is by completion, and the router correlates by request id.
+
+Deadlines: each request may carry ``deadline_s`` (its *remaining*
+budget at send time).  The worker installs a fresh
+:class:`~repro.storage.deadline.Deadline` for the executing thread, so
+the engine's cooperative checkpoints abort an over-budget query
+exactly as they would in-process, and the resulting
+:class:`~repro.errors.DeadlineExceededError` travels back by name.
+
+Lifecycle: a ``close`` request drains in-flight operations, closes the
+engine (persisting obs — and tiles, when configured) and exits 0.  If
+the pipe hits EOF first (router died), the worker closes the engine
+and exits too — no orphan processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from ..errors import ReproError
+from ..storage.deadline import Deadline, check_deadline, deadline_scope
+from ..storage.engine import StorageEngine
+from .placement import config_from_dict
+from .protocol import encode_error, recv_frame, send_frame
+
+
+def series_listing(engine):
+    """One dict per series: name, time range, chunk/point/delete counts.
+
+    Shared shape between the worker's ``series_info`` op and the
+    single-engine ``GET /series`` path, so the scatter-gather listing
+    merges without translation.
+    """
+    out = []
+    for name in sorted(engine.series_names()):
+        try:
+            chunks = engine.chunks_for(name)
+            deletes = engine.deletes_for(name)
+        except ReproError:
+            continue  # unflushed or racing a writer: skip, not fail
+        if chunks:
+            out.append({
+                "name": name,
+                "start_time": min(c.start_time for c in chunks),
+                "end_time": max(c.end_time for c in chunks),
+                "chunks": len(chunks),
+                "points": sum(c.n_points for c in chunks),
+                "deletes": len(deletes)})
+        else:
+            out.append({"name": name, "start_time": None,
+                        "end_time": None, "chunks": 0, "points": 0,
+                        "deletes": len(deletes)})
+    return out
+
+
+class ShardWorker:
+    """The worker-side request loop around one engine."""
+
+    def __init__(self, engine, sock, shard_id=0, threads=4):
+        self._engine = engine
+        self._sock = sock
+        self._shard_id = int(shard_id)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(int(threads), 1),
+            thread_name_prefix="shard-%02d-op" % shard_id)
+        self._send_lock = threading.Lock()
+
+    def serve(self):
+        """Run the request loop until ``close`` or pipe EOF.
+
+        Returns the process exit code (0 on a clean close)."""
+        try:
+            while True:
+                try:
+                    request = recv_frame(self._sock)
+                except (EOFError, OSError, ReproError):
+                    break  # router gone: shut down quietly
+                if request.get("op") == "close":
+                    self._pool.shutdown(wait=True)
+                    self._close_engine()
+                    self._reply(request, True, {"closed": True})
+                    break
+                self._pool.submit(self._run, request)
+        finally:
+            self._pool.shutdown(wait=True)
+            self._close_engine()
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        return 0
+
+    def _close_engine(self):
+        try:
+            if not self._engine.closed:
+                self._engine.close()
+        except ReproError:
+            pass
+
+    def _run(self, request):
+        deadline_s = request.get("deadline_s")
+        deadline = Deadline(deadline_s) if deadline_s is not None else None
+        try:
+            with deadline_scope(deadline):
+                if deadline is not None:
+                    deadline.check()
+                handler = self._OPS.get(request.get("op"))
+                if handler is None:
+                    raise ValueError("unknown shard op %r"
+                                     % request.get("op"))
+                result = handler(self, **(request.get("kwargs") or {}))
+            self._reply(request, True, result)
+        except BaseException as exc:  # every failure becomes a response
+            self._reply(request, False, exc)
+
+    def _reply(self, request, ok, payload):
+        message = {"id": request.get("id"), "ok": ok}
+        if ok:
+            message["result"] = payload
+        else:
+            message["error"] = encode_error(payload)
+        try:
+            with self._send_lock:
+                send_frame(self._sock, message)
+        except (OSError, ReproError):
+            pass  # router gone; the read loop will see EOF and exit
+
+    # -- operations (one method per wire op) ---------------------------------
+
+    def _op_ping(self):
+        return {"pid": os.getpid(), "shard": self._shard_id,
+                "series": len(self._engine.series_names()),
+                "recovery": self._engine.recovery_summary}
+
+    def _op_create_series(self, name):
+        return self._engine.create_series(name)
+
+    def _op_write(self, name, t, v):
+        self._engine.write(name, t, v)
+        return True
+
+    def _op_write_batch(self, name, timestamps, values):
+        self._engine.write_batch(name, timestamps, values)
+        return True
+
+    def _op_delete(self, name, t_start, t_end):
+        self._engine.delete(name, t_start, t_end)
+        return True
+
+    def _op_flush(self, name):
+        self._engine.flush(name)
+        return True
+
+    def _op_flush_all(self):
+        self._engine.flush_all()
+        return True
+
+    def _op_series_names(self):
+        return sorted(self._engine.series_names())
+
+    def _op_series_info(self):
+        return series_listing(self._engine)
+
+    def _op_chunk_count(self, name):
+        return len(self._engine.chunks_for(name))
+
+    def _op_total_points(self, name):
+        return self._engine.total_points(name)
+
+    def _op_execute(self, sql, strict=False, slow_info=None,
+                    debug_sleep_s=0.0):
+        from ..query.executor import Executor
+        from ..query.sql import parse as parse_sql
+        if debug_sleep_s:
+            _sleep_checked(debug_sleep_s)
+        executor = Executor(self._engine,
+                            degraded=False if strict else None)
+        return executor.execute(parse_sql(sql), statement=sql,
+                                slow_info=slow_info)
+
+    def _op_render(self, series, width, height, t_qs=None, t_qe=None,
+                   strict=False):
+        from ..server.service import render_chart
+        return render_chart(self._engine, series, width, height,
+                            t_qs=t_qs, t_qe=t_qe,
+                            degraded=False if strict else None)
+
+    def _op_delta_spans(self, series, ranges, span):
+        from ..server.service import compute_delta_spans
+        return compute_delta_spans(self._engine, series, ranges, span)
+
+    def _op_stats(self):
+        snapshot = self._engine.observability_snapshot()
+        quarantine = self._engine.quarantine
+        snapshot["quarantine"] = {"chunks": len(quarantine),
+                                  "entries": quarantine.entries()}
+        snapshot["pid"] = os.getpid()
+        return snapshot
+
+    def _op_debug_sleep(self, seconds):
+        _sleep_checked(seconds)
+        return True
+
+    _OPS = {
+        "ping": _op_ping,
+        "create_series": _op_create_series,
+        "write": _op_write,
+        "write_batch": _op_write_batch,
+        "delete": _op_delete,
+        "flush": _op_flush,
+        "flush_all": _op_flush_all,
+        "series_names": _op_series_names,
+        "series_info": _op_series_info,
+        "chunk_count": _op_chunk_count,
+        "total_points": _op_total_points,
+        "execute": _op_execute,
+        "render": _op_render,
+        "delta_spans": _op_delta_spans,
+        "stats": _op_stats,
+        "debug_sleep": _op_debug_sleep,
+    }
+
+
+def _sleep_checked(seconds):
+    """Sleep in slices so the installed deadline still cancels it."""
+    import time
+    end = time.monotonic() + float(seconds)
+    while True:
+        check_deadline()
+        remaining = end - time.monotonic()
+        if remaining <= 0:
+            return
+        time.sleep(min(remaining, 0.01))
+
+
+def main(argv=None):
+    """Worker entry point (``python -m repro.shard.worker``).
+
+    Arguments: ``--fd`` (inherited socketpair end), ``--dir`` (this
+    shard's store directory), ``--shard-id``, ``--threads`` and
+    ``--config`` (the JSON form of the router's
+    :class:`StorageConfig`, from :func:`config_as_dict`).
+    """
+    parser = argparse.ArgumentParser(prog="repro-shard-worker")
+    parser.add_argument("--fd", type=int, required=True)
+    parser.add_argument("--dir", required=True)
+    parser.add_argument("--shard-id", type=int, default=0)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--config", default="{}")
+    args = parser.parse_args(argv)
+    sock = socket.socket(fileno=args.fd)
+    config = config_from_dict(json.loads(args.config))
+    engine = StorageEngine(args.dir, config)
+    return ShardWorker(engine, sock, shard_id=args.shard_id,
+                       threads=args.threads).serve()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""Framing, corruption detection and error transport on the shard pipe."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    QueryError,
+    ShardDownError,
+    ShardError,
+    ShardProtocolError,
+    StorageError,
+)
+from repro.shard.protocol import (
+    MAGIC,
+    MAX_FRAME_BYTES,
+    decode_error,
+    encode_error,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture
+def pipe():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_roundtrip(self, pipe):
+        a, b = pipe
+        payload = {"id": 7, "op": "write", "t": [1, 2, 3]}
+        send_frame(a, payload)
+        assert recv_frame(b) == payload
+
+    def test_numpy_arrays_cross_intact(self, pipe):
+        a, b = pipe
+        t = np.arange(10_000, dtype=np.int64)
+        v = np.sin(t / 9.0)
+        send_frame(a, {"t": t, "v": v})
+        got = recv_frame(b)
+        np.testing.assert_array_equal(got["t"], t)
+        np.testing.assert_array_equal(got["v"], v)
+
+    def test_large_payload(self, pipe):
+        a, b = pipe
+        blob = np.zeros(1 << 20, dtype=np.float64)  # 8 MiB
+        done = threading.Thread(target=send_frame, args=(a, {"v": blob}))
+        done.start()
+        got = recv_frame(b)
+        done.join()
+        assert got["v"].nbytes == blob.nbytes
+
+    def test_clean_eof_is_eoferror(self, pipe):
+        a, b = pipe
+        a.close()
+        with pytest.raises(EOFError):
+            recv_frame(b)
+
+    def test_mid_frame_eof_is_protocol_error(self, pipe):
+        a, b = pipe
+        header = struct.pack("!4sII", MAGIC, 100, 0)
+        a.sendall(header + b"short")
+        a.close()
+        with pytest.raises(ShardProtocolError):
+            recv_frame(b)
+
+    def test_bad_magic(self, pipe):
+        a, b = pipe
+        a.sendall(struct.pack("!4sII", b"XXXX", 4, 0) + b"\0\0\0\0")
+        with pytest.raises(ShardProtocolError, match="magic"):
+            recv_frame(b)
+
+    def test_crc_mismatch(self, pipe):
+        a, b = pipe
+        payload = b"\x80\x04N."  # pickle of None
+        bad_crc = (zlib.crc32(payload) ^ 0xFFFF) & 0xFFFFFFFF
+        a.sendall(struct.pack("!4sII", MAGIC, len(payload), bad_crc)
+                  + payload)
+        with pytest.raises(ShardProtocolError, match="checksum"):
+            recv_frame(b)
+
+    def test_oversize_frame_rejected(self, pipe):
+        a, b = pipe
+        a.sendall(struct.pack("!4sII", MAGIC, MAX_FRAME_BYTES + 1, 0))
+        with pytest.raises(ShardProtocolError):
+            recv_frame(b)
+
+
+class TestErrorTransport:
+    def test_repro_errors_cross_by_type(self):
+        for exc in (StorageError("boom"), QueryError("bad sql"),
+                    DeadlineExceededError("too slow")):
+            wire = encode_error(exc)
+            back = decode_error(wire)
+            assert type(back) is type(exc)
+            assert str(exc) in str(back)
+
+    def test_builtin_allowlist(self):
+        back = decode_error(encode_error(KeyError("missing")))
+        assert isinstance(back, KeyError)
+
+    def test_unknown_type_degrades_to_shard_error(self):
+        wire = {"type": "TotallyMadeUpError", "message": "?"}
+        back = decode_error(wire)
+        assert type(back) is ShardError
+        assert "TotallyMadeUpError" in str(back)
+
+    def test_shard_down_error_keeps_shard_attr(self):
+        exc = ShardDownError("gone", shard=3)
+        assert exc.shard == 3
